@@ -1,0 +1,109 @@
+// bcwan-keygen generates the key material BcWAN deployments need:
+//
+//	bcwan-keygen -type miner      an authorized miner identity
+//	bcwan-keygen -type wallet     a blockchain wallet (gateway/recipient)
+//	bcwan-keygen -type sensor -recipient <@R address>
+//	                              a sensor provisioning bundle: the shared
+//	                              AES-256 key K, the node's RSA-512
+//	                              signing keypair, and a device EUI
+//	                              (§4.4's provisioning phase)
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/wallet"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bcwan-keygen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bcwan-keygen", flag.ContinueOnError)
+	keyType := fs.String("type", "wallet", "what to generate: miner | wallet | sensor")
+	recipientAddr := fs.String("recipient", "", "recipient @R address (required for -type sensor)")
+	eui := fs.String("eui", "", "sensor device EUI as 16 hex chars (random if empty)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	out := json.NewEncoder(os.Stdout)
+	out.SetIndent("", "  ")
+
+	switch *keyType {
+	case "miner":
+		key, err := bccrypto.GenerateECKey(rand.Reader)
+		if err != nil {
+			return err
+		}
+		return out.Encode(map[string]string{
+			"type":       "miner",
+			"privateKey": hex.EncodeToString(key.MarshalECPrivateKey()),
+			"publicKey":  hex.EncodeToString(key.PublicBytes()),
+		})
+
+	case "wallet":
+		w, err := wallet.New(rand.Reader)
+		if err != nil {
+			return err
+		}
+		hash := w.PubKeyHash()
+		return out.Encode(map[string]string{
+			"type":       "wallet",
+			"privateKey": hex.EncodeToString(w.Key().MarshalECPrivateKey()),
+			"publicKey":  hex.EncodeToString(w.PublicBytes()),
+			"pubKeyHash": hex.EncodeToString(hash[:]),
+			"address":    w.Address(),
+		})
+
+	case "sensor":
+		if *recipientAddr == "" {
+			return fmt.Errorf("-type sensor requires -recipient <@R address>")
+		}
+		rHash, err := bccrypto.PubKeyHashFromAddress(*recipientAddr)
+		if err != nil {
+			return fmt.Errorf("recipient address: %w", err)
+		}
+		sharedKey := make([]byte, bccrypto.AESKeySize)
+		if _, err := rand.Read(sharedKey); err != nil {
+			return err
+		}
+		nodeKey, err := bccrypto.GenerateRSA512(rand.Reader)
+		if err != nil {
+			return err
+		}
+		devEUI := make([]byte, 8)
+		if *eui != "" {
+			decoded, err := hex.DecodeString(*eui)
+			if err != nil || len(decoded) != 8 {
+				return fmt.Errorf("-eui must be 16 hex chars")
+			}
+			copy(devEUI, decoded)
+		} else if _, err := rand.Read(devEUI); err != nil {
+			return err
+		}
+		return out.Encode(map[string]string{
+			"type": "sensor",
+			// Loaded on the node:
+			"devEUI":        hex.EncodeToString(devEUI),
+			"sharedKeyK":    hex.EncodeToString(sharedKey),
+			"signingKeySk":  hex.EncodeToString(bccrypto.MarshalRSA512PrivateKey(nodeKey)),
+			"recipientHash": hex.EncodeToString(rHash[:]),
+			// Registered on the recipient:
+			"nodePublicKeyPk": hex.EncodeToString(bccrypto.MarshalRSA512PublicKey(nodeKey.Public())),
+		})
+
+	default:
+		return fmt.Errorf("unknown -type %q (miner | wallet | sensor)", *keyType)
+	}
+}

@@ -1,0 +1,61 @@
+// Attack scenario: the §6 discussion made executable. A malicious
+// recipient double-spends its payment after the gateway reveals the
+// ephemeral key with zero confirmations (the PoC policy), stealing the
+// data; waiting one confirmation closes the hole at the cost of one block
+// interval. The run also demonstrates the Listing-1 refund path: a
+// payment whose gateway disappears is reclaimed after the time lock.
+//
+// Run with:
+//
+//	go run ./examples/attack
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bcwan/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("BcWAN double-spend exposure (§6): the gateway reveals eSk against")
+	fmt.Println("an unconfirmed payment; a malicious recipient races a conflicting")
+	fmt.Println("transaction to the miner.")
+	fmt.Println()
+
+	results := make([]*experiments.DoubleSpendResult, 0, 3)
+	for _, confs := range []int64{0, 1, 6} {
+		res, err := experiments.RunDoubleSpend(experiments.DoubleSpendConfig{
+			Seed:              7,
+			Trials:            20,
+			WaitConfirmations: confs,
+			RaceWinProb:       0.8, // aggressive, well-connected attacker
+			Price:             100,
+			BlockInterval:     15 * time.Second,
+		})
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	}
+	experiments.WriteDoubleSpend(log.Writer(), results)
+
+	fmt.Println("With 0 confirmations the attacker steals roughly its race-win rate;")
+	fmt.Println("with ≥1 confirmation on the permissioned chain the gateway never")
+	fmt.Println("reveals eSk before being paid — at the price of one block interval")
+	fmt.Println("of latency per confirmation (the paper quotes 6 conf × 10 min on")
+	fmt.Println("Bitcoin as the reason it accepted the zero-confirmation risk).")
+	fmt.Println()
+
+	fmt.Println("Reputation alternative (§4.4) for contrast:")
+	cmp := experiments.RunReputationComparison(7, 10, 0.3, 0.5, 5000, 100)
+	experiments.WriteReputation(log.Writer(), cmp)
+	return nil
+}

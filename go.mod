@@ -1,0 +1,3 @@
+module bcwan
+
+go 1.22

@@ -1,0 +1,125 @@
+package bccrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// AES-256-CBC message frame per the paper's Fig. 4:
+//
+//	| Len | Initialization Vector (IV) | Len | Ciphertext |
+//	  1 B            16 B               1 B     n·16 B
+//
+// For the paper's canonical sensor readings (plaintext under 16 bytes,
+// e.g. temperature or humidity) the ciphertext is one block and the frame
+// is exactly 34 bytes, small enough to be wrapped whole in a single
+// RSA-512 encryption (the "double encryption" of Fig. 3 step 3).
+
+// AESKeySize is the symmetric key size: AES-256.
+const AESKeySize = 32
+
+// FrameIVLen is the CBC initialization-vector length.
+const FrameIVLen = aes.BlockSize
+
+// CanonicalFrameLen is the Fig. 4 frame size for a single-block message:
+// 1 + 16 + 1 + 16 = 34 bytes.
+const CanonicalFrameLen = 2 + FrameIVLen + aes.BlockSize
+
+// MaxCanonicalPlaintext is the largest plaintext that still yields the
+// canonical 34-byte frame (one CBC block after PKCS#7 padding).
+const MaxCanonicalPlaintext = aes.BlockSize - 1
+
+var (
+	// ErrBadKeySize reports a symmetric key that is not 32 bytes.
+	ErrBadKeySize = errors.New("bccrypto: AES key must be 32 bytes")
+	// ErrBadFrame reports a malformed Fig. 4 frame.
+	ErrBadFrame = errors.New("bccrypto: malformed AES message frame")
+	// ErrBadPadding reports invalid PKCS#7 padding after decryption,
+	// i.e. a wrong key or corrupted ciphertext.
+	ErrBadPadding = errors.New("bccrypto: bad PKCS#7 padding")
+)
+
+// EncryptFrame encrypts plaintext under the 32-byte shared key K with a
+// random IV and returns the Fig. 4 frame.
+func EncryptFrame(random io.Reader, key, plaintext []byte) ([]byte, error) {
+	if len(key) != AESKeySize {
+		return nil, ErrBadKeySize
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("aes: %w", err)
+	}
+	iv := make([]byte, FrameIVLen)
+	if _, err := io.ReadFull(random, iv); err != nil {
+		return nil, fmt.Errorf("iv: %w", err)
+	}
+	padded := pkcs7Pad(plaintext, aes.BlockSize)
+	if len(padded) > 255 {
+		return nil, fmt.Errorf("%w: plaintext too long", ErrBadFrame)
+	}
+	ct := make([]byte, len(padded))
+	cipher.NewCBCEncrypter(block, iv).CryptBlocks(ct, padded)
+
+	frame := make([]byte, 0, 2+len(iv)+len(ct))
+	frame = append(frame, byte(len(iv)))
+	frame = append(frame, iv...)
+	frame = append(frame, byte(len(ct)))
+	frame = append(frame, ct...)
+	return frame, nil
+}
+
+// DecryptFrame reverses EncryptFrame.
+func DecryptFrame(key, frame []byte) ([]byte, error) {
+	if len(key) != AESKeySize {
+		return nil, ErrBadKeySize
+	}
+	if len(frame) < 2 {
+		return nil, ErrBadFrame
+	}
+	ivLen := int(frame[0])
+	if ivLen != FrameIVLen || len(frame) < 1+ivLen+1 {
+		return nil, ErrBadFrame
+	}
+	iv := frame[1 : 1+ivLen]
+	ctLen := int(frame[1+ivLen])
+	ct := frame[2+ivLen:]
+	if len(ct) != ctLen || ctLen == 0 || ctLen%aes.BlockSize != 0 {
+		return nil, ErrBadFrame
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("aes: %w", err)
+	}
+	padded := make([]byte, ctLen)
+	cipher.NewCBCDecrypter(block, iv).CryptBlocks(padded, ct)
+	return pkcs7Unpad(padded, aes.BlockSize)
+}
+
+func pkcs7Pad(data []byte, blockSize int) []byte {
+	pad := blockSize - len(data)%blockSize
+	out := make([]byte, len(data)+pad)
+	copy(out, data)
+	for i := len(data); i < len(out); i++ {
+		out[i] = byte(pad)
+	}
+	return out
+}
+
+func pkcs7Unpad(data []byte, blockSize int) ([]byte, error) {
+	if len(data) == 0 || len(data)%blockSize != 0 {
+		return nil, ErrBadPadding
+	}
+	pad := int(data[len(data)-1])
+	if pad == 0 || pad > blockSize {
+		return nil, ErrBadPadding
+	}
+	for _, b := range data[len(data)-pad:] {
+		if int(b) != pad {
+			return nil, ErrBadPadding
+		}
+	}
+	return append([]byte(nil), data[:len(data)-pad]...), nil
+}

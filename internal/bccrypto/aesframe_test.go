@@ -1,0 +1,210 @@
+package bccrypto
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testAESKey() []byte {
+	key := make([]byte, AESKeySize)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	return key
+}
+
+func TestEncryptFrameCanonicalSize(t *testing.T) {
+	// Fig. 4: plaintext under 16 bytes yields exactly a 34-byte frame.
+	key := testAESKey()
+	for _, size := range []int{0, 1, 8, MaxCanonicalPlaintext} {
+		frame, err := EncryptFrame(rand.Reader, key, make([]byte, size))
+		if err != nil {
+			t.Fatalf("encrypt %d bytes: %v", size, err)
+		}
+		if len(frame) != CanonicalFrameLen {
+			t.Errorf("frame size for %d-byte plaintext = %d, want %d (Fig. 4)",
+				size, len(frame), CanonicalFrameLen)
+		}
+	}
+}
+
+func TestEncryptFrameLayout(t *testing.T) {
+	key := testAESKey()
+	frame, err := EncryptFrame(rand.Reader, key, []byte("21.5C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[0] != FrameIVLen {
+		t.Errorf("IV length byte = %d, want %d", frame[0], FrameIVLen)
+	}
+	if frame[1+FrameIVLen] != 16 {
+		t.Errorf("ciphertext length byte = %d, want 16", frame[1+FrameIVLen])
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	key := testAESKey()
+	for _, msg := range []string{"", "t", "21.5C;48%", "a sixteen-byte!!", "a message longer than one CBC block"} {
+		frame, err := EncryptFrame(rand.Reader, key, []byte(msg))
+		if err != nil {
+			t.Fatalf("encrypt %q: %v", msg, err)
+		}
+		pt, err := DecryptFrame(key, frame)
+		if err != nil {
+			t.Fatalf("decrypt %q: %v", msg, err)
+		}
+		if string(pt) != msg {
+			t.Fatalf("round trip %q: got %q", msg, pt)
+		}
+	}
+}
+
+func TestFrameRoundTripQuick(t *testing.T) {
+	key := testAESKey()
+	f := func(msg []byte) bool {
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		frame, err := EncryptFrame(rand.Reader, key, msg)
+		if err != nil {
+			return false
+		}
+		pt, err := DecryptFrame(key, frame)
+		return err == nil && bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameWrongKeyFails(t *testing.T) {
+	key := testAESKey()
+	other := make([]byte, AESKeySize)
+	copy(other, key)
+	other[0] ^= 0xff
+	frame, err := EncryptFrame(rand.Reader, key, []byte("reading"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong key almost surely corrupts the padding. (A 1-in-256 false
+	// accept is possible with CBC; the fixed vector here does not hit it.)
+	if pt, err := DecryptFrame(other, frame); err == nil && bytes.Equal(pt, []byte("reading")) {
+		t.Fatal("wrong key produced the original plaintext")
+	}
+}
+
+func TestFrameRejectsBadKeySize(t *testing.T) {
+	if _, err := EncryptFrame(rand.Reader, make([]byte, 16), nil); !errors.Is(err, ErrBadKeySize) {
+		t.Fatalf("encrypt err = %v, want ErrBadKeySize", err)
+	}
+	if _, err := DecryptFrame(make([]byte, 16), make([]byte, CanonicalFrameLen)); !errors.Is(err, ErrBadKeySize) {
+		t.Fatalf("decrypt err = %v, want ErrBadKeySize", err)
+	}
+}
+
+func TestDecryptFrameRejectsMalformed(t *testing.T) {
+	key := testAESKey()
+	good, err := EncryptFrame(rand.Reader, key, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":             {},
+		"one byte":          {16},
+		"bad iv len":        append([]byte{15}, good[1:]...),
+		"truncated body":    good[:20],
+		"bad ct len":        func() []byte { f := append([]byte(nil), good...); f[1+FrameIVLen] = 15; return f }(),
+		"extra bytes":       append(append([]byte(nil), good...), 0x00),
+		"zero-length ct":    {16, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+		"non-block-mult ct": func() []byte { f := append([]byte(nil), good...); f[1+FrameIVLen] = 17; return append(f, 0x00) }(),
+	}
+	for name, frame := range cases {
+		if _, err := DecryptFrame(key, frame); err == nil {
+			t.Errorf("%s: malformed frame accepted", name)
+		}
+	}
+}
+
+func TestDecryptFrameCorruptedCiphertext(t *testing.T) {
+	key := testAESKey()
+	frame, err := EncryptFrame(rand.Reader, key, []byte("integrity"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)-1] ^= 0x01
+	if pt, err := DecryptFrame(key, frame); err == nil && string(pt) == "integrity" {
+		t.Fatal("corrupted ciphertext decrypted to original plaintext")
+	}
+}
+
+func TestPKCS7Properties(t *testing.T) {
+	f := func(data []byte) bool {
+		padded := pkcs7Pad(data, 16)
+		if len(padded)%16 != 0 || len(padded) <= len(data) {
+			return false
+		}
+		out, err := pkcs7Unpad(padded, 16)
+		return err == nil && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPKCS7UnpadRejects(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		make([]byte, 15),                     // not block multiple
+		append(make([]byte, 15), 0),          // zero pad byte
+		append(make([]byte, 15), 17),         // pad > block
+		append(make([]byte, 14), 0x01, 0x02), // inconsistent pad bytes
+	}
+	for i, c := range cases {
+		if _, err := pkcs7Unpad(c, 16); err == nil {
+			t.Errorf("case %d: invalid padding accepted", i)
+		}
+	}
+}
+
+func TestDoubleEncryptionFig3(t *testing.T) {
+	// End-to-end of Fig. 3 step 3: AES frame wrapped in RSA-512 must fit
+	// one RSA block and round-trip.
+	key, _ := testKeys(t)
+	sharedK := testAESKey()
+	frame, err := EncryptFrame(rand.Reader, sharedK, []byte("22.1C"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := EncryptRSA512(rand.Reader, key.Public(), frame)
+	if err != nil {
+		t.Fatalf("34-byte frame does not fit RSA-512 block: %v", err)
+	}
+	if len(em) != RSA512ModulusLen {
+		t.Fatalf("Em length = %d, want %d (64-byte double encryption)", len(em), RSA512ModulusLen)
+	}
+	frameBack, err := DecryptRSA512(key, em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := DecryptFrame(sharedK, frameBack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "22.1C" {
+		t.Fatalf("double decryption = %q, want 22.1C", pt)
+	}
+}
+
+func BenchmarkEncryptFrame(b *testing.B) {
+	key := testAESKey()
+	msg := []byte("21.5C;48%;ok")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncryptFrame(rand.Reader, key, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package bccrypto
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Base58 (Bitcoin alphabet) and base58check, used for blockchain addresses
+// (@R in the paper) so node firmware and provisioning tools exchange
+// human-safe identifiers.
+
+const base58Alphabet = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+
+var (
+	// ErrBadBase58 reports a character outside the base58 alphabet.
+	ErrBadBase58 = errors.New("bccrypto: invalid base58 character")
+	// ErrBadChecksum reports a base58check payload whose checksum does
+	// not match.
+	ErrBadChecksum = errors.New("bccrypto: base58check checksum mismatch")
+
+	base58Index = buildBase58Index()
+	big58       = big.NewInt(58)
+)
+
+func buildBase58Index() [256]int8 {
+	var idx [256]int8
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i := 0; i < len(base58Alphabet); i++ {
+		idx[base58Alphabet[i]] = int8(i)
+	}
+	return idx
+}
+
+// Base58Encode encodes data in base58.
+func Base58Encode(data []byte) string {
+	// Count leading zero bytes; each encodes as '1'.
+	zeros := 0
+	for zeros < len(data) && data[zeros] == 0 {
+		zeros++
+	}
+	n := new(big.Int).SetBytes(data)
+	// Worst-case output length: log(256)/log(58) ≈ 1.37 digits per byte.
+	out := make([]byte, 0, len(data)*137/100+zeros+1)
+	mod := new(big.Int)
+	for n.Sign() > 0 {
+		n.DivMod(n, big58, mod)
+		out = append(out, base58Alphabet[mod.Int64()])
+	}
+	for i := 0; i < zeros; i++ {
+		out = append(out, '1')
+	}
+	// Digits were produced least-significant first.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return string(out)
+}
+
+// Base58Decode decodes a base58 string.
+func Base58Decode(s string) ([]byte, error) {
+	zeros := 0
+	for zeros < len(s) && s[zeros] == '1' {
+		zeros++
+	}
+	n := new(big.Int)
+	for i := zeros; i < len(s); i++ {
+		d := base58Index[s[i]]
+		if d < 0 {
+			return nil, fmt.Errorf("%w: %q at %d", ErrBadBase58, s[i], i)
+		}
+		n.Mul(n, big58)
+		n.Add(n, big.NewInt(int64(d)))
+	}
+	body := n.Bytes()
+	out := make([]byte, zeros+len(body))
+	copy(out[zeros:], body)
+	return out, nil
+}
+
+// Base58CheckEncode prefixes data with version, appends the 4-byte double
+// SHA-256 checksum, and base58-encodes the result.
+func Base58CheckEncode(version byte, data []byte) string {
+	payload := make([]byte, 0, 1+len(data)+4)
+	payload = append(payload, version)
+	payload = append(payload, data...)
+	sum := checksum(payload)
+	payload = append(payload, sum[:]...)
+	return Base58Encode(payload)
+}
+
+// Base58CheckDecode reverses Base58CheckEncode, returning the version byte
+// and payload after validating the checksum.
+func Base58CheckDecode(s string) (version byte, data []byte, err error) {
+	raw, err := Base58Decode(s)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(raw) < 5 {
+		return 0, nil, fmt.Errorf("%w: too short", ErrBadChecksum)
+	}
+	body, sum := raw[:len(raw)-4], raw[len(raw)-4:]
+	want := checksum(body)
+	for i := range sum {
+		if sum[i] != want[i] {
+			return 0, nil, ErrBadChecksum
+		}
+	}
+	return body[0], append([]byte(nil), body[1:]...), nil
+}
+
+func checksum(payload []byte) [4]byte {
+	first := sha256.Sum256(payload)
+	second := sha256.Sum256(first[:])
+	var out [4]byte
+	copy(out[:], second[:4])
+	return out
+}
+
+// Hash160 computes RIPEMD160(SHA256(data)), the digest behind blockchain
+// addresses and the script operator OP_HASH160.
+func Hash160(data []byte) [Ripemd160Size]byte {
+	first := sha256.Sum256(data)
+	return Ripemd160(first[:])
+}
+
+// DoubleSHA256 computes SHA256(SHA256(data)), the transaction and block
+// identifier digest.
+func DoubleSHA256(data []byte) [sha256.Size]byte {
+	first := sha256.Sum256(data)
+	return sha256.Sum256(first[:])
+}

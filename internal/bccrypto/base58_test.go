@@ -1,0 +1,127 @@
+package bccrypto
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestBase58KnownVectors(t *testing.T) {
+	tests := []struct {
+		hexIn string
+		want  string
+	}{
+		{"", ""},
+		{"61", "2g"},
+		{"626262", "a3gV"},
+		{"636363", "aPEr"},
+		{"73696d706c792061206c6f6e6720737472696e67", "2cFupjhnEsSn59qHXstmK2ffpLv2"},
+		{"00eb15231dfceb60925886b67d065299925915aeb172c06647", "1NS17iag9jJgTHD1VXjvLCEnZuQ3rJDE9L"},
+		{"516b6fcd0f", "ABnLTmg"},
+		{"bf4f89001e670274dd", "3SEo3LWLoPntC"},
+		{"572e4794", "3EFU7m"},
+		{"ecac89cad93923c02321", "EJDM8drfXA6uyA"},
+		{"10c8511e", "Rt5zm"},
+		{"00000000000000000000", "1111111111"},
+	}
+	for _, tt := range tests {
+		in, err := hex.DecodeString(tt.hexIn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Base58Encode(in); got != tt.want {
+			t.Errorf("Base58Encode(%s) = %q, want %q", tt.hexIn, got, tt.want)
+		}
+		back, err := Base58Decode(tt.want)
+		if err != nil {
+			t.Errorf("Base58Decode(%q): %v", tt.want, err)
+			continue
+		}
+		if !bytes.Equal(back, in) {
+			t.Errorf("Base58Decode(%q) = %x, want %s", tt.want, back, tt.hexIn)
+		}
+	}
+}
+
+func TestBase58DecodeRejectsBadChars(t *testing.T) {
+	for _, s := range []string{"0", "O", "I", "l", "abc!", "+x"} {
+		if _, err := Base58Decode(s); !errors.Is(err, ErrBadBase58) {
+			t.Errorf("Base58Decode(%q) err = %v, want ErrBadBase58", s, err)
+		}
+	}
+}
+
+func TestBase58RoundTripQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		back, err := Base58Decode(Base58Encode(data))
+		return err == nil && bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBase58CheckRoundTrip(t *testing.T) {
+	payload := []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}
+	s := Base58CheckEncode(0x42, payload)
+	version, data, err := Base58CheckDecode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 0x42 {
+		t.Errorf("version = %#x, want 0x42", version)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Errorf("payload = %x, want %x", data, payload)
+	}
+}
+
+func TestBase58CheckDetectsCorruption(t *testing.T) {
+	s := Base58CheckEncode(0x00, []byte("gateway-address-payload!"))
+	// Flip one character to another alphabet character.
+	b := []byte(s)
+	if b[3] == 'z' {
+		b[3] = 'y'
+	} else {
+		b[3] = 'z'
+	}
+	if _, _, err := Base58CheckDecode(string(b)); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("corrupted decode err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestBase58CheckTooShort(t *testing.T) {
+	if _, _, err := Base58CheckDecode("1"); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("short decode err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestBase58CheckQuick(t *testing.T) {
+	f := func(version byte, payload []byte) bool {
+		v, data, err := Base58CheckDecode(Base58CheckEncode(version, payload))
+		return err == nil && v == version && bytes.Equal(data, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHash160KnownVector(t *testing.T) {
+	// HASH160 of the empty string: RIPEMD160(SHA256("")).
+	got := Hash160(nil)
+	const want = "b472a266d0bd89c13706a4132ccfb16f7c3b9fcb"
+	if hex.EncodeToString(got[:]) != want {
+		t.Fatalf("Hash160(nil) = %x, want %s", got, want)
+	}
+}
+
+func TestDoubleSHA256KnownVector(t *testing.T) {
+	// Double SHA-256 of "hello".
+	got := DoubleSHA256([]byte("hello"))
+	const want = "9595c9df90075148eb06860365df33584b75bff782a510c6cd4883a419833d50"
+	if hex.EncodeToString(got[:]) != want {
+		t.Fatalf("DoubleSHA256(hello) = %x, want %s", got, want)
+	}
+}

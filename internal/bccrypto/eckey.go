@@ -1,0 +1,175 @@
+package bccrypto
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// ECDSA over P-256 is the blockchain's signature scheme (§2: "direct
+// payment to one another by using ECDSA signatures and keys"). Public keys
+// are serialized as uncompressed points; signatures are ASN.1 DER.
+
+// ECPublicKeyLen is the serialized public key length: 0x04 ‖ X ‖ Y.
+const ECPublicKeyLen = 1 + 2*32
+
+// ErrBadPublicKey reports an unparseable serialized public key.
+var ErrBadPublicKey = errors.New("bccrypto: invalid EC public key")
+
+// ECKey is an ECDSA P-256 keypair used for blockchain identities.
+type ECKey struct {
+	priv *ecdsa.PrivateKey
+}
+
+// GenerateECKey creates a fresh P-256 keypair.
+func GenerateECKey(random io.Reader) (*ECKey, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), random)
+	if err != nil {
+		return nil, fmt.Errorf("generate ecdsa key: %w", err)
+	}
+	return &ECKey{priv: priv}, nil
+}
+
+// PublicBytes returns the uncompressed public point 0x04 ‖ X ‖ Y.
+func (k *ECKey) PublicBytes() []byte {
+	out := make([]byte, ECPublicKeyLen)
+	out[0] = 0x04
+	k.priv.PublicKey.X.FillBytes(out[1:33])
+	k.priv.PublicKey.Y.FillBytes(out[33:])
+	return out
+}
+
+// PubKeyHash returns HASH160 of the serialized public key — the payment
+// destination used in P2PKH outputs.
+func (k *ECKey) PubKeyHash() [Ripemd160Size]byte {
+	return Hash160(k.PublicBytes())
+}
+
+// Address returns the base58check address (version 0x19, chosen for this
+// chain) of the key. This is the paper's blockchain address @R.
+func (k *ECKey) Address() string {
+	h := k.PubKeyHash()
+	return Base58CheckEncode(AddressVersion, h[:])
+}
+
+// AddressVersion is the base58check version byte for BcWAN addresses.
+const AddressVersion = 0x19
+
+// AddressFromPubKeyHash renders a pubkey hash as a base58check address.
+func AddressFromPubKeyHash(h [Ripemd160Size]byte) string {
+	return Base58CheckEncode(AddressVersion, h[:])
+}
+
+// PubKeyHashFromAddress parses a base58check address back to its pubkey
+// hash.
+func PubKeyHashFromAddress(addr string) ([Ripemd160Size]byte, error) {
+	var out [Ripemd160Size]byte
+	version, payload, err := Base58CheckDecode(addr)
+	if err != nil {
+		return out, err
+	}
+	if version != AddressVersion {
+		return out, fmt.Errorf("bccrypto: address version %#x, want %#x", version, AddressVersion)
+	}
+	if len(payload) != Ripemd160Size {
+		return out, fmt.Errorf("bccrypto: address payload length %d", len(payload))
+	}
+	copy(out[:], payload)
+	return out, nil
+}
+
+// SignDigest signs a 32-byte digest, returning an ASN.1 DER signature.
+func (k *ECKey) SignDigest(random io.Reader, digest []byte) ([]byte, error) {
+	sig, err := ecdsa.SignASN1(random, k.priv, digest)
+	if err != nil {
+		return nil, fmt.Errorf("ecdsa sign: %w", err)
+	}
+	return sig, nil
+}
+
+// Sign signs the SHA-256 digest of msg.
+func (k *ECKey) Sign(random io.Reader, msg []byte) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	return k.SignDigest(random, digest[:])
+}
+
+// VerifyECDigest verifies an ASN.1 signature over a 32-byte digest with a
+// serialized public key.
+func VerifyECDigest(pubKey, digest, sig []byte) bool {
+	pub, err := ParseECPublicKey(pubKey)
+	if err != nil {
+		return false
+	}
+	return ecdsa.VerifyASN1(pub, digest, sig)
+}
+
+// VerifyEC verifies a signature over the SHA-256 digest of msg.
+func VerifyEC(pubKey, msg, sig []byte) bool {
+	digest := sha256.Sum256(msg)
+	return VerifyECDigest(pubKey, digest[:], sig)
+}
+
+// MarshalECPrivateKey encodes the private scalar as 32 big-endian bytes.
+func (k *ECKey) MarshalECPrivateKey() []byte {
+	out := make([]byte, 32)
+	k.priv.D.FillBytes(out)
+	return out
+}
+
+// ParseECPrivateKey reconstructs a keypair from a 32-byte private scalar.
+func ParseECPrivateKey(data []byte) (*ECKey, error) {
+	if len(data) != 32 {
+		return nil, fmt.Errorf("bccrypto: private key length %d, want 32", len(data))
+	}
+	d := new(big.Int).SetBytes(data)
+	curve := elliptic.P256()
+	if d.Sign() <= 0 || d.Cmp(curve.Params().N) >= 0 {
+		return nil, errors.New("bccrypto: private scalar out of range")
+	}
+	priv := new(ecdsa.PrivateKey)
+	priv.Curve = curve
+	priv.D = d
+	priv.X, priv.Y = curve.ScalarBaseMult(data)
+	return &ECKey{priv: priv}, nil
+}
+
+// ParseECPublicKey parses an uncompressed P-256 point.
+func ParseECPublicKey(data []byte) (*ecdsa.PublicKey, error) {
+	if len(data) != ECPublicKeyLen || data[0] != 0x04 {
+		return nil, ErrBadPublicKey
+	}
+	x := new(big.Int).SetBytes(data[1:33])
+	y := new(big.Int).SetBytes(data[33:])
+	curve := elliptic.P256()
+	// Reject points not on the curve (including the identity).
+	if x.Sign() == 0 && y.Sign() == 0 {
+		return nil, ErrBadPublicKey
+	}
+	if !onCurveP256(curve, x, y) {
+		return nil, ErrBadPublicKey
+	}
+	return &ecdsa.PublicKey{Curve: curve, X: x, Y: y}, nil
+}
+
+// onCurveP256 checks y² = x³ - 3x + b (mod p) without using the deprecated
+// elliptic.Unmarshal helpers.
+func onCurveP256(curve elliptic.Curve, x, y *big.Int) bool {
+	p := curve.Params().P
+	if x.Cmp(p) >= 0 || y.Cmp(p) >= 0 || x.Sign() < 0 || y.Sign() < 0 {
+		return false
+	}
+	y2 := new(big.Int).Mul(y, y)
+	y2.Mod(y2, p)
+	x3 := new(big.Int).Mul(x, x)
+	x3.Mul(x3, x)
+	threeX := new(big.Int).Lsh(x, 1)
+	threeX.Add(threeX, x)
+	x3.Sub(x3, threeX)
+	x3.Add(x3, curve.Params().B)
+	x3.Mod(x3, p)
+	return y2.Cmp(x3) == 0
+}

@@ -1,0 +1,189 @@
+package bccrypto
+
+import (
+	"crypto/rand"
+	"strings"
+	"testing"
+)
+
+func newECKey(t testing.TB) *ECKey {
+	t.Helper()
+	key, err := GenerateECKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func TestECKeySignVerify(t *testing.T) {
+	key := newECKey(t)
+	msg := []byte("transaction sighash preimage")
+	sig, err := key.Sign(rand.Reader, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyEC(key.PublicBytes(), msg, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if VerifyEC(key.PublicBytes(), []byte("other message"), sig) {
+		t.Fatal("signature accepted for wrong message")
+	}
+	other := newECKey(t)
+	if VerifyEC(other.PublicBytes(), msg, sig) {
+		t.Fatal("signature accepted for wrong key")
+	}
+}
+
+func TestECKeyPublicBytesFormat(t *testing.T) {
+	key := newECKey(t)
+	pub := key.PublicBytes()
+	if len(pub) != ECPublicKeyLen {
+		t.Fatalf("public key length = %d, want %d", len(pub), ECPublicKeyLen)
+	}
+	if pub[0] != 0x04 {
+		t.Fatalf("public key prefix = %#x, want 0x04", pub[0])
+	}
+	if _, err := ParseECPublicKey(pub); err != nil {
+		t.Fatalf("own public key unparseable: %v", err)
+	}
+}
+
+func TestParseECPublicKeyRejects(t *testing.T) {
+	key := newECKey(t)
+	good := key.PublicBytes()
+
+	cases := map[string][]byte{
+		"short":      good[:10],
+		"bad prefix": append([]byte{0x02}, good[1:]...),
+		"off curve":  func() []byte { b := append([]byte(nil), good...); b[10] ^= 0xff; return b }(),
+		"zero point": make([]byte, ECPublicKeyLen),
+		"coord over p": func() []byte {
+			b := append([]byte(nil), good...)
+			for i := 1; i < 33; i++ {
+				b[i] = 0xff
+			}
+			return b
+		}(),
+	}
+	cases["zero point"][0] = 0x04
+	for name, data := range cases {
+		if _, err := ParseECPublicKey(data); err == nil {
+			t.Errorf("%s: invalid key parsed", name)
+		}
+	}
+}
+
+func TestVerifyECRejectsGarbage(t *testing.T) {
+	key := newECKey(t)
+	if VerifyEC(key.PublicBytes(), []byte("msg"), []byte("not-asn1")) {
+		t.Fatal("garbage signature accepted")
+	}
+	if VerifyEC([]byte("not-a-key"), []byte("msg"), []byte("sig")) {
+		t.Fatal("garbage public key accepted")
+	}
+}
+
+func TestAddressRoundTrip(t *testing.T) {
+	key := newECKey(t)
+	addr := key.Address()
+	hash, err := PubKeyHashFromAddress(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash != key.PubKeyHash() {
+		t.Fatal("address round trip mismatch")
+	}
+}
+
+func TestAddressRejectsWrongVersion(t *testing.T) {
+	h := Hash160([]byte("x"))
+	foreign := Base58CheckEncode(0x00, h[:])
+	if _, err := PubKeyHashFromAddress(foreign); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v, want version error", err)
+	}
+}
+
+func TestAddressRejectsWrongLength(t *testing.T) {
+	bad := Base58CheckEncode(AddressVersion, []byte("short"))
+	if _, err := PubKeyHashFromAddress(bad); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestAddressesDistinct(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 8; i++ {
+		addr := newECKey(t).Address()
+		if seen[addr] {
+			t.Fatal("duplicate address generated")
+		}
+		seen[addr] = true
+	}
+}
+
+func BenchmarkECSign(b *testing.B) {
+	key := newECKey(b)
+	msg := []byte("benchmark message")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.Sign(rand.Reader, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkECVerify(b *testing.B) {
+	key := newECKey(b)
+	msg := []byte("benchmark message")
+	sig, err := key.Sign(rand.Reader, msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := key.PublicBytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !VerifyEC(pub, msg, sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func TestECPrivateKeyMarshalRoundTrip(t *testing.T) {
+	key := newECKey(t)
+	data := key.MarshalECPrivateKey()
+	if len(data) != 32 {
+		t.Fatalf("encoded length = %d, want 32", len(data))
+	}
+	back, err := ParseECPrivateKey(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back.PublicBytes()) != string(key.PublicBytes()) {
+		t.Fatal("public key changed in round trip")
+	}
+	// The restored key signs verifiably.
+	sig, err := back.Sign(rand.Reader, []byte("msg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyEC(key.PublicBytes(), []byte("msg"), sig) {
+		t.Fatal("signature from restored key rejected")
+	}
+}
+
+func TestParseECPrivateKeyRejects(t *testing.T) {
+	if _, err := ParseECPrivateKey(make([]byte, 10)); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := ParseECPrivateKey(make([]byte, 32)); err == nil {
+		t.Error("zero scalar accepted")
+	}
+	all := make([]byte, 32)
+	for i := range all {
+		all[i] = 0xff
+	}
+	if _, err := ParseECPrivateKey(all); err == nil {
+		t.Error("out-of-range scalar accepted")
+	}
+}

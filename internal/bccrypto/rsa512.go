@@ -1,0 +1,293 @@
+package bccrypto
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// RSA-512 implemented directly on math/big.
+//
+// The paper deliberately chooses RSA-512 (§6): the LoRa payload budget is
+// tiny, and the cost of factoring a 512-bit modulus exceeds the value of
+// the micro-payment each ephemeral key protects. Go's crypto/rsa refuses
+// keys under 1024 bits, so the primitive is built here from scratch. The
+// same code also powers the node's message signature (Sk/Pk in Fig. 3) and
+// the OP_CHECKRSA512PAIR script operator's private/public pair check.
+
+// RSA512Bits is the modulus size of every key produced by GenerateRSA512.
+const RSA512Bits = 512
+
+// RSA512ModulusLen is the modulus length in bytes: ciphertexts and
+// signatures are exactly this long, matching the paper's 64-byte blocks
+// (Em and Sig are 64 bytes each, giving the 128-byte minimum payload).
+const RSA512ModulusLen = RSA512Bits / 8
+
+const rsa512PublicExponent = 65537
+
+var (
+	// ErrMessageTooLong reports a plaintext that cannot fit the padded
+	// modulus.
+	ErrMessageTooLong = errors.New("bccrypto: message too long for RSA-512 block")
+	// ErrDecryption reports an undecryptable or badly padded ciphertext.
+	ErrDecryption = errors.New("bccrypto: RSA-512 decryption error")
+	// ErrVerification reports a signature that does not match.
+	ErrVerification = errors.New("bccrypto: RSA-512 verification error")
+	// ErrKeyPairMismatch reports a private key that does not correspond
+	// to the presented public key (the OP_CHECKRSA512PAIR failure case).
+	ErrKeyPairMismatch = errors.New("bccrypto: RSA-512 key pair mismatch")
+)
+
+// RSA512PublicKey is a 512-bit RSA public key.
+type RSA512PublicKey struct {
+	N *big.Int // modulus
+	E int64    // public exponent
+}
+
+// RSA512PrivateKey is a 512-bit RSA private key, carrying its public half.
+type RSA512PrivateKey struct {
+	RSA512PublicKey
+	D *big.Int // private exponent
+	P *big.Int // prime factor 1
+	Q *big.Int // prime factor 2
+}
+
+// GenerateRSA512 creates a fresh 512-bit keypair from the given entropy
+// source. BcWAN gateways call this once per message to mint the ephemeral
+// pair (ePk, eSk) of Fig. 3 step 1.
+func GenerateRSA512(random io.Reader) (*RSA512PrivateKey, error) {
+	e := big.NewInt(rsa512PublicExponent)
+	one := big.NewInt(1)
+	for {
+		p, err := rand.Prime(random, RSA512Bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("generate prime p: %w", err)
+		}
+		q, err := rand.Prime(random, RSA512Bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("generate prime q: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != RSA512Bits {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		phi := new(big.Int).Mul(pm1, qm1)
+		d := new(big.Int).ModInverse(e, phi)
+		if d == nil {
+			// e not invertible mod phi; retry with new primes.
+			continue
+		}
+		return &RSA512PrivateKey{
+			RSA512PublicKey: RSA512PublicKey{N: n, E: rsa512PublicExponent},
+			D:               d,
+			P:               p,
+			Q:               q,
+		}, nil
+	}
+}
+
+// Public returns the public half of the key.
+func (k *RSA512PrivateKey) Public() *RSA512PublicKey {
+	return &RSA512PublicKey{N: new(big.Int).Set(k.N), E: k.E}
+}
+
+// MatchesPublic reports whether the private key corresponds to pub. This is
+// the check OpenSSL's VerifyPubKey performs and that the script operator
+// OP_CHECKRSA512PAIR exposes on-chain: same modulus, and e·d ≡ 1 modulo
+// λ-compatible φ(n) — verified constructively by a round trip on a probe
+// value, which is sound without trusting the P/Q factors of an
+// attacker-supplied key.
+func (k *RSA512PrivateKey) MatchesPublic(pub *RSA512PublicKey) bool {
+	if k == nil || pub == nil || k.N == nil || pub.N == nil || k.D == nil {
+		return false
+	}
+	if k.N.Cmp(pub.N) != 0 || k.E != pub.E {
+		return false
+	}
+	// Probe: x^(e·d) mod n must equal x for x coprime to n.
+	probe := big.NewInt(2)
+	enc := new(big.Int).Exp(probe, big.NewInt(pub.E), pub.N)
+	dec := new(big.Int).Exp(enc, k.D, k.N)
+	return dec.Cmp(probe) == 0
+}
+
+// EncryptRSA512 encrypts msg under pub with randomized PKCS#1-v1.5-style
+// padding (0x00 0x02 nonzero-random 0x00 msg). Maximum plaintext length is
+// RSA512ModulusLen-11 = 53 bytes, which comfortably fits the paper's
+// 34-byte Fig. 4 frame.
+func EncryptRSA512(random io.Reader, pub *RSA512PublicKey, msg []byte) ([]byte, error) {
+	k := RSA512ModulusLen
+	if len(msg) > k-11 {
+		return nil, ErrMessageTooLong
+	}
+	em := make([]byte, k)
+	em[0] = 0x00
+	em[1] = 0x02
+	ps := em[2 : k-len(msg)-1]
+	if err := fillNonZero(random, ps); err != nil {
+		return nil, fmt.Errorf("pad: %w", err)
+	}
+	em[k-len(msg)-1] = 0x00
+	copy(em[k-len(msg):], msg)
+
+	m := new(big.Int).SetBytes(em)
+	c := new(big.Int).Exp(m, big.NewInt(pub.E), pub.N)
+	return leftPad(c.Bytes(), k), nil
+}
+
+// DecryptRSA512 reverses EncryptRSA512.
+func DecryptRSA512(priv *RSA512PrivateKey, ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) != RSA512ModulusLen {
+		return nil, ErrDecryption
+	}
+	c := new(big.Int).SetBytes(ciphertext)
+	if c.Cmp(priv.N) >= 0 {
+		return nil, ErrDecryption
+	}
+	m := new(big.Int).Exp(c, priv.D, priv.N)
+	em := leftPad(m.Bytes(), RSA512ModulusLen)
+	if em[0] != 0x00 || em[1] != 0x02 {
+		return nil, ErrDecryption
+	}
+	// Find the 0x00 separator after at least 8 padding bytes.
+	sep := bytes.IndexByte(em[2:], 0x00)
+	if sep < 8 {
+		return nil, ErrDecryption
+	}
+	return append([]byte(nil), em[2+sep+1:]...), nil
+}
+
+// SignRSA512 signs the SHA-256 digest of msg: s = pad(hash)^d mod n.
+// The node uses this with its provisioned secret key Sk to authenticate
+// (Em ‖ ePk) toward the recipient (Fig. 3 step 4).
+func SignRSA512(priv *RSA512PrivateKey, msg []byte) []byte {
+	digest := sha256.Sum256(msg)
+	em := padSignature(digest[:])
+	m := new(big.Int).SetBytes(em)
+	s := new(big.Int).Exp(m, priv.D, priv.N)
+	return leftPad(s.Bytes(), RSA512ModulusLen)
+}
+
+// VerifyRSA512 checks a SignRSA512 signature against pub.
+func VerifyRSA512(pub *RSA512PublicKey, msg, sig []byte) error {
+	if len(sig) != RSA512ModulusLen {
+		return ErrVerification
+	}
+	s := new(big.Int).SetBytes(sig)
+	if s.Cmp(pub.N) >= 0 {
+		return ErrVerification
+	}
+	m := new(big.Int).Exp(s, big.NewInt(pub.E), pub.N)
+	em := leftPad(m.Bytes(), RSA512ModulusLen)
+	digest := sha256.Sum256(msg)
+	want := padSignature(digest[:])
+	if !bytes.Equal(em, want) {
+		return ErrVerification
+	}
+	return nil
+}
+
+// padSignature builds the deterministic 0x00 0x01 0xFF… 0x00 digest block.
+func padSignature(digest []byte) []byte {
+	k := RSA512ModulusLen
+	em := make([]byte, k)
+	em[0] = 0x00
+	em[1] = 0x01
+	for i := 2; i < k-len(digest)-1; i++ {
+		em[i] = 0xff
+	}
+	em[k-len(digest)-1] = 0x00
+	copy(em[k-len(digest):], digest)
+	return em
+}
+
+func fillNonZero(random io.Reader, out []byte) error {
+	buf := make([]byte, len(out))
+	i := 0
+	for i < len(out) {
+		if _, err := io.ReadFull(random, buf); err != nil {
+			return err
+		}
+		for _, b := range buf {
+			if b != 0 && i < len(out) {
+				out[i] = b
+				i++
+			}
+		}
+	}
+	return nil
+}
+
+func leftPad(b []byte, size int) []byte {
+	if len(b) >= size {
+		return b
+	}
+	out := make([]byte, size)
+	copy(out[size-len(b):], b)
+	return out
+}
+
+// Key wire encodings. Public keys travel over LoRa (step 2 of Fig. 3) and
+// appear verbatim inside blockchain scripts; private keys appear in the
+// claim transaction's unlocking script (step 10).
+
+// MarshalRSA512PublicKey encodes pub as 8-byte big-endian E followed by the
+// 64-byte modulus (72 bytes total).
+func MarshalRSA512PublicKey(pub *RSA512PublicKey) []byte {
+	out := make([]byte, 8+RSA512ModulusLen)
+	binary.BigEndian.PutUint64(out[:8], uint64(pub.E))
+	copy(out[8:], leftPad(pub.N.Bytes(), RSA512ModulusLen))
+	return out
+}
+
+// UnmarshalRSA512PublicKey reverses MarshalRSA512PublicKey.
+func UnmarshalRSA512PublicKey(data []byte) (*RSA512PublicKey, error) {
+	if len(data) != 8+RSA512ModulusLen {
+		return nil, fmt.Errorf("bccrypto: public key length %d, want %d", len(data), 8+RSA512ModulusLen)
+	}
+	e := binary.BigEndian.Uint64(data[:8])
+	if e == 0 || e > 1<<31 {
+		return nil, errors.New("bccrypto: implausible RSA exponent")
+	}
+	n := new(big.Int).SetBytes(data[8:])
+	if n.Sign() <= 0 {
+		return nil, errors.New("bccrypto: zero RSA modulus")
+	}
+	return &RSA512PublicKey{N: n, E: int64(e)}, nil
+}
+
+// MarshalRSA512PrivateKey encodes priv as the public encoding followed by
+// the 64-byte private exponent D (136 bytes total). P and Q are not
+// serialized: the claim script only needs (N, E, D).
+func MarshalRSA512PrivateKey(priv *RSA512PrivateKey) []byte {
+	out := make([]byte, 0, 8+2*RSA512ModulusLen)
+	out = append(out, MarshalRSA512PublicKey(&priv.RSA512PublicKey)...)
+	out = append(out, leftPad(priv.D.Bytes(), RSA512ModulusLen)...)
+	return out
+}
+
+// UnmarshalRSA512PrivateKey reverses MarshalRSA512PrivateKey.
+func UnmarshalRSA512PrivateKey(data []byte) (*RSA512PrivateKey, error) {
+	if len(data) != 8+2*RSA512ModulusLen {
+		return nil, fmt.Errorf("bccrypto: private key length %d, want %d", len(data), 8+2*RSA512ModulusLen)
+	}
+	pub, err := UnmarshalRSA512PublicKey(data[:8+RSA512ModulusLen])
+	if err != nil {
+		return nil, err
+	}
+	d := new(big.Int).SetBytes(data[8+RSA512ModulusLen:])
+	if d.Sign() <= 0 {
+		return nil, errors.New("bccrypto: zero RSA private exponent")
+	}
+	return &RSA512PrivateKey{RSA512PublicKey: *pub, D: d}, nil
+}

@@ -1,0 +1,264 @@
+package bccrypto
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+// testKeys caches generated keypairs: RSA-512 keygen costs tens of
+// milliseconds and many tests only need *a* valid key.
+var (
+	testKeyOnce sync.Once
+	testKeyA    *RSA512PrivateKey
+	testKeyB    *RSA512PrivateKey
+)
+
+func testKeys(t testing.TB) (*RSA512PrivateKey, *RSA512PrivateKey) {
+	t.Helper()
+	testKeyOnce.Do(func() {
+		var err error
+		testKeyA, err = GenerateRSA512(rand.Reader)
+		if err != nil {
+			panic(err)
+		}
+		testKeyB, err = GenerateRSA512(rand.Reader)
+		if err != nil {
+			panic(err)
+		}
+	})
+	return testKeyA, testKeyB
+}
+
+func TestGenerateRSA512Properties(t *testing.T) {
+	key, _ := testKeys(t)
+	if got := key.N.BitLen(); got != RSA512Bits {
+		t.Errorf("modulus bit length = %d, want %d", got, RSA512Bits)
+	}
+	if key.E != 65537 {
+		t.Errorf("public exponent = %d, want 65537", key.E)
+	}
+	// n = p·q must hold.
+	if pq := new(big.Int).Mul(key.P, key.Q); pq.Cmp(key.N) != 0 {
+		t.Error("N != P*Q")
+	}
+	// e·d ≡ 1 mod φ(n).
+	one := big.NewInt(1)
+	phi := new(big.Int).Mul(new(big.Int).Sub(key.P, one), new(big.Int).Sub(key.Q, one))
+	ed := new(big.Int).Mul(big.NewInt(key.E), key.D)
+	if new(big.Int).Mod(ed, phi).Cmp(one) != 0 {
+		t.Error("e*d mod phi(n) != 1")
+	}
+}
+
+func TestRSA512EncryptDecryptRoundTrip(t *testing.T) {
+	key, _ := testKeys(t)
+	for _, size := range []int{0, 1, 16, 34, 53} {
+		msg := make([]byte, size)
+		for i := range msg {
+			msg[i] = byte(i * 7)
+		}
+		ct, err := EncryptRSA512(rand.Reader, key.Public(), msg)
+		if err != nil {
+			t.Fatalf("encrypt %d bytes: %v", size, err)
+		}
+		if len(ct) != RSA512ModulusLen {
+			t.Fatalf("ciphertext length = %d, want %d", len(ct), RSA512ModulusLen)
+		}
+		pt, err := DecryptRSA512(key, ct)
+		if err != nil {
+			t.Fatalf("decrypt %d bytes: %v", size, err)
+		}
+		if !bytes.Equal(pt, msg) {
+			t.Fatalf("round trip %d bytes: got %x, want %x", size, pt, msg)
+		}
+	}
+}
+
+func TestRSA512EncryptTooLong(t *testing.T) {
+	key, _ := testKeys(t)
+	msg := make([]byte, RSA512ModulusLen-10)
+	if _, err := EncryptRSA512(rand.Reader, key.Public(), msg); !errors.Is(err, ErrMessageTooLong) {
+		t.Fatalf("err = %v, want ErrMessageTooLong", err)
+	}
+}
+
+func TestRSA512DecryptWrongKeyFails(t *testing.T) {
+	keyA, keyB := testKeys(t)
+	ct, err := EncryptRSA512(rand.Reader, keyA.Public(), []byte("sensor reading"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt, err := DecryptRSA512(keyB, ct); err == nil {
+		t.Fatalf("decrypt with wrong key succeeded: %x", pt)
+	}
+}
+
+func TestRSA512DecryptRejectsBadLength(t *testing.T) {
+	key, _ := testKeys(t)
+	if _, err := DecryptRSA512(key, make([]byte, 10)); !errors.Is(err, ErrDecryption) {
+		t.Fatalf("err = %v, want ErrDecryption", err)
+	}
+}
+
+func TestRSA512SignVerify(t *testing.T) {
+	key, _ := testKeys(t)
+	msg := []byte("Em || ePk payload to authenticate")
+	sig := SignRSA512(key, msg)
+	if len(sig) != RSA512ModulusLen {
+		t.Fatalf("signature length = %d, want %d", len(sig), RSA512ModulusLen)
+	}
+	if err := VerifyRSA512(key.Public(), msg, sig); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestRSA512VerifyRejectsTamperedMessage(t *testing.T) {
+	key, _ := testKeys(t)
+	sig := SignRSA512(key, []byte("original"))
+	if err := VerifyRSA512(key.Public(), []byte("tampered"), sig); !errors.Is(err, ErrVerification) {
+		t.Fatalf("err = %v, want ErrVerification", err)
+	}
+}
+
+func TestRSA512VerifyRejectsTamperedSignature(t *testing.T) {
+	key, _ := testKeys(t)
+	msg := []byte("original")
+	sig := SignRSA512(key, msg)
+	sig[10] ^= 0x01
+	if err := VerifyRSA512(key.Public(), msg, sig); !errors.Is(err, ErrVerification) {
+		t.Fatalf("err = %v, want ErrVerification", err)
+	}
+}
+
+func TestRSA512VerifyRejectsWrongKey(t *testing.T) {
+	keyA, keyB := testKeys(t)
+	msg := []byte("original")
+	sig := SignRSA512(keyA, msg)
+	if err := VerifyRSA512(keyB.Public(), msg, sig); !errors.Is(err, ErrVerification) {
+		t.Fatalf("err = %v, want ErrVerification", err)
+	}
+}
+
+func TestMatchesPublic(t *testing.T) {
+	keyA, keyB := testKeys(t)
+	if !keyA.MatchesPublic(keyA.Public()) {
+		t.Error("key does not match its own public half")
+	}
+	if keyA.MatchesPublic(keyB.Public()) {
+		t.Error("key matches a foreign public key")
+	}
+	// A forged private key with the right modulus but wrong exponent must
+	// not pass: this is exactly the cheating gateway OP_CHECKRSA512PAIR
+	// defends against.
+	forged := &RSA512PrivateKey{
+		RSA512PublicKey: *keyA.Public(),
+		D:               new(big.Int).Add(keyA.D, big.NewInt(2)),
+	}
+	if forged.MatchesPublic(keyA.Public()) {
+		t.Error("forged private exponent passes pair check")
+	}
+}
+
+func TestMatchesPublicNilSafety(t *testing.T) {
+	keyA, _ := testKeys(t)
+	var nilKey *RSA512PrivateKey
+	if nilKey.MatchesPublic(keyA.Public()) {
+		t.Error("nil private key matches")
+	}
+	if keyA.MatchesPublic(nil) {
+		t.Error("matches nil public key")
+	}
+}
+
+func TestRSA512PublicKeyMarshalRoundTrip(t *testing.T) {
+	key, _ := testKeys(t)
+	data := MarshalRSA512PublicKey(key.Public())
+	if len(data) != 8+RSA512ModulusLen {
+		t.Fatalf("encoded length = %d, want %d", len(data), 8+RSA512ModulusLen)
+	}
+	back, err := UnmarshalRSA512PublicKey(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N.Cmp(key.N) != 0 || back.E != key.E {
+		t.Fatal("public key round trip mismatch")
+	}
+}
+
+func TestRSA512PrivateKeyMarshalRoundTrip(t *testing.T) {
+	key, _ := testKeys(t)
+	data := MarshalRSA512PrivateKey(key)
+	back, err := UnmarshalRSA512PrivateKey(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N.Cmp(key.N) != 0 || back.D.Cmp(key.D) != 0 {
+		t.Fatal("private key round trip mismatch")
+	}
+	// The deserialized key (without P/Q) must still decrypt and pass the
+	// pair check — the gateway's claim script carries exactly this form.
+	ct, err := EncryptRSA512(rand.Reader, key.Public(), []byte("frame"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := DecryptRSA512(back, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, []byte("frame")) {
+		t.Fatal("deserialized key decryption mismatch")
+	}
+	if !back.MatchesPublic(key.Public()) {
+		t.Fatal("deserialized key fails pair check")
+	}
+}
+
+func TestUnmarshalRSA512Rejects(t *testing.T) {
+	if _, err := UnmarshalRSA512PublicKey(make([]byte, 5)); err == nil {
+		t.Error("short public key accepted")
+	}
+	if _, err := UnmarshalRSA512PublicKey(make([]byte, 8+RSA512ModulusLen)); err == nil {
+		t.Error("all-zero public key accepted")
+	}
+	if _, err := UnmarshalRSA512PrivateKey(make([]byte, 5)); err == nil {
+		t.Error("short private key accepted")
+	}
+}
+
+func BenchmarkGenerateRSA512(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateRSA512(rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSA512Encrypt(b *testing.B) {
+	key, _ := testKeys(b)
+	msg := make([]byte, CanonicalFrameLen)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncryptRSA512(rand.Reader, key.Public(), msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSA512Decrypt(b *testing.B) {
+	key, _ := testKeys(b)
+	ct, err := EncryptRSA512(rand.Reader, key.Public(), make([]byte, CanonicalFrameLen))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecryptRSA512(key, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package chain
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"bcwan/internal/bccrypto"
+)
+
+// Header is a block header. Blocks are minted by authorized miners
+// (Multichain-style proof of authority rather than proof of work — the
+// paper's PoC runs a single EC2 master miner with mining disabled on the
+// PlanetLab gateways, and §6 argues PoW is unsuitable at the edge).
+type Header struct {
+	Version    int32
+	PrevBlock  Hash
+	MerkleRoot Hash
+	// Time is the miner's wall-clock timestamp (unix nanoseconds, so
+	// simulated clocks keep full resolution).
+	Time int64
+	// Height is the block's chain height; genesis is 0.
+	Height int64
+	// MinerPubKey identifies the authorized miner.
+	MinerPubKey []byte
+	// Signature is the miner's ECDSA signature over the header digest.
+	Signature []byte
+}
+
+// Block is a header plus its transactions (the first must be coinbase).
+type Block struct {
+	Header Header
+	Txs    []*Tx
+}
+
+// Block errors.
+var (
+	ErrBlockTruncated = errors.New("chain: truncated block encoding")
+	ErrNoTxs          = errors.New("chain: block has no transactions")
+)
+
+// digest returns the header digest the miner signs (every field except the
+// signature itself).
+func (h *Header) digest() Hash {
+	var buf bytes.Buffer
+	writeInt64(&buf, int64(h.Version))
+	buf.Write(h.PrevBlock[:])
+	buf.Write(h.MerkleRoot[:])
+	writeInt64(&buf, h.Time)
+	writeInt64(&buf, h.Height)
+	writeVarBytes(&buf, h.MinerPubKey)
+	return Hash(bccrypto.DoubleSHA256(buf.Bytes()))
+}
+
+// ID returns the block hash: the double SHA-256 of the full serialized
+// header including the miner signature.
+func (b *Block) ID() Hash {
+	var buf bytes.Buffer
+	b.Header.serialize(&buf)
+	return Hash(bccrypto.DoubleSHA256(buf.Bytes()))
+}
+
+// Timestamp converts the header time to time.Time.
+func (h *Header) Timestamp() time.Time { return time.Unix(0, h.Time) }
+
+// Sign signs the header with the miner key.
+func (h *Header) Sign(key *bccrypto.ECKey, random io.Reader) error {
+	h.MinerPubKey = key.PublicBytes()
+	digest := h.digest()
+	sig, err := key.SignDigest(random, digest[:])
+	if err != nil {
+		return fmt.Errorf("sign header: %w", err)
+	}
+	h.Signature = sig
+	return nil
+}
+
+// VerifySignature checks the miner signature.
+func (h *Header) VerifySignature() bool {
+	digest := h.digest()
+	return bccrypto.VerifyECDigest(h.MinerPubKey, digest[:], h.Signature)
+}
+
+// MerkleRoot computes the Merkle tree root of the transaction IDs, with
+// Bitcoin's duplicate-last rule for odd levels.
+func MerkleRoot(txs []*Tx) Hash {
+	if len(txs) == 0 {
+		return Hash{}
+	}
+	level := make([]Hash, len(txs))
+	for i, tx := range txs {
+		level[i] = tx.ID()
+	}
+	for len(level) > 1 {
+		if len(level)%2 == 1 {
+			level = append(level, level[len(level)-1])
+		}
+		next := make([]Hash, len(level)/2)
+		for i := range next {
+			var buf [64]byte
+			copy(buf[:32], level[2*i][:])
+			copy(buf[32:], level[2*i+1][:])
+			next[i] = Hash(bccrypto.DoubleSHA256(buf[:]))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+func (h *Header) serialize(buf *bytes.Buffer) {
+	writeInt64(buf, int64(h.Version))
+	buf.Write(h.PrevBlock[:])
+	buf.Write(h.MerkleRoot[:])
+	writeInt64(buf, h.Time)
+	writeInt64(buf, h.Height)
+	writeVarBytes(buf, h.MinerPubKey)
+	writeVarBytes(buf, h.Signature)
+}
+
+// Serialize encodes the block.
+func (b *Block) Serialize() []byte {
+	var buf bytes.Buffer
+	b.Header.serialize(&buf)
+	writeVarInt(&buf, uint64(len(b.Txs)))
+	for _, tx := range b.Txs {
+		writeVarBytes(&buf, tx.Serialize())
+	}
+	return buf.Bytes()
+}
+
+// DeserializeBlock parses a block produced by Serialize.
+func DeserializeBlock(data []byte) (*Block, error) {
+	r := bytes.NewReader(data)
+	var b Block
+	v, err := readInt64(r)
+	if err != nil {
+		return nil, err
+	}
+	b.Header.Version = int32(v)
+	if _, err := io.ReadFull(r, b.Header.PrevBlock[:]); err != nil {
+		return nil, ErrBlockTruncated
+	}
+	if _, err := io.ReadFull(r, b.Header.MerkleRoot[:]); err != nil {
+		return nil, ErrBlockTruncated
+	}
+	if b.Header.Time, err = readInt64(r); err != nil {
+		return nil, err
+	}
+	if b.Header.Height, err = readInt64(r); err != nil {
+		return nil, err
+	}
+	if b.Header.MinerPubKey, err = readVarBytes(r, 1024); err != nil {
+		return nil, err
+	}
+	if b.Header.Signature, err = readVarBytes(r, 1024); err != nil {
+		return nil, err
+	}
+	nTxs, err := readVarInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if nTxs == 0 {
+		return nil, ErrNoTxs
+	}
+	if nTxs > 1_000_000 {
+		return nil, errors.New("chain: implausible transaction count")
+	}
+	b.Txs = make([]*Tx, nTxs)
+	for i := range b.Txs {
+		raw, err := readVarBytes(r, maxTxSize)
+		if err != nil {
+			return nil, err
+		}
+		tx, err := DeserializeTx(raw)
+		if err != nil {
+			return nil, fmt.Errorf("tx %d: %w", i, err)
+		}
+		b.Txs[i] = tx
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("chain: %d trailing bytes after block", r.Len())
+	}
+	return &b, nil
+}

@@ -1,0 +1,355 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bcwan/internal/script"
+)
+
+// Chain is the block tree with UTXO state for the best branch. It accepts
+// blocks from authorized miners, supports side branches, and reorganizes
+// to the longest valid branch.
+type Chain struct {
+	mu     sync.RWMutex
+	params Params
+
+	genesis *Block
+	// index holds every known block by ID.
+	index map[Hash]*Block
+	// best is the active branch, genesis first.
+	best []*Block
+	// utxo is the UTXO set of the best branch tip.
+	utxo *UTXOSet
+	// miners is the set of authorized miner public keys (hex of the
+	// serialized point). Empty means any signed block is accepted.
+	miners map[string]bool
+
+	// subscribers receive every block that becomes part of the best
+	// branch (including reorged-in blocks).
+	subscribers []func(*Block)
+}
+
+// Chain errors.
+var (
+	// ErrDuplicateBlock reports a block already in the index.
+	ErrDuplicateBlock = errors.New("chain: duplicate block")
+	// ErrInvalidGenesis reports a genesis block that fails validation.
+	ErrInvalidGenesis = errors.New("chain: invalid genesis block")
+)
+
+// New creates a chain from a genesis block. The genesis block is not
+// signature-checked (it is configuration, like Multichain's params.dat).
+func New(params Params, genesis *Block) (*Chain, error) {
+	if genesis == nil || len(genesis.Txs) == 0 || genesis.Header.Height != 0 {
+		return nil, ErrInvalidGenesis
+	}
+	if MerkleRoot(genesis.Txs) != genesis.Header.MerkleRoot {
+		return nil, fmt.Errorf("%w: merkle root mismatch", ErrInvalidGenesis)
+	}
+	utxo := NewUTXOSet()
+	for _, tx := range genesis.Txs {
+		if err := utxo.ApplyTx(tx, 0); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidGenesis, err)
+		}
+	}
+	c := &Chain{
+		params:  params,
+		genesis: genesis,
+		index:   map[Hash]*Block{genesis.ID(): genesis},
+		best:    []*Block{genesis},
+		utxo:    utxo,
+		miners:  make(map[string]bool),
+	}
+	return c, nil
+}
+
+// AuthorizeMiner adds a public key to the permissioned miner set.
+func (c *Chain) AuthorizeMiner(pubKey []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.miners[string(pubKey)] = true
+}
+
+// Params returns the chain parameters.
+func (c *Chain) Params() Params { return c.params }
+
+// Genesis returns the genesis block.
+func (c *Chain) Genesis() *Block { return c.genesis }
+
+// Height returns the best-branch tip height.
+func (c *Chain) Height() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return int64(len(c.best)) - 1
+}
+
+// Tip returns the best-branch tip block.
+func (c *Chain) Tip() *Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.best[len(c.best)-1]
+}
+
+// BlockAt returns the best-branch block at the given height.
+func (c *Chain) BlockAt(height int64) (*Block, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if height < 0 || height >= int64(len(c.best)) {
+		return nil, false
+	}
+	return c.best[height], true
+}
+
+// BlockByID returns any indexed block (best branch or side branch).
+func (c *Chain) BlockByID(id Hash) (*Block, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	b, ok := c.index[id]
+	return b, ok
+}
+
+// UTXO returns a snapshot copy of the best-branch UTXO set.
+func (c *Chain) UTXO() *UTXOSet {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.utxo.Clone()
+}
+
+// Subscribe registers a callback invoked (synchronously, in AddBlock's
+// caller) for every block that joins the best branch. Used by the
+// registry scanner and the recipient's claim watcher.
+func (c *Chain) Subscribe(fn func(*Block)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.subscribers = append(c.subscribers, fn)
+}
+
+// AddBlock validates and accepts a block, extending the best branch, or
+// storing (and possibly reorganizing to) a side branch.
+func (c *Chain) AddBlock(b *Block) error {
+	c.mu.Lock()
+	var notify []*Block
+	err := c.addBlockLocked(b, &notify)
+	subs := make([]func(*Block), len(c.subscribers))
+	copy(subs, c.subscribers)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, nb := range notify {
+		for _, fn := range subs {
+			fn(nb)
+		}
+	}
+	return nil
+}
+
+func (c *Chain) addBlockLocked(b *Block, notify *[]*Block) error {
+	id := b.ID()
+	if _, dup := c.index[id]; dup {
+		return ErrDuplicateBlock
+	}
+	parent, ok := c.index[b.Header.PrevBlock]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrBadPrevBlock, b.Header.PrevBlock)
+	}
+	if b.Header.Height != parent.Header.Height+1 {
+		return fmt.Errorf("%w: block %d on parent %d", ErrBadHeight, b.Header.Height, parent.Header.Height)
+	}
+	if len(c.miners) > 0 && !c.miners[string(b.Header.MinerPubKey)] {
+		return ErrUnknownMiner
+	}
+	if !b.Header.VerifySignature() {
+		return ErrBadMinerSig
+	}
+
+	// Build the candidate branch: genesis..parent + b.
+	branch, err := c.branchTo(parent)
+	if err != nil {
+		return err
+	}
+	branch = append(branch, b)
+
+	// Validate b against the UTXO view of its parent branch.
+	utxo, err := c.utxoFor(branch[:len(branch)-1])
+	if err != nil {
+		return err
+	}
+	if err := connectBlock(utxo, b, c.params); err != nil {
+		return err
+	}
+
+	c.index[id] = b
+
+	// Adopt the branch if it is strictly longer than the current best.
+	if len(branch) > len(c.best) {
+		// Blocks new to the best branch get notified.
+		fork := commonPrefixLen(c.best, branch)
+		*notify = append(*notify, branch[fork:]...)
+		c.best = branch
+		c.utxo = utxo
+	}
+	return nil
+}
+
+// branchTo walks parent links from b back to genesis.
+func (c *Chain) branchTo(b *Block) ([]*Block, error) {
+	branch := make([]*Block, b.Header.Height+1)
+	cur := b
+	for {
+		if cur.Header.Height < 0 || int(cur.Header.Height) >= len(branch) {
+			return nil, fmt.Errorf("%w: inconsistent height %d", ErrBadHeight, cur.Header.Height)
+		}
+		branch[cur.Header.Height] = cur
+		if cur.Header.Height == 0 {
+			break
+		}
+		parent, ok := c.index[cur.Header.PrevBlock]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrBadPrevBlock, cur.Header.PrevBlock)
+		}
+		cur = parent
+	}
+	if branch[0] != c.genesis {
+		return nil, fmt.Errorf("%w: branch does not reach genesis", ErrBadPrevBlock)
+	}
+	return branch, nil
+}
+
+// utxoFor replays a branch from genesis into a fresh UTXO set. If the
+// branch shares the current best branch as a prefix, the existing tip set
+// is reused; otherwise the branch is replayed (O(n), acceptable at the
+// scale of the PoC's deployments).
+func (c *Chain) utxoFor(branch []*Block) (*UTXOSet, error) {
+	if commonPrefixLen(c.best, branch) == len(branch) && len(branch) == len(c.best) {
+		return c.utxo.Clone(), nil
+	}
+	utxo := NewUTXOSet()
+	for i, blk := range branch {
+		if i == 0 {
+			for _, tx := range blk.Txs {
+				if err := utxo.ApplyTx(tx, 0); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if err := connectBlock(utxo, blk, c.params); err != nil {
+			return nil, fmt.Errorf("replay height %d: %w", i, err)
+		}
+	}
+	return utxo, nil
+}
+
+func commonPrefixLen(a, b []*Block) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// FindTx scans the best branch for a transaction, returning it with the
+// height of its block. Confirmations = tip height − height + 1.
+func (c *Chain) FindTx(id Hash) (*Tx, int64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for h := len(c.best) - 1; h >= 0; h-- {
+		for _, tx := range c.best[h].Txs {
+			if tx.ID() == id {
+				return tx, int64(h), true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// FindSpender scans the best branch for the transaction that spends the
+// given outpoint. The recipient uses it to spot the gateway's claim and
+// extract the revealed ephemeral key (Fig. 3 step 10).
+func (c *Chain) FindSpender(op OutPoint) (*Tx, int64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for h := len(c.best) - 1; h >= 0; h-- {
+		for _, tx := range c.best[h].Txs {
+			if tx.IsCoinbase() {
+				continue
+			}
+			for _, in := range tx.Inputs {
+				if in.Prev == op {
+					return tx, int64(h), true
+				}
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// Confirmations returns how many blocks confirm the transaction (1 =
+// in the tip block), or 0 if unconfirmed.
+func (c *Chain) Confirmations(id Hash) int64 {
+	_, height, ok := c.FindTx(id)
+	if !ok {
+		return 0
+	}
+	return c.Height() - height + 1
+}
+
+// GenesisBlock builds a canonical genesis block paying initial funds to
+// the given public key hashes. It is deterministic for reproducible
+// simulations.
+func GenesisBlock(allocations map[[20]byte]uint64) *Block {
+	// Deterministic output order: sort by hash bytes.
+	type alloc struct {
+		hash  [20]byte
+		value uint64
+	}
+	sorted := make([]alloc, 0, len(allocations))
+	for h, v := range allocations {
+		sorted = append(sorted, alloc{h, v})
+	}
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && lessHash(sorted[j].hash, sorted[j-1].hash); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	coinbase := &Tx{
+		Inputs: []TxIn{{Prev: OutPoint{Index: coinbaseIndex}}},
+	}
+	for _, a := range sorted {
+		coinbase.Outputs = append(coinbase.Outputs, TxOut{
+			Value: a.value,
+			Lock:  payToHash(a.hash),
+		})
+	}
+	if len(coinbase.Outputs) == 0 {
+		// A burn output so the genesis coinbase is well formed.
+		coinbase.Outputs = append(coinbase.Outputs, TxOut{Value: 0, Lock: payToHash([20]byte{})})
+	}
+	b := &Block{
+		Header: Header{Version: 1, Height: 0},
+		Txs:    []*Tx{coinbase},
+	}
+	b.Header.MerkleRoot = MerkleRoot(b.Txs)
+	return b
+}
+
+func lessHash(a, b [20]byte) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func payToHash(h [20]byte) script.Script {
+	return script.PayToPubKeyHash(h)
+}

@@ -1,0 +1,283 @@
+package chain_test
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/chain"
+	"bcwan/internal/script"
+)
+
+// These tests exercise the paper's fair exchange (§4.4) end-to-end on the
+// chain: the recipient's key-release payment, the gateway's claim that
+// discloses eSk, and the buyer's time-locked refund.
+
+type exchangeFixture struct {
+	h        *harness
+	eKey     *bccrypto.RSA512PrivateKey
+	params   script.KeyReleaseParams
+	payment  *chain.Tx
+	outpoint chain.OutPoint
+	prevOut  chain.TxOut
+}
+
+func newExchangeFixture(t *testing.T) *exchangeFixture {
+	t.Helper()
+	h := newHarness(t, chain.DefaultParams())
+	eKey, err := bccrypto.GenerateRSA512(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bob is the recipient (buyer), alice plays the gateway.
+	params := script.KeyReleaseParams{
+		RSAPubKey:         bccrypto.MarshalRSA512PublicKey(eKey.Public()),
+		GatewayPubKeyHash: h.alice.PubKeyHash(),
+		RefundHeight:      h.chain.Height() + 100,
+		BuyerPubKeyHash:   h.bob.PubKeyHash(),
+	}
+	payment, err := h.bob.BuildKeyReleasePayment(h.chain.UTXO(), params, 500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.accept(payment)
+	h.mine()
+	return &exchangeFixture{
+		h:        h,
+		eKey:     eKey,
+		params:   params,
+		payment:  payment,
+		outpoint: chain.OutPoint{TxID: payment.ID(), Index: 0},
+		prevOut:  payment.Outputs[0],
+	}
+}
+
+func TestFairExchangeClaim(t *testing.T) {
+	f := newExchangeFixture(t)
+	h := f.h
+
+	claim, err := h.alice.BuildClaim(f.outpoint, f.prevOut, f.eKey, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.accept(claim)
+	h.mine()
+
+	// The gateway received the payment (minus its claim fee).
+	if got := h.alice.Balance(h.chain.UTXO()); got != initialFunds+500-5 {
+		t.Fatalf("gateway balance = %d, want %d", got, initialFunds+500-5)
+	}
+
+	// The recipient can extract eSk from the claim's unlocking script
+	// in the chain — the disclosure it paid for.
+	confirmed, _, ok := h.chain.FindTx(claim.ID())
+	if !ok {
+		t.Fatal("claim not found in chain")
+	}
+	keyBytes, err := script.ExtractClaimedRSAKey(confirmed.Inputs[0].Unlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revealed, err := bccrypto.UnmarshalRSA512PrivateKey(keyBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !revealed.MatchesPublic(f.eKey.Public()) {
+		t.Fatal("revealed key does not match the ephemeral public key")
+	}
+}
+
+func TestFairExchangeClaimWithWrongKeyRejected(t *testing.T) {
+	f := newExchangeFixture(t)
+	h := f.h
+
+	wrongKey, err := bccrypto.GenerateRSA512(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claim, err := h.alice.BuildClaim(f.outpoint, f.prevOut, wrongKey, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.mempool.Accept(claim, h.chain.UTXO(), h.chain.Height(), h.params); err == nil {
+		t.Fatal("claim with wrong ephemeral key accepted")
+	}
+}
+
+func TestFairExchangeThirdPartyCannotClaim(t *testing.T) {
+	f := newExchangeFixture(t)
+	h := f.h
+
+	// bob (who even knows eSk as its creator-side counterpart would
+	// not — assume leak) tries to claim the gateway's payment.
+	claim, err := h.bob.BuildClaim(f.outpoint, f.prevOut, f.eKey, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.mempool.Accept(claim, h.chain.UTXO(), h.chain.Height(), h.params); err == nil {
+		t.Fatal("third party claimed the gateway's payment")
+	}
+}
+
+func TestFairExchangeRefundBeforeHeightRejected(t *testing.T) {
+	f := newExchangeFixture(t)
+	h := f.h
+
+	refund, err := h.bob.BuildRefund(f.outpoint, f.prevOut, f.params.RefundHeight, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = h.mempool.Accept(refund, h.chain.UTXO(), h.chain.Height(), h.params)
+	if !errors.Is(err, chain.ErrTxNotFinal) {
+		t.Fatalf("early refund err = %v, want ErrTxNotFinal", err)
+	}
+}
+
+func TestFairExchangeRefundAfterHeight(t *testing.T) {
+	f := newExchangeFixture(t)
+	h := f.h
+
+	for h.chain.Height() < f.params.RefundHeight {
+		h.mine()
+	}
+	refund, err := h.bob.BuildRefund(f.outpoint, f.prevOut, f.params.RefundHeight, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.accept(refund)
+	h.mine()
+
+	// Buyer got the locked funds back: initial − 500 − 10 (payment+fee)
+	// + 500 − 5 (refund − fee).
+	want := uint64(initialFunds) - 10 - 5
+	if got := h.bob.Balance(h.chain.UTXO()); got != want {
+		t.Fatalf("buyer balance = %d, want %d", got, want)
+	}
+}
+
+func TestFairExchangeRefundCannotSkipLockTime(t *testing.T) {
+	f := newExchangeFixture(t)
+	h := f.h
+
+	// A refund built with a dishonestly low LockTime fails the script's
+	// CLTV check instead.
+	refund, err := h.bob.BuildRefund(f.outpoint, f.prevOut, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.mempool.Accept(refund, h.chain.UTXO(), h.chain.Height(), h.params); err == nil {
+		t.Fatal("refund with understated lock time accepted")
+	}
+}
+
+func TestFairExchangeClaimBeatsLateRefund(t *testing.T) {
+	// Once the gateway's claim confirms, the refund's outpoint is spent.
+	f := newExchangeFixture(t)
+	h := f.h
+
+	claim, err := h.alice.BuildClaim(f.outpoint, f.prevOut, f.eKey, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.accept(claim)
+	h.mine()
+
+	for h.chain.Height() < f.params.RefundHeight {
+		h.mine()
+	}
+	refund, err := h.bob.BuildRefund(f.outpoint, f.prevOut, f.params.RefundHeight, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = h.mempool.Accept(refund, h.chain.UTXO(), h.chain.Height(), h.params)
+	if !errors.Is(err, chain.ErrMissingUTXO) {
+		t.Fatalf("late refund err = %v, want ErrMissingUTXO", err)
+	}
+}
+
+func TestDoubleSpendRaceUnconfirmedPayment(t *testing.T) {
+	// §6: the gateway releases eSk as soon as it sees the (unconfirmed)
+	// payment. A malicious recipient replaces the payment with a double
+	// spend before it is mined; the gateway's claim then fails.
+	f := newExchangeFixtureUnconfirmed(t)
+	h := f.h
+
+	// The recipient double-spends the payment's inputs back to itself.
+	doubleSpend := &chain.Tx{Version: 1}
+	for _, in := range f.payment.Inputs {
+		doubleSpend.Inputs = append(doubleSpend.Inputs, chain.TxIn{Prev: in.Prev})
+	}
+	var inValue uint64
+	utxo := h.chain.UTXO()
+	for _, in := range f.payment.Inputs {
+		entry, ok := utxo.Get(in.Prev)
+		if !ok {
+			t.Fatal("payment input missing")
+		}
+		inValue += entry.Out.Value
+	}
+	doubleSpend.Outputs = []chain.TxOut{{
+		Value: inValue - 1,
+		Lock:  script.PayToPubKeyHash(h.bob.PubKeyHash()),
+	}}
+	if err := h.bob.SignP2PKHInputs(doubleSpend, utxo); err != nil {
+		t.Fatal(err)
+	}
+
+	// The attacker bypasses first-seen policy (e.g. reaches the miner
+	// directly).
+	h.mempool.ForceReplace(doubleSpend)
+	h.mine()
+
+	// The payment never confirmed; the gateway's claim is unspendable.
+	if _, _, ok := h.chain.FindTx(f.payment.ID()); ok {
+		t.Fatal("payment confirmed despite double spend")
+	}
+	claim, err := h.alice.BuildClaim(f.outpoint, f.prevOut, f.eKey, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = h.mempool.Accept(claim, h.chain.UTXO(), h.chain.Height(), h.params)
+	if !errors.Is(err, chain.ErrMissingUTXO) {
+		t.Fatalf("claim err = %v, want ErrMissingUTXO", err)
+	}
+}
+
+// newExchangeFixtureUnconfirmed leaves the payment in the mempool instead
+// of mining it.
+func newExchangeFixtureUnconfirmed(t *testing.T) *exchangeFixture {
+	t.Helper()
+	h := newHarness(t, chain.DefaultParams())
+	eKey, err := bccrypto.GenerateRSA512(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := script.KeyReleaseParams{
+		RSAPubKey:         bccrypto.MarshalRSA512PublicKey(eKey.Public()),
+		GatewayPubKeyHash: h.alice.PubKeyHash(),
+		RefundHeight:      h.chain.Height() + 100,
+		BuyerPubKeyHash:   h.bob.PubKeyHash(),
+	}
+	payment, err := h.bob.BuildKeyReleasePayment(h.chain.UTXO(), params, 500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.accept(payment)
+	return &exchangeFixture{
+		h:        h,
+		eKey:     eKey,
+		params:   params,
+		payment:  payment,
+		outpoint: chain.OutPoint{TxID: payment.ID(), Index: 0},
+		prevOut:  payment.Outputs[0],
+	}
+}
+
+func TestWalletInsufficientFunds(t *testing.T) {
+	h := newHarness(t, chain.DefaultParams())
+	_, err := h.alice.BuildPayment(h.chain.UTXO(), h.bob.PubKeyHash(), initialFunds*10, 1)
+	if err == nil {
+		t.Fatal("overdraft accepted")
+	}
+}

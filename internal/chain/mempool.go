@@ -1,0 +1,198 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mempool holds transactions waiting to be mined. It enforces first-seen
+// double-spend protection: a transaction conflicting with an accepted one
+// is rejected (the attack window the paper discusses in §6 exists because
+// a gateway releases the key before the payment is confirmed — a
+// double-spender races the *miner*, not the mempool).
+type Mempool struct {
+	mu sync.Mutex
+	// txs maps txid to transaction in arrival order (order kept
+	// separately for deterministic block building).
+	txs   map[Hash]*Tx
+	order []Hash
+	// spends maps each spent outpoint to the claiming txid.
+	spends map[OutPoint]Hash
+}
+
+// Mempool errors.
+var (
+	// ErrMempoolConflict reports a double spend against a pooled
+	// transaction.
+	ErrMempoolConflict = errors.New("chain: conflicts with mempool transaction")
+	// ErrAlreadyPooled reports a duplicate submission.
+	ErrAlreadyPooled = errors.New("chain: transaction already in mempool")
+)
+
+// NewMempool returns an empty pool.
+func NewMempool() *Mempool {
+	return &Mempool{
+		txs:    make(map[Hash]*Tx),
+		spends: make(map[OutPoint]Hash),
+	}
+}
+
+// Accept validates tx against the provided UTXO view (spendability and
+// scripts) and against pooled spends, then admits it. Outputs created by
+// pooled transactions are spendable — the gateway's claim chains onto the
+// recipient's still-unconfirmed payment (Fig. 3 steps 9–10, the paper's
+// deliberate zero-confirmation choice discussed in §6).
+func (m *Mempool) Accept(tx *Tx, utxo *UTXOSet, height int64, params Params) error {
+	if tx.IsCoinbase() {
+		return ErrBadCoinbase
+	}
+	id := tx.ID()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.txs[id]; dup {
+		return ErrAlreadyPooled
+	}
+	for _, in := range tx.Inputs {
+		if prior, spent := m.spends[in.Prev]; spent {
+			return fmt.Errorf("%w: %s already spent by %s", ErrMempoolConflict, in.Prev, prior)
+		}
+	}
+	// Extend the confirmed view with pooled transactions, in arrival
+	// order, so chained unconfirmed spends validate.
+	view := utxo.Clone()
+	for _, poolID := range m.order {
+		if pooled, ok := m.txs[poolID]; ok {
+			// Pooled txs were validated on entry; application can
+			// only fail if the chain moved under us, in which case
+			// the stale tx is simply not part of the view.
+			_ = view.ApplyTx(pooled, height+1)
+		}
+	}
+	if _, err := ConnectTx(view, tx, height+1, params.CoinbaseMaturity, params.VerifyScripts); err != nil {
+		return err
+	}
+	m.txs[id] = tx
+	m.order = append(m.order, id)
+	for _, in := range tx.Inputs {
+		m.spends[in.Prev] = id
+	}
+	return nil
+}
+
+// ForceReplace admits tx, evicting any pooled transactions that conflict
+// with it. This models a malicious actor with miner access replacing a
+// payment with a double spend (the §6 attack simulation); honest nodes
+// never call it.
+func (m *Mempool) ForceReplace(tx *Tx) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, in := range tx.Inputs {
+		if prior, ok := m.spends[in.Prev]; ok {
+			m.removeLocked(prior)
+		}
+	}
+	id := tx.ID()
+	if _, dup := m.txs[id]; dup {
+		return
+	}
+	m.txs[id] = tx
+	m.order = append(m.order, id)
+	for _, in := range tx.Inputs {
+		m.spends[in.Prev] = id
+	}
+}
+
+// ExtendView applies every pooled transaction, in arrival order, to the
+// given UTXO set — producing the "effective" spendable view a wallet
+// sees, including unconfirmed change. Stale pooled transactions that no
+// longer connect are skipped.
+func (m *Mempool) ExtendView(view *UTXOSet, height int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, id := range m.order {
+		if tx, ok := m.txs[id]; ok {
+			_ = view.ApplyTx(tx, height+1)
+		}
+	}
+}
+
+// Get returns a pooled transaction.
+func (m *Mempool) Get(id Hash) (*Tx, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tx, ok := m.txs[id]
+	return tx, ok
+}
+
+// Contains reports whether the transaction is pooled.
+func (m *Mempool) Contains(id Hash) bool {
+	_, ok := m.Get(id)
+	return ok
+}
+
+// Len reports the pool size.
+func (m *Mempool) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.txs)
+}
+
+// Select returns up to max transactions in arrival order for block
+// building.
+func (m *Mempool) Select(max int) []*Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Tx, 0, min(max, len(m.order)))
+	for _, id := range m.order {
+		if len(out) >= max {
+			break
+		}
+		if tx, ok := m.txs[id]; ok {
+			out = append(out, tx)
+		}
+	}
+	return out
+}
+
+// RemoveConfirmed drops every pooled transaction included in the block,
+// plus any transaction that conflicts with the block's spends.
+func (m *Mempool) RemoveConfirmed(b *Block) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, tx := range b.Txs {
+		m.removeLocked(tx.ID())
+		for _, in := range tx.Inputs {
+			if prior, ok := m.spends[in.Prev]; ok {
+				m.removeLocked(prior)
+			}
+		}
+	}
+}
+
+func (m *Mempool) removeLocked(id Hash) {
+	tx, ok := m.txs[id]
+	if !ok {
+		return
+	}
+	delete(m.txs, id)
+	for _, in := range tx.Inputs {
+		if m.spends[in.Prev] == id {
+			delete(m.spends, in.Prev)
+		}
+	}
+	for i, h := range m.order {
+		if h == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

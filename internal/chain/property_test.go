@@ -1,0 +1,145 @@
+package chain_test
+
+import (
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"bcwan/internal/chain"
+	"bcwan/internal/script"
+)
+
+// Property: across any sequence of random valid payments interleaved with
+// mined blocks, the total UTXO value equals the genesis allocation plus
+// one coinbase reward per block. Fees are redistributed to the miner, so
+// nothing is ever created or destroyed beyond the subsidy.
+func TestValueConservationProperty(t *testing.T) {
+	f := func(amounts []uint16, mineEvery uint8) bool {
+		if len(amounts) > 25 {
+			amounts = amounts[:25]
+		}
+		step := int(mineEvery%4) + 1
+		h := newHarness(t, chain.DefaultParams())
+		genesisTotal := h.chain.UTXO().TotalValue()
+
+		blocks := int64(0)
+		for i, a := range amounts {
+			amount := uint64(a)%500 + 1
+			fee := uint64(a) % 7
+			tx, err := h.alice.BuildPayment(h.chain.UTXO(), h.bob.PubKeyHash(), amount, fee)
+			if err != nil {
+				// Alice ran out of confirmed funds; mine and move on.
+				h.mine()
+				blocks++
+				continue
+			}
+			if err := h.mempool.Accept(tx, h.chain.UTXO(), h.chain.Height(), h.params); err != nil {
+				continue
+			}
+			if i%step == 0 {
+				h.mine()
+				blocks++
+			}
+		}
+		h.mine()
+		blocks++
+
+		want := genesisTotal + uint64(blocks)*h.params.CoinbaseReward
+		return h.chain.UTXO().TotalValue() == want
+	}
+	cfg := &quick.Config{MaxCount: 10}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: chained unconfirmed transactions accepted by the mempool
+// always survive mining — a block built from the pool is always valid.
+func TestMempoolChainsMineCleanly(t *testing.T) {
+	h := newHarness(t, chain.DefaultParams())
+
+	// Build a chain of 6 spends, each consuming the previous change,
+	// all unconfirmed.
+	for i := 0; i < 6; i++ {
+		utxo := h.chain.UTXO()
+		h.mempool.ExtendView(utxo, h.chain.Height())
+		tx, err := h.alice.BuildPayment(utxo, h.bob.PubKeyHash(), 10, 1)
+		if err != nil {
+			t.Fatalf("spend %d: %v", i, err)
+		}
+		if err := h.mempool.Accept(tx, h.chain.UTXO(), h.chain.Height(), h.params); err != nil {
+			t.Fatalf("accept %d: %v", i, err)
+		}
+	}
+	if h.mempool.Len() != 6 {
+		t.Fatalf("pool = %d, want 6", h.mempool.Len())
+	}
+	b := h.mine()
+	if len(b.Txs) != 7 { // coinbase + 6
+		t.Fatalf("block txs = %d, want 7", len(b.Txs))
+	}
+	if h.mempool.Len() != 0 {
+		t.Fatalf("pool not drained: %d", h.mempool.Len())
+	}
+	if got := h.bob.Balance(h.chain.UTXO()); got != initialFunds+60 {
+		t.Fatalf("bob balance = %d", got)
+	}
+}
+
+// Property: a random OP_RETURN payload survives the full
+// publish→mine→scan pipeline byte-for-byte.
+func TestOpReturnPayloadFidelityQuick(t *testing.T) {
+	h := newHarness(t, chain.DefaultParams())
+	f := func(payload []byte) bool {
+		if len(payload) == 0 || len(payload) > 256 {
+			return true // vacuous
+		}
+		tx, err := h.alice.BuildDataPublish(h.chain.UTXO(), payload, 1)
+		if err != nil {
+			return false
+		}
+		if err := h.mempool.Accept(tx, h.chain.UTXO(), h.chain.Height(), h.params); err != nil {
+			return false
+		}
+		b := h.mine()
+		for _, btx := range b.Txs {
+			if btx.ID() != tx.ID() {
+				continue
+			}
+			got, err := script.ExtractNullData(btx.Outputs[0].Lock)
+			if err != nil {
+				return false
+			}
+			if len(got) != len(payload) {
+				return false
+			}
+			for i := range got {
+				if got[i] != payload[i] {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	cfg := &quick.Config{MaxCount: 8}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: block deserialization of random bytes never panics and never
+// yields a block that revalidates.
+func TestDeserializeBlockFuzzSafety(t *testing.T) {
+	f := func(data []byte) bool {
+		b, err := chain.DeserializeBlock(data)
+		if err != nil {
+			return true
+		}
+		// Parsed garbage must not carry a valid miner signature.
+		return !b.Header.VerifySignature()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: mrand.New(mrand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}

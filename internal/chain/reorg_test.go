@@ -1,0 +1,118 @@
+package chain_test
+
+import (
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/chain"
+	"bcwan/internal/script"
+	"bcwan/internal/wallet"
+)
+
+// TestReorgInvalidatesFairExchangeClaim exercises the §6 risk at the
+// consensus layer: a payment and its claim confirm on one branch, then a
+// longer branch without them wins — the claim's coins vanish with the
+// reorg, exactly the loss a zero-confirmation gateway accepts.
+func TestReorgInvalidatesFairExchangeClaim(t *testing.T) {
+	h := newHarness(t, chain.DefaultParams())
+
+	// A second authorized miner builds the attacker's branch.
+	forkW, err := wallet.New(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.chain.AuthorizeMiner(forkW.PublicBytes())
+
+	// The honest flow: payment + claim confirmed at height 1.
+	eKey, err := bccrypto.GenerateRSA512(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := script.KeyReleaseParams{
+		RSAPubKey:         bccrypto.MarshalRSA512PublicKey(eKey.Public()),
+		GatewayPubKeyHash: h.alice.PubKeyHash(),
+		RefundHeight:      200,
+		BuyerPubKeyHash:   h.bob.PubKeyHash(),
+	}
+	payment, err := h.bob.BuildKeyReleasePayment(h.chain.UTXO(), params, 500, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.accept(payment)
+	claim, err := h.alice.BuildClaim(chain.OutPoint{TxID: payment.ID(), Index: 0}, payment.Outputs[0], eKey, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.accept(claim)
+	h.mine()
+
+	if got := h.alice.Balance(h.chain.UTXO()); got != initialFunds+495 {
+		t.Fatalf("gateway balance after claim = %d", got)
+	}
+
+	// The attacker mines two empty blocks from genesis: the longer
+	// branch wins and the payment/claim are orphaned.
+	fork1, err := buildOn(nil, h.chain.Genesis(), h.now.Add(time.Hour), forkW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.chain.AddBlock(fork1); err != nil {
+		t.Fatal(err)
+	}
+	fork2, err := buildOn(nil, fork1, h.now.Add(2*time.Hour), forkW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.chain.AddBlock(fork2); err != nil {
+		t.Fatal(err)
+	}
+
+	if h.chain.Tip().ID() != fork2.ID() {
+		t.Fatal("reorg did not happen")
+	}
+	// The gateway's revenue is gone; the revealed key, however, is
+	// still public knowledge — the paper's double-spend loss.
+	if got := h.alice.Balance(h.chain.UTXO()); got != initialFunds {
+		t.Fatalf("gateway balance after reorg = %d, want %d", got, initialFunds)
+	}
+	if _, _, found := h.chain.FindTx(claim.ID()); found {
+		t.Fatal("claim still on the best branch after reorg")
+	}
+	// The payment's output no longer exists on the best branch.
+	if _, ok := h.chain.UTXO().Get(chain.OutPoint{TxID: payment.ID(), Index: 0}); ok {
+		t.Fatal("orphaned payment output present in UTXO")
+	}
+}
+
+// TestMinerSkipsStaleTransactions: a pooled transaction invalidated by a
+// conflicting confirmed block must not appear in newly built blocks.
+func TestMinerSkipsStaleTransactions(t *testing.T) {
+	h := newHarness(t, chain.DefaultParams())
+
+	// Two wallets race for the same coins via separate mempools.
+	tx1, err := h.alice.BuildPayment(h.chain.UTXO(), h.bob.PubKeyHash(), 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := h.alice.BuildPayment(h.chain.UTXO(), h.alice.PubKeyHash(), 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tx2 confirms via a direct block; tx1 sits in the pool.
+	h.accept(tx1)
+	h.mempool.ForceReplace(tx2)
+	b := h.mine()
+	for _, tx := range b.Txs {
+		if tx.ID() == tx1.ID() {
+			t.Fatal("evicted conflict was mined")
+		}
+	}
+	// The pool no longer offers tx1 (evicted by ForceReplace), and a
+	// new block contains only a coinbase.
+	b2 := h.mine()
+	if len(b2.Txs) != 1 {
+		t.Fatalf("block txs = %d, want coinbase only", len(b2.Txs))
+	}
+}

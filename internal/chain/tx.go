@@ -1,0 +1,343 @@
+package chain
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/script"
+)
+
+// Hash identifies transactions and blocks (double SHA-256 of their
+// serialization).
+type Hash [32]byte
+
+// String renders the hash in hex.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// IsZero reports whether the hash is all zeros.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// HashFromString parses a hex hash.
+func HashFromString(s string) (Hash, error) {
+	var h Hash
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return h, fmt.Errorf("chain: bad hash hex: %w", err)
+	}
+	if len(b) != len(h) {
+		return h, fmt.Errorf("chain: hash length %d, want %d", len(b), len(h))
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// OutPoint references a transaction output.
+type OutPoint struct {
+	TxID  Hash
+	Index uint32
+}
+
+// String renders the outpoint as txid:index.
+func (o OutPoint) String() string { return fmt.Sprintf("%s:%d", o.TxID, o.Index) }
+
+// TxIn spends a previous output.
+type TxIn struct {
+	Prev   OutPoint
+	Unlock script.Script
+}
+
+// TxOut creates a new spendable (or OP_RETURN data) output.
+type TxOut struct {
+	Value uint64
+	Lock  script.Script
+}
+
+// Tx is a transaction. LockTime, when nonzero, is the earliest block
+// height at which the transaction may be mined (BIP-65 semantics, used by
+// the fair-exchange refund path).
+type Tx struct {
+	Version  int32
+	Inputs   []TxIn
+	Outputs  []TxOut
+	LockTime int64
+}
+
+// Serialization limits.
+const (
+	maxTxSize   = 100_000
+	maxScriptIO = script.MaxScriptSize
+)
+
+// Serialization errors.
+var (
+	ErrTxTooLarge  = errors.New("chain: transaction too large")
+	ErrTxTruncated = errors.New("chain: truncated transaction encoding")
+)
+
+// Serialize encodes the transaction in the canonical binary form its ID is
+// computed over.
+func (tx *Tx) Serialize() []byte {
+	var buf bytes.Buffer
+	writeInt64(&buf, int64(tx.Version))
+	writeVarInt(&buf, uint64(len(tx.Inputs)))
+	for _, in := range tx.Inputs {
+		buf.Write(in.Prev.TxID[:])
+		writeUint32(&buf, in.Prev.Index)
+		writeVarBytes(&buf, in.Unlock)
+	}
+	writeVarInt(&buf, uint64(len(tx.Outputs)))
+	for _, out := range tx.Outputs {
+		writeUint64(&buf, out.Value)
+		writeVarBytes(&buf, out.Lock)
+	}
+	writeInt64(&buf, tx.LockTime)
+	return buf.Bytes()
+}
+
+// DeserializeTx parses a transaction produced by Serialize.
+func DeserializeTx(data []byte) (*Tx, error) {
+	if len(data) > maxTxSize {
+		return nil, ErrTxTooLarge
+	}
+	r := bytes.NewReader(data)
+	tx, err := readTx(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("chain: %d trailing bytes after transaction", r.Len())
+	}
+	return tx, nil
+}
+
+func readTx(r *bytes.Reader) (*Tx, error) {
+	var tx Tx
+	v, err := readInt64(r)
+	if err != nil {
+		return nil, err
+	}
+	tx.Version = int32(v)
+	nIn, err := readVarInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if nIn > 10_000 {
+		return nil, ErrTxTooLarge
+	}
+	tx.Inputs = make([]TxIn, nIn)
+	for i := range tx.Inputs {
+		if _, err := io.ReadFull(r, tx.Inputs[i].Prev.TxID[:]); err != nil {
+			return nil, ErrTxTruncated
+		}
+		idx, err := readUint32(r)
+		if err != nil {
+			return nil, err
+		}
+		tx.Inputs[i].Prev.Index = idx
+		unlock, err := readVarBytes(r, maxScriptIO)
+		if err != nil {
+			return nil, err
+		}
+		tx.Inputs[i].Unlock = unlock
+	}
+	nOut, err := readVarInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if nOut > 10_000 {
+		return nil, ErrTxTooLarge
+	}
+	tx.Outputs = make([]TxOut, nOut)
+	for i := range tx.Outputs {
+		val, err := readUint64(r)
+		if err != nil {
+			return nil, err
+		}
+		tx.Outputs[i].Value = val
+		lock, err := readVarBytes(r, maxScriptIO)
+		if err != nil {
+			return nil, err
+		}
+		tx.Outputs[i].Lock = lock
+	}
+	lt, err := readInt64(r)
+	if err != nil {
+		return nil, err
+	}
+	tx.LockTime = lt
+	return &tx, nil
+}
+
+// ID returns the transaction hash.
+func (tx *Tx) ID() Hash {
+	return Hash(bccrypto.DoubleSHA256(tx.Serialize()))
+}
+
+// IsCoinbase reports whether the transaction is a block subsidy: a single
+// input with a zero previous outpoint.
+func (tx *Tx) IsCoinbase() bool {
+	return len(tx.Inputs) == 1 &&
+		tx.Inputs[0].Prev.TxID.IsZero() &&
+		tx.Inputs[0].Prev.Index == coinbaseIndex
+}
+
+const coinbaseIndex = 0xffffffff
+
+// SigHash computes the digest an input's signature commits to
+// (SIGHASH_ALL): the transaction with every unlocking script cleared and
+// the signed input's slot replaced by the previous output's locking
+// script, plus the input index.
+func (tx *Tx) SigHash(inputIndex int, prevLock script.Script) Hash {
+	clone := Tx{
+		Version:  tx.Version,
+		Inputs:   make([]TxIn, len(tx.Inputs)),
+		Outputs:  tx.Outputs,
+		LockTime: tx.LockTime,
+	}
+	for i, in := range tx.Inputs {
+		clone.Inputs[i].Prev = in.Prev
+		if i == inputIndex {
+			clone.Inputs[i].Unlock = prevLock
+		}
+	}
+	var buf bytes.Buffer
+	buf.Write(clone.Serialize())
+	writeUint32(&buf, uint32(inputIndex))
+	return Hash(bccrypto.DoubleSHA256(buf.Bytes()))
+}
+
+// sigContext adapts a (tx, input) pair to script.Context.
+type sigContext struct {
+	tx       *Tx
+	input    int
+	prevLock script.Script
+}
+
+var _ script.Context = sigContext{}
+
+// CheckSig implements script.Context.
+func (c sigContext) CheckSig(sig, pubKey []byte) bool {
+	digest := c.tx.SigHash(c.input, c.prevLock)
+	return bccrypto.VerifyECDigest(pubKey, digest[:], sig)
+}
+
+// LockTime implements script.Context.
+func (c sigContext) LockTime() int64 { return c.tx.LockTime }
+
+// VerifyInput runs the script pair for one input.
+func (tx *Tx) VerifyInput(inputIndex int, prevLock script.Script) error {
+	if inputIndex < 0 || inputIndex >= len(tx.Inputs) {
+		return fmt.Errorf("chain: input index %d out of range", inputIndex)
+	}
+	ctx := sigContext{tx: tx, input: inputIndex, prevLock: prevLock}
+	if err := script.Verify(tx.Inputs[inputIndex].Unlock, prevLock, ctx); err != nil {
+		return fmt.Errorf("input %d: %w", inputIndex, err)
+	}
+	return nil
+}
+
+// Binary encoding helpers (little-endian fixed ints, Bitcoin-style
+// varints).
+
+func writeUint32(w *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeUint64(w *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+func writeInt64(w *bytes.Buffer, v int64) { writeUint64(w, uint64(v)) }
+
+func writeVarInt(w *bytes.Buffer, v uint64) {
+	switch {
+	case v < 0xfd:
+		w.WriteByte(byte(v))
+	case v <= 0xffff:
+		w.WriteByte(0xfd)
+		var b [2]byte
+		binary.LittleEndian.PutUint16(b[:], uint16(v))
+		w.Write(b[:])
+	case v <= 0xffffffff:
+		w.WriteByte(0xfe)
+		writeUint32(w, uint32(v))
+	default:
+		w.WriteByte(0xff)
+		writeUint64(w, v)
+	}
+}
+
+func writeVarBytes(w *bytes.Buffer, b []byte) {
+	writeVarInt(w, uint64(len(b)))
+	w.Write(b)
+}
+
+func readUint32(r *bytes.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, ErrTxTruncated
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func readUint64(r *bytes.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, ErrTxTruncated
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+func readInt64(r *bytes.Reader) (int64, error) {
+	v, err := readUint64(r)
+	return int64(v), err
+}
+
+func readVarInt(r *bytes.Reader) (uint64, error) {
+	first, err := r.ReadByte()
+	if err != nil {
+		return 0, ErrTxTruncated
+	}
+	switch first {
+	case 0xfd:
+		var b [2]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, ErrTxTruncated
+		}
+		return uint64(binary.LittleEndian.Uint16(b[:])), nil
+	case 0xfe:
+		v, err := readUint32(r)
+		return uint64(v), err
+	case 0xff:
+		return readUint64(r)
+	default:
+		return uint64(first), nil
+	}
+}
+
+func readVarBytes(r *bytes.Reader, maxLen int) ([]byte, error) {
+	n, err := readVarInt(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(maxLen) {
+		return nil, fmt.Errorf("chain: var bytes length %d exceeds %d", n, maxLen)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, ErrTxTruncated
+	}
+	return out, nil
+}

@@ -1,0 +1,205 @@
+package chain
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"bcwan/internal/script"
+)
+
+func sampleTx() *Tx {
+	return &Tx{
+		Version: 1,
+		Inputs: []TxIn{
+			{
+				Prev:   OutPoint{TxID: Hash{0x01, 0x02}, Index: 3},
+				Unlock: script.NewBuilder().AddData([]byte("sig")).AddData([]byte("pub")).Script(),
+			},
+		},
+		Outputs: []TxOut{
+			{Value: 1000, Lock: script.PayToPubKeyHash([20]byte{0xaa})},
+			{Value: 0, Lock: script.NullData([]byte("ip=192.0.2.1:7000"))},
+		},
+		LockTime: 42,
+	}
+}
+
+func TestTxSerializeRoundTrip(t *testing.T) {
+	tx := sampleTx()
+	data := tx.Serialize()
+	back, err := DeserializeTx(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Serialize(), data) {
+		t.Fatal("round trip changed serialization")
+	}
+	if back.ID() != tx.ID() {
+		t.Fatal("round trip changed ID")
+	}
+	if back.LockTime != 42 || back.Version != 1 {
+		t.Fatalf("fields lost: %+v", back)
+	}
+}
+
+func TestTxSerializeRoundTripQuick(t *testing.T) {
+	f := func(value uint64, lockTime int64, unlock, lock []byte, idx uint32, seed [32]byte) bool {
+		if len(unlock) > 500 {
+			unlock = unlock[:500]
+		}
+		if len(lock) > 500 {
+			lock = lock[:500]
+		}
+		tx := &Tx{
+			Version:  2,
+			Inputs:   []TxIn{{Prev: OutPoint{TxID: Hash(seed), Index: idx}, Unlock: unlock}},
+			Outputs:  []TxOut{{Value: value % maxMoney, Lock: lock}},
+			LockTime: lockTime,
+		}
+		back, err := DeserializeTx(tx.Serialize())
+		return err == nil && back.ID() == tx.ID()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeserializeTxRejects(t *testing.T) {
+	good := sampleTx().Serialize()
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": good[:len(good)-3],
+		"trailing":  append(append([]byte(nil), good...), 0x00),
+		"too large": make([]byte, maxTxSize+1),
+	}
+	for name, data := range cases {
+		if _, err := DeserializeTx(data); err == nil {
+			t.Errorf("%s: invalid encoding accepted", name)
+		}
+	}
+}
+
+func TestTxIDUniqueness(t *testing.T) {
+	a := sampleTx()
+	b := sampleTx()
+	b.Outputs[0].Value++
+	if a.ID() == b.ID() {
+		t.Fatal("different transactions share an ID")
+	}
+}
+
+func TestIsCoinbase(t *testing.T) {
+	coinbase := &Tx{
+		Inputs:  []TxIn{{Prev: OutPoint{Index: coinbaseIndex}}},
+		Outputs: []TxOut{{Value: 50}},
+	}
+	if !coinbase.IsCoinbase() {
+		t.Fatal("coinbase not recognized")
+	}
+	if sampleTx().IsCoinbase() {
+		t.Fatal("regular tx recognized as coinbase")
+	}
+}
+
+func TestSigHashCommitsToOutputs(t *testing.T) {
+	lock := script.PayToPubKeyHash([20]byte{1})
+	a := sampleTx()
+	b := sampleTx()
+	b.Outputs[0].Value = 999
+
+	if a.SigHash(0, lock) == b.SigHash(0, lock) {
+		t.Fatal("sighash does not commit to outputs")
+	}
+}
+
+func TestSigHashIndependentOfOtherUnlocks(t *testing.T) {
+	lock := script.PayToPubKeyHash([20]byte{1})
+	a := sampleTx()
+	a.Inputs = append(a.Inputs, TxIn{Prev: OutPoint{TxID: Hash{9}, Index: 1}})
+	b := &Tx{Version: a.Version, Inputs: make([]TxIn, len(a.Inputs)), Outputs: a.Outputs, LockTime: a.LockTime}
+	copy(b.Inputs, a.Inputs)
+	b.Inputs[1].Unlock = script.Script{0x01, 0xff} // different sibling unlock
+
+	if a.SigHash(0, lock) != b.SigHash(0, lock) {
+		t.Fatal("sighash depends on sibling unlocking scripts")
+	}
+}
+
+func TestSigHashCommitsToInputIndex(t *testing.T) {
+	lock := script.PayToPubKeyHash([20]byte{1})
+	tx := sampleTx()
+	tx.Inputs = append(tx.Inputs, TxIn{Prev: OutPoint{TxID: Hash{9}, Index: 1}})
+	if tx.SigHash(0, lock) == tx.SigHash(1, lock) {
+		t.Fatal("sighash does not commit to input index")
+	}
+}
+
+func TestHashFromString(t *testing.T) {
+	h := Hash{0xde, 0xad}
+	back, err := HashFromString(h.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatal("hash string round trip mismatch")
+	}
+	if _, err := HashFromString("zz"); err == nil {
+		t.Error("bad hex accepted")
+	}
+	if _, err := HashFromString("abcd"); err == nil {
+		t.Error("short hash accepted")
+	}
+}
+
+func TestVarIntRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 0xfc, 0xfd, 0xffff, 0x10000, 0xffffffff, 0x100000000, 1 << 60} {
+		var buf bytes.Buffer
+		writeVarInt(&buf, v)
+		got, err := readVarInt(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("readVarInt(%d): %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("varint round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestVerifyInputOutOfRange(t *testing.T) {
+	tx := sampleTx()
+	if err := tx.VerifyInput(5, nil); err == nil {
+		t.Fatal("out-of-range input accepted")
+	}
+}
+
+func TestCheckTxSanity(t *testing.T) {
+	valid := sampleTx()
+	if err := CheckTxSanity(valid); err != nil {
+		t.Fatalf("valid tx rejected: %v", err)
+	}
+
+	empty := &Tx{}
+	if err := CheckTxSanity(empty); !errors.Is(err, ErrEmptyTx) {
+		t.Errorf("empty tx err = %v, want ErrEmptyTx", err)
+	}
+
+	overflow := sampleTx()
+	overflow.Outputs[0].Value = maxMoney + 1
+	if err := CheckTxSanity(overflow); !errors.Is(err, ErrValueOverflow) {
+		t.Errorf("overflow err = %v, want ErrValueOverflow", err)
+	}
+
+	dup := sampleTx()
+	dup.Inputs = append(dup.Inputs, dup.Inputs[0])
+	if err := CheckTxSanity(dup); !errors.Is(err, ErrDuplicateInput) {
+		t.Errorf("dup input err = %v, want ErrDuplicateInput", err)
+	}
+
+	zeroPrev := sampleTx()
+	zeroPrev.Inputs[0].Prev = OutPoint{} // zero txid but not coinbase index
+	if err := CheckTxSanity(zeroPrev); !errors.Is(err, ErrBadCoinbase) {
+		t.Errorf("zero prev err = %v, want ErrBadCoinbase", err)
+	}
+}

@@ -1,0 +1,149 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validation errors.
+var (
+	ErrEmptyTx         = errors.New("chain: transaction has no inputs or outputs")
+	ErrValueOverflow   = errors.New("chain: output value overflow")
+	ErrDuplicateInput  = errors.New("chain: duplicate input within transaction")
+	ErrInsufficientIn  = errors.New("chain: inputs worth less than outputs")
+	ErrImmatureSpend   = errors.New("chain: coinbase spent before maturity")
+	ErrTxNotFinal      = errors.New("chain: lock time not yet reached")
+	ErrBadCoinbase     = errors.New("chain: malformed coinbase placement")
+	ErrBadMerkleRoot   = errors.New("chain: merkle root mismatch")
+	ErrBadHeight       = errors.New("chain: wrong block height")
+	ErrBadPrevBlock    = errors.New("chain: unknown previous block")
+	ErrBadMinerSig     = errors.New("chain: invalid miner signature")
+	ErrUnknownMiner    = errors.New("chain: miner not authorized")
+	ErrExcessSubsidy   = errors.New("chain: coinbase pays more than reward plus fees")
+	ErrTooManyBlockTxs = errors.New("chain: block exceeds transaction limit")
+)
+
+// maxMoney caps total supply-related arithmetic to keep sums far from
+// uint64 overflow.
+const maxMoney = 1 << 50
+
+// CheckTxSanity performs stateless transaction checks.
+func CheckTxSanity(tx *Tx) error {
+	if len(tx.Inputs) == 0 || len(tx.Outputs) == 0 {
+		return ErrEmptyTx
+	}
+	if len(tx.Serialize()) > maxTxSize {
+		return ErrTxTooLarge
+	}
+	var total uint64
+	for _, out := range tx.Outputs {
+		if out.Value > maxMoney {
+			return ErrValueOverflow
+		}
+		total += out.Value
+		if total > maxMoney {
+			return ErrValueOverflow
+		}
+	}
+	seen := make(map[OutPoint]bool, len(tx.Inputs))
+	if !tx.IsCoinbase() {
+		for _, in := range tx.Inputs {
+			if in.Prev.TxID.IsZero() {
+				return ErrBadCoinbase
+			}
+			if seen[in.Prev] {
+				return fmt.Errorf("%w: %s", ErrDuplicateInput, in.Prev)
+			}
+			seen[in.Prev] = true
+		}
+	}
+	return nil
+}
+
+// ConnectTx validates tx against the UTXO view at the given height and
+// returns the fee it pays. When verifyScripts is false the script pair is
+// not executed — the configuration the paper measures in Fig. 5.
+func ConnectTx(utxo *UTXOSet, tx *Tx, height int64, maturity int64, verifyScripts bool) (fee uint64, err error) {
+	if err := CheckTxSanity(tx); err != nil {
+		return 0, err
+	}
+	if tx.IsCoinbase() {
+		return 0, nil
+	}
+	if tx.LockTime > height {
+		return 0, fmt.Errorf("%w: lock time %d, height %d", ErrTxNotFinal, tx.LockTime, height)
+	}
+	var inValue, outValue uint64
+	for i, in := range tx.Inputs {
+		entry, ok := utxo.Get(in.Prev)
+		if !ok {
+			return 0, fmt.Errorf("%w: %s", ErrMissingUTXO, in.Prev)
+		}
+		if entry.Coinbase && height-entry.Height < maturity {
+			return 0, fmt.Errorf("%w: %s at height %d, spend at %d",
+				ErrImmatureSpend, in.Prev, entry.Height, height)
+		}
+		inValue += entry.Out.Value
+		if verifyScripts {
+			if err := tx.VerifyInput(i, entry.Out.Lock); err != nil {
+				return 0, err
+			}
+		}
+	}
+	for _, out := range tx.Outputs {
+		outValue += out.Value
+	}
+	if inValue < outValue {
+		return 0, fmt.Errorf("%w: in %d, out %d", ErrInsufficientIn, inValue, outValue)
+	}
+	return inValue - outValue, nil
+}
+
+// connectBlock validates every rule that depends on the UTXO view and
+// mutates utxo on success. The caller has already validated the header
+// linkage.
+func connectBlock(utxo *UTXOSet, b *Block, params Params) error {
+	if len(b.Txs) == 0 {
+		return ErrNoTxs
+	}
+	if len(b.Txs) > params.MaxBlockTxs {
+		return ErrTooManyBlockTxs
+	}
+	if !b.Txs[0].IsCoinbase() {
+		return ErrBadCoinbase
+	}
+	if MerkleRoot(b.Txs) != b.Header.MerkleRoot {
+		return ErrBadMerkleRoot
+	}
+	var fees uint64
+	spentInBlock := make(map[OutPoint]bool)
+	for i, tx := range b.Txs {
+		if i > 0 && tx.IsCoinbase() {
+			return ErrBadCoinbase
+		}
+		if !tx.IsCoinbase() {
+			for _, in := range tx.Inputs {
+				if spentInBlock[in.Prev] {
+					return fmt.Errorf("chain: double spend of %s within block", in.Prev)
+				}
+				spentInBlock[in.Prev] = true
+			}
+		}
+		fee, err := ConnectTx(utxo, tx, b.Header.Height, params.CoinbaseMaturity, params.VerifyScripts)
+		if err != nil {
+			return fmt.Errorf("tx %d (%s): %w", i, tx.ID(), err)
+		}
+		fees += fee
+		if err := utxo.ApplyTx(tx, b.Header.Height); err != nil {
+			return fmt.Errorf("tx %d (%s): %w", i, tx.ID(), err)
+		}
+	}
+	var coinbaseOut uint64
+	for _, out := range b.Txs[0].Outputs {
+		coinbaseOut += out.Value
+	}
+	if coinbaseOut > params.CoinbaseReward+fees {
+		return fmt.Errorf("%w: pays %d, allowed %d", ErrExcessSubsidy, coinbaseOut, params.CoinbaseReward+fees)
+	}
+	return nil
+}

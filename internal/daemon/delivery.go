@@ -1,0 +1,259 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"bcwan/internal/chain"
+	"bcwan/internal/fairex"
+	"bcwan/internal/gateway"
+	"bcwan/internal/lora"
+	"bcwan/internal/recipient"
+	"bcwan/internal/registry"
+	"bcwan/internal/wallet"
+)
+
+// The Fig. 3 step 7 wire protocol: a gateway dials the recipient's
+// published address, sends one JSON-encoded fairex.Delivery, and reads one
+// fairex.Ack carrying the payment transaction id.
+
+// deliveryTimeout bounds one delivery round trip.
+const deliveryTimeout = 30 * time.Second
+
+// GatewayDaemon is a deployable foreign gateway: a blockchain node plus
+// the gateway actor and the TCP delivery client.
+type GatewayDaemon struct {
+	Node    *Node
+	Gateway *gateway.Gateway
+	logger  *log.Logger
+}
+
+// NewGatewayDaemon wires a gateway actor onto a node.
+func NewGatewayDaemon(node *Node, cfg gateway.Config, random io.Reader, logger *log.Logger) (*GatewayDaemon, error) {
+	w, err := wallet.New(randomOrDefault(random))
+	if err != nil {
+		return nil, fmt.Errorf("daemon: gateway wallet: %w", err)
+	}
+	return &GatewayDaemon{
+		Node:    node,
+		Gateway: gateway.New(cfg, w, node.Ledger(), node.Directory(), randomOrDefault(random)),
+		logger:  logger,
+	}, nil
+}
+
+// HandleUplink processes one LoRa frame from a sensor: key requests are
+// answered locally (the returned frame is the downlink); data frames are
+// delivered to the recipient over TCP and the payment is claimed. It
+// returns the downlink frame for key requests, nil otherwise.
+func (g *GatewayDaemon) HandleUplink(f *lora.Frame) (*lora.Frame, error) {
+	switch f.Type {
+	case lora.FrameKeyRequest:
+		return g.Gateway.HandleKeyRequest(f)
+	case lora.FrameData:
+		return nil, g.deliverAndClaim(f)
+	default:
+		return nil, fmt.Errorf("daemon: unexpected frame type %d", f.Type)
+	}
+}
+
+func (g *GatewayDaemon) deliverAndClaim(f *lora.Frame) error {
+	offerHeight := g.Node.Chain().Height()
+	delivery, netAddr, err := g.Gateway.HandleData(f)
+	if err != nil {
+		return err
+	}
+	ack, err := sendDelivery(netAddr, delivery)
+	if err != nil {
+		return fmt.Errorf("daemon: deliver to %s: %w", netAddr, err)
+	}
+	if !ack.Accepted {
+		return fmt.Errorf("daemon: recipient refused delivery: %s", ack.Reason)
+	}
+	paymentID, err := chain.HashFromString(ack.PaymentTxID)
+	if err != nil {
+		return fmt.Errorf("daemon: ack payment id: %w", err)
+	}
+	// The payment was submitted on the recipient's node; wait for the
+	// gossip to surface it here, then claim.
+	deadline := time.Now().Add(deliveryTimeout)
+	for {
+		_, err := g.Gateway.VerifyAndClaim(delivery.DevEUI, delivery.Exchange, paymentID, offerHeight)
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon: claim: %w", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// sendDelivery performs the TCP round trip of Fig. 3 step 7.
+func sendDelivery(addr string, d *fairex.Delivery) (*fairex.Ack, error) {
+	conn, err := net.DialTimeout("tcp", addr, deliveryTimeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(deliveryTimeout)); err != nil {
+		return nil, err
+	}
+	if err := json.NewEncoder(conn).Encode(d); err != nil {
+		return nil, fmt.Errorf("send delivery: %w", err)
+	}
+	var ack fairex.Ack
+	if err := json.NewDecoder(conn).Decode(&ack); err != nil {
+		return nil, fmt.Errorf("read ack: %w", err)
+	}
+	return &ack, nil
+}
+
+// RecipientDaemon is a deployable recipient: a blockchain node plus the
+// recipient actor, a TCP listener for gateway deliveries, and a chain
+// watcher that settles exchanges as claims confirm.
+type RecipientDaemon struct {
+	Node      *Node
+	Recipient *recipient.Recipient
+	listener  net.Listener
+	logger    *log.Logger
+
+	mu       sync.Mutex
+	inbox    []*recipient.Message
+	onRecv   func(*recipient.Message)
+	closed   bool
+	loopDone chan struct{}
+}
+
+// NewRecipientDaemon wires a recipient actor onto a node, funds nothing
+// (the caller funds its wallet), starts the delivery listener on
+// listenAddr, and publishes the @R → IP binding once the wallet has
+// funds (call PublishBinding).
+func NewRecipientDaemon(node *Node, cfg recipient.Config, listenAddr string, random io.Reader, logger *log.Logger) (*RecipientDaemon, error) {
+	w, err := wallet.New(randomOrDefault(random))
+	if err != nil {
+		return nil, fmt.Errorf("daemon: recipient wallet: %w", err)
+	}
+	l, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: recipient listen: %w", err)
+	}
+	r := &RecipientDaemon{
+		Node:      node,
+		Recipient: recipient.New(cfg, w, node.Ledger(), randomOrDefault(random)),
+		listener:  l,
+		logger:    logger,
+		loopDone:  make(chan struct{}),
+	}
+	// Settle pending exchanges as blocks (with claims) arrive.
+	node.Chain().Subscribe(func(*chain.Block) { r.settlePending() })
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the delivery listener address.
+func (r *RecipientDaemon) Addr() string { return r.listener.Addr().String() }
+
+// OnReceive installs a callback for decrypted messages.
+func (r *RecipientDaemon) OnReceive(fn func(*recipient.Message)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onRecv = fn
+}
+
+// Inbox returns the decrypted messages so far.
+func (r *RecipientDaemon) Inbox() []*recipient.Message {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*recipient.Message(nil), r.inbox...)
+}
+
+// PublishBinding broadcasts the @R → IP binding transaction (§4.3) and
+// returns it so callers can track its confirmation. The wallet must hold
+// funds for the fee.
+func (r *RecipientDaemon) PublishBinding(fee uint64) (*chain.Tx, error) {
+	tx, err := registry.BuildPublish(r.Recipient.Wallet(), r.Node.Ledger().UTXO(), r.Addr(), fee)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Node.Ledger().Submit(tx); err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+// Close stops the delivery listener.
+func (r *RecipientDaemon) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	err := r.listener.Close()
+	<-r.loopDone
+	return err
+}
+
+func (r *RecipientDaemon) acceptLoop() {
+	defer close(r.loopDone)
+	for {
+		conn, err := r.listener.Accept()
+		if err != nil {
+			return
+		}
+		go r.handleConn(conn)
+	}
+}
+
+func (r *RecipientDaemon) handleConn(conn net.Conn) {
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(deliveryTimeout)); err != nil {
+		return
+	}
+	var d fairex.Delivery
+	if err := json.NewDecoder(conn).Decode(&d); err != nil {
+		r.logf("delivery decode: %v", err)
+		return
+	}
+	ack := fairex.Ack{}
+	payment, err := r.Recipient.HandleDelivery(&d)
+	if err != nil {
+		ack.Reason = err.Error()
+	} else {
+		ack.Accepted = true
+		ack.PaymentTxID = payment.ID().String()
+	}
+	if err := json.NewEncoder(conn).Encode(&ack); err != nil {
+		r.logf("ack encode: %v", err)
+	}
+}
+
+// settlePending tries to settle every pending exchange from confirmed
+// claims.
+func (r *RecipientDaemon) settlePending() {
+	for _, paymentID := range r.Recipient.PendingPayments() {
+		msg, err := r.Recipient.SettleClaim(paymentID)
+		if err != nil {
+			continue // claim not on chain yet
+		}
+		r.mu.Lock()
+		r.inbox = append(r.inbox, msg)
+		fn := r.onRecv
+		r.mu.Unlock()
+		if fn != nil {
+			fn(msg)
+		}
+	}
+}
+
+func (r *RecipientDaemon) logf(format string, args ...any) {
+	if r.logger != nil {
+		r.logger.Printf("recipient %s: %s", r.Addr(), fmt.Sprintf(format, args...))
+	}
+}

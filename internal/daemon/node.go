@@ -1,0 +1,286 @@
+// Package daemon assembles deployable BcWAN processes: a blockchain node
+// that replicates the chain over the P2P overlay and serves JSON-RPC
+// (§5.1's "BcWAN daemon" wrapping the blockchain module), plus the
+// gateway- and recipient-side daemons that speak the Fig. 3 TCP delivery
+// protocol between each other.
+package daemon
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"sync"
+	"time"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/chain"
+	"bcwan/internal/fairex"
+	"bcwan/internal/p2p"
+	"bcwan/internal/registry"
+	"bcwan/internal/rpc"
+)
+
+// NodeConfig configures a blockchain node daemon.
+type NodeConfig struct {
+	// Genesis is the shared genesis block (all daemons must agree).
+	Genesis *chain.Block
+	// Params are the shared chain parameters.
+	Params chain.Params
+	// Miners is the set of authorized miner public keys.
+	Miners [][]byte
+	// ListenP2P is the gossip listen address ("" = any localhost port).
+	ListenP2P string
+	// ListenRPC is the JSON-RPC listen address ("" = any).
+	ListenRPC string
+	// Peers are gossip addresses to dial at startup.
+	Peers []string
+	// MinerKey, when set, makes this node mine every MineInterval.
+	MinerKey *bccrypto.ECKey
+	// MineInterval defaults to Params.BlockInterval.
+	MineInterval time.Duration
+	// Transport defaults to TCP; tests may inject a MemTransport.
+	Transport p2p.Transport
+	// Random defaults to crypto/rand.
+	Random io.Reader
+	// Logger receives operational messages (nil = silent).
+	Logger *log.Logger
+}
+
+// Node is one running blockchain daemon.
+type Node struct {
+	cfg    NodeConfig
+	chain  *chain.Chain
+	pool   *chain.Mempool
+	ledger *fairex.Node
+	dir    *registry.Directory
+	gossip *p2p.Node
+	rpcSrv *rpc.Server
+	miner  *chain.Miner
+
+	mu      sync.Mutex
+	orphans map[chain.Hash]*chain.Block // blocks waiting for their parent
+
+	stopMine chan struct{}
+	mineDone chan struct{}
+	closed   bool
+}
+
+// NewNode starts a blockchain daemon.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Transport == nil {
+		cfg.Transport = p2p.TCPTransport{}
+	}
+	if cfg.MineInterval <= 0 {
+		cfg.MineInterval = cfg.Params.BlockInterval
+	}
+	c, err := chain.New(cfg.Params, cfg.Genesis)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
+	for _, pub := range cfg.Miners {
+		c.AuthorizeMiner(pub)
+	}
+	n := &Node{
+		cfg:     cfg,
+		chain:   c,
+		pool:    chain.NewMempool(),
+		orphans: make(map[chain.Hash]*chain.Block),
+	}
+	n.dir = registry.NewDirectory()
+	n.dir.Attach(c)
+
+	gossip, err := p2p.NewNode(cfg.Transport, cfg.ListenP2P, cfg.Logger)
+	if err != nil {
+		return nil, err
+	}
+	n.gossip = gossip
+	n.ledger = &fairex.Node{
+		Chain: c,
+		Pool:  n.pool,
+		OnSubmit: func(tx *chain.Tx) {
+			gossip.Broadcast("tx", tx.Serialize())
+		},
+	}
+	gossip.Handle("tx", n.onTx)
+	gossip.Handle("block", n.onBlock)
+	gossip.Handle("sync", n.onSync)
+
+	rpcSrv, err := rpc.NewServer(cfg.ListenRPC, rpc.Backend{
+		Chain:   c,
+		Mempool: n.pool,
+		OnTxAccepted: func(tx *chain.Tx) {
+			gossip.Broadcast("tx", tx.Serialize())
+		},
+	})
+	if err != nil {
+		gossip.Close()
+		return nil, err
+	}
+	n.rpcSrv = rpcSrv
+
+	for _, peer := range cfg.Peers {
+		if err := gossip.Connect(peer); err != nil {
+			n.logf("connect %s: %v", peer, err)
+		}
+	}
+	// Ask the mesh for blocks we are missing. The nonce keeps distinct
+	// nodes' requests from colliding in the gossip dedup cache.
+	gossip.Broadcast("sync", []byte(fmt.Sprintf("%d|%d", c.Height(), syncNonce(randomOrDefault(cfg.Random)))))
+
+	if cfg.MinerKey != nil {
+		n.miner = chain.NewMiner(cfg.MinerKey, c, n.pool, randomOrDefault(cfg.Random))
+		n.stopMine = make(chan struct{})
+		n.mineDone = make(chan struct{})
+		go n.mineLoop()
+	}
+	return n, nil
+}
+
+// Ledger exposes the node's chain+mempool view.
+func (n *Node) Ledger() *fairex.Node { return n.ledger }
+
+// Chain exposes the chain replica.
+func (n *Node) Chain() *chain.Chain { return n.chain }
+
+// Directory exposes the scanned IP directory.
+func (n *Node) Directory() *registry.Directory { return n.dir }
+
+// P2PAddr returns the gossip listen address.
+func (n *Node) P2PAddr() string { return n.gossip.Addr() }
+
+// RPCAddr returns the JSON-RPC listen address.
+func (n *Node) RPCAddr() string { return n.rpcSrv.Addr() }
+
+// Connect dials an extra gossip peer.
+func (n *Node) Connect(addr string) error { return n.gossip.Connect(addr) }
+
+// MineNow mints one block immediately (used by tests and by single-node
+// setups instead of the timer loop).
+func (n *Node) MineNow() (*chain.Block, error) {
+	if n.miner == nil {
+		return nil, fmt.Errorf("daemon: node is not a miner")
+	}
+	b, err := n.miner.Mine(time.Now())
+	if err != nil {
+		return nil, err
+	}
+	n.gossip.Broadcast("block", b.Serialize())
+	return b, nil
+}
+
+// Close stops mining, gossip and RPC.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	if n.stopMine != nil {
+		close(n.stopMine)
+		<-n.mineDone
+	}
+	n.rpcSrv.Close()
+	return n.gossip.Close()
+}
+
+func (n *Node) mineLoop() {
+	defer close(n.mineDone)
+	ticker := time.NewTicker(n.cfg.MineInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if _, err := n.MineNow(); err != nil {
+				n.logf("mine: %v", err)
+			}
+		case <-n.stopMine:
+			return
+		}
+	}
+}
+
+func (n *Node) onTx(_ string, msg p2p.Message) {
+	tx, err := chain.DeserializeTx(msg.Payload)
+	if err != nil {
+		n.logf("gossiped tx undecodable: %v", err)
+		return
+	}
+	// Gossiped duplicates and conflicts are normal; only log oddities.
+	if err := n.pool.Accept(tx, n.ledger.UTXO(), n.chain.Height(), n.chain.Params()); err != nil {
+		n.logf("gossiped tx %s rejected: %v", tx.ID(), err)
+	}
+}
+
+func (n *Node) onBlock(_ string, msg p2p.Message) {
+	b, err := chain.DeserializeBlock(msg.Payload)
+	if err != nil {
+		n.logf("gossiped block undecodable: %v", err)
+		return
+	}
+	n.acceptBlock(b)
+}
+
+// acceptBlock adds a block, parking it as an orphan if its parent has not
+// arrived yet, and retrying orphans after every acceptance.
+func (n *Node) acceptBlock(b *chain.Block) {
+	switch err := n.chain.AddBlock(b); {
+	case err == nil:
+		n.pool.RemoveConfirmed(b)
+		n.drainOrphans()
+	case isOrphanErr(err):
+		n.mu.Lock()
+		if len(n.orphans) < 10_000 {
+			n.orphans[b.Header.PrevBlock] = b
+		}
+		n.mu.Unlock()
+	default:
+		n.logf("block %s rejected: %v", b.ID(), err)
+	}
+}
+
+func (n *Node) drainOrphans() {
+	for {
+		tip := n.chain.Tip().ID()
+		n.mu.Lock()
+		next, ok := n.orphans[tip]
+		if ok {
+			delete(n.orphans, tip)
+		}
+		n.mu.Unlock()
+		if !ok {
+			return
+		}
+		if err := n.chain.AddBlock(next); err != nil {
+			n.logf("orphan %s rejected: %v", next.ID(), err)
+			return
+		}
+		n.pool.RemoveConfirmed(next)
+	}
+}
+
+func isOrphanErr(err error) bool {
+	return err != nil && containsErr(err, chain.ErrBadPrevBlock)
+}
+
+// onSync answers a peer's catch-up request by re-broadcasting every block
+// above the requested height (duplicate suppression keeps this cheap at
+// PoC scale).
+func (n *Node) onSync(_ string, msg p2p.Message) {
+	var from, nonce int64
+	if _, err := fmt.Sscanf(string(msg.Payload), "%d|%d", &from, &nonce); err != nil {
+		return
+	}
+	for h := from + 1; h <= n.chain.Height(); h++ {
+		if b, ok := n.chain.BlockAt(h); ok {
+			n.gossip.Broadcast("block", b.Serialize())
+		}
+	}
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logger != nil {
+		n.cfg.Logger.Printf("daemon %s: %s", n.gossip.Addr(), fmt.Sprintf(format, args...))
+	}
+}

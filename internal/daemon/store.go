@@ -1,0 +1,125 @@
+package daemon
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"bcwan/internal/chain"
+)
+
+// Chain persistence: bcwand stores the best branch as a length-prefixed
+// sequence of serialized blocks, so a restarted daemon resumes from disk
+// instead of replaying the gossip history.
+
+// storeMagic guards against loading foreign files.
+var storeMagic = []byte("BCWANCHAIN1\n")
+
+// ErrBadStore reports an unreadable chain file.
+var ErrBadStore = errors.New("daemon: malformed chain store")
+
+// SaveChain writes the best branch (excluding genesis, which is
+// configuration) to path atomically.
+func SaveChain(c *chain.Chain, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("daemon: save chain: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err := w.Write(storeMagic); err != nil {
+		return err
+	}
+	for h := int64(1); h <= c.Height(); h++ {
+		b, found := c.BlockAt(h)
+		if !found {
+			return fmt.Errorf("daemon: save chain: missing height %d", h)
+		}
+		raw := b.Serialize()
+		var lenb [4]byte
+		binary.BigEndian.PutUint32(lenb[:], uint32(len(raw)))
+		if _, err := w.Write(lenb[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(raw); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	ok = true
+	return os.Rename(tmp, path)
+}
+
+// LoadChain replays a stored branch into the chain. Blocks that fail
+// validation abort the load (the file is untrusted input). A missing file
+// is not an error — the daemon simply starts fresh.
+func LoadChain(c *chain.Chain, path string) (int, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("daemon: load chain: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+
+	magic := make([]byte, len(storeMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadStore, err)
+	}
+	if string(magic) != string(storeMagic) {
+		return 0, fmt.Errorf("%w: bad magic", ErrBadStore)
+	}
+	loaded := 0
+	for {
+		var lenb [4]byte
+		if _, err := io.ReadFull(r, lenb[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return loaded, nil
+			}
+			return loaded, fmt.Errorf("%w: %v", ErrBadStore, err)
+		}
+		n := binary.BigEndian.Uint32(lenb[:])
+		if n > 64<<20 {
+			return loaded, fmt.Errorf("%w: block of %d bytes", ErrBadStore, n)
+		}
+		raw := make([]byte, n)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return loaded, fmt.Errorf("%w: %v", ErrBadStore, err)
+		}
+		b, err := chain.DeserializeBlock(raw)
+		if err != nil {
+			return loaded, fmt.Errorf("daemon: load chain: %w", err)
+		}
+		if err := c.AddBlock(b); err != nil {
+			if errors.Is(err, chain.ErrDuplicateBlock) {
+				continue
+			}
+			return loaded, fmt.Errorf("daemon: load chain height %d: %w", b.Header.Height, err)
+		}
+		loaded++
+	}
+}
+
+// DefaultChainPath places the store under dir.
+func DefaultChainPath(dir string) string { return filepath.Join(dir, "chain.dat") }

@@ -1,0 +1,140 @@
+package daemon
+
+import (
+	"crypto/rand"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/chain"
+	"bcwan/internal/wallet"
+)
+
+func storedChain(t *testing.T, blocks int) (*chain.Chain, *chain.Block, [][]byte) {
+	t.Helper()
+	w, err := wallet.New(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minerKey, err := bccrypto.GenerateECKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genesis := chain.GenesisBlock(map[[20]byte]uint64{w.PubKeyHash(): 1000})
+	c, err := chain.New(chain.DefaultParams(), genesis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miners := [][]byte{minerKey.PublicBytes()}
+	c.AuthorizeMiner(minerKey.PublicBytes())
+	miner := chain.NewMiner(minerKey, c, chain.NewMempool(), rand.Reader)
+	now := time.Date(2018, 12, 10, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < blocks; i++ {
+		now = now.Add(15 * time.Second)
+		if _, err := miner.Mine(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, genesis, miners
+}
+
+func freshReplica(t *testing.T, genesis *chain.Block, miners [][]byte) *chain.Chain {
+	t.Helper()
+	c, err := chain.New(chain.DefaultParams(), genesis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range miners {
+		c.AuthorizeMiner(m)
+	}
+	return c
+}
+
+func TestSaveLoadChainRoundTrip(t *testing.T) {
+	c, genesis, miners := storedChain(t, 5)
+	path := filepath.Join(t.TempDir(), "chain.dat")
+	if err := SaveChain(c, path); err != nil {
+		t.Fatal(err)
+	}
+
+	replica := freshReplica(t, genesis, miners)
+	loaded, err := LoadChain(replica, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 5 {
+		t.Fatalf("loaded = %d, want 5", loaded)
+	}
+	if replica.Tip().ID() != c.Tip().ID() {
+		t.Fatal("restored tip differs")
+	}
+	if replica.UTXO().TotalValue() != c.UTXO().TotalValue() {
+		t.Fatal("restored UTXO differs")
+	}
+}
+
+func TestLoadChainMissingFileIsFreshStart(t *testing.T) {
+	_, genesis, miners := storedChain(t, 0)
+	replica := freshReplica(t, genesis, miners)
+	loaded, err := LoadChain(replica, filepath.Join(t.TempDir(), "nope.dat"))
+	if err != nil || loaded != 0 {
+		t.Fatalf("loaded = %d, err = %v", loaded, err)
+	}
+}
+
+func TestLoadChainRejectsGarbage(t *testing.T) {
+	_, genesis, miners := storedChain(t, 0)
+	replica := freshReplica(t, genesis, miners)
+	path := filepath.Join(t.TempDir(), "chain.dat")
+	if err := os.WriteFile(path, []byte("not a chain store at all"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadChain(replica, path); !errors.Is(err, ErrBadStore) {
+		t.Fatalf("err = %v, want ErrBadStore", err)
+	}
+}
+
+func TestLoadChainRejectsTamperedBlock(t *testing.T) {
+	c, genesis, miners := storedChain(t, 3)
+	path := filepath.Join(t.TempDir(), "chain.dat")
+	if err := SaveChain(c, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0xff // corrupt inside the last block
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	replica := freshReplica(t, genesis, miners)
+	if _, err := LoadChain(replica, path); err == nil {
+		t.Fatal("tampered store accepted")
+	}
+}
+
+func TestLoadChainIdempotent(t *testing.T) {
+	c, _, _ := storedChain(t, 4)
+	path := filepath.Join(t.TempDir(), "chain.dat")
+	if err := SaveChain(c, path); err != nil {
+		t.Fatal(err)
+	}
+	// Loading into the same chain skips duplicates.
+	loaded, err := LoadChain(c, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 0 {
+		t.Fatalf("re-load added %d blocks", loaded)
+	}
+}
+
+func TestDefaultChainPath(t *testing.T) {
+	if got := DefaultChainPath("/data"); got != "/data/chain.dat" {
+		t.Fatal(got)
+	}
+}

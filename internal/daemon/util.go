@@ -1,0 +1,33 @@
+package daemon
+
+import (
+	"crypto/rand"
+	"errors"
+	"io"
+)
+
+func containsErr(err, target error) bool { return errors.Is(err, target) }
+
+func randomOrDefault(r io.Reader) io.Reader {
+	if r == nil {
+		return rand.Reader
+	}
+	return r
+}
+
+// syncNonce draws a random tag so identical-height sync requests from
+// different nodes are not deduplicated by the gossip layer.
+func syncNonce(r io.Reader) int64 {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 1
+	}
+	var n int64
+	for _, v := range b {
+		n = n<<8 | int64(v)
+	}
+	if n < 0 {
+		n = -n
+	}
+	return n
+}

@@ -1,0 +1,148 @@
+// Package device implements the BcWAN end-device (the sensor "node" of
+// Fig. 3). A provisioning phase loads the shared AES-256 key K and the
+// RSA-512 signing key Sk onto the node (§4.4); at runtime the node
+// requests an ephemeral key from whatever gateway answers, double-encrypts
+// its reading, signs it, and ships (Em ‖ Sig ‖ @R) over LoRa.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/lora"
+)
+
+// Provisioning is the state loaded onto the node before deployment.
+type Provisioning struct {
+	// DevEUI is the node's hardware identifier.
+	DevEUI lora.DevEUI
+	// SharedKey is K, the AES-256 key shared with the recipient.
+	SharedKey []byte
+	// SigningKey is Sk, the node's RSA-512 secret key; the recipient
+	// holds the matching Pk.
+	SigningKey *bccrypto.RSA512PrivateKey
+	// RecipientAddr is @R — the recipient's blockchain address (pubkey
+	// hash), the only addressing information the node carries.
+	RecipientAddr [20]byte
+}
+
+// Validate checks the provisioning is complete.
+func (p *Provisioning) Validate() error {
+	if len(p.SharedKey) != bccrypto.AESKeySize {
+		return fmt.Errorf("device: shared key must be %d bytes", bccrypto.AESKeySize)
+	}
+	if p.SigningKey == nil {
+		return errors.New("device: missing signing key")
+	}
+	return nil
+}
+
+// Device is a provisioned sensor node.
+type Device struct {
+	prov    Provisioning
+	random  io.Reader
+	counter uint32
+}
+
+// New creates a device from its provisioning.
+func New(prov Provisioning, random io.Reader) (*Device, error) {
+	if err := prov.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{prov: prov, random: random}, nil
+}
+
+// EUI returns the device identifier.
+func (d *Device) EUI() lora.DevEUI { return d.prov.DevEUI }
+
+// KeyRequestFrame builds the initial uplink that asks the gateway for an
+// ephemeral public key (the unnumbered first request of Fig. 3).
+func (d *Device) KeyRequestFrame() *lora.Frame {
+	d.counter++
+	return &lora.Frame{
+		Type:    lora.FrameKeyRequest,
+		DevEUI:  d.prov.DevEUI,
+		Counter: d.counter,
+	}
+}
+
+// DataPayload is the decoded body of a FrameData uplink: the double
+// encryption, the signature, and the recipient's blockchain address.
+type DataPayload struct {
+	Em        []byte
+	Sig       []byte
+	Recipient [20]byte
+}
+
+// DataPayloadLen is the fixed encoding size: 64 B Em + 64 B Sig + 20 B @R.
+// The paper's "predefined minimum payload of 128 bytes" covers Em+Sig;
+// the recipient address rides along in the same frame.
+const DataPayloadLen = 2*bccrypto.RSA512ModulusLen + 20
+
+// ErrBadDataPayload reports an undecodable payload.
+var ErrBadDataPayload = errors.New("device: malformed data payload")
+
+// Encode serializes the payload.
+func (p *DataPayload) Encode() []byte {
+	out := make([]byte, 0, DataPayloadLen)
+	out = append(out, p.Em...)
+	out = append(out, p.Sig...)
+	out = append(out, p.Recipient[:]...)
+	return out
+}
+
+// DecodeDataPayload parses an encoded payload.
+func DecodeDataPayload(data []byte) (*DataPayload, error) {
+	if len(data) != DataPayloadLen {
+		return nil, fmt.Errorf("%w: %d bytes, want %d", ErrBadDataPayload, len(data), DataPayloadLen)
+	}
+	p := &DataPayload{
+		Em:  append([]byte(nil), data[:bccrypto.RSA512ModulusLen]...),
+		Sig: append([]byte(nil), data[bccrypto.RSA512ModulusLen:2*bccrypto.RSA512ModulusLen]...),
+	}
+	copy(p.Recipient[:], data[2*bccrypto.RSA512ModulusLen:])
+	return p, nil
+}
+
+// DataFrame performs Fig. 3 steps 3–5: double-encrypt the plaintext with
+// K then the gateway's ephemeral key, sign (Em ‖ ePk) with Sk, and wrap
+// everything with @R into a LoRa frame. The exchange argument echoes the
+// counter of the gateway's key response, naming the ephemeral pair this
+// message was encrypted under.
+func (d *Device) DataFrame(plaintext, ePkBytes []byte, exchange uint32) (*lora.Frame, error) {
+	if len(plaintext) > bccrypto.MaxCanonicalPlaintext {
+		return nil, fmt.Errorf("device: plaintext %d bytes exceeds %d (single-block Fig. 4 frame)",
+			len(plaintext), bccrypto.MaxCanonicalPlaintext)
+	}
+	ePk, err := bccrypto.UnmarshalRSA512PublicKey(ePkBytes)
+	if err != nil {
+		return nil, fmt.Errorf("device: ephemeral key: %w", err)
+	}
+	// Step 3a: symmetric layer (confidentiality toward the gateway AND
+	// in transit; only the recipient holds K).
+	frame, err := bccrypto.EncryptFrame(d.random, d.prov.SharedKey, plaintext)
+	if err != nil {
+		return nil, fmt.Errorf("device: aes layer: %w", err)
+	}
+	// Step 3b: asymmetric layer under ePk; only the holder of eSk (the
+	// gateway, until it sells it) can strip it.
+	em, err := bccrypto.EncryptRSA512(d.random, ePk, frame)
+	if err != nil {
+		return nil, fmt.Errorf("device: rsa layer: %w", err)
+	}
+	// Step 4: sign Em ‖ ePk with Sk.
+	blob := make([]byte, 0, len(em)+len(ePkBytes))
+	blob = append(blob, em...)
+	blob = append(blob, ePkBytes...)
+	sig := bccrypto.SignRSA512(d.prov.SigningKey, blob)
+
+	payload := DataPayload{Em: em, Sig: sig, Recipient: d.prov.RecipientAddr}
+	return &lora.Frame{
+		Type:    lora.FrameData,
+		DevEUI:  d.prov.DevEUI,
+		Counter: exchange,
+		Payload: payload.Encode(),
+	}, nil
+}

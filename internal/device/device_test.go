@@ -1,0 +1,190 @@
+package device
+
+import (
+	"crypto/rand"
+	"errors"
+	"sync"
+	"testing"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/lora"
+)
+
+var (
+	keyOnce  sync.Once
+	nodeKey  *bccrypto.RSA512PrivateKey
+	ephemKey *bccrypto.RSA512PrivateKey
+)
+
+func testProv(t testing.TB) Provisioning {
+	t.Helper()
+	keyOnce.Do(func() {
+		var err error
+		if nodeKey, err = bccrypto.GenerateRSA512(rand.Reader); err != nil {
+			panic(err)
+		}
+		if ephemKey, err = bccrypto.GenerateRSA512(rand.Reader); err != nil {
+			panic(err)
+		}
+	})
+	key := make([]byte, bccrypto.AESKeySize)
+	for i := range key {
+		key[i] = byte(i * 3)
+	}
+	return Provisioning{
+		DevEUI:        lora.DevEUI{1, 2, 3, 4, 5, 6, 7, 8},
+		SharedKey:     key,
+		SigningKey:    nodeKey,
+		RecipientAddr: [20]byte{0xaa, 0xbb},
+	}
+}
+
+func TestNewValidatesProvisioning(t *testing.T) {
+	prov := testProv(t)
+	if _, err := New(prov, rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	bad := prov
+	bad.SharedKey = []byte("short")
+	if _, err := New(bad, rand.Reader); err == nil {
+		t.Error("short shared key accepted")
+	}
+	bad = prov
+	bad.SigningKey = nil
+	if _, err := New(bad, rand.Reader); err == nil {
+		t.Error("missing signing key accepted")
+	}
+}
+
+func TestKeyRequestFrame(t *testing.T) {
+	d, err := New(testProv(t), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := d.KeyRequestFrame()
+	f2 := d.KeyRequestFrame()
+	if f1.Type != lora.FrameKeyRequest {
+		t.Fatalf("type = %d", f1.Type)
+	}
+	if f2.Counter <= f1.Counter {
+		t.Fatal("counter not increasing")
+	}
+	if f1.DevEUI != d.EUI() {
+		t.Fatal("EUI mismatch")
+	}
+}
+
+func TestDataFrameStructure(t *testing.T) {
+	prov := testProv(t)
+	d, err := New(prov, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ePkBytes := bccrypto.MarshalRSA512PublicKey(ephemKey.Public())
+	f, err := d.DataFrame([]byte("20.1C"), ePkBytes, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != lora.FrameData {
+		t.Fatalf("type = %d", f.Type)
+	}
+	payload, err := DecodeDataPayload(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload.Recipient != prov.RecipientAddr {
+		t.Fatal("@R mismatch")
+	}
+	// Signature verifies over Em ‖ ePk with the node's public key.
+	blob := append(append([]byte(nil), payload.Em...), ePkBytes...)
+	if err := bccrypto.VerifyRSA512(nodeKey.Public(), blob, payload.Sig); err != nil {
+		t.Fatalf("signature: %v", err)
+	}
+	// Full double decryption recovers the plaintext.
+	frame, err := bccrypto.DecryptRSA512(ephemKey, payload.Em)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := bccrypto.DecryptFrame(prov.SharedKey, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "20.1C" {
+		t.Fatalf("plaintext = %q", pt)
+	}
+}
+
+func TestDataFrameRejectsLongPlaintext(t *testing.T) {
+	d, err := New(testProv(t), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ePkBytes := bccrypto.MarshalRSA512PublicKey(ephemKey.Public())
+	if _, err := d.DataFrame(make([]byte, 16), ePkBytes, 1); err == nil {
+		t.Fatal("16-byte plaintext accepted (would break the 34-byte frame)")
+	}
+}
+
+func TestDataFrameRejectsBadEphemeralKey(t *testing.T) {
+	d, err := New(testProv(t), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.DataFrame([]byte("x"), []byte("garbage"), 1); err == nil {
+		t.Fatal("garbage ephemeral key accepted")
+	}
+}
+
+func TestDataPayloadDecodeRejects(t *testing.T) {
+	if _, err := DecodeDataPayload(make([]byte, 10)); !errors.Is(err, ErrBadDataPayload) {
+		t.Fatalf("err = %v, want ErrBadDataPayload", err)
+	}
+	if _, err := DecodeDataPayload(make([]byte, DataPayloadLen+1)); !errors.Is(err, ErrBadDataPayload) {
+		t.Fatalf("err = %v, want ErrBadDataPayload", err)
+	}
+}
+
+func TestDataPayloadRoundTrip(t *testing.T) {
+	p := &DataPayload{
+		Em:        make([]byte, 64),
+		Sig:       make([]byte, 64),
+		Recipient: [20]byte{0x42},
+	}
+	p.Em[0] = 1
+	p.Sig[63] = 2
+	back, err := DecodeDataPayload(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Em[0] != 1 || back.Sig[63] != 2 || back.Recipient != p.Recipient {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestEncryptionIsRandomized(t *testing.T) {
+	d, err := New(testProv(t), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ePkBytes := bccrypto.MarshalRSA512PublicKey(ephemKey.Public())
+	f1, err := d.DataFrame([]byte("same"), ePkBytes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := d.DataFrame([]byte("same"), ePkBytes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := DecodeDataPayload(f1.Payload)
+	p2, _ := DecodeDataPayload(f2.Payload)
+	same := true
+	for i := range p1.Em {
+		if p1.Em[i] != p2.Em[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("identical plaintexts produced identical ciphertexts (no IV/pad randomness)")
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"time"
+
+	"bcwan/internal/lora"
+)
+
+// Config parameterizes one latency experiment run. The defaults mirror
+// the paper's §5.2 setup: 5 PlanetLab-like nodes, 30 sensors per node,
+// SF7 at 1 % duty cycle, 128-byte payload + header, an EC2-like master
+// that is the only miner, and 2000 measured exchanges.
+type Config struct {
+	// Seed makes the run reproducible.
+	Seed int64
+	// Gateways is the number of foreign gateway nodes (5 in §5.2).
+	Gateways int
+	// SensorsPerGateway is the sensor population per gateway (30).
+	SensorsPerGateway int
+	// SF is the LoRa spreading factor (SF7).
+	SF lora.SpreadingFactor
+	// DutyCycle is the sensors' radio budget (0.01).
+	DutyCycle float64
+	// Exchanges is the total number of measured exchanges (2000).
+	Exchanges int
+	// MeanInterArrival spaces a sensor's consecutive exchanges.
+	MeanInterArrival time.Duration
+	// BlockInterval is the Multichain average mining time tunable.
+	BlockInterval time.Duration
+	// VerificationStall is how long a daemon's blockchain module is
+	// unresponsive after each block arrival — the behaviour the paper
+	// observed in Multichain ("the block verification made the
+	// Multichain daemon stall ... upon each block arrival"). Zero
+	// reproduces Fig. 5; the calibrated default reproduces Fig. 6.
+	VerificationStall time.Duration
+	// WaitConfirmations is the gateway's confirmation policy before
+	// revealing eSk (0 in the PoC; the §6 ablation sweeps it).
+	WaitConfirmations int64
+	// DaemonProcessing models the per-step daemon overhead (RPC hop,
+	// signature checks, transaction building) of the PoC's software
+	// stack on 4-core/512 MB PlanetLab nodes.
+	DaemonProcessing time.Duration
+	// NodeCompute models the Nucleo-144's crypto time per message
+	// (AES + RSA-512 encrypt + RSA-512 sign on a Cortex-M7).
+	NodeCompute time.Duration
+	// Price is the per-delivery price in chain units.
+	Price uint64
+	// ExchangeTimeout abandons an exchange (LoRa loss, stalled
+	// daemon) after this long; the sensor retries as a new exchange.
+	ExchangeTimeout time.Duration
+	// MaxRetries bounds per-exchange LoRa retransmissions.
+	MaxRetries int
+}
+
+// Baseline reproduces the shared §5.2 setup.
+func Baseline() Config {
+	return Config{
+		Seed:              1,
+		Gateways:          5,
+		SensorsPerGateway: 30,
+		SF:                lora.SF7,
+		DutyCycle:         0.01,
+		Exchanges:         2000,
+		MeanInterArrival:  60 * time.Second,
+		BlockInterval:     15 * time.Second,
+		VerificationStall: 0,
+		WaitConfirmations: 0,
+		// Calibration: with three WAN legs and four daemon steps, a
+		// 230 ms step overhead reproduces the paper's 1.604 s mean
+		// (their stack crossed a Python LoRa layer, the Go daemon and
+		// Multichain's JSON-RPC per step).
+		DaemonProcessing: 230 * time.Millisecond,
+		NodeCompute:      60 * time.Millisecond,
+		Price:            100,
+		ExchangeTimeout:  240 * time.Second,
+		MaxRetries:       4,
+	}
+}
+
+// Fig5Config is the "no block verification" configuration (mean 1.604 s
+// in the paper).
+func Fig5Config() Config {
+	return Baseline()
+}
+
+// Fig6Config enables the verification stall (mean 30.241 s in the
+// paper). The stall length is calibrated so that a step landing in a
+// stall waits long enough to reproduce the order-of-magnitude blowup the
+// paper reports.
+func Fig6Config() Config {
+	cfg := Baseline()
+	cfg.VerificationStall = 13950 * time.Millisecond
+	// Stall cycles stretch exchanges toward minutes; give attempts more
+	// room before retrying.
+	cfg.ExchangeTimeout = 360 * time.Second
+	return cfg
+}
+
+// scale reduces an experiment for fast unit tests.
+func (c Config) scale(gateways, sensors, exchanges int) Config {
+	c.Gateways = gateways
+	c.SensorsPerGateway = sensors
+	c.Exchanges = exchanges
+	return c
+}

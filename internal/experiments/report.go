@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bcwan/internal/lora"
+)
+
+// Paper-reported reference values, for side-by-side output.
+const (
+	// PaperFig5MeanSeconds is the paper's mean exchange latency without
+	// block verification.
+	PaperFig5MeanSeconds = 1.604
+	// PaperFig6MeanSeconds is the paper's mean with block verification.
+	PaperFig6MeanSeconds = 30.241
+	// PaperMsgsPerHour is the §5.2 "theoretical maximum" per sensor.
+	PaperMsgsPerHour = 183
+)
+
+// WriteFigureReport prints one latency figure in the same terms the
+// paper reports: per-exchange series statistics plus a distribution.
+func WriteFigureReport(w io.Writer, title string, paperMean float64, res *Result) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "setup: %d gateways x %d sensors, %s, duty %.0f%%, block interval %s, stall %s, %d exchanges\n",
+		res.Config.Gateways, res.Config.SensorsPerGateway, res.Config.SF,
+		res.Config.DutyCycle*100, res.Config.BlockInterval,
+		res.Config.VerificationStall, res.Config.Exchanges)
+	fmt.Fprintf(w, "completed %d, failed %d, LoRa retries %d, blocks mined %d\n",
+		res.Completed, res.Failed, res.Retries, res.Blocks)
+	fmt.Fprintf(w, "measured: %s\n", res.Summary)
+	if paperMean > 0 {
+		fmt.Fprintf(w, "paper:    mean=%.3fs   (ratio measured/paper = %.2f)\n",
+			paperMean, res.Summary.Mean.Seconds()/paperMean)
+	}
+	width := res.Summary.Max / 24
+	if width <= 0 {
+		width = time.Second
+	}
+	fmt.Fprintf(w, "latency distribution:\n%s", NewHistogram(res.Latencies, width).Render(40))
+	fmt.Fprintln(w)
+}
+
+// WriteBudgetTable prints the §5.2 duty-cycle capacity rows.
+func WriteBudgetTable(w io.Writer, rows []DutyCycleBudget, payloadLen int, duty float64) {
+	fmt.Fprintf(w, "== Duty-cycle budget (payload %d B, duty %.0f%%) ==\n", payloadLen, duty*100)
+	fmt.Fprintf(w, "%-6s %12s %14s\n", "SF", "time-on-air", "msgs/sensor/h")
+	for _, r := range rows {
+		if r.MsgsPerHour == 0 {
+			fmt.Fprintf(w, "%-6s %12s %14s\n", r.SF, "-", "payload too big")
+			continue
+		}
+		fmt.Fprintf(w, "%-6s %12s %14.1f\n", r.SF, r.TimeOnAir.Round(time.Millisecond), r.MsgsPerHour)
+	}
+	fmt.Fprintf(w, "paper (§5.2, SF7): %d msgs/sensor/h\n\n", PaperMsgsPerHour)
+}
+
+// WriteSweep prints one summary row per sweep point.
+func WriteSweep(w io.Writer, title string, labels []string, results []*Result) {
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s %8s\n", "point", "mean", "median", "p95", "max", "failed")
+	for i, res := range results {
+		fmt.Fprintf(w, "%-14s %9.3fs %9.3fs %9.3fs %9.3fs %8d\n",
+			labels[i], res.Summary.Mean.Seconds(), res.Summary.Median.Seconds(),
+			res.Summary.P95.Seconds(), res.Summary.Max.Seconds(), res.Failed)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteDoubleSpend prints the §6 attack table rows.
+func WriteDoubleSpend(w io.Writer, results []*DoubleSpendResult) {
+	fmt.Fprintln(w, "== Double-spend exposure vs confirmation policy (§6) ==")
+	fmt.Fprintf(w, "%-14s %12s %14s %14s\n", "confirmations", "loss rate", "keys lost", "added latency")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-14d %11.1f%% %14d %14s\n",
+			r.Config.WaitConfirmations, r.LossRate*100, r.KeyRevealedUnpaid, r.AddedLatency)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteReputation prints the §4.4 baseline comparison.
+func WriteReputation(w io.Writer, cmp ReputationComparison) {
+	fmt.Fprintln(w, "== Fair exchange vs reputation baseline (§4.4) ==")
+	r := cmp.Reputation
+	fmt.Fprintf(w, "reputation: %d exchanges, %d delivered, %d cheated, %d refused, loss rate %.2f%%\n",
+		r.Exchanges, r.Delivered, r.Cheated, r.Refused, r.LossRate*100)
+	fmt.Fprintf(w, "bcwan:      loss rate %.2f%% (script-enforced atomic exchange)\n\n", cmp.BcWANLossRate*100)
+}
+
+// WriteLegacyComparison prints the centralized-baseline latency next to a
+// BcWAN result.
+func WriteLegacyComparison(w io.Writer, legacy LatencyStats, bcwan *Result) {
+	fmt.Fprintln(w, "== Legacy LoRaWAN (Fig. 1) vs BcWAN (Fig. 2) ==")
+	fmt.Fprintf(w, "legacy (trusted network server): %s\n", legacy)
+	fmt.Fprintf(w, "bcwan  (blockchain, no TTP):     %s\n", bcwan.Summary)
+	fmt.Fprintf(w, "overhead factor (mean): %.2fx\n\n",
+		bcwan.Summary.Mean.Seconds()/legacy.Mean.Seconds())
+}
+
+// SFLabels renders sweep labels for spreading factors.
+func SFLabels(sfs []lora.SpreadingFactor) []string {
+	out := make([]string, len(sfs))
+	for i, sf := range sfs {
+		out[i] = sf.String()
+	}
+	return out
+}
+
+// DurationLabels renders sweep labels for durations.
+func DurationLabels(ds []time.Duration) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// IntLabels renders sweep labels for integers.
+func IntLabels(ns []int) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = fmt.Sprintf("%d", n)
+	}
+	return out
+}
+
+// Int64Labels renders sweep labels for int64s.
+func Int64Labels(ns []int64) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = fmt.Sprintf("%d", n)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Package experiments reproduces the paper's evaluation (§5.2): the
+// latency of 2000 BcWAN exchanges on a PlanetLab-like deployment with and
+// without Multichain's block verification (Figs. 5 and 6), the §5.2
+// duty-cycle budget, and the ablations DESIGN.md lists (confirmation
+// policy, block interval, gateway count, spreading factor, reputation
+// baseline, legacy LoRaWAN baseline, double-spend attack).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// LatencyStats summarizes a latency sample.
+type LatencyStats struct {
+	Count  int
+	Mean   time.Duration
+	Median time.Duration
+	P95    time.Duration
+	P99    time.Duration
+	Min    time.Duration
+	Max    time.Duration
+	StdDev time.Duration
+}
+
+// Summarize computes stats over a sample.
+func Summarize(latencies []time.Duration) LatencyStats {
+	if len(latencies) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var sum time.Duration
+	for _, l := range sorted {
+		sum += l
+	}
+	mean := sum / time.Duration(len(sorted))
+
+	var variance float64
+	for _, l := range sorted {
+		d := float64(l - mean)
+		variance += d * d
+	}
+	variance /= float64(len(sorted))
+
+	return LatencyStats{
+		Count:  len(sorted),
+		Mean:   mean,
+		Median: percentile(sorted, 0.50),
+		P95:    percentile(sorted, 0.95),
+		P99:    percentile(sorted, 0.99),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		StdDev: time.Duration(sqrt(variance)),
+	}
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	// Newton iteration; good enough for reporting.
+	x := v
+	for i := 0; i < 40; i++ {
+		x = (x + v/x) / 2
+	}
+	return x
+}
+
+// String renders the stats on one line.
+func (s LatencyStats) String() string {
+	return fmt.Sprintf("n=%d mean=%.3fs median=%.3fs p95=%.3fs p99=%.3fs min=%.3fs max=%.3fs",
+		s.Count, s.Mean.Seconds(), s.Median.Seconds(), s.P95.Seconds(),
+		s.P99.Seconds(), s.Min.Seconds(), s.Max.Seconds())
+}
+
+// Histogram bins a latency sample for figure-style output.
+type Histogram struct {
+	BucketWidth time.Duration
+	Counts      []int
+	Start       time.Duration
+}
+
+// NewHistogram bins latencies with the given bucket width.
+func NewHistogram(latencies []time.Duration, width time.Duration) Histogram {
+	h := Histogram{BucketWidth: width}
+	if len(latencies) == 0 || width <= 0 {
+		return h
+	}
+	max := latencies[0]
+	for _, l := range latencies {
+		if l > max {
+			max = l
+		}
+	}
+	h.Counts = make([]int, int(max/width)+1)
+	for _, l := range latencies {
+		h.Counts[int(l/width)]++
+	}
+	return h
+}
+
+// Render prints an ASCII histogram, the textual stand-in for the paper's
+// latency figures.
+func (h Histogram) Render(maxBar int) string {
+	var b strings.Builder
+	peak := 0
+	for _, c := range h.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		return "(empty)\n"
+	}
+	for i, c := range h.Counts {
+		bar := c * maxBar / peak
+		lo := time.Duration(i) * h.BucketWidth
+		fmt.Fprintf(&b, "%7.2fs | %-*s %d\n", lo.Seconds(), maxBar, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,214 @@
+// Package fairex carries the shared vocabulary of BcWAN's fair exchange
+// (§4.4): the TCP-level delivery message a gateway sends a recipient, the
+// ledger interface both sides watch, offer verification, and extraction of
+// the ephemeral private key from a confirmed claim transaction.
+package fairex
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/chain"
+	"bcwan/internal/lora"
+	"bcwan/internal/script"
+)
+
+// Delivery is the Fig. 3 step 7 message: the gateway forwards the doubly
+// encrypted message (Em), the ephemeral public key (ePk) and the node's
+// signature (Sig) to the recipient over TCP/IP, together with the terms
+// of the exchange.
+type Delivery struct {
+	// DevEUI identifies the originating sensor, so the recipient can
+	// select the shared key K and the node's public key Pk.
+	DevEUI lora.DevEUI `json:"deveui"`
+	// Exchange is the key-request counter naming this exchange on the
+	// gateway (the ephemeral pair is minted per request).
+	Exchange uint32 `json:"exchange"`
+	// Em is the double encryption of the message (64 bytes).
+	Em []byte `json:"em"`
+	// EPk is the serialized ephemeral RSA-512 public key.
+	EPk []byte `json:"epk"`
+	// Sig is the node's RSA-512 signature over Em ‖ EPk.
+	Sig []byte `json:"sig"`
+	// GatewayPubKeyHash is the payment destination of the claim path.
+	GatewayPubKeyHash [20]byte `json:"gateway"`
+	// Price is the amount (in chain units) the gateway asks for the
+	// key disclosure ("fixed or negotiated with the gateway", step 9).
+	Price uint64 `json:"price"`
+	// RefundWindow is the number of blocks after which the buyer may
+	// reclaim the payment (Listing 1 uses block_height+100).
+	RefundWindow int64 `json:"refundWindow"`
+}
+
+// Ack is the recipient's answer: the payment transaction it broadcast.
+type Ack struct {
+	Accepted    bool   `json:"accepted"`
+	PaymentTxID string `json:"paymentTxid"`
+	Reason      string `json:"reason,omitempty"`
+}
+
+// Fair-exchange errors.
+var (
+	// ErrBadOfferSignature reports a Delivery whose Sig does not verify
+	// under the node's provisioned public key — authenticity (§4.4
+	// property 3) fails.
+	ErrBadOfferSignature = errors.New("fairex: offer signature invalid")
+	// ErrPriceTooHigh reports a gateway asking more than the recipient
+	// accepts.
+	ErrPriceTooHigh = errors.New("fairex: price above acceptance threshold")
+	// ErrNoClaim reports that no claim transaction spends the payment.
+	ErrNoClaim = errors.New("fairex: claim not found")
+	// ErrBadPayment reports a payment transaction that does not match
+	// the offered terms.
+	ErrBadPayment = errors.New("fairex: payment does not match offer")
+)
+
+// SignedBlob returns the byte string the node signs: Em ‖ ePk. Signing
+// the ephemeral key too guarantees "that ePk was the genuine ephemeral
+// public key used in the process" (§5.1).
+func SignedBlob(em, ePk []byte) []byte {
+	out := make([]byte, 0, len(em)+len(ePk))
+	out = append(out, em...)
+	out = append(out, ePk...)
+	return out
+}
+
+// VerifyOffer checks the Delivery's authenticity against the node's
+// provisioned RSA-512 public key (Fig. 3 step 8).
+func VerifyOffer(nodePub *bccrypto.RSA512PublicKey, d *Delivery) error {
+	if err := bccrypto.VerifyRSA512(nodePub, SignedBlob(d.Em, d.EPk), d.Sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadOfferSignature, err)
+	}
+	return nil
+}
+
+// Ledger is the view of the blockchain both exchange parties share. It is
+// implemented by Node for in-process use and mirrors what the paper's
+// daemon reaches over Multichain's JSON-RPC.
+type Ledger interface {
+	// Height returns the best-branch height.
+	Height() int64
+	// UTXO returns a snapshot of the spendable set.
+	UTXO() *chain.UTXOSet
+	// Submit validates a transaction into the mempool and gossips it.
+	Submit(tx *chain.Tx) error
+	// FindTx locates a confirmed transaction.
+	FindTx(id chain.Hash) (*chain.Tx, int64, bool)
+	// FindSpender locates the confirmed transaction spending an output.
+	FindSpender(op chain.OutPoint) (*chain.Tx, int64, bool)
+	// Confirmations counts blocks confirming a transaction.
+	Confirmations(id chain.Hash) int64
+	// PendingTx looks a transaction up in the mempool.
+	PendingTx(id chain.Hash) (*chain.Tx, bool)
+	// Params exposes the chain parameters.
+	Params() chain.Params
+}
+
+// Node adapts an in-process chain + mempool to Ledger.
+type Node struct {
+	Chain *chain.Chain
+	Pool  *chain.Mempool
+	// OnSubmit, when set, is called after a successful Submit (e.g. to
+	// gossip the transaction to peers).
+	OnSubmit func(*chain.Tx)
+}
+
+var _ Ledger = (*Node)(nil)
+
+// Height implements Ledger.
+func (n *Node) Height() int64 { return n.Chain.Height() }
+
+// UTXO implements Ledger: the confirmed set extended with mempool
+// transactions, so wallets can chain spends onto unconfirmed change (and
+// the gateway's claim can chain onto the unconfirmed payment).
+func (n *Node) UTXO() *chain.UTXOSet {
+	view := n.Chain.UTXO()
+	n.Pool.ExtendView(view, n.Chain.Height())
+	return view
+}
+
+// Submit implements Ledger.
+func (n *Node) Submit(tx *chain.Tx) error {
+	if err := n.Pool.Accept(tx, n.Chain.UTXO(), n.Chain.Height(), n.Chain.Params()); err != nil {
+		return err
+	}
+	if n.OnSubmit != nil {
+		n.OnSubmit(tx)
+	}
+	return nil
+}
+
+// FindTx implements Ledger.
+func (n *Node) FindTx(id chain.Hash) (*chain.Tx, int64, bool) { return n.Chain.FindTx(id) }
+
+// FindSpender implements Ledger.
+func (n *Node) FindSpender(op chain.OutPoint) (*chain.Tx, int64, bool) {
+	return n.Chain.FindSpender(op)
+}
+
+// Confirmations implements Ledger.
+func (n *Node) Confirmations(id chain.Hash) int64 { return n.Chain.Confirmations(id) }
+
+// PendingTx implements Ledger.
+func (n *Node) PendingTx(id chain.Hash) (*chain.Tx, bool) { return n.Pool.Get(id) }
+
+// Params implements Ledger.
+func (n *Node) Params() chain.Params { return n.Chain.Params() }
+
+// CheckPayment verifies that a payment transaction honors the Delivery
+// terms: output 0 locked by the Listing 1 script with the offered ePk,
+// the gateway's hash, at least the price, and the agreed refund window
+// measured from the height the offer was made at (with slack for blocks
+// mined in between).
+func CheckPayment(d *Delivery, payment *chain.Tx, offerHeight int64) error {
+	if len(payment.Outputs) == 0 {
+		return fmt.Errorf("%w: no outputs", ErrBadPayment)
+	}
+	out := payment.Outputs[0]
+	params, err := script.ParseKeyRelease(out.Lock)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadPayment, err)
+	}
+	if !bytes.Equal(params.RSAPubKey, d.EPk) {
+		return fmt.Errorf("%w: wrong ephemeral key", ErrBadPayment)
+	}
+	if params.GatewayPubKeyHash != d.GatewayPubKeyHash {
+		return fmt.Errorf("%w: wrong gateway hash", ErrBadPayment)
+	}
+	if out.Value < d.Price {
+		return fmt.Errorf("%w: pays %d, price %d", ErrBadPayment, out.Value, d.Price)
+	}
+	if params.RefundHeight < offerHeight+d.RefundWindow {
+		return fmt.Errorf("%w: refund height %d too early (want ≥ %d)",
+			ErrBadPayment, params.RefundHeight, offerHeight+d.RefundWindow)
+	}
+	return nil
+}
+
+// ExtractKeyFromClaim finds the confirmed transaction spending the
+// payment's output 0 and returns the RSA-512 private key its unlocking
+// script reveals.
+func ExtractKeyFromClaim(ledger Ledger, paymentID chain.Hash) (*bccrypto.RSA512PrivateKey, error) {
+	spender, _, ok := ledger.FindSpender(chain.OutPoint{TxID: paymentID, Index: 0})
+	if !ok {
+		return nil, ErrNoClaim
+	}
+	for _, in := range spender.Inputs {
+		if in.Prev.TxID != paymentID || in.Prev.Index != 0 {
+			continue
+		}
+		keyBytes, err := script.ExtractClaimedRSAKey(in.Unlock)
+		if err != nil {
+			// The spender is the refund, not a claim.
+			return nil, fmt.Errorf("%w: spender is not a claim", ErrNoClaim)
+		}
+		key, err := bccrypto.UnmarshalRSA512PrivateKey(keyBytes)
+		if err != nil {
+			return nil, fmt.Errorf("fairex: revealed key malformed: %w", err)
+		}
+		return key, nil
+	}
+	return nil, ErrNoClaim
+}

@@ -1,0 +1,140 @@
+package fairex
+
+import (
+	"crypto/rand"
+	"errors"
+	"sync"
+	"testing"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/chain"
+	"bcwan/internal/script"
+)
+
+var (
+	keysOnce sync.Once
+	nodeKey  *bccrypto.RSA512PrivateKey
+	eKey     *bccrypto.RSA512PrivateKey
+)
+
+func keys(t testing.TB) (*bccrypto.RSA512PrivateKey, *bccrypto.RSA512PrivateKey) {
+	t.Helper()
+	keysOnce.Do(func() {
+		var err error
+		if nodeKey, err = bccrypto.GenerateRSA512(rand.Reader); err != nil {
+			panic(err)
+		}
+		if eKey, err = bccrypto.GenerateRSA512(rand.Reader); err != nil {
+			panic(err)
+		}
+	})
+	return nodeKey, eKey
+}
+
+func signedDelivery(t testing.TB) *Delivery {
+	t.Helper()
+	nk, ek := keys(t)
+	em := make([]byte, 64)
+	em[0] = 7
+	ePk := bccrypto.MarshalRSA512PublicKey(ek.Public())
+	sig := bccrypto.SignRSA512(nk, SignedBlob(em, ePk))
+	return &Delivery{
+		Em:                em,
+		EPk:               ePk,
+		Sig:               sig,
+		GatewayPubKeyHash: [20]byte{0x11},
+		Price:             100,
+		RefundWindow:      100,
+	}
+}
+
+func TestVerifyOfferAcceptsValid(t *testing.T) {
+	nk, _ := keys(t)
+	if err := VerifyOffer(nk.Public(), signedDelivery(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyOfferRejectsTampering(t *testing.T) {
+	nk, _ := keys(t)
+	d := signedDelivery(t)
+	d.Em[1] ^= 1
+	if err := VerifyOffer(nk.Public(), d); !errors.Is(err, ErrBadOfferSignature) {
+		t.Fatalf("err = %v, want ErrBadOfferSignature", err)
+	}
+}
+
+func TestSignedBlobConcatenation(t *testing.T) {
+	blob := SignedBlob([]byte{1, 2}, []byte{3, 4})
+	if len(blob) != 4 || blob[0] != 1 || blob[3] != 4 {
+		t.Fatalf("blob = %v", blob)
+	}
+}
+
+func paymentFor(t testing.TB, d *Delivery, value uint64, refundHeight int64) *chain.Tx {
+	t.Helper()
+	params := script.KeyReleaseParams{
+		RSAPubKey:         d.EPk,
+		GatewayPubKeyHash: d.GatewayPubKeyHash,
+		RefundHeight:      refundHeight,
+		BuyerPubKeyHash:   [20]byte{0x22},
+	}
+	return &chain.Tx{
+		Version: 1,
+		Inputs:  []chain.TxIn{{Prev: chain.OutPoint{TxID: chain.Hash{9}, Index: 0}}},
+		Outputs: []chain.TxOut{{Value: value, Lock: script.KeyRelease(params)}},
+	}
+}
+
+func TestCheckPaymentAccepts(t *testing.T) {
+	d := signedDelivery(t)
+	payment := paymentFor(t, d, 100, 150)
+	if err := CheckPayment(d, payment, 50); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckPaymentRejections(t *testing.T) {
+	d := signedDelivery(t)
+	_, ek := keys(t)
+	_ = ek
+
+	tests := map[string]*chain.Tx{
+		"no outputs":   {Version: 1},
+		"underpaid":    paymentFor(t, d, 50, 150),
+		"early refund": paymentFor(t, d, 100, 120), // < offerHeight+window
+		"not a key release": {
+			Version: 1,
+			Outputs: []chain.TxOut{{Value: 100, Lock: script.PayToPubKeyHash([20]byte{1})}},
+		},
+	}
+	for name, payment := range tests {
+		if err := CheckPayment(d, payment, 50); !errors.Is(err, ErrBadPayment) {
+			t.Errorf("%s: err = %v, want ErrBadPayment", name, err)
+		}
+	}
+}
+
+func TestCheckPaymentWrongEphemeralKey(t *testing.T) {
+	d := signedDelivery(t)
+	other, err := bccrypto.GenerateRSA512(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := *d
+	swapped.EPk = bccrypto.MarshalRSA512PublicKey(other.Public())
+	payment := paymentFor(t, d, 100, 200)
+	if err := CheckPayment(&swapped, payment, 50); !errors.Is(err, ErrBadPayment) {
+		t.Fatalf("err = %v, want ErrBadPayment", err)
+	}
+}
+
+func TestCheckPaymentWrongGateway(t *testing.T) {
+	d := signedDelivery(t)
+	mod := *d
+	mod.GatewayPubKeyHash = [20]byte{0x99}
+	payment := paymentFor(t, d, 100, 200)
+	if err := CheckPayment(&mod, payment, 50); !errors.Is(err, ErrBadPayment) {
+		t.Fatalf("err = %v, want ErrBadPayment", err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package gateway implements the BcWAN foreign gateway: it serves
+// ephemeral RSA-512 keys to nearby nodes over LoRa, forwards their
+// encrypted messages to the right recipient by resolving @R in the
+// blockchain, and claims its payment by revealing the ephemeral private
+// key (Fig. 3 steps 1–2, 6–7 and 10).
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/chain"
+	"bcwan/internal/device"
+	"bcwan/internal/fairex"
+	"bcwan/internal/lora"
+	"bcwan/internal/registry"
+	"bcwan/internal/wallet"
+)
+
+// Config tunes a gateway's exchange policy.
+type Config struct {
+	// Price is the amount asked per delivery.
+	Price uint64
+	// RefundWindow is the refund lock offered to buyers, in blocks
+	// (Listing 1 uses 100).
+	RefundWindow int64
+	// WaitConfirmations is how many confirmations of the payment the
+	// gateway requires before revealing eSk. The paper's PoC uses 0
+	// (discussed as a deliberate double-spend exposure in §6).
+	WaitConfirmations int64
+	// ClaimFee is the fee paid by the claim transaction.
+	ClaimFee uint64
+}
+
+// DefaultConfig mirrors the proof of concept: no confirmation wait.
+func DefaultConfig() Config {
+	return Config{Price: 100, RefundWindow: 100, WaitConfirmations: 0, ClaimFee: 1}
+}
+
+// Gateway errors.
+var (
+	// ErrUnknownDevice reports a data frame from a device that never
+	// requested a key.
+	ErrUnknownDevice = errors.New("gateway: no pending ephemeral key for device")
+	// ErrPaymentNotVisible reports a payment txid the gateway cannot
+	// see in its mempool or chain.
+	ErrPaymentNotVisible = errors.New("gateway: payment transaction not visible")
+	// ErrNotEnoughConfirmations reports a payment below the configured
+	// confirmation threshold.
+	ErrNotEnoughConfirmations = errors.New("gateway: payment lacks confirmations")
+)
+
+// pendingExchange is the per-message state between key handout and claim.
+type pendingExchange struct {
+	key *bccrypto.RSA512PrivateKey
+	pub []byte
+}
+
+// exchangeKey identifies one pending exchange: the ephemeral pair is
+// minted per key request, and the device echoes the request counter in
+// its data frame so retransmitted requests cannot desynchronize the pair.
+type exchangeKey struct {
+	eui     lora.DevEUI
+	counter uint32
+}
+
+// maxPending bounds abandoned exchange state.
+const maxPending = 10_000
+
+// Gateway is one foreign gateway.
+type Gateway struct {
+	cfg    Config
+	wallet *wallet.Wallet
+	ledger fairex.Ledger
+	dir    *registry.Directory
+	random io.Reader
+
+	mu           sync.Mutex
+	pending      map[exchangeKey]*pendingExchange
+	pendingOrder []exchangeKey
+
+	// Stats counts protocol outcomes.
+	Stats Stats
+}
+
+// Stats aggregates gateway outcomes for the experiment reports.
+type Stats struct {
+	KeysIssued     uint64
+	Deliveries     uint64
+	Claims         uint64
+	FailedClaims   uint64
+	UnknownDevices uint64
+}
+
+// New creates a gateway.
+func New(cfg Config, w *wallet.Wallet, ledger fairex.Ledger, dir *registry.Directory, random io.Reader) *Gateway {
+	return &Gateway{
+		cfg:     cfg,
+		wallet:  w,
+		ledger:  ledger,
+		dir:     dir,
+		random:  random,
+		pending: make(map[exchangeKey]*pendingExchange),
+	}
+}
+
+// Wallet returns the gateway's wallet.
+func (g *Gateway) Wallet() *wallet.Wallet { return g.wallet }
+
+// HandleKeyRequest performs Fig. 3 steps 1–2: mint an ephemeral RSA-512
+// pair for this message and answer with the public half.
+func (g *Gateway) HandleKeyRequest(f *lora.Frame) (*lora.Frame, error) {
+	if f.Type != lora.FrameKeyRequest {
+		return nil, fmt.Errorf("gateway: frame type %d is not a key request", f.Type)
+	}
+	key, err := bccrypto.GenerateRSA512(g.random)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: ephemeral keygen: %w", err)
+	}
+	pub := bccrypto.MarshalRSA512PublicKey(key.Public())
+	ek := exchangeKey{eui: f.DevEUI, counter: f.Counter}
+	g.mu.Lock()
+	if _, exists := g.pending[ek]; !exists {
+		g.pendingOrder = append(g.pendingOrder, ek)
+	}
+	g.pending[ek] = &pendingExchange{key: key, pub: pub}
+	if len(g.pendingOrder) > maxPending {
+		evict := g.pendingOrder[0]
+		g.pendingOrder = g.pendingOrder[1:]
+		delete(g.pending, evict)
+	}
+	g.Stats.KeysIssued++
+	g.mu.Unlock()
+	// The response echoes the request counter; the device repeats it in
+	// its data frame to name this exchange.
+	return &lora.Frame{
+		Type:    lora.FrameKeyResponse,
+		DevEUI:  f.DevEUI,
+		Counter: f.Counter,
+		Payload: pub,
+	}, nil
+}
+
+// HandleData performs Fig. 3 steps 6–7: decode (Em ‖ Sig ‖ @R), resolve
+// the recipient's IP in the blockchain directory, and produce the
+// Delivery to send over TCP together with the destination address.
+func (g *Gateway) HandleData(f *lora.Frame) (*fairex.Delivery, string, error) {
+	if f.Type != lora.FrameData {
+		return nil, "", fmt.Errorf("gateway: frame type %d is not a data frame", f.Type)
+	}
+	payload, err := device.DecodeDataPayload(f.Payload)
+	if err != nil {
+		return nil, "", fmt.Errorf("gateway: %w", err)
+	}
+	ek := exchangeKey{eui: f.DevEUI, counter: f.Counter}
+	g.mu.Lock()
+	pend, ok := g.pending[ek]
+	g.mu.Unlock()
+	if !ok {
+		g.mu.Lock()
+		g.Stats.UnknownDevices++
+		g.mu.Unlock()
+		return nil, "", fmt.Errorf("%w: %s (exchange %d)", ErrUnknownDevice, f.DevEUI, f.Counter)
+	}
+	binding, err := g.dir.Lookup(payload.Recipient)
+	if err != nil {
+		return nil, "", fmt.Errorf("gateway: resolve @R %x: %w", payload.Recipient, err)
+	}
+	d := &fairex.Delivery{
+		DevEUI:            f.DevEUI,
+		Exchange:          f.Counter,
+		Em:                payload.Em,
+		EPk:               pend.pub,
+		Sig:               payload.Sig,
+		GatewayPubKeyHash: g.wallet.PubKeyHash(),
+		Price:             g.cfg.Price,
+		RefundWindow:      g.cfg.RefundWindow,
+	}
+	g.mu.Lock()
+	g.Stats.Deliveries++
+	g.mu.Unlock()
+	return d, binding.NetAddr, nil
+}
+
+// VerifyAndClaim performs Fig. 3 step 10: after the recipient announces
+// its payment transaction, check it honors the terms, optionally wait for
+// confirmations, then build and submit the claim transaction whose
+// unlocking script reveals eSk.
+func (g *Gateway) VerifyAndClaim(devEUI lora.DevEUI, exchange uint32, paymentID chain.Hash, offerHeight int64) (*chain.Tx, error) {
+	ek := exchangeKey{eui: devEUI, counter: exchange}
+	g.mu.Lock()
+	pend, ok := g.pending[ek]
+	g.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s (exchange %d)", ErrUnknownDevice, devEUI, exchange)
+	}
+
+	payment, visible := g.ledger.PendingTx(paymentID)
+	confirmed := false
+	if !visible {
+		var conf *chain.Tx
+		conf, _, confirmed = g.ledger.FindTx(paymentID)
+		if !confirmed {
+			return nil, fmt.Errorf("%w: %s", ErrPaymentNotVisible, paymentID)
+		}
+		payment = conf
+	}
+
+	// Re-derive the delivery terms to validate the payment.
+	d := &fairex.Delivery{
+		DevEUI:            devEUI,
+		Exchange:          exchange,
+		EPk:               pend.pub,
+		GatewayPubKeyHash: g.wallet.PubKeyHash(),
+		Price:             g.cfg.Price,
+		RefundWindow:      g.cfg.RefundWindow,
+	}
+	if err := fairex.CheckPayment(d, payment, offerHeight); err != nil {
+		g.bumpFailed()
+		return nil, err
+	}
+
+	if g.cfg.WaitConfirmations > 0 {
+		if got := g.ledger.Confirmations(paymentID); got < g.cfg.WaitConfirmations {
+			return nil, fmt.Errorf("%w: have %d, want %d",
+				ErrNotEnoughConfirmations, got, g.cfg.WaitConfirmations)
+		}
+	}
+
+	claim, err := g.wallet.BuildClaim(
+		chain.OutPoint{TxID: paymentID, Index: 0}, payment.Outputs[0], pend.key, g.cfg.ClaimFee)
+	if err != nil {
+		g.bumpFailed()
+		return nil, fmt.Errorf("gateway: build claim: %w", err)
+	}
+	if err := g.ledger.Submit(claim); err != nil {
+		g.bumpFailed()
+		return nil, fmt.Errorf("gateway: submit claim: %w", err)
+	}
+	g.mu.Lock()
+	g.Stats.Claims++
+	delete(g.pending, ek)
+	g.mu.Unlock()
+	return claim, nil
+}
+
+func (g *Gateway) bumpFailed() {
+	g.mu.Lock()
+	g.Stats.FailedClaims++
+	g.mu.Unlock()
+}

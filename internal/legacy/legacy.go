@@ -1,0 +1,160 @@
+// Package legacy implements the classic centralized LoRaWAN architecture
+// of the paper's Fig. 1 — end-devices, gateways, a single network server,
+// and application servers — as the "trustful IoT network" baseline BcWAN
+// is compared against. There is no blockchain and no payment: the network
+// server is the trusted third party BcWAN removes.
+package legacy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/lora"
+)
+
+// Errors.
+var (
+	// ErrUnknownDevice reports an uplink from an unregistered device.
+	ErrUnknownDevice = errors.New("legacy: device not registered")
+	// ErrNoSession reports a missing application session key.
+	ErrNoSession = errors.New("legacy: no application session key")
+)
+
+// Message is a decrypted application payload.
+type Message struct {
+	DevEUI    lora.DevEUI
+	Plaintext []byte
+	GatewayID string
+}
+
+// AppServer terminates the application session: it holds the AppSKey
+// analogue (an AES-256 key shared with the device) and decrypts uplinks.
+type AppServer struct {
+	name string
+
+	mu      sync.Mutex
+	keys    map[lora.DevEUI][]byte
+	inbox   []Message
+	onRecv  func(Message)
+	dropped uint64
+}
+
+// NewAppServer creates an application server.
+func NewAppServer(name string) *AppServer {
+	return &AppServer{name: name, keys: make(map[lora.DevEUI][]byte)}
+}
+
+// Provision installs a device's application key.
+func (a *AppServer) Provision(eui lora.DevEUI, key []byte) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.keys[eui] = append([]byte(nil), key...)
+}
+
+// OnReceive installs a delivery callback (in addition to the inbox).
+func (a *AppServer) OnReceive(fn func(Message)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.onRecv = fn
+}
+
+// Deliver decrypts and stores one uplink.
+func (a *AppServer) Deliver(eui lora.DevEUI, gatewayID string, frame []byte) error {
+	a.mu.Lock()
+	key, ok := a.keys[eui]
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSession, eui)
+	}
+	plaintext, err := bccrypto.DecryptFrame(key, frame)
+	if err != nil {
+		a.mu.Lock()
+		a.dropped++
+		a.mu.Unlock()
+		return fmt.Errorf("legacy: decrypt %s: %w", eui, err)
+	}
+	msg := Message{DevEUI: eui, Plaintext: plaintext, GatewayID: gatewayID}
+	a.mu.Lock()
+	a.inbox = append(a.inbox, msg)
+	fn := a.onRecv
+	a.mu.Unlock()
+	if fn != nil {
+		fn(msg)
+	}
+	return nil
+}
+
+// Inbox returns a copy of all received messages.
+func (a *AppServer) Inbox() []Message {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Message(nil), a.inbox...)
+}
+
+// NetworkServer is the centralized core network: it deduplicates uplinks
+// received by several gateways and routes each device to its application
+// server. It is the single point of control (and failure) that motivates
+// BcWAN.
+type NetworkServer struct {
+	mu     sync.Mutex
+	routes map[lora.DevEUI]*AppServer
+	// seen deduplicates (DevEUI, counter) pairs: several gateways may
+	// relay the same uplink.
+	seen map[dedupKey]bool
+
+	// Stats counts routing outcomes.
+	Stats Stats
+}
+
+type dedupKey struct {
+	eui     lora.DevEUI
+	counter uint32
+}
+
+// Stats aggregates network-server outcomes.
+type Stats struct {
+	Uplinks    uint64
+	Duplicates uint64
+	Routed     uint64
+	Unknown    uint64
+}
+
+// NewNetworkServer creates an empty core network.
+func NewNetworkServer() *NetworkServer {
+	return &NetworkServer{
+		routes: make(map[lora.DevEUI]*AppServer),
+		seen:   make(map[dedupKey]bool),
+	}
+}
+
+// Register routes a device to its application server.
+func (ns *NetworkServer) Register(eui lora.DevEUI, app *AppServer) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.routes[eui] = app
+}
+
+// HandleUplink processes a gateway-forwarded frame: dedup, route,
+// deliver.
+func (ns *NetworkServer) HandleUplink(gatewayID string, f *lora.Frame) error {
+	ns.mu.Lock()
+	ns.Stats.Uplinks++
+	key := dedupKey{eui: f.DevEUI, counter: f.Counter}
+	if ns.seen[key] {
+		ns.Stats.Duplicates++
+		ns.mu.Unlock()
+		return nil
+	}
+	ns.seen[key] = true
+	app, ok := ns.routes[f.DevEUI]
+	if !ok {
+		ns.Stats.Unknown++
+		ns.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownDevice, f.DevEUI)
+	}
+	ns.Stats.Routed++
+	ns.mu.Unlock()
+	return app.Deliver(f.DevEUI, gatewayID, f.Payload)
+}

@@ -1,0 +1,76 @@
+package lora
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The BcWAN LoRa MAC frame. The paper's exchange (Fig. 3) needs three
+// over-the-air messages: the node's initial request, the gateway's
+// ephemeral-key downlink, and the node's data uplink carrying
+// (Em ‖ Sig ‖ @R). A minimal frame header — type, device EUI, counter —
+// wraps each.
+
+// FrameType distinguishes the Fig. 3 exchange steps.
+type FrameType byte
+
+// Frame types.
+const (
+	// FrameKeyRequest is the node's initial uplink asking for an
+	// ephemeral public key.
+	FrameKeyRequest FrameType = 1 + iota
+	// FrameKeyResponse is the gateway's downlink carrying ePk.
+	FrameKeyResponse
+	// FrameData is the node's uplink carrying Em ‖ Sig ‖ @R.
+	FrameData
+)
+
+// DevEUI is the 8-byte device identifier.
+type DevEUI [8]byte
+
+// String renders the EUI in hex.
+func (e DevEUI) String() string { return fmt.Sprintf("%x", e[:]) }
+
+// Frame is a BcWAN MAC frame.
+type Frame struct {
+	Type    FrameType
+	DevEUI  DevEUI
+	Counter uint32
+	Payload []byte
+}
+
+// FrameHeaderLen is the fixed header size: type + EUI + counter.
+const FrameHeaderLen = 1 + 8 + 4
+
+// ErrBadFrameEncoding reports an undecodable frame.
+var ErrBadFrameEncoding = errors.New("lora: bad frame encoding")
+
+// Encode serializes the frame.
+func (f *Frame) Encode() []byte {
+	out := make([]byte, FrameHeaderLen+len(f.Payload))
+	out[0] = byte(f.Type)
+	copy(out[1:9], f.DevEUI[:])
+	binary.BigEndian.PutUint32(out[9:13], f.Counter)
+	copy(out[13:], f.Payload)
+	return out
+}
+
+// DecodeFrame parses a frame.
+func DecodeFrame(data []byte) (*Frame, error) {
+	if len(data) < FrameHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadFrameEncoding, len(data))
+	}
+	f := &Frame{
+		Type:    FrameType(data[0]),
+		Counter: binary.BigEndian.Uint32(data[9:13]),
+	}
+	if f.Type < FrameKeyRequest || f.Type > FrameData {
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadFrameEncoding, data[0])
+	}
+	copy(f.DevEUI[:], data[1:9])
+	if len(data) > FrameHeaderLen {
+		f.Payload = append([]byte(nil), data[FrameHeaderLen:]...)
+	}
+	return f, nil
+}

@@ -1,0 +1,228 @@
+// Package lora simulates the LoRa physical and MAC layers that the
+// paper's proof of concept ran on real hardware (Nucleo-144 node, RFM95
+// gateway shield). The simulator reproduces the properties the evaluation
+// depends on: exact time-on-air per spreading factor, the EU868 1 % duty
+// cycle that caps per-sensor throughput (183 messages/hour in §5.2),
+// log-distance path loss with per-SF sensitivity thresholds, and
+// ALOHA-style collisions between concurrent transmissions.
+package lora
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// SpreadingFactor is the LoRa spreading factor, SF7 (fastest) to SF12
+// (longest range).
+type SpreadingFactor int
+
+// Valid spreading factors.
+const (
+	SF7 SpreadingFactor = 7 + iota
+	SF8
+	SF9
+	SF10
+	SF11
+	SF12
+)
+
+// ErrBadSpreadingFactor reports an SF outside SF7–SF12.
+var ErrBadSpreadingFactor = errors.New("lora: spreading factor out of range")
+
+// Valid reports whether the spreading factor is in range.
+func (sf SpreadingFactor) Valid() bool { return sf >= SF7 && sf <= SF12 }
+
+// String renders e.g. "SF7".
+func (sf SpreadingFactor) String() string { return fmt.Sprintf("SF%d", int(sf)) }
+
+// PHYConfig carries the modem parameters of the time-on-air formula.
+type PHYConfig struct {
+	// BandwidthHz is the channel bandwidth (125 kHz in EU868 default
+	// channels).
+	BandwidthHz float64
+	// CodingRate is the CR in 4/(4+CR); 1 means 4/5.
+	CodingRate int
+	// PreambleSymbols is the programmed preamble length (8 standard).
+	PreambleSymbols int
+	// ExplicitHeader enables the PHY header (on for LoRaWAN uplinks).
+	ExplicitHeader bool
+	// CRC enables the payload CRC (on for uplinks).
+	CRC bool
+}
+
+// DefaultPHY is the EU868 LoRaWAN uplink configuration.
+func DefaultPHY() PHYConfig {
+	return PHYConfig{
+		BandwidthHz:     125_000,
+		CodingRate:      1,
+		PreambleSymbols: 8,
+		ExplicitHeader:  true,
+		CRC:             true,
+	}
+}
+
+// MaxPayload returns the maximum MAC payload (bytes) per spreading factor
+// in EU868 (DR0–DR5 M values).
+func MaxPayload(sf SpreadingFactor) int {
+	switch sf {
+	case SF7, SF8:
+		return 222 // DR5/DR4 allow 222 at SF7; SF8 is 222 at DR4
+	case SF9:
+		return 115
+	default:
+		return 51
+	}
+}
+
+// TimeOnAir computes the LoRa frame airtime from the Semtech SX127x
+// formula (AN1200.13). payloadLen is the PHY payload in bytes.
+func TimeOnAir(payloadLen int, sf SpreadingFactor, cfg PHYConfig) (time.Duration, error) {
+	if !sf.Valid() {
+		return 0, fmt.Errorf("%w: %d", ErrBadSpreadingFactor, int(sf))
+	}
+	if payloadLen < 0 || cfg.BandwidthHz <= 0 || cfg.CodingRate < 1 || cfg.CodingRate > 4 {
+		return 0, fmt.Errorf("lora: invalid time-on-air parameters (len=%d bw=%.0f cr=%d)",
+			payloadLen, cfg.BandwidthHz, cfg.CodingRate)
+	}
+	tSym := math.Pow(2, float64(sf)) / cfg.BandwidthHz // seconds
+
+	// Low data rate optimization is mandated for symbol times ≥ 16 ms
+	// (SF11, SF12 at 125 kHz).
+	de := 0.0
+	if tSym >= 0.016 {
+		de = 1
+	}
+	ih := 1.0
+	if cfg.ExplicitHeader {
+		ih = 0
+	}
+	crc := 0.0
+	if cfg.CRC {
+		crc = 1
+	}
+
+	num := 8*float64(payloadLen) - 4*float64(sf) + 28 + 16*crc - 20*ih
+	den := 4 * (float64(sf) - 2*de)
+	payloadSymbols := 8.0
+	if num > 0 {
+		payloadSymbols += math.Ceil(num/den) * float64(cfg.CodingRate+4)
+	}
+	preamble := (float64(cfg.PreambleSymbols) + 4.25) * tSym
+	total := preamble + payloadSymbols*tSym
+	return time.Duration(total * float64(time.Second)), nil
+}
+
+// MaxMessagesPerHour returns the duty-cycle-limited message budget for a
+// payload size at the given SF — the §5.2 calculation that yields the
+// paper's "theoretical maximum of 183 messages per sensor per hour".
+func MaxMessagesPerHour(payloadLen int, sf SpreadingFactor, dutyCycle float64, cfg PHYConfig) (float64, error) {
+	if dutyCycle <= 0 || dutyCycle > 1 {
+		return 0, fmt.Errorf("lora: duty cycle %f out of (0,1]", dutyCycle)
+	}
+	toa, err := TimeOnAir(payloadLen, sf, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return 3600 * dutyCycle / toa.Seconds(), nil
+}
+
+// dutyWindow is the averaging window of the EU868 duty-cycle rule.
+const dutyWindow = time.Hour
+
+// DutyCycle enforces the EU868 sub-band duty cycle as a sliding-window
+// airtime budget: total time-on-air within any one-hour window must stay
+// below limit·window. Budget accounting (rather than a per-transmission
+// off-period) permits the request/data burst of a BcWAN exchange while
+// still capping throughput at the §5.2 messages-per-hour figure.
+type DutyCycle struct {
+	limit   float64
+	window  time.Duration
+	records []txRecord
+}
+
+type txRecord struct {
+	start   time.Time
+	airtime time.Duration
+}
+
+// NewDutyCycle returns a limiter for the given fraction (0.01 = 1 %).
+func NewDutyCycle(limit float64) (*DutyCycle, error) {
+	if limit <= 0 || limit > 1 {
+		return nil, fmt.Errorf("lora: duty cycle %f out of (0,1]", limit)
+	}
+	return &DutyCycle{limit: limit, window: dutyWindow}, nil
+}
+
+// budget returns the allowed airtime per window.
+func (d *DutyCycle) budget() time.Duration {
+	return time.Duration(float64(d.window) * d.limit)
+}
+
+// usedSince sums airtime of transmissions starting strictly after cutoff
+// (a record exactly one window old has just expired).
+func (d *DutyCycle) usedSince(cutoff time.Time) time.Duration {
+	var used time.Duration
+	for _, r := range d.records {
+		if r.start.After(cutoff) {
+			used += r.airtime
+		}
+	}
+	return used
+}
+
+// CanTransmit reports whether a transmission of the given airtime fits
+// the budget at the given instant.
+func (d *DutyCycle) CanTransmit(now time.Time, airtime time.Duration) bool {
+	d.prune(now)
+	return d.usedSince(now.Add(-d.window))+airtime <= d.budget()
+}
+
+// NextFree returns the earliest instant at or after now when a
+// transmission of the given airtime fits the budget.
+func (d *DutyCycle) NextFree(now time.Time, airtime time.Duration) time.Time {
+	d.prune(now)
+	if airtime > d.budget() {
+		// Never fits; report a window out as "infinitely throttled".
+		return now.Add(d.window)
+	}
+	t := now
+	for i := 0; i <= len(d.records); i++ {
+		if d.usedSince(t.Add(-d.window))+airtime <= d.budget() {
+			return t
+		}
+		// Advance to when the oldest in-window record expires.
+		oldest := time.Time{}
+		for _, r := range d.records {
+			if r.start.After(t.Add(-d.window)) {
+				if oldest.IsZero() || r.start.Before(oldest) {
+					oldest = r.start
+				}
+			}
+		}
+		if oldest.IsZero() {
+			return t
+		}
+		t = oldest.Add(d.window)
+	}
+	return t
+}
+
+// Record accounts a transmission beginning at start with the given
+// airtime.
+func (d *DutyCycle) Record(start time.Time, airtime time.Duration) {
+	d.records = append(d.records, txRecord{start: start, airtime: airtime})
+}
+
+// prune drops records older than one window before now.
+func (d *DutyCycle) prune(now time.Time) {
+	cutoff := now.Add(-d.window)
+	keep := d.records[:0]
+	for _, r := range d.records {
+		if r.start.After(cutoff) {
+			keep = append(keep, r)
+		}
+	}
+	d.records = keep
+}

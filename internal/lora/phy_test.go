@@ -1,0 +1,246 @@
+package lora
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTimeOnAirKnownValues(t *testing.T) {
+	// Reference values computed from the Semtech AN1200.13 formula for
+	// BW 125 kHz, CR 4/5, preamble 8, explicit header, CRC on.
+	cfg := DefaultPHY()
+	tests := []struct {
+		payload int
+		sf      SpreadingFactor
+		wantMS  float64
+	}{
+		// 51-byte payload values cross-checked against public LoRa
+		// airtime calculators.
+		{51, SF7, 102.66},
+		{51, SF12, 2465.79},
+		{13, SF7, 46.34},
+		// The paper's 132-byte frame (128 B payload + 4 B header).
+		{132, SF7, 220.42},
+	}
+	for _, tt := range tests {
+		got, err := TimeOnAir(tt.payload, tt.sf, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotMS := float64(got) / float64(time.Millisecond)
+		if math.Abs(gotMS-tt.wantMS) > 1.0 {
+			t.Errorf("TimeOnAir(%d, %s) = %.2f ms, want %.2f ms", tt.payload, tt.sf, gotMS, tt.wantMS)
+		}
+	}
+}
+
+func TestTimeOnAirMonotonicInPayload(t *testing.T) {
+	cfg := DefaultPHY()
+	for sf := SF7; sf <= SF12; sf++ {
+		prev := time.Duration(0)
+		for payload := 0; payload <= 222; payload += 7 {
+			toa, err := TimeOnAir(payload, sf, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if toa < prev {
+				t.Fatalf("%s: ToA decreased at payload %d", sf, payload)
+			}
+			prev = toa
+		}
+	}
+}
+
+func TestTimeOnAirMonotonicInSF(t *testing.T) {
+	cfg := DefaultPHY()
+	prev := time.Duration(0)
+	for sf := SF7; sf <= SF12; sf++ {
+		toa, err := TimeOnAir(51, sf, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if toa <= prev {
+			t.Fatalf("ToA not increasing at %s", sf)
+		}
+		prev = toa
+	}
+}
+
+func TestTimeOnAirRejectsBadInput(t *testing.T) {
+	cfg := DefaultPHY()
+	if _, err := TimeOnAir(10, SpreadingFactor(6), cfg); err == nil {
+		t.Error("SF6 accepted")
+	}
+	if _, err := TimeOnAir(-1, SF7, cfg); err == nil {
+		t.Error("negative payload accepted")
+	}
+	bad := cfg
+	bad.BandwidthHz = 0
+	if _, err := TimeOnAir(10, SF7, bad); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	bad = cfg
+	bad.CodingRate = 9
+	if _, err := TimeOnAir(10, SF7, bad); err == nil {
+		t.Error("bad coding rate accepted")
+	}
+}
+
+func TestMaxMessagesPerHourPaperSetup(t *testing.T) {
+	// §5.2: 128 B payload + 4 B header, SF7, 1 % duty cycle. The paper
+	// states a theoretical maximum of 183 msg/sensor/hour; the full
+	// AN1200.13 formula gives ≈163 (the paper likely ignored preamble
+	// or header overhead). Assert our honest value and its order.
+	got, err := MaxMessagesPerHour(132, SF7, 0.01, DefaultPHY())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 140 || got > 200 {
+		t.Fatalf("budget = %.1f msg/h, want within [140, 200] (paper: 183)", got)
+	}
+}
+
+func TestMaxMessagesPerHourScalesWithDuty(t *testing.T) {
+	a, err := MaxMessagesPerHour(51, SF9, 0.01, DefaultPHY())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MaxMessagesPerHour(51, SF9, 0.10, DefaultPHY())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b/a-10) > 1e-9 {
+		t.Fatalf("10x duty cycle gave %.3fx budget", b/a)
+	}
+}
+
+func TestMaxMessagesPerHourRejectsBadDuty(t *testing.T) {
+	if _, err := MaxMessagesPerHour(51, SF7, 0, DefaultPHY()); err == nil {
+		t.Error("zero duty cycle accepted")
+	}
+	if _, err := MaxMessagesPerHour(51, SF7, 1.5, DefaultPHY()); err == nil {
+		t.Error("duty cycle > 1 accepted")
+	}
+}
+
+func TestDutyCycleAllowsBurstWithinBudget(t *testing.T) {
+	// Budget semantics: a BcWAN exchange's request+data burst fits
+	// back to back — no per-transmission off period.
+	dc, err := NewDutyCycle(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2018, 12, 10, 0, 0, 0, 0, time.UTC)
+	if !dc.CanTransmit(start, 50*time.Millisecond) {
+		t.Fatal("fresh limiter blocks transmission")
+	}
+	dc.Record(start, 50*time.Millisecond)
+	// Immediately afterwards, a 250 ms data frame still fits the 36 s
+	// hourly budget.
+	at := start.Add(60 * time.Millisecond)
+	if !dc.CanTransmit(at, 250*time.Millisecond) {
+		t.Fatal("burst within budget rejected")
+	}
+}
+
+func TestDutyCycleBlocksWhenBudgetExhausted(t *testing.T) {
+	dc, err := NewDutyCycle(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2018, 12, 10, 0, 0, 0, 0, time.UTC)
+	// Exhaust the 36 s budget.
+	dc.Record(start, 36*time.Second)
+	at := start.Add(time.Minute)
+	if dc.CanTransmit(at, time.Millisecond) {
+		t.Fatal("transmission allowed with exhausted budget")
+	}
+	// Budget frees when the hour window slides past the recording.
+	free := dc.NextFree(at, time.Millisecond)
+	if want := start.Add(time.Hour); !free.Equal(want) {
+		t.Fatalf("NextFree = %v, want %v", free, want)
+	}
+	if !dc.CanTransmit(free, time.Millisecond) {
+		t.Fatal("transmission blocked after window slid")
+	}
+}
+
+func TestDutyCycleOversizedAirtimeNeverFits(t *testing.T) {
+	dc, err := NewDutyCycle(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2018, 12, 10, 0, 0, 0, 0, time.UTC)
+	if dc.CanTransmit(start, time.Hour) {
+		t.Fatal("airtime above the whole budget accepted")
+	}
+	if free := dc.NextFree(start, time.Hour); !free.After(start) {
+		t.Fatal("NextFree did not push out an impossible transmission")
+	}
+}
+
+func TestDutyCycleImpliesBudget(t *testing.T) {
+	// Property: replaying transmissions as soon as the limiter allows
+	// yields the MaxMessagesPerHour budget (±1 message) in the first
+	// window.
+	cfg := DefaultPHY()
+	toa, err := TimeOnAir(132, SF7, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := NewDutyCycle(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2018, 12, 10, 0, 0, 0, 0, time.UTC)
+	end := start.Add(time.Hour)
+	now := start
+	count := 0
+	for now.Before(end) {
+		if !dc.CanTransmit(now, toa) {
+			now = dc.NextFree(now, toa)
+			continue
+		}
+		dc.Record(now, toa)
+		count++
+		now = now.Add(toa)
+	}
+	budget, err := MaxMessagesPerHour(132, SF7, 0.01, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(count)-budget) > 1 {
+		t.Fatalf("replayed %d messages, budget %.1f", count, budget)
+	}
+}
+
+func TestNewDutyCycleRejects(t *testing.T) {
+	if _, err := NewDutyCycle(0); err == nil {
+		t.Error("zero limit accepted")
+	}
+	if _, err := NewDutyCycle(2); err == nil {
+		t.Error("limit > 1 accepted")
+	}
+}
+
+func TestSpreadingFactorString(t *testing.T) {
+	if SF7.String() != "SF7" || SF12.String() != "SF12" {
+		t.Fatal("bad SF names")
+	}
+}
+
+func TestMaxPayloadBySF(t *testing.T) {
+	if MaxPayload(SF7) != 222 || MaxPayload(SF9) != 115 || MaxPayload(SF12) != 51 {
+		t.Fatal("EU868 payload caps wrong")
+	}
+}
+
+func BenchmarkTimeOnAir(b *testing.B) {
+	cfg := DefaultPHY()
+	for i := 0; i < b.N; i++ {
+		if _, err := TimeOnAir(132, SF7, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package p2p
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"log"
+	"sync"
+)
+
+// Handler processes a gossip message. Handlers run on per-connection
+// reader goroutines; implementations must be safe for concurrent use.
+type Handler func(from string, msg Message)
+
+// Node is one gossip participant: it listens for peers, maintains
+// outbound connections, and floods messages with duplicate suppression.
+type Node struct {
+	transport Transport
+	listener  Listener
+	logger    *log.Logger
+
+	mu       sync.Mutex
+	peers    map[string]Conn
+	conns    map[Conn]bool // every live conn, incl. unregistered inbound
+	handlers map[string]Handler
+	seen     map[[sha256.Size]byte]bool
+	seenList [][sha256.Size]byte
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// maxSeen bounds the duplicate-suppression memory.
+const maxSeen = 100_000
+
+// NewNode starts a node listening on addr (empty = transport default).
+func NewNode(transport Transport, addr string, logger *log.Logger) (*Node, error) {
+	listener, err := transport.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		transport: transport,
+		listener:  listener,
+		logger:    logger,
+		peers:     make(map[string]Conn),
+		conns:     make(map[Conn]bool),
+		handlers:  make(map[string]Handler),
+		seen:      make(map[[sha256.Size]byte]bool),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.listener.Addr() }
+
+// Handle registers the handler for a message type. Must be called before
+// messages of that type arrive.
+func (n *Node) Handle(msgType string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[msgType] = h
+}
+
+// Connect dials a peer and starts reading from it. Connecting to an
+// already connected address is a no-op.
+func (n *Node) Connect(addr string) error {
+	if addr == n.Addr() {
+		return nil
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := n.peers[addr]; dup {
+		n.mu.Unlock()
+		return nil
+	}
+	n.mu.Unlock()
+
+	conn, err := n.transport.Dial(addr)
+	if err != nil {
+		return err
+	}
+	n.addPeer(addr, conn)
+	return nil
+}
+
+// Peers returns the addresses of connected peers.
+func (n *Node) Peers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.peers))
+	for addr := range n.peers {
+		out = append(out, addr)
+	}
+	return out
+}
+
+// Broadcast floods a message to every connected peer. The message is
+// marked seen locally so a gossiped echo is not re-processed.
+func (n *Node) Broadcast(msgType string, payload []byte) {
+	msg := Message{Type: msgType, From: n.Addr(), Payload: payload}
+	n.markSeen(msg)
+	n.mu.Lock()
+	conns := make([]Conn, 0, len(n.peers))
+	addrs := make([]string, 0, len(n.peers))
+	for addr, c := range n.peers {
+		conns = append(conns, c)
+		addrs = append(addrs, addr)
+	}
+	n.mu.Unlock()
+	for i, c := range conns {
+		if err := c.Send(msg); err != nil {
+			n.logf("send %s to %s: %v", msgType, addrs[i], err)
+			n.dropPeer(addrs[i])
+		}
+	}
+}
+
+// Close shuts the node down and waits for its goroutines.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.peers = make(map[string]Conn)
+	n.conns = make(map[Conn]bool)
+	n.mu.Unlock()
+
+	n.listener.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return
+		}
+		// Inbound peers are keyed by their advertised From address on
+		// first message; until then track under a placeholder.
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.conns[conn] = true
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop("", conn)
+	}
+}
+
+func (n *Node) addPeer(addr string, conn Conn) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if old, dup := n.peers[addr]; dup {
+		old.Close()
+		delete(n.conns, old)
+	}
+	n.peers[addr] = conn
+	n.conns[conn] = true
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go n.readLoop(addr, conn)
+}
+
+func (n *Node) dropPeer(addr string) {
+	n.mu.Lock()
+	conn, ok := n.peers[addr]
+	if ok {
+		delete(n.peers, addr)
+	}
+	n.mu.Unlock()
+	if ok {
+		conn.Close()
+	}
+}
+
+func (n *Node) readLoop(addr string, conn Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.conns, conn)
+		n.mu.Unlock()
+	}()
+	for {
+		msg, err := conn.Receive()
+		if err != nil {
+			if addr != "" {
+				n.dropPeer(addr)
+			}
+			return
+		}
+		// Learn inbound peer addresses so broadcasts reach them, and
+		// so the mesh becomes bidirectional without extra dials.
+		if addr == "" && msg.From != "" && msg.From != n.Addr() {
+			addr = msg.From
+			n.mu.Lock()
+			_, dup := n.peers[addr]
+			if !dup && !n.closed {
+				n.peers[addr] = conn
+			}
+			n.mu.Unlock()
+		}
+		n.dispatch(msg)
+	}
+}
+
+// dispatch runs the handler once per unique message and re-floods it.
+func (n *Node) dispatch(msg Message) {
+	if !n.markSeen(msg) {
+		return
+	}
+	n.mu.Lock()
+	h := n.handlers[msg.Type]
+	n.mu.Unlock()
+	if h != nil {
+		h(msg.From, msg)
+	}
+	// Gossip re-flood with our own origin, so indirect peers learn it.
+	n.mu.Lock()
+	conns := make([]Conn, 0, len(n.peers))
+	addrs := make([]string, 0, len(n.peers))
+	for a, c := range n.peers {
+		if a == msg.From {
+			continue
+		}
+		conns = append(conns, c)
+		addrs = append(addrs, a)
+	}
+	n.mu.Unlock()
+	fwd := Message{Type: msg.Type, From: n.Addr(), Payload: msg.Payload}
+	for i, c := range conns {
+		if err := c.Send(fwd); err != nil {
+			n.logf("forward %s to %s: %v", msg.Type, addrs[i], err)
+			n.dropPeer(addrs[i])
+		}
+	}
+}
+
+// markSeen records the message body; it reports true the first time.
+func (n *Node) markSeen(msg Message) bool {
+	sum := sha256.Sum256(append([]byte(msg.Type+"\x00"), msg.Payload...))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.seen[sum] {
+		return false
+	}
+	n.seen[sum] = true
+	n.seenList = append(n.seenList, sum)
+	if len(n.seenList) > maxSeen {
+		evict := n.seenList[0]
+		n.seenList = n.seenList[1:]
+		delete(n.seen, evict)
+	}
+	return true
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.logger != nil {
+		n.logger.Printf("p2p %s: %s", n.Addr(), fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,328 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector accumulates received messages thread-safely.
+type collector struct {
+	mu   sync.Mutex
+	msgs []Message
+}
+
+func (c *collector) handler(_ string, m Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, m)
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func (c *collector) waitFor(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.count() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d messages, have %d", n, c.count())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func transports(t *testing.T) map[string]func() Transport {
+	t.Helper()
+	return map[string]func() Transport{
+		"mem": func() Transport { return NewMemTransport() },
+		"tcp": func() Transport { return TCPTransport{} },
+	}
+}
+
+func TestDirectBroadcast(t *testing.T) {
+	for name, mk := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			tr := mk()
+			a, err := NewNode(tr, "", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer a.Close()
+			b, err := NewNode(tr, "", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Close()
+
+			var got collector
+			b.Handle("tx", got.handler)
+			if err := a.Connect(b.Addr()); err != nil {
+				t.Fatal(err)
+			}
+			a.Broadcast("tx", []byte("payload-1"))
+			got.waitFor(t, 1)
+			if string(got.msgs[0].Payload) != "payload-1" {
+				t.Fatalf("payload = %q", got.msgs[0].Payload)
+			}
+			if got.msgs[0].From != a.Addr() {
+				t.Fatalf("from = %q, want %q", got.msgs[0].From, a.Addr())
+			}
+		})
+	}
+}
+
+func TestGossipReachesIndirectPeers(t *testing.T) {
+	for name, mk := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			tr := mk()
+			// Chain topology: a — b — c. A broadcast from a must reach c.
+			nodes := make([]*Node, 3)
+			for i := range nodes {
+				n, err := NewNode(tr, "", nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer n.Close()
+				nodes[i] = n
+			}
+			var got collector
+			nodes[2].Handle("block", got.handler)
+			if err := nodes[0].Connect(nodes[1].Addr()); err != nil {
+				t.Fatal(err)
+			}
+			if err := nodes[1].Connect(nodes[2].Addr()); err != nil {
+				t.Fatal(err)
+			}
+			nodes[0].Broadcast("block", []byte("b-100"))
+			got.waitFor(t, 1)
+		})
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	tr := NewMemTransport()
+	// Triangle: every node connected to both others; each message must be
+	// handled exactly once per node despite multiple delivery paths.
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		n, err := NewNode(tr, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		nodes[i] = n
+	}
+	cols := make([]collector, 3)
+	for i := range nodes {
+		nodes[i].Handle("tx", cols[i].handler)
+	}
+	for i := range nodes {
+		for j := range nodes {
+			if i != j {
+				if err := nodes[i].Connect(nodes[j].Addr()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	nodes[0].Broadcast("tx", []byte("once"))
+	cols[1].waitFor(t, 1)
+	cols[2].waitFor(t, 1)
+	// Give any duplicate a chance to arrive, then assert exactly one.
+	time.Sleep(50 * time.Millisecond)
+	if cols[1].count() != 1 || cols[2].count() != 1 {
+		t.Fatalf("handled %d and %d times, want exactly 1",
+			cols[1].count(), cols[2].count())
+	}
+}
+
+func TestBidirectionalAfterInbound(t *testing.T) {
+	tr := NewMemTransport()
+	a, err := NewNode(tr, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewNode(tr, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	var aGot collector
+	a.Handle("tx", aGot.handler)
+	var bGot collector
+	b.Handle("tx", bGot.handler)
+
+	// Only a dials b. After a's first broadcast, b must be able to
+	// answer over the learned inbound connection.
+	if err := a.Connect(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	a.Broadcast("tx", []byte("hello"))
+	bGot.waitFor(t, 1)
+	b.Broadcast("tx", []byte("reply"))
+	aGot.waitFor(t, 1)
+	if string(aGot.msgs[0].Payload) != "reply" {
+		t.Fatalf("payload = %q", aGot.msgs[0].Payload)
+	}
+}
+
+func TestConnectSelfIsNoop(t *testing.T) {
+	tr := NewMemTransport()
+	a, err := NewNode(tr, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Connect(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Peers()) != 0 {
+		t.Fatal("node connected to itself")
+	}
+}
+
+func TestConnectUnknownAddressFails(t *testing.T) {
+	tr := NewMemTransport()
+	a, err := NewNode(tr, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Connect("mem:999"); err == nil {
+		t.Fatal("dial to unknown address succeeded")
+	}
+}
+
+func TestCloseIsIdempotentAndStopsUse(t *testing.T) {
+	tr := NewMemTransport()
+	a, err := NewNode(tr, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Connect("mem:other-node"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Connect after Close err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemConnCloseUnblocksReceive(t *testing.T) {
+	a, b := newMemConnPair()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Receive()
+		done <- err
+	}()
+	a.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("Receive err = %v, want EOF", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Receive did not unblock on peer close")
+	}
+}
+
+func TestMemConnDrainsQueuedBeforeEOF(t *testing.T) {
+	a, b := newMemConnPair()
+	if err := a.Send(Message{Type: "tx", Payload: []byte("queued")}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	m, err := b.Receive()
+	if err != nil {
+		t.Fatalf("Receive = %v, want queued message", err)
+	}
+	if string(m.Payload) != "queued" {
+		t.Fatalf("payload = %q", m.Payload)
+	}
+}
+
+func TestTCPFrameRoundTrip(t *testing.T) {
+	tr := TCPTransport{}
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	done := make(chan Message, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		m, err := conn.Receive()
+		if err != nil {
+			return
+		}
+		done <- m
+	}()
+
+	c, err := tr.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload := make([]byte, 10_000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := c.Send(Message{Type: "block", From: "me", Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-done:
+		if m.Type != "block" || len(m.Payload) != len(payload) {
+			t.Fatalf("got %s/%d bytes", m.Type, len(m.Payload))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("frame not received")
+	}
+}
+
+func TestMeshBroadcastStress(t *testing.T) {
+	tr := NewMemTransport()
+	const nNodes = 5
+	const nMsgs = 20
+	nodes := make([]*Node, nNodes)
+	cols := make([]collector, nNodes)
+	for i := range nodes {
+		n, err := NewNode(tr, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		nodes[i] = n
+		nodes[i].Handle("tx", cols[i].handler)
+	}
+	// Ring topology.
+	for i := range nodes {
+		if err := nodes[i].Connect(nodes[(i+1)%nNodes].Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for m := 0; m < nMsgs; m++ {
+		nodes[m%nNodes].Broadcast("tx", []byte(fmt.Sprintf("msg-%d", m)))
+	}
+	// Every node receives every message it did not originate.
+	for i := range cols {
+		want := nMsgs - nMsgs/nNodes
+		cols[i].waitFor(t, want)
+	}
+}

@@ -1,0 +1,268 @@
+// Package recipient implements the BcWAN recipient (the home party of a
+// roaming sensor): it verifies deliveries from foreign gateways, pays for
+// them with the Listing 1 key-release script, watches the chain for the
+// gateway's claim, and recovers the plaintext by stripping both
+// encryption layers (Fig. 3 steps 8–9 plus the final decryption).
+package recipient
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/chain"
+	"bcwan/internal/fairex"
+	"bcwan/internal/lora"
+	"bcwan/internal/script"
+	"bcwan/internal/wallet"
+)
+
+// Config tunes the recipient's exchange policy.
+type Config struct {
+	// MaxPrice is the highest delivery price the recipient accepts.
+	MaxPrice uint64
+	// RefundWindow is the refund lock the recipient writes into its
+	// payments, in blocks.
+	RefundWindow int64
+	// PaymentFee is the fee attached to payment transactions.
+	PaymentFee uint64
+	// RefundFee is the fee attached to refund transactions.
+	RefundFee uint64
+}
+
+// DefaultConfig accepts the gateway default price.
+func DefaultConfig() Config {
+	return Config{MaxPrice: 100, RefundWindow: 100, PaymentFee: 1, RefundFee: 1}
+}
+
+// DeviceInfo is the recipient-side provisioning for one sensor: the
+// shared AES key K and the node's RSA-512 public key Pk.
+type DeviceInfo struct {
+	SharedKey []byte
+	NodePub   *bccrypto.RSA512PublicKey
+}
+
+// Recipient errors.
+var (
+	// ErrUnknownSensor reports a delivery for a device the recipient
+	// was never provisioned with.
+	ErrUnknownSensor = errors.New("recipient: unknown device")
+	// ErrExchangeNotFound reports a claim settlement for an unknown
+	// payment.
+	ErrExchangeNotFound = errors.New("recipient: no pending exchange for payment")
+)
+
+// pendingPayment tracks an exchange between payment and claim.
+type pendingPayment struct {
+	delivery *fairex.Delivery
+	payment  *chain.Tx
+}
+
+// Message is a fully decrypted sensor reading.
+type Message struct {
+	DevEUI    lora.DevEUI
+	Plaintext []byte
+	PaymentID chain.Hash
+}
+
+// Recipient is one home party.
+type Recipient struct {
+	cfg    Config
+	wallet *wallet.Wallet
+	ledger fairex.Ledger
+	random io.Reader
+
+	mu      sync.Mutex
+	devices map[lora.DevEUI]DeviceInfo
+	pending map[chain.Hash]*pendingPayment
+
+	// Stats aggregates outcomes.
+	Stats Stats
+}
+
+// Stats counts recipient outcomes.
+type Stats struct {
+	Deliveries     uint64
+	RejectedOffers uint64
+	Payments       uint64
+	Decryptions    uint64
+	Refunds        uint64
+}
+
+// New creates a recipient.
+func New(cfg Config, w *wallet.Wallet, ledger fairex.Ledger, random io.Reader) *Recipient {
+	return &Recipient{
+		cfg:     cfg,
+		wallet:  w,
+		ledger:  ledger,
+		random:  random,
+		devices: make(map[lora.DevEUI]DeviceInfo),
+		pending: make(map[chain.Hash]*pendingPayment),
+	}
+}
+
+// Wallet returns the recipient's wallet.
+func (r *Recipient) Wallet() *wallet.Wallet { return r.wallet }
+
+// Provision registers a sensor's keys (the provisioning phase of §4.4).
+func (r *Recipient) Provision(eui lora.DevEUI, info DeviceInfo) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.devices[eui] = info
+}
+
+// HandleDelivery performs Fig. 3 steps 8–9: verify the signature, accept
+// the terms, build the key-release payment, and submit it. It returns the
+// payment transaction (whose ID the Ack carries back to the gateway).
+func (r *Recipient) HandleDelivery(d *fairex.Delivery) (*chain.Tx, error) {
+	r.mu.Lock()
+	info, known := r.devices[d.DevEUI]
+	r.Stats.Deliveries++
+	r.mu.Unlock()
+	if !known {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSensor, d.DevEUI)
+	}
+	// Step 8: authenticity and integrity via the node's signature.
+	if err := fairex.VerifyOffer(info.NodePub, d); err != nil {
+		r.bumpRejected()
+		return nil, err
+	}
+	if d.Price > r.cfg.MaxPrice {
+		r.bumpRejected()
+		return nil, fmt.Errorf("%w: asked %d, max %d", fairex.ErrPriceTooHigh, d.Price, r.cfg.MaxPrice)
+	}
+
+	// Step 9: the Listing 1 payment.
+	window := d.RefundWindow
+	if r.cfg.RefundWindow > window {
+		window = r.cfg.RefundWindow
+	}
+	params := script.KeyReleaseParams{
+		RSAPubKey:         d.EPk,
+		GatewayPubKeyHash: d.GatewayPubKeyHash,
+		RefundHeight:      r.ledger.Height() + window,
+		BuyerPubKeyHash:   r.wallet.PubKeyHash(),
+	}
+	payment, err := r.wallet.BuildKeyReleasePayment(r.ledger.UTXO(), params, d.Price, r.cfg.PaymentFee)
+	if err != nil {
+		return nil, fmt.Errorf("recipient: build payment: %w", err)
+	}
+	if err := r.ledger.Submit(payment); err != nil {
+		return nil, fmt.Errorf("recipient: submit payment: %w", err)
+	}
+
+	r.mu.Lock()
+	r.pending[payment.ID()] = &pendingPayment{delivery: d, payment: payment}
+	r.Stats.Payments++
+	r.mu.Unlock()
+	return payment, nil
+}
+
+// SettleClaim completes the exchange once the gateway's claim is
+// confirmed: extract eSk from the claim's unlocking script, strip the
+// RSA layer, then the AES layer, and return the plaintext.
+func (r *Recipient) SettleClaim(paymentID chain.Hash) (*Message, error) {
+	eSk, err := fairex.ExtractKeyFromClaim(r.ledger, paymentID)
+	if err != nil {
+		return nil, err
+	}
+	return r.settle(paymentID, eSk)
+}
+
+// SettleClaimTx completes the exchange from a claim transaction observed
+// unconfirmed (gossiped or in the mempool) — the proof of concept's
+// zero-confirmation mode, whose double-spend exposure §6 discusses.
+func (r *Recipient) SettleClaimTx(paymentID chain.Hash, claim *chain.Tx) (*Message, error) {
+	for _, in := range claim.Inputs {
+		if in.Prev.TxID != paymentID || in.Prev.Index != 0 {
+			continue
+		}
+		keyBytes, err := script.ExtractClaimedRSAKey(in.Unlock)
+		if err != nil {
+			return nil, fmt.Errorf("recipient: claim unlock: %w", err)
+		}
+		eSk, err := bccrypto.UnmarshalRSA512PrivateKey(keyBytes)
+		if err != nil {
+			return nil, fmt.Errorf("recipient: revealed key: %w", err)
+		}
+		return r.settle(paymentID, eSk)
+	}
+	return nil, fairex.ErrNoClaim
+}
+
+func (r *Recipient) settle(paymentID chain.Hash, eSk *bccrypto.RSA512PrivateKey) (*Message, error) {
+	r.mu.Lock()
+	pend, ok := r.pending[paymentID]
+	if !ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrExchangeNotFound, paymentID)
+	}
+	info := r.devices[pend.delivery.DevEUI]
+	r.mu.Unlock()
+
+	frame, err := bccrypto.DecryptRSA512(eSk, pend.delivery.Em)
+	if err != nil {
+		return nil, fmt.Errorf("recipient: rsa layer: %w", err)
+	}
+	plaintext, err := bccrypto.DecryptFrame(info.SharedKey, frame)
+	if err != nil {
+		return nil, fmt.Errorf("recipient: aes layer: %w", err)
+	}
+	r.mu.Lock()
+	delete(r.pending, paymentID)
+	r.Stats.Decryptions++
+	r.mu.Unlock()
+	return &Message{
+		DevEUI:    pend.delivery.DevEUI,
+		Plaintext: plaintext,
+		PaymentID: paymentID,
+	}, nil
+}
+
+// Refund reclaims an expired, unclaimed payment through the Listing 1
+// OP_ELSE path. It fails (at the ledger) before the refund height.
+func (r *Recipient) Refund(paymentID chain.Hash) (*chain.Tx, error) {
+	r.mu.Lock()
+	pend, ok := r.pending[paymentID]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrExchangeNotFound, paymentID)
+	}
+	params, err := script.ParseKeyRelease(pend.payment.Outputs[0].Lock)
+	if err != nil {
+		return nil, fmt.Errorf("recipient: parse own payment: %w", err)
+	}
+	refund, err := r.wallet.BuildRefund(
+		chain.OutPoint{TxID: paymentID, Index: 0},
+		pend.payment.Outputs[0], params.RefundHeight, r.cfg.RefundFee)
+	if err != nil {
+		return nil, fmt.Errorf("recipient: build refund: %w", err)
+	}
+	if err := r.ledger.Submit(refund); err != nil {
+		return nil, fmt.Errorf("recipient: submit refund: %w", err)
+	}
+	r.mu.Lock()
+	delete(r.pending, paymentID)
+	r.Stats.Refunds++
+	r.mu.Unlock()
+	return refund, nil
+}
+
+// PendingPayments lists the exchanges awaiting a claim.
+func (r *Recipient) PendingPayments() []chain.Hash {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]chain.Hash, 0, len(r.pending))
+	for id := range r.pending {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (r *Recipient) bumpRejected() {
+	r.mu.Lock()
+	r.Stats.RejectedOffers++
+	r.mu.Unlock()
+}

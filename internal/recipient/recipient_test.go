@@ -1,0 +1,237 @@
+package recipient
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+	"time"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/chain"
+	"bcwan/internal/fairex"
+	"bcwan/internal/lora"
+	"bcwan/internal/wallet"
+)
+
+type fixture struct {
+	rcpt    *Recipient
+	node    *fairex.Node
+	miner   *chain.Miner
+	gw      *wallet.Wallet
+	nodeKey *bccrypto.RSA512PrivateKey
+	eKey    *bccrypto.RSA512PrivateKey
+	shared  []byte
+	eui     lora.DevEUI
+	now     time.Time
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	rcptW, err := wallet.New(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwW, err := wallet.New(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minerW, err := wallet.New(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genesis := chain.GenesisBlock(map[[20]byte]uint64{rcptW.PubKeyHash(): 100_000})
+	c, err := chain.New(chain.DefaultParams(), genesis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AuthorizeMiner(minerW.PublicBytes())
+	pool := chain.NewMempool()
+	node := &fairex.Node{Chain: c, Pool: pool}
+
+	nodeKey, err := bccrypto.GenerateRSA512(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eKey, err := bccrypto.GenerateRSA512(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := make([]byte, bccrypto.AESKeySize)
+	if _, err := rand.Read(shared); err != nil {
+		t.Fatal(err)
+	}
+	eui := lora.DevEUI{0x01}
+
+	r := New(DefaultConfig(), rcptW, node, rand.Reader)
+	r.Provision(eui, DeviceInfo{SharedKey: shared, NodePub: nodeKey.Public()})
+	return &fixture{
+		rcpt:    r,
+		node:    node,
+		miner:   chain.NewMiner(minerW.Key(), c, pool, rand.Reader),
+		gw:      gwW,
+		nodeKey: nodeKey,
+		eKey:    eKey,
+		shared:  shared,
+		eui:     eui,
+		now:     time.Date(2018, 12, 10, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func (f *fixture) mine(t *testing.T) {
+	t.Helper()
+	f.now = f.now.Add(15 * time.Second)
+	if _, err := f.miner.Mine(f.now); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// delivery builds a valid signed Delivery for the fixture's device.
+func (f *fixture) delivery(t *testing.T, plaintext string) *fairex.Delivery {
+	t.Helper()
+	frame, err := bccrypto.EncryptFrame(rand.Reader, f.shared, []byte(plaintext))
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := bccrypto.EncryptRSA512(rand.Reader, f.eKey.Public(), frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ePk := bccrypto.MarshalRSA512PublicKey(f.eKey.Public())
+	sig := bccrypto.SignRSA512(f.nodeKey, fairex.SignedBlob(em, ePk))
+	return &fairex.Delivery{
+		DevEUI:            f.eui,
+		Exchange:          1,
+		Em:                em,
+		EPk:               ePk,
+		Sig:               sig,
+		GatewayPubKeyHash: f.gw.PubKeyHash(),
+		Price:             100,
+		RefundWindow:      100,
+	}
+}
+
+func TestHandleDeliveryThenSettleClaimTx(t *testing.T) {
+	f := newFixture(t)
+	payment, err := f.rcpt.HandleDelivery(f.delivery(t, "9.81m/s2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.rcpt.PendingPayments()) != 1 {
+		t.Fatal("payment not pending")
+	}
+
+	claim, err := f.gw.BuildClaim(chain.OutPoint{TxID: payment.ID(), Index: 0}, payment.Outputs[0], f.eKey, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := f.rcpt.SettleClaimTx(payment.ID(), claim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Plaintext) != "9.81m/s2" {
+		t.Fatalf("plaintext = %q", msg.Plaintext)
+	}
+	if len(f.rcpt.PendingPayments()) != 0 {
+		t.Fatal("exchange not cleared after settle")
+	}
+	if f.rcpt.Stats.Decryptions != 1 || f.rcpt.Stats.Payments != 1 {
+		t.Fatalf("stats = %+v", f.rcpt.Stats)
+	}
+}
+
+func TestSettleClaimTxRejectsWrongSpender(t *testing.T) {
+	f := newFixture(t)
+	payment, err := f.rcpt.HandleDelivery(f.delivery(t, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A claim that does not spend this payment.
+	other := &chain.Tx{Version: 9, Inputs: []chain.TxIn{{Prev: chain.OutPoint{TxID: chain.Hash{0xee}}}}}
+	if _, err := f.rcpt.SettleClaimTx(payment.ID(), other); !errors.Is(err, fairex.ErrNoClaim) {
+		t.Fatalf("err = %v, want ErrNoClaim", err)
+	}
+}
+
+func TestSettleClaimTxUnknownPayment(t *testing.T) {
+	f := newFixture(t)
+	claimLike := &chain.Tx{Version: 1, Inputs: []chain.TxIn{{Prev: chain.OutPoint{TxID: chain.Hash{0x01}, Index: 0}}}}
+	if _, err := f.rcpt.SettleClaimTx(chain.Hash{0x01}, claimLike); err == nil {
+		t.Fatal("settle for unknown payment succeeded")
+	}
+}
+
+func TestHandleDeliveryInsufficientFunds(t *testing.T) {
+	f := newFixture(t)
+	d := f.delivery(t, "x")
+	d.Price = 100
+	// Drain the recipient by paying out everything first.
+	drain, err := f.rcpt.Wallet().BuildPayment(f.node.UTXO(), f.gw.PubKeyHash(), 99_998, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.node.Submit(drain); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.rcpt.HandleDelivery(d); err == nil {
+		t.Fatal("payment built without funds")
+	}
+}
+
+func TestRefundUnknownPayment(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.rcpt.Refund(chain.Hash{0x42}); !errors.Is(err, ErrExchangeNotFound) {
+		t.Fatalf("err = %v, want ErrExchangeNotFound", err)
+	}
+}
+
+func TestRefundLifecycle(t *testing.T) {
+	f := newFixture(t)
+	payment, err := f.rcpt.HandleDelivery(f.delivery(t, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.mine(t)
+	// Before expiry the ledger rejects; the exchange stays pending.
+	if _, err := f.rcpt.Refund(payment.ID()); err == nil {
+		t.Fatal("early refund accepted")
+	}
+	if len(f.rcpt.PendingPayments()) != 1 {
+		t.Fatal("failed refund dropped the exchange")
+	}
+	for f.node.Height() < 101 {
+		f.mine(t)
+	}
+	if _, err := f.rcpt.Refund(payment.ID()); err != nil {
+		t.Fatalf("refund after expiry: %v", err)
+	}
+	if f.rcpt.Stats.Refunds != 1 {
+		t.Fatalf("stats = %+v", f.rcpt.Stats)
+	}
+}
+
+func TestSettleClaimFromChain(t *testing.T) {
+	f := newFixture(t)
+	payment, err := f.rcpt.HandleDelivery(f.delivery(t, "42"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	claim, err := f.gw.BuildClaim(chain.OutPoint{TxID: payment.ID(), Index: 0}, payment.Outputs[0], f.eKey, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.node.Submit(claim); err != nil {
+		t.Fatal(err)
+	}
+	// Unconfirmed: chain-scan settle fails.
+	if _, err := f.rcpt.SettleClaim(payment.ID()); !errors.Is(err, fairex.ErrNoClaim) {
+		t.Fatalf("err = %v, want ErrNoClaim before confirmation", err)
+	}
+	f.mine(t)
+	msg, err := f.rcpt.SettleClaim(payment.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Plaintext) != "42" {
+		t.Fatalf("plaintext = %q", msg.Plaintext)
+	}
+}

@@ -1,0 +1,155 @@
+// Package registry implements BcWAN's gateway addressing (§4.3): the
+// blockchain doubles as a DNS-like directory. Each recipient ready to
+// receive messages publishes a transaction binding its blockchain address
+// (@R, the hash of its public key) to its current IP address inside an
+// OP_RETURN output; gateways scan blocks and resolve @R to an IP before
+// opening the TCP connection of Fig. 3 step 7.
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"bcwan/internal/chain"
+	"bcwan/internal/script"
+	"bcwan/internal/wallet"
+)
+
+// bindingMagic tags BcWAN directory records among arbitrary OP_RETURN
+// data.
+var bindingMagic = []byte("BCWAN1")
+
+// maxNetAddrLen bounds the encoded network address.
+const maxNetAddrLen = 128
+
+// ErrBadBinding reports an undecodable directory record.
+var ErrBadBinding = errors.New("registry: malformed binding record")
+
+// ErrNotFound reports a lookup miss.
+var ErrNotFound = errors.New("registry: address not found")
+
+// Binding maps a blockchain address to a network address.
+type Binding struct {
+	// PubKeyHash is the recipient's @R.
+	PubKeyHash [20]byte
+	// NetAddr is the "host:port" the recipient listens on.
+	NetAddr string
+	// Height is the block that carried the (latest) record.
+	Height int64
+}
+
+// EncodeBinding serializes a record for an OP_RETURN output.
+func EncodeBinding(pubKeyHash [20]byte, netAddr string) ([]byte, error) {
+	if len(netAddr) == 0 || len(netAddr) > maxNetAddrLen {
+		return nil, fmt.Errorf("%w: address length %d", ErrBadBinding, len(netAddr))
+	}
+	out := make([]byte, 0, len(bindingMagic)+20+1+len(netAddr))
+	out = append(out, bindingMagic...)
+	out = append(out, pubKeyHash[:]...)
+	out = append(out, byte(len(netAddr)))
+	out = append(out, netAddr...)
+	return out, nil
+}
+
+// DecodeBinding parses a record.
+func DecodeBinding(data []byte) (Binding, error) {
+	var b Binding
+	if len(data) < len(bindingMagic)+20+1 {
+		return b, fmt.Errorf("%w: %d bytes", ErrBadBinding, len(data))
+	}
+	if !bytes.HasPrefix(data, bindingMagic) {
+		return b, fmt.Errorf("%w: bad magic", ErrBadBinding)
+	}
+	rest := data[len(bindingMagic):]
+	copy(b.PubKeyHash[:], rest[:20])
+	n := int(rest[20])
+	addr := rest[21:]
+	if len(addr) != n || n == 0 {
+		return b, fmt.Errorf("%w: address length mismatch", ErrBadBinding)
+	}
+	b.NetAddr = string(addr)
+	return b, nil
+}
+
+// Directory is the scanned view of all on-chain bindings. The latest
+// binding (highest block) wins, supporting the paper's roaming scenario
+// where "the IP address can change if the recipient gateway is moved to
+// another network".
+type Directory struct {
+	mu     sync.RWMutex
+	byHash map[[20]byte]Binding
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{byHash: make(map[[20]byte]Binding)}
+}
+
+// Attach subscribes the directory to a chain and scans all existing
+// best-branch blocks ("On start-up, each node retrieves the recent blocks
+// from other nodes and scans their content for foreign gateways IPs",
+// §5.1).
+func (d *Directory) Attach(c *chain.Chain) {
+	c.Subscribe(d.ScanBlock)
+	for h := int64(0); h <= c.Height(); h++ {
+		if b, ok := c.BlockAt(h); ok {
+			d.ScanBlock(b)
+		}
+	}
+}
+
+// ScanBlock indexes every binding record in the block.
+func (d *Directory) ScanBlock(b *chain.Block) {
+	for _, tx := range b.Txs {
+		for _, out := range tx.Outputs {
+			payload, err := script.ExtractNullData(out.Lock)
+			if err != nil {
+				continue
+			}
+			binding, err := DecodeBinding(payload)
+			if err != nil {
+				continue
+			}
+			binding.Height = b.Header.Height
+			d.mu.Lock()
+			prev, exists := d.byHash[binding.PubKeyHash]
+			if !exists || binding.Height >= prev.Height {
+				d.byHash[binding.PubKeyHash] = binding
+			}
+			d.mu.Unlock()
+		}
+	}
+}
+
+// Lookup resolves a blockchain address to its latest network address.
+func (d *Directory) Lookup(pubKeyHash [20]byte) (Binding, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	b, ok := d.byHash[pubKeyHash]
+	if !ok {
+		return Binding{}, ErrNotFound
+	}
+	return b, nil
+}
+
+// Len reports the number of known bindings.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.byHash)
+}
+
+// BuildPublish builds the transaction announcing the wallet's own binding.
+func BuildPublish(w *wallet.Wallet, utxo *chain.UTXOSet, netAddr string, fee uint64) (*chain.Tx, error) {
+	payload, err := EncodeBinding(w.PubKeyHash(), netAddr)
+	if err != nil {
+		return nil, err
+	}
+	tx, err := w.BuildDataPublish(utxo, payload, fee)
+	if err != nil {
+		return nil, fmt.Errorf("registry publish: %w", err)
+	}
+	return tx, nil
+}

@@ -1,0 +1,183 @@
+package registry
+
+import (
+	"crypto/rand"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"bcwan/internal/chain"
+	"bcwan/internal/wallet"
+)
+
+func TestBindingEncodeDecode(t *testing.T) {
+	var hash [20]byte
+	copy(hash[:], "recipient-pubkeyhash")
+	data, err := EncodeBinding(hash, "192.0.2.17:7000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeBinding(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.PubKeyHash != hash || b.NetAddr != "192.0.2.17:7000" {
+		t.Fatalf("binding = %+v", b)
+	}
+}
+
+func TestEncodeBindingRejects(t *testing.T) {
+	var hash [20]byte
+	if _, err := EncodeBinding(hash, ""); !errors.Is(err, ErrBadBinding) {
+		t.Fatalf("empty addr err = %v", err)
+	}
+	if _, err := EncodeBinding(hash, strings.Repeat("a", 200)); !errors.Is(err, ErrBadBinding) {
+		t.Fatalf("long addr err = %v", err)
+	}
+}
+
+func TestDecodeBindingRejects(t *testing.T) {
+	var hash [20]byte
+	good, err := EncodeBinding(hash, "10.0.0.1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"short":        {1, 2, 3},
+		"bad magic":    append([]byte("XXXXXX"), good[6:]...),
+		"truncated":    good[:len(good)-2],
+		"extra":        append(append([]byte(nil), good...), 'x'),
+		"zero address": good[:27],
+	}
+	for name, data := range cases {
+		if _, err := DecodeBinding(data); !errors.Is(err, ErrBadBinding) {
+			t.Errorf("%s: err = %v, want ErrBadBinding", name, err)
+		}
+	}
+}
+
+type regFixture struct {
+	chain   *chain.Chain
+	mempool *chain.Mempool
+	miner   *chain.Miner
+	w       *wallet.Wallet
+}
+
+func newRegFixture(t *testing.T) *regFixture {
+	t.Helper()
+	w, err := wallet.New(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minerW, err := wallet.New(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genesis := chain.GenesisBlock(map[[20]byte]uint64{w.PubKeyHash(): 100_000})
+	c, err := chain.New(chain.DefaultParams(), genesis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AuthorizeMiner(minerW.PublicBytes())
+	pool := chain.NewMempool()
+	return &regFixture{
+		chain:   c,
+		mempool: pool,
+		miner:   chain.NewMiner(minerW.Key(), c, pool, rand.Reader),
+		w:       w,
+	}
+}
+
+func (f *regFixture) publish(t *testing.T, addr string) {
+	t.Helper()
+	tx, err := BuildPublish(f.w, f.chain.UTXO(), addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.mempool.Accept(tx, f.chain.UTXO(), f.chain.Height(), f.chain.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.miner.Mine(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectoryScansSubscribedBlocks(t *testing.T) {
+	f := newRegFixture(t)
+	dir := NewDirectory()
+	dir.Attach(f.chain)
+
+	f.publish(t, "192.0.2.5:7000")
+
+	b, err := dir.Lookup(f.w.PubKeyHash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NetAddr != "192.0.2.5:7000" {
+		t.Fatalf("resolved %q", b.NetAddr)
+	}
+	if b.Height != 1 {
+		t.Fatalf("height = %d, want 1", b.Height)
+	}
+}
+
+func TestDirectoryAttachScansHistory(t *testing.T) {
+	f := newRegFixture(t)
+	f.publish(t, "192.0.2.5:7000")
+
+	// Attach after the record is already on-chain (the start-up scan).
+	dir := NewDirectory()
+	dir.Attach(f.chain)
+	if _, err := dir.Lookup(f.w.PubKeyHash()); err != nil {
+		t.Fatalf("start-up scan missed the binding: %v", err)
+	}
+}
+
+func TestDirectoryLatestBindingWins(t *testing.T) {
+	// The roaming case: the recipient moves and republishes.
+	f := newRegFixture(t)
+	dir := NewDirectory()
+	dir.Attach(f.chain)
+
+	f.publish(t, "192.0.2.5:7000")
+	f.publish(t, "198.51.100.9:8000")
+
+	b, err := dir.Lookup(f.w.PubKeyHash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NetAddr != "198.51.100.9:8000" {
+		t.Fatalf("resolved %q, want the newer binding", b.NetAddr)
+	}
+	if dir.Len() != 1 {
+		t.Fatalf("directory size = %d, want 1", dir.Len())
+	}
+}
+
+func TestDirectoryLookupMiss(t *testing.T) {
+	dir := NewDirectory()
+	if _, err := dir.Lookup([20]byte{1}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDirectoryIgnoresForeignOpReturns(t *testing.T) {
+	f := newRegFixture(t)
+	dir := NewDirectory()
+	dir.Attach(f.chain)
+
+	tx, err := f.w.BuildDataPublish(f.chain.UTXO(), []byte("unrelated data"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.mempool.Accept(tx, f.chain.UTXO(), f.chain.Height(), f.chain.Params()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.miner.Mine(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if dir.Len() != 0 {
+		t.Fatalf("directory indexed foreign data: %d entries", dir.Len())
+	}
+}

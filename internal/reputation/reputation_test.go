@@ -1,0 +1,105 @@
+package reputation
+
+import (
+	"testing"
+)
+
+func TestHonestGatewayGainsReputation(t *testing.T) {
+	s := New(DefaultConfig())
+	before := s.Score("gw")
+	if got := s.Exchange("gw", 100, false); got != OutcomeDelivered {
+		t.Fatalf("outcome = %v", got)
+	}
+	if s.Score("gw") <= before {
+		t.Fatal("score did not increase")
+	}
+	if s.Stats.PaymentsLost != 0 {
+		t.Fatal("honest delivery recorded a loss")
+	}
+}
+
+func TestCheatingLosesPaymentAndReputation(t *testing.T) {
+	s := New(DefaultConfig())
+	if got := s.Exchange("gw", 100, true); got != OutcomeCheated {
+		t.Fatalf("outcome = %v", got)
+	}
+	if s.Stats.PaymentsLost != 100 {
+		t.Fatalf("PaymentsLost = %d, want 100 (pay-first exchange)", s.Stats.PaymentsLost)
+	}
+	if s.Score("gw") >= DefaultConfig().InitialScore {
+		t.Fatal("score did not drop")
+	}
+}
+
+func TestRepeatOffenderEventuallyRefused(t *testing.T) {
+	s := New(DefaultConfig())
+	refused := false
+	for i := 0; i < 10; i++ {
+		if s.Exchange("gw", 100, true) == OutcomeRefused {
+			refused = true
+			break
+		}
+	}
+	if !refused {
+		t.Fatal("cheater never banished")
+	}
+	// Refusals stop further losses.
+	before := s.Stats.PaymentsLost
+	s.Exchange("gw", 100, true)
+	if s.Stats.PaymentsLost != before {
+		t.Fatal("refused exchange still lost payment")
+	}
+}
+
+func TestUntrustedGatewayRefused(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialScore = 0 // below threshold: nobody starts trusted
+	s := New(cfg)
+	if got := s.Exchange("gw", 100, false); got != OutcomeRefused {
+		t.Fatalf("outcome = %v, want refused", got)
+	}
+}
+
+func TestSimulateAllHonestLosesNothing(t *testing.T) {
+	res := Simulate(DefaultConfig(), 1, 10, 0, 0, 2000, 100)
+	if res.PaymentsLost != 0 || res.LossRate != 0 {
+		t.Fatalf("loss = %d (%f)", res.PaymentsLost, res.LossRate)
+	}
+	if res.Delivered != 2000 {
+		t.Fatalf("delivered = %d", res.Delivered)
+	}
+}
+
+func TestSimulateCheatersCauseBoundedLoss(t *testing.T) {
+	// The §4.4 claim: reputation reduces but does not eliminate loss.
+	res := Simulate(DefaultConfig(), 42, 10, 0.3, 0.5, 5000, 100)
+	if res.PaymentsLost == 0 {
+		t.Fatal("cheaters caused no loss — reputation would equal fair exchange")
+	}
+	if res.LossRate >= 0.5 {
+		t.Fatalf("loss rate %.2f implausibly high — banishment not working", res.LossRate)
+	}
+	if res.Refused == 0 {
+		t.Fatal("no cheater was ever banished")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := Simulate(DefaultConfig(), 7, 10, 0.3, 0.5, 1000, 100)
+	b := Simulate(DefaultConfig(), 7, 10, 0.3, 0.5, 1000, 100)
+	if a != b {
+		t.Fatal("same seed produced different results")
+	}
+}
+
+func TestMoreAggressiveCheatingBanishedFaster(t *testing.T) {
+	gentle := Simulate(DefaultConfig(), 3, 10, 0.3, 0.1, 5000, 100)
+	brazen := Simulate(DefaultConfig(), 3, 10, 0.3, 1.0, 5000, 100)
+	// A brazen cheater is caught quickly, so per-exchange loss rate
+	// stays comparable or lower than sustained sneaky cheating at
+	// scale; at minimum both must lose something and refusals must be
+	// higher for brazen cheaters.
+	if brazen.Refused <= gentle.Refused {
+		t.Fatalf("brazen refusals %d ≤ gentle %d", brazen.Refused, gentle.Refused)
+	}
+}

@@ -1,0 +1,127 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"bcwan/internal/chain"
+)
+
+// Client talks to a Server (or any Multichain-compatible subset).
+type Client struct {
+	url    string
+	http   *http.Client
+	nextID atomic.Int64
+}
+
+// NewClient creates a client for the daemon at addr (host:port).
+func NewClient(addr string) *Client {
+	return &Client{
+		url:  "http://" + addr + "/",
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Call performs one JSON-RPC round trip, decoding the result into out
+// (pass nil to discard).
+func (c *Client) Call(method string, out any, params ...any) error {
+	rawParams := make([]json.RawMessage, len(params))
+	for i, p := range params {
+		raw, err := json.Marshal(p)
+		if err != nil {
+			return fmt.Errorf("rpc marshal param %d: %w", i, err)
+		}
+		rawParams[i] = raw
+	}
+	req := Request{Method: method, Params: rawParams, ID: c.nextID.Add(1)}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("rpc marshal: %w", err)
+	}
+	httpResp, err := c.http.Post(c.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("rpc post: %w", err)
+	}
+	defer httpResp.Body.Close()
+	var resp Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return fmt.Errorf("rpc decode: %w", err)
+	}
+	if resp.Error != nil {
+		return resp.Error
+	}
+	if out != nil {
+		if err := json.Unmarshal(resp.Result, out); err != nil {
+			return fmt.Errorf("rpc decode result: %w", err)
+		}
+	}
+	return nil
+}
+
+// GetBlockCount returns the chain height.
+func (c *Client) GetBlockCount() (int64, error) {
+	var h int64
+	err := c.Call("getblockcount", &h)
+	return h, err
+}
+
+// GetBlock returns the block at a height.
+func (c *Client) GetBlock(height int64) (*chain.Block, error) {
+	var summary BlockSummary
+	if err := c.Call("getblock", &summary, height); err != nil {
+		return nil, err
+	}
+	raw, err := hex.DecodeString(summary.RawHex)
+	if err != nil {
+		return nil, fmt.Errorf("rpc block hex: %w", err)
+	}
+	return chain.DeserializeBlock(raw)
+}
+
+// SendRawTransaction submits a transaction, returning its txid.
+func (c *Client) SendRawTransaction(tx *chain.Tx) (chain.Hash, error) {
+	var txid string
+	if err := c.Call("sendrawtransaction", &txid, hex.EncodeToString(tx.Serialize())); err != nil {
+		return chain.Hash{}, err
+	}
+	return chain.HashFromString(txid)
+}
+
+// GetRawTransaction fetches a transaction by ID.
+func (c *Client) GetRawTransaction(id chain.Hash) (*chain.Tx, error) {
+	var txHex string
+	if err := c.Call("getrawtransaction", &txHex, id.String()); err != nil {
+		return nil, err
+	}
+	raw, err := hex.DecodeString(txHex)
+	if err != nil {
+		return nil, fmt.Errorf("rpc tx hex: %w", err)
+	}
+	return chain.DeserializeTx(raw)
+}
+
+// GetConfirmations returns the confirmation count of a transaction.
+func (c *Client) GetConfirmations(id chain.Hash) (int64, error) {
+	var n int64
+	err := c.Call("getconfirmations", &n, id.String())
+	return n, err
+}
+
+// ListUnspent returns the P2PKH outputs paying a pubkey hash.
+func (c *Client) ListUnspent(hash [20]byte) ([]UnspentOutput, error) {
+	var out []UnspentOutput
+	err := c.Call("listunspent", &out, hex.EncodeToString(hash[:]))
+	return out, err
+}
+
+// GetBalance sums the P2PKH outputs paying a pubkey hash.
+func (c *Client) GetBalance(hash [20]byte) (uint64, error) {
+	var v uint64
+	err := c.Call("getbalance", &v, hex.EncodeToString(hash[:]))
+	return v, err
+}

@@ -1,0 +1,239 @@
+package rpc
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+	"time"
+
+	"bcwan/internal/chain"
+	"bcwan/internal/wallet"
+)
+
+type fixture struct {
+	t       *testing.T
+	chain   *chain.Chain
+	mempool *chain.Mempool
+	miner   *chain.Miner
+	alice   *wallet.Wallet
+	bob     *wallet.Wallet
+	server  *Server
+	client  *Client
+	gossip  []*chain.Tx
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	alice, err := wallet.New(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := wallet.New(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minerW, err := wallet.New(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genesis := chain.GenesisBlock(map[[20]byte]uint64{alice.PubKeyHash(): 1_000_000})
+	c, err := chain.New(chain.DefaultParams(), genesis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AuthorizeMiner(minerW.PublicBytes())
+	pool := chain.NewMempool()
+
+	f := &fixture{
+		t:       t,
+		chain:   c,
+		mempool: pool,
+		miner:   chain.NewMiner(minerW.Key(), c, pool, rand.Reader),
+		alice:   alice,
+		bob:     bob,
+	}
+	f.server, err = NewServer("", Backend{
+		Chain:        c,
+		Mempool:      pool,
+		OnTxAccepted: func(tx *chain.Tx) { f.gossip = append(f.gossip, tx) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.server.Close() })
+	f.client = NewClient(f.server.Addr())
+	return f
+}
+
+func TestGetBlockCount(t *testing.T) {
+	f := newFixture(t)
+	h, err := f.client.GetBlockCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Fatalf("height = %d, want 0", h)
+	}
+	if _, err := f.miner.Mine(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	h, err = f.client.GetBlockCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 1 {
+		t.Fatalf("height = %d, want 1", h)
+	}
+}
+
+func TestSendRawTransactionRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	tx, err := f.alice.BuildPayment(f.chain.UTXO(), f.bob.PubKeyHash(), 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txid, err := f.client.SendRawTransaction(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txid != tx.ID() {
+		t.Fatalf("txid = %s, want %s", txid, tx.ID())
+	}
+	if !f.mempool.Contains(tx.ID()) {
+		t.Fatal("transaction not in mempool")
+	}
+	if len(f.gossip) != 1 {
+		t.Fatalf("gossip callbacks = %d, want 1", len(f.gossip))
+	}
+
+	// Fetch it back from the mempool.
+	back, err := f.client.GetRawTransaction(tx.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID() != tx.ID() {
+		t.Fatal("mempool fetch mismatch")
+	}
+
+	// After mining, confirmations report 1 and getblock returns it.
+	if _, err := f.miner.Mine(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	conf, err := f.client.GetConfirmations(tx.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf != 1 {
+		t.Fatalf("confirmations = %d, want 1", conf)
+	}
+	blk, err := f.client.GetBlock(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, btx := range blk.Txs {
+		if btx.ID() == tx.ID() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("transaction not in fetched block")
+	}
+}
+
+func TestSendRawTransactionRejectsInvalid(t *testing.T) {
+	f := newFixture(t)
+	// bob has no funds; a self-built spend of nonexistent coins fails.
+	tx, err := f.alice.BuildPayment(f.chain.UTXO(), f.bob.PubKeyHash(), 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Inputs[0].Prev.Index = 999 // nonexistent outpoint
+	if _, err := f.client.SendRawTransaction(tx); err == nil {
+		t.Fatal("invalid transaction accepted")
+	}
+	var rpcErr *Error
+	if _, err := f.client.SendRawTransaction(tx); !errors.As(err, &rpcErr) {
+		t.Fatalf("err = %T, want *rpc.Error", err)
+	}
+}
+
+func TestListUnspentAndBalance(t *testing.T) {
+	f := newFixture(t)
+	outs, err := f.client.ListUnspent(f.alice.PubKeyHash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].Value != 1_000_000 {
+		t.Fatalf("unspent = %+v", outs)
+	}
+	bal, err := f.client.GetBalance(f.alice.PubKeyHash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal != 1_000_000 {
+		t.Fatalf("balance = %d", bal)
+	}
+	empty, err := f.client.ListUnspent(f.bob.PubKeyHash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Fatalf("bob unspent = %+v, want none", empty)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	f := newFixture(t)
+	err := f.client.Call("getwalletinfo", nil)
+	var rpcErr *Error
+	if !errors.As(err, &rpcErr) || rpcErr.Code != CodeMethodNotFound {
+		t.Fatalf("err = %v, want method-not-found", err)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	f := newFixture(t)
+	var out string
+	err := f.client.Call("getblock", &out) // missing param
+	var rpcErr *Error
+	if !errors.As(err, &rpcErr) || rpcErr.Code != CodeInvalidParams {
+		t.Fatalf("err = %v, want invalid-params", err)
+	}
+	err = f.client.Call("getblock", &out, 99999) // out of range
+	if !errors.As(err, &rpcErr) {
+		t.Fatalf("err = %v, want rpc.Error", err)
+	}
+	err = f.client.Call("getrawtransaction", &out, "nothex")
+	if !errors.As(err, &rpcErr) || rpcErr.Code != CodeInvalidParams {
+		t.Fatalf("err = %v, want invalid-params", err)
+	}
+	err = f.client.Call("listunspent", nil, "abcd")
+	if !errors.As(err, &rpcErr) || rpcErr.Code != CodeInvalidParams {
+		t.Fatalf("err = %v, want invalid-params", err)
+	}
+}
+
+func TestGetBestBlockHash(t *testing.T) {
+	f := newFixture(t)
+	var hash string
+	if err := f.client.Call("getbestblockhash", &hash); err != nil {
+		t.Fatal(err)
+	}
+	if hash != f.chain.Tip().ID().String() {
+		t.Fatalf("best hash = %s", hash)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	f := newFixture(t)
+	if err := f.server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.client.GetBlockCount(); err == nil {
+		t.Fatal("request succeeded after close")
+	}
+}

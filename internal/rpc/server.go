@@ -1,0 +1,297 @@
+// Package rpc exposes the blockchain node over JSON-RPC, mirroring the
+// Multichain daemon surface the paper's Go daemon wraps (§5.1): creating,
+// signing and sending raw transactions, publishing OP_RETURN data, and
+// querying blocks and unspent outputs.
+package rpc
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"bcwan/internal/chain"
+)
+
+// Request is a JSON-RPC request.
+type Request struct {
+	Method string            `json:"method"`
+	Params []json.RawMessage `json:"params"`
+	ID     int64             `json:"id"`
+}
+
+// Response is a JSON-RPC response.
+type Response struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  *Error          `json:"error,omitempty"`
+	ID     int64           `json:"id"`
+}
+
+// Error is a JSON-RPC error object.
+type Error struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("rpc error %d: %s", e.Code, e.Message) }
+
+// JSON-RPC error codes.
+const (
+	CodeMethodNotFound = -32601
+	CodeInvalidParams  = -32602
+	CodeServerError    = -32000
+)
+
+// Backend is the node state the server exposes.
+type Backend struct {
+	Chain   *chain.Chain
+	Mempool *chain.Mempool
+	// OnTxAccepted, when set, is invoked after a sendrawtransaction is
+	// admitted to the mempool (the daemon gossips it to peers).
+	OnTxAccepted func(*chain.Tx)
+}
+
+// Server is an HTTP JSON-RPC server.
+type Server struct {
+	backend  Backend
+	server   *http.Server
+	listener net.Listener
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer starts a server on addr ("127.0.0.1:0" picks a free port).
+func NewServer(addr string, backend Backend) (*Server, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc listen: %w", err)
+	}
+	s := &Server{backend: backend, listener: l}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handle)
+	s.server = &http.Server{Handler: mux}
+	go s.server.Serve(l) //nolint:errcheck // Serve returns on Close.
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.server.Close()
+}
+
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request", http.StatusBadRequest)
+		return
+	}
+	resp := s.dispatch(&req)
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// Connection-level failure; nothing else to do.
+		return
+	}
+}
+
+func (s *Server) dispatch(req *Request) *Response {
+	result, err := s.call(req)
+	resp := &Response{ID: req.ID}
+	if err != nil {
+		var rpcErr *Error
+		if errors.As(err, &rpcErr) {
+			resp.Error = rpcErr
+		} else {
+			resp.Error = &Error{Code: CodeServerError, Message: err.Error()}
+		}
+		return resp
+	}
+	raw, merr := json.Marshal(result)
+	if merr != nil {
+		resp.Error = &Error{Code: CodeServerError, Message: merr.Error()}
+		return resp
+	}
+	resp.Result = raw
+	return resp
+}
+
+// UnspentOutput is the listunspent result row.
+type UnspentOutput struct {
+	TxID      string `json:"txid"`
+	Vout      uint32 `json:"vout"`
+	Value     uint64 `json:"value"`
+	LockHex   string `json:"lockhex"`
+	Height    int64  `json:"height"`
+	Coinbase  bool   `json:"coinbase"`
+	Spendable bool   `json:"spendable"`
+}
+
+// BlockSummary is the getblock result.
+type BlockSummary struct {
+	Hash     string   `json:"hash"`
+	Height   int64    `json:"height"`
+	Time     int64    `json:"time"`
+	TxIDs    []string `json:"tx"`
+	RawHex   string   `json:"rawhex"`
+	PrevHash string   `json:"previousblockhash"`
+}
+
+func (s *Server) call(req *Request) (any, error) {
+	switch req.Method {
+	case "getblockcount":
+		return s.backend.Chain.Height(), nil
+
+	case "getbestblockhash":
+		return s.backend.Chain.Tip().ID().String(), nil
+
+	case "getblock":
+		var height int64
+		if err := oneParam(req, &height); err != nil {
+			return nil, err
+		}
+		b, ok := s.backend.Chain.BlockAt(height)
+		if !ok {
+			return nil, &Error{Code: CodeInvalidParams, Message: "block not found"}
+		}
+		return blockSummary(b), nil
+
+	case "getrawtransaction":
+		var txid string
+		if err := oneParam(req, &txid); err != nil {
+			return nil, err
+		}
+		id, err := chain.HashFromString(txid)
+		if err != nil {
+			return nil, &Error{Code: CodeInvalidParams, Message: err.Error()}
+		}
+		if tx, ok := s.backend.Mempool.Get(id); ok {
+			return hex.EncodeToString(tx.Serialize()), nil
+		}
+		tx, _, ok := s.backend.Chain.FindTx(id)
+		if !ok {
+			return nil, &Error{Code: CodeInvalidParams, Message: "transaction not found"}
+		}
+		return hex.EncodeToString(tx.Serialize()), nil
+
+	case "getconfirmations":
+		var txid string
+		if err := oneParam(req, &txid); err != nil {
+			return nil, err
+		}
+		id, err := chain.HashFromString(txid)
+		if err != nil {
+			return nil, &Error{Code: CodeInvalidParams, Message: err.Error()}
+		}
+		return s.backend.Chain.Confirmations(id), nil
+
+	case "sendrawtransaction":
+		var txHex string
+		if err := oneParam(req, &txHex); err != nil {
+			return nil, err
+		}
+		raw, err := hex.DecodeString(txHex)
+		if err != nil {
+			return nil, &Error{Code: CodeInvalidParams, Message: "bad hex"}
+		}
+		tx, err := chain.DeserializeTx(raw)
+		if err != nil {
+			return nil, &Error{Code: CodeInvalidParams, Message: err.Error()}
+		}
+		c := s.backend.Chain
+		if err := s.backend.Mempool.Accept(tx, c.UTXO(), c.Height(), c.Params()); err != nil {
+			return nil, &Error{Code: CodeServerError, Message: err.Error()}
+		}
+		if s.backend.OnTxAccepted != nil {
+			s.backend.OnTxAccepted(tx)
+		}
+		return tx.ID().String(), nil
+
+	case "listunspent":
+		var hashHex string
+		if err := oneParam(req, &hashHex); err != nil {
+			return nil, err
+		}
+		var hash [20]byte
+		raw, err := hex.DecodeString(hashHex)
+		if err != nil || len(raw) != 20 {
+			return nil, &Error{Code: CodeInvalidParams, Message: "pubkey hash must be 20 hex bytes"}
+		}
+		copy(hash[:], raw)
+		utxo := s.backend.Chain.UTXO()
+		var out []UnspentOutput
+		for _, op := range utxo.FindByPubKeyHash(hash) {
+			entry, _ := utxo.Get(op)
+			out = append(out, UnspentOutput{
+				TxID:      op.TxID.String(),
+				Vout:      op.Index,
+				Value:     entry.Out.Value,
+				LockHex:   hex.EncodeToString(entry.Out.Lock),
+				Height:    entry.Height,
+				Coinbase:  entry.Coinbase,
+				Spendable: true,
+			})
+		}
+		return out, nil
+
+	case "getbalance":
+		var hashHex string
+		if err := oneParam(req, &hashHex); err != nil {
+			return nil, err
+		}
+		var hash [20]byte
+		raw, err := hex.DecodeString(hashHex)
+		if err != nil || len(raw) != 20 {
+			return nil, &Error{Code: CodeInvalidParams, Message: "pubkey hash must be 20 hex bytes"}
+		}
+		copy(hash[:], raw)
+		return s.backend.Chain.UTXO().BalanceOf(hash), nil
+
+	default:
+		return nil, &Error{Code: CodeMethodNotFound, Message: req.Method}
+	}
+}
+
+func blockSummary(b *chain.Block) BlockSummary {
+	ids := make([]string, len(b.Txs))
+	for i, tx := range b.Txs {
+		ids[i] = tx.ID().String()
+	}
+	return BlockSummary{
+		Hash:     b.ID().String(),
+		Height:   b.Header.Height,
+		Time:     b.Header.Time,
+		TxIDs:    ids,
+		RawHex:   hex.EncodeToString(b.Serialize()),
+		PrevHash: b.Header.PrevBlock.String(),
+	}
+}
+
+func oneParam(req *Request, out any) error {
+	if len(req.Params) != 1 {
+		return &Error{Code: CodeInvalidParams, Message: "expected 1 parameter"}
+	}
+	if err := json.Unmarshal(req.Params[0], out); err != nil {
+		return &Error{Code: CodeInvalidParams, Message: err.Error()}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package script
+
+import (
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: evaluating arbitrary byte strings as scripts never panics —
+// every failure mode is an error. The engine is consensus code; a panic
+// would be a remote crash vector.
+func TestVerifyNeverPanicsOnRandomScripts(t *testing.T) {
+	f := func(unlock, lock []byte) bool {
+		if len(unlock) > 2000 {
+			unlock = unlock[:2000]
+		}
+		if len(lock) > 2000 {
+			lock = lock[:2000]
+		}
+		// Any outcome is fine; reaching the return means no panic.
+		_ = Verify(unlock, lock, nil)
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: mrand.New(mrand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every opcode byte, executed alone on random small stacks,
+// errors or succeeds without panicking.
+func TestSingleOpcodeRobustness(t *testing.T) {
+	for op := 0; op < 256; op++ {
+		for depth := 0; depth <= 3; depth++ {
+			b := NewBuilder()
+			for i := 0; i < depth; i++ {
+				b.AddData([]byte{byte(i + 1)})
+			}
+			lock := append(b.Script(), byte(op))
+			_ = Verify(nil, lock, nil) // must not panic
+		}
+	}
+}
+
+// Property: parse → rebuild through the Builder yields a script with the
+// same instruction sequence.
+func TestParseBuilderRoundTrip(t *testing.T) {
+	f := func(words [][]byte) bool {
+		b := NewBuilder()
+		for _, w := range words {
+			if len(w) > 500 {
+				w = w[:500]
+			}
+			b.AddData(w)
+		}
+		s := b.Script()
+		instrs, err := Parse(s)
+		if err != nil {
+			return false
+		}
+		rebuilt := NewBuilder()
+		for _, in := range instrs {
+			if v, ok := in.Op.smallIntValue(); ok {
+				rebuilt.AddInt64(v)
+				continue
+			}
+			rebuilt.AddData(in.Data)
+		}
+		return string(rebuilt.Script()) == string(s)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: mrand.New(mrand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

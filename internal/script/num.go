@@ -1,0 +1,94 @@
+package script
+
+import "errors"
+
+// Script numbers use Bitcoin's minimal little-endian sign-magnitude
+// encoding: the most significant bit of the last byte is the sign, and no
+// redundant trailing bytes are allowed when decoding operands.
+
+// maxNumLen bounds operand size for arithmetic opcodes. CLTV heights use
+// up to 5 bytes, matching BIP-65.
+const maxNumLen = 5
+
+// ErrNumberTooLarge reports an arithmetic operand above the size limit.
+var ErrNumberTooLarge = errors.New("script: number operand too large")
+
+// ErrNonMinimalNumber reports a number with redundant trailing bytes.
+var ErrNonMinimalNumber = errors.New("script: non-minimal number encoding")
+
+// encodeNum converts n to its minimal script encoding.
+func encodeNum(n int64) []byte {
+	if n == 0 {
+		return nil
+	}
+	neg := n < 0
+	mag := n
+	if neg {
+		mag = -mag
+	}
+	out := make([]byte, 0, 9)
+	for mag > 0 {
+		out = append(out, byte(mag&0xff))
+		mag >>= 8
+	}
+	// If the top bit of the last byte is set, append a sign byte;
+	// otherwise fold the sign into it.
+	if out[len(out)-1]&0x80 != 0 {
+		if neg {
+			out = append(out, 0x80)
+		} else {
+			out = append(out, 0x00)
+		}
+	} else if neg {
+		out[len(out)-1] |= 0x80
+	}
+	return out
+}
+
+// decodeNum parses a minimally encoded script number of at most maxLen
+// bytes.
+func decodeNum(b []byte, maxLen int) (int64, error) {
+	if len(b) > maxLen {
+		return 0, ErrNumberTooLarge
+	}
+	if len(b) == 0 {
+		return 0, nil
+	}
+	// Reject non-minimal encodings: the last byte may not be a bare sign
+	// byte unless the bit below it is in use.
+	last := b[len(b)-1]
+	if last&0x7f == 0 {
+		if len(b) == 1 || b[len(b)-2]&0x80 == 0 {
+			return 0, ErrNonMinimalNumber
+		}
+	}
+	var mag uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		v := b[i]
+		if i == len(b)-1 {
+			v &= 0x7f
+		}
+		mag = mag<<8 | uint64(v)
+	}
+	n := int64(mag)
+	if last&0x80 != 0 {
+		n = -n
+	}
+	return n, nil
+}
+
+// isTruthy implements script truthiness: any nonzero byte makes the value
+// true, except that negative zero (all zero bytes with only the sign bit
+// set) is false.
+func isTruthy(b []byte) bool {
+	for i, v := range b {
+		if v != 0 {
+			// Negative zero: sign bit alone in the final byte.
+			if i == len(b)-1 && v == 0x80 {
+				return false
+			}
+			return true
+		}
+	}
+	return false
+}

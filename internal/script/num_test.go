@@ -1,0 +1,92 @@
+package script
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeNumVectors(t *testing.T) {
+	tests := []struct {
+		n    int64
+		want []byte
+	}{
+		{0, nil},
+		{1, []byte{0x01}},
+		{-1, []byte{0x81}},
+		{127, []byte{0x7f}},
+		{-127, []byte{0xff}},
+		{128, []byte{0x80, 0x00}},
+		{-128, []byte{0x80, 0x80}},
+		{255, []byte{0xff, 0x00}},
+		{256, []byte{0x00, 0x01}},
+		{-255, []byte{0xff, 0x80}},
+		{32767, []byte{0xff, 0x7f}},
+		{32768, []byte{0x00, 0x80, 0x00}},
+		{100, []byte{0x64}},
+		{1000, []byte{0xe8, 0x03}},
+		{500000, []byte{0x20, 0xa1, 0x07}},
+	}
+	for _, tt := range tests {
+		if got := encodeNum(tt.n); !bytes.Equal(got, tt.want) {
+			t.Errorf("encodeNum(%d) = %x, want %x", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestDecodeNumRoundTripQuick(t *testing.T) {
+	f := func(n int64) bool {
+		// Limit to the 5-byte range CLTV permits.
+		n %= 1 << 39
+		got, err := decodeNum(encodeNum(n), maxNumLen)
+		return err == nil && got == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeNumRejectsNonMinimal(t *testing.T) {
+	cases := [][]byte{
+		{0x00},             // zero must be empty
+		{0x01, 0x00},       // redundant trailing zero
+		{0x80},             // negative zero
+		{0x01, 0x80},       // negative zero tail... actually -1 non-minimal? 0x01,0x80 = -1 encoded in 2 bytes
+		{0xff, 0x00, 0x00}, // redundant
+	}
+	for _, c := range cases {
+		if _, err := decodeNum(c, maxNumLen); err == nil {
+			t.Errorf("decodeNum(%x) accepted non-minimal encoding", c)
+		}
+	}
+}
+
+func TestDecodeNumRejectsTooLong(t *testing.T) {
+	if _, err := decodeNum([]byte{1, 2, 3, 4, 5, 6}, maxNumLen); !errors.Is(err, ErrNumberTooLarge) {
+		t.Fatalf("err = %v, want ErrNumberTooLarge", err)
+	}
+}
+
+func TestIsTruthy(t *testing.T) {
+	tests := []struct {
+		in   []byte
+		want bool
+	}{
+		{nil, false},
+		{[]byte{}, false},
+		{[]byte{0x00}, false},
+		{[]byte{0x00, 0x00}, false},
+		{[]byte{0x80}, false},       // negative zero
+		{[]byte{0x00, 0x80}, false}, // negative zero, two bytes
+		{[]byte{0x01}, true},
+		{[]byte{0x00, 0x01}, true},
+		{[]byte{0x80, 0x00}, true}, // 128
+		{[]byte{0xff}, true},
+	}
+	for _, tt := range tests {
+		if got := isTruthy(tt.in); got != tt.want {
+			t.Errorf("isTruthy(%x) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package script
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Script is a serialized script program.
+type Script []byte
+
+// Instruction is one decoded script element: either an opcode or a data
+// push (in which case Data holds the pushed bytes).
+type Instruction struct {
+	Op   Opcode
+	Data []byte
+}
+
+// Parse errors.
+var (
+	// ErrTruncatedPush reports a push opcode whose data runs past the end
+	// of the script.
+	ErrTruncatedPush = errors.New("script: truncated data push")
+	// ErrScriptTooLarge reports a script above MaxScriptSize.
+	ErrScriptTooLarge = errors.New("script: script too large")
+)
+
+// MaxScriptSize is the maximum serialized script length, mirroring
+// Bitcoin's limit.
+const MaxScriptSize = 10000
+
+// Parse decodes a script into its instruction sequence.
+func Parse(s Script) ([]Instruction, error) {
+	if len(s) > MaxScriptSize {
+		return nil, ErrScriptTooLarge
+	}
+	var out []Instruction
+	for i := 0; i < len(s); {
+		op := Opcode(s[i])
+		i++
+		switch {
+		case op >= 0x01 && op <= maxDirectPush:
+			n := int(op)
+			if i+n > len(s) {
+				return nil, ErrTruncatedPush
+			}
+			out = append(out, Instruction{Op: op, Data: s[i : i+n]})
+			i += n
+		case op == OpPushData1:
+			if i >= len(s) {
+				return nil, ErrTruncatedPush
+			}
+			n := int(s[i])
+			i++
+			if i+n > len(s) {
+				return nil, ErrTruncatedPush
+			}
+			out = append(out, Instruction{Op: op, Data: s[i : i+n]})
+			i += n
+		case op == OpPushData2:
+			if i+1 >= len(s) {
+				return nil, ErrTruncatedPush
+			}
+			n := int(binary.LittleEndian.Uint16(s[i:]))
+			i += 2
+			if i+n > len(s) {
+				return nil, ErrTruncatedPush
+			}
+			out = append(out, Instruction{Op: op, Data: s[i : i+n]})
+			i += n
+		default:
+			out = append(out, Instruction{Op: op})
+		}
+	}
+	return out, nil
+}
+
+// IsPushOnly reports whether the script consists solely of data pushes.
+// Unlocking scripts are required to be push-only, which closes script
+// malleability through executable unlocking programs.
+func (s Script) IsPushOnly() bool {
+	instrs, err := Parse(s)
+	if err != nil {
+		return false
+	}
+	for _, in := range instrs {
+		if !in.Op.IsPush() {
+			return false
+		}
+	}
+	return true
+}
+
+// String disassembles the script for logs and debugging.
+func (s Script) String() string {
+	instrs, err := Parse(s)
+	if err != nil {
+		return fmt.Sprintf("<invalid script: %v>", err)
+	}
+	parts := make([]string, 0, len(instrs))
+	for _, in := range instrs {
+		if in.Data != nil || (in.Op >= 0x01 && in.Op <= maxDirectPush) {
+			parts = append(parts, hex.EncodeToString(in.Data))
+			continue
+		}
+		parts = append(parts, in.Op.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+// Builder incrementally assembles a script. The zero value is ready to
+// use; methods chain.
+type Builder struct {
+	buf []byte
+}
+
+// NewBuilder returns an empty script builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddOp appends a bare opcode.
+func (b *Builder) AddOp(op Opcode) *Builder {
+	b.buf = append(b.buf, byte(op))
+	return b
+}
+
+// AddData appends a minimal push of data.
+func (b *Builder) AddData(data []byte) *Builder {
+	switch {
+	case len(data) == 0:
+		b.buf = append(b.buf, byte(OpFalse))
+	case len(data) == 1 && data[0] >= 1 && data[0] <= 16:
+		b.buf = append(b.buf, byte(OpTrue)+data[0]-1)
+	case len(data) <= maxDirectPush:
+		b.buf = append(b.buf, byte(len(data)))
+		b.buf = append(b.buf, data...)
+	case len(data) <= 0xff:
+		b.buf = append(b.buf, byte(OpPushData1), byte(len(data)))
+		b.buf = append(b.buf, data...)
+	default:
+		b.buf = append(b.buf, byte(OpPushData2))
+		var n [2]byte
+		binary.LittleEndian.PutUint16(n[:], uint16(len(data)))
+		b.buf = append(b.buf, n[:]...)
+		b.buf = append(b.buf, data...)
+	}
+	return b
+}
+
+// AddInt64 appends a push of the minimally encoded number.
+func (b *Builder) AddInt64(n int64) *Builder {
+	if n >= -1 && n <= 16 {
+		switch {
+		case n == 0:
+			return b.AddOp(OpFalse)
+		case n == -1:
+			return b.AddOp(Op1Negate)
+		default:
+			return b.AddOp(OpTrue + Opcode(n-1))
+		}
+	}
+	return b.AddData(encodeNum(n))
+}
+
+// Script returns the assembled script. The returned slice is a copy.
+func (b *Builder) Script() Script {
+	return append(Script(nil), b.buf...)
+}

@@ -1,0 +1,150 @@
+package script
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseDirectPush(t *testing.T) {
+	s := NewBuilder().AddData([]byte{0xaa, 0xbb}).Script()
+	instrs, err := Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instrs) != 1 || !bytes.Equal(instrs[0].Data, []byte{0xaa, 0xbb}) {
+		t.Fatalf("instrs = %+v", instrs)
+	}
+}
+
+func TestParsePushData1(t *testing.T) {
+	data := make([]byte, 100)
+	s := NewBuilder().AddData(data).Script()
+	if s[0] != byte(OpPushData1) {
+		t.Fatalf("expected OP_PUSHDATA1 prefix, got %#x", s[0])
+	}
+	instrs, err := Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instrs) != 1 || len(instrs[0].Data) != 100 {
+		t.Fatalf("instrs = %+v", instrs)
+	}
+}
+
+func TestParsePushData2(t *testing.T) {
+	data := make([]byte, 300)
+	s := NewBuilder().AddData(data).Script()
+	if s[0] != byte(OpPushData2) {
+		t.Fatalf("expected OP_PUSHDATA2 prefix, got %#x", s[0])
+	}
+	instrs, err := Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instrs) != 1 || len(instrs[0].Data) != 300 {
+		t.Fatalf("instrs = %+v", instrs)
+	}
+}
+
+func TestParseTruncatedPushes(t *testing.T) {
+	cases := []Script{
+		{0x05, 0x01},                    // direct push missing bytes
+		{byte(OpPushData1)},             // missing length
+		{byte(OpPushData1), 10, 1},      // missing data
+		{byte(OpPushData2), 0x01},       // missing half of length
+		{byte(OpPushData2), 0x05, 0x00}, // missing data
+	}
+	for _, s := range cases {
+		if _, err := Parse(s); !errors.Is(err, ErrTruncatedPush) {
+			t.Errorf("Parse(%x) err = %v, want ErrTruncatedPush", s, err)
+		}
+	}
+}
+
+func TestParseTooLarge(t *testing.T) {
+	if _, err := Parse(make(Script, MaxScriptSize+1)); !errors.Is(err, ErrScriptTooLarge) {
+		t.Fatalf("err = %v, want ErrScriptTooLarge", err)
+	}
+}
+
+func TestBuilderSmallIntsUseOpcodes(t *testing.T) {
+	for n := int64(0); n <= 16; n++ {
+		s := NewBuilder().AddInt64(n).Script()
+		if len(s) != 1 {
+			t.Errorf("AddInt64(%d) produced %d bytes, want 1", n, len(s))
+		}
+	}
+	s := NewBuilder().AddInt64(-1).Script()
+	if len(s) != 1 || Opcode(s[0]) != Op1Negate {
+		t.Errorf("AddInt64(-1) = %x, want OP_1NEGATE", s)
+	}
+}
+
+func TestBuilderDataRoundTripQuick(t *testing.T) {
+	// Property: building a push of arbitrary data and executing it
+	// leaves exactly that data on the stack (checked via OP_EQUAL with
+	// a literal).
+	f := func(data []byte) bool {
+		if len(data) > 500 {
+			data = data[:500]
+		}
+		lock := NewBuilder().AddData(data).AddData(data).AddOp(OpEqual).Script()
+		err := Verify(nil, lock, nil)
+		if len(data) == 0 {
+			// Empty == empty pushes true... OP_EQUAL(nil, nil) = true.
+			return err == nil
+		}
+		// Data equal to itself must verify unless it is all zeros
+		// (whose truthiness is false only for the OP_EQUAL *result*,
+		// which is always true here).
+		return err == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsPushOnly(t *testing.T) {
+	if !NewBuilder().AddData([]byte("x")).AddInt64(5).AddOp(OpFalse).Script().IsPushOnly() {
+		t.Error("push-only script misclassified")
+	}
+	if NewBuilder().AddData([]byte("x")).AddOp(OpDup).Script().IsPushOnly() {
+		t.Error("OP_DUP script classified as push-only")
+	}
+	if (Script{0x05, 0x01}).IsPushOnly() {
+		t.Error("unparseable script classified as push-only")
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	lock := PayToPubKeyHash([HashLen]byte{0xab})
+	str := lock.String()
+	for _, want := range []string{"OP_DUP", "OP_HASH160", "OP_EQUALVERIFY", "OP_CHECKSIG", "ab"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("disassembly %q missing %q", str, want)
+		}
+	}
+	if got := (Script{0x05, 0x01}).String(); !strings.Contains(got, "invalid") {
+		t.Errorf("invalid script disassembly = %q", got)
+	}
+}
+
+func TestOpcodeString(t *testing.T) {
+	tests := map[Opcode]string{
+		OpDup:             "OP_DUP",
+		OpCheckRSA512Pair: "OP_CHECKRSA512PAIR",
+		OpCheckLockTime:   "OP_CHECKLOCKTIMEVERIFY",
+		OpTrue:            "OP_1",
+		Op16:              "OP_16",
+		Opcode(0x05):      "OP_PUSHBYTES_5",
+		Opcode(0xfe):      "OP_UNKNOWN_0xfe",
+	}
+	for op, want := range tests {
+		if got := op.String(); got != want {
+			t.Errorf("%#x.String() = %q, want %q", byte(op), got, want)
+		}
+	}
+}

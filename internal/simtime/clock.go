@@ -1,0 +1,154 @@
+// Package simtime provides a clock abstraction with a real-time
+// implementation and a discrete-event simulated implementation.
+//
+// All BcWAN protocol components take a Clock so that the experiment
+// harness can replay thousands of exchanges — whose real-world latency is
+// measured in seconds to minutes — in milliseconds of wall time, while the
+// daemons and examples run on the real clock.
+package simtime
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source used by all protocol components.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Sleep blocks the calling goroutine for d.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the then-current time once d
+	// has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed by the wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// NewReal returns a wall-clock Clock.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sim is a discrete-event simulated Clock. Goroutines that Sleep on a Sim
+// clock are suspended until the driver advances virtual time past their
+// wake-up instant via Advance or RunUntilIdle.
+//
+// The zero value is not usable; construct with NewSim.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*waiter
+}
+
+type waiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+var _ Clock = (*Sim)(nil)
+
+// NewSim returns a simulated clock starting at the given origin.
+func NewSim(origin time.Time) *Sim {
+	return &Sim{now: origin}
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Sleep implements Clock. It suspends the caller until virtual time
+// reaches now+d.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-s.After(d)
+}
+
+// After implements Clock.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- s.now
+		return ch
+	}
+	s.waiters = append(s.waiters, &waiter{at: s.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves virtual time forward by d, firing every timer whose
+// deadline falls inside the window in deadline order.
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	for {
+		w := s.earliestLocked()
+		if w == nil || w.at.After(target) {
+			break
+		}
+		s.now = w.at
+		s.removeLocked(w)
+		w.ch <- s.now
+	}
+	s.now = target
+	s.mu.Unlock()
+}
+
+// Step advances virtual time to the next pending timer deadline and fires
+// it. It reports whether a timer was pending.
+func (s *Sim) Step() bool {
+	s.mu.Lock()
+	w := s.earliestLocked()
+	if w == nil {
+		s.mu.Unlock()
+		return false
+	}
+	s.now = w.at
+	s.removeLocked(w)
+	w.ch <- s.now
+	s.mu.Unlock()
+	return true
+}
+
+// Pending reports how many timers are waiting to fire.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}
+
+func (s *Sim) earliestLocked() *waiter {
+	var min *waiter
+	for _, w := range s.waiters {
+		if min == nil || w.at.Before(min.at) {
+			min = w
+		}
+	}
+	return min
+}
+
+func (s *Sim) removeLocked(target *waiter) {
+	for i, w := range s.waiters {
+		if w == target {
+			s.waiters[i] = s.waiters[len(s.waiters)-1]
+			s.waiters = s.waiters[:len(s.waiters)-1]
+			return
+		}
+	}
+}

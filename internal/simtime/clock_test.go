@@ -1,0 +1,198 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+var origin = time.Date(2018, 12, 10, 0, 0, 0, 0, time.UTC)
+
+func TestRealClockNow(t *testing.T) {
+	c := NewReal()
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v, want within [%v, %v]", got, before, after)
+	}
+}
+
+func TestRealClockAfter(t *testing.T) {
+	c := NewReal()
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Real.After(1ms) did not fire within 5s")
+	}
+}
+
+func TestSimNowStartsAtOrigin(t *testing.T) {
+	s := NewSim(origin)
+	if got := s.Now(); !got.Equal(origin) {
+		t.Fatalf("Now() = %v, want %v", got, origin)
+	}
+}
+
+func TestSimAdvanceMovesTime(t *testing.T) {
+	s := NewSim(origin)
+	s.Advance(90 * time.Second)
+	if got, want := s.Now(), origin.Add(90*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestSimAfterFiresOnAdvance(t *testing.T) {
+	s := NewSim(origin)
+	ch := s.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	s.Advance(10 * time.Second)
+	select {
+	case at := <-ch:
+		if want := origin.Add(10 * time.Second); !at.Equal(want) {
+			t.Fatalf("fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer did not fire after Advance")
+	}
+}
+
+func TestSimAfterZeroFiresImmediately(t *testing.T) {
+	s := NewSim(origin)
+	select {
+	case <-s.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestSimAdvanceFiresTimersInOrder(t *testing.T) {
+	s := NewSim(origin)
+	ch2 := s.After(2 * time.Second)
+	ch1 := s.After(1 * time.Second)
+	s.Advance(5 * time.Second)
+	at1 := <-ch1
+	at2 := <-ch2
+	if !at1.Before(at2) {
+		t.Fatalf("timers out of order: %v then %v", at1, at2)
+	}
+}
+
+func TestSimStep(t *testing.T) {
+	s := NewSim(origin)
+	if s.Step() {
+		t.Fatal("Step() = true with no timers")
+	}
+	ch := s.After(time.Minute)
+	if !s.Step() {
+		t.Fatal("Step() = false with pending timer")
+	}
+	<-ch
+	if got, want := s.Now(), origin.Add(time.Minute); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestSimSleepUnblocksOnAdvance(t *testing.T) {
+	s := NewSim(origin)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Sleep(time.Second)
+	}()
+	// Wait for the sleeper to register.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Pending() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sleeper never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestSchedulerRunsInTimestampOrder(t *testing.T) {
+	sc := NewScheduler(origin)
+	var got []int
+	sc.After(3*time.Second, func(time.Time) { got = append(got, 3) })
+	sc.After(1*time.Second, func(time.Time) { got = append(got, 1) })
+	sc.After(2*time.Second, func(time.Time) { got = append(got, 2) })
+	sc.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchedulerFIFOAmongEqualTimestamps(t *testing.T) {
+	sc := NewScheduler(origin)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		sc.After(time.Second, func(time.Time) { got = append(got, i) })
+	}
+	sc.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("equal-timestamp order %v not FIFO", got)
+		}
+	}
+}
+
+func TestSchedulerHandlersCanSchedule(t *testing.T) {
+	sc := NewScheduler(origin)
+	count := 0
+	var tick func(time.Time)
+	tick = func(time.Time) {
+		count++
+		if count < 5 {
+			sc.After(time.Second, tick)
+		}
+	}
+	sc.After(time.Second, tick)
+	sc.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if got, want := sc.Now(), origin.Add(5*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestSchedulerRunUntilLeavesFutureEvents(t *testing.T) {
+	sc := NewScheduler(origin)
+	ran := 0
+	sc.After(time.Second, func(time.Time) { ran++ })
+	sc.After(time.Hour, func(time.Time) { ran++ })
+	sc.RunUntil(origin.Add(time.Minute))
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if got, want := sc.Now(), origin.Add(time.Minute); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+	if sc.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", sc.Len())
+	}
+}
+
+func TestSchedulerPastEventRunsNow(t *testing.T) {
+	sc := NewScheduler(origin)
+	sc.RunUntil(origin.Add(time.Hour))
+	var at time.Time
+	sc.At(origin, func(now time.Time) { at = now })
+	sc.Run()
+	if want := origin.Add(time.Hour); !at.Equal(want) {
+		t.Fatalf("past event ran at %v, want clamped to %v", at, want)
+	}
+}
