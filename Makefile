@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race bench blockconnect ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full race-detector pass; the concurrent validation and RPC tests are
+# the interesting part.
+race:
+	$(GO) test -race ./...
+
+# One iteration of every figure/table bench, including BenchmarkBlockConnect.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Regenerate results/blockconnect.txt (VerifyWorkers x sig-cache sweep).
+blockconnect:
+	$(GO) run ./cmd/bcwan-bench -only blockconnect
+
+ci: vet race

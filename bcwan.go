@@ -121,6 +121,7 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	}
 	c.AuthorizeMiner(minerWallet.PublicBytes())
 	pool := chain.NewMempool()
+	pool.UseVerifier(c.Verifier())
 	n := &Network{
 		cfg:      cfg,
 		chain:    c,

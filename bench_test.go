@@ -11,6 +11,7 @@ package bcwan_test
 
 import (
 	"crypto/rand"
+	"fmt"
 	"testing"
 	"time"
 
@@ -235,4 +236,30 @@ func BenchmarkLegacyBaseline(b *testing.B) {
 		legacy = stats
 	}
 	b.ReportMetric(legacy.Mean.Seconds(), "s-mean-legacy")
+}
+
+// BenchmarkBlockConnect regenerates the validation-pipeline ablation:
+// block-connect throughput (txs/sec) as VerifyWorkers sweeps 0→8 with a
+// cold signature cache, plus the warm mempool-primed path. On a
+// single-CPU host the worker sweep is flat and the cache is the win;
+// with more cores the cold sweep shows the pool's speedup too.
+func BenchmarkBlockConnect(b *testing.B) {
+	cfg := experiments.BlockConnectConfig{
+		Blocks: 4, TxsPerBlock: 12, Workers: []int{0, 1, 2, 4, 8},
+	}
+	var results []*experiments.BlockConnectResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = experiments.RunBlockConnect(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range results {
+		name := fmt.Sprintf("txs-per-sec-%dw-cold", r.Workers)
+		if r.Warm {
+			name = fmt.Sprintf("txs-per-sec-%dw-warm", r.Workers)
+		}
+		b.ReportMetric(r.TxsPerSec, name)
+	}
 }

@@ -7,7 +7,8 @@
 //	§5.2    duty-cycle budget per spreading factor
 //	§6      double-spend exposure vs confirmation policy
 //	§4.4    reputation baseline vs script fair exchange
-//	extras  block-interval / gateway-count / SF sweeps, legacy baseline
+//	extras  block-interval / gateway-count / SF sweeps, legacy baseline,
+//	        block-connect throughput vs VerifyWorkers and sig-cache state
 //
 // Run everything at paper scale (minutes):
 //
@@ -40,7 +41,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bcwan-bench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "scaled-down run (seconds instead of minutes)")
-	only := fs.String("only", "", "run a single experiment: fig4|fig5|fig6|budget|doublespend|reputation|sweeps|legacy")
+	only := fs.String("only", "", "run a single experiment: fig4|fig5|fig6|budget|doublespend|reputation|sweeps|legacy|blockconnect")
 	csvDir := fs.String("csv", "", "also write per-exchange latency series (the raw figure data) as CSV files into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -158,6 +159,19 @@ func run(args []string) error {
 		}
 		experiments.WriteSweep(out, "Ablation: confirmation policy",
 			experiments.Int64Labels(confs), byConfs)
+	}
+
+	if want("blockconnect") {
+		cfg := experiments.DefaultBlockConnectConfig()
+		if *quick {
+			cfg.Blocks = 4
+			cfg.TxsPerBlock = 8
+		}
+		results, err := experiments.RunBlockConnect(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.WriteBlockConnect(out, cfg, results)
 	}
 
 	if want("legacy") {

@@ -125,7 +125,7 @@ func (b *Block) Serialize() []byte {
 	b.Header.serialize(&buf)
 	writeVarInt(&buf, uint64(len(b.Txs)))
 	for _, tx := range b.Txs {
-		writeVarBytes(&buf, tx.Serialize())
+		writeVarBytes(&buf, tx.memoized().raw)
 	}
 	return buf.Bytes()
 }

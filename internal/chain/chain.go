@@ -25,6 +25,11 @@ type Chain struct {
 	// miners is the set of authorized miner public keys (hex of the
 	// serialized point). Empty means any signed block is accepted.
 	miners map[string]bool
+	// verifier runs script verification for block connect and reorg
+	// replay; shared (via Verifier()) with the mempool and miner so a
+	// script pair checked at mempool admission is a cache hit at block
+	// connect.
+	verifier *Verifier
 
 	// subscribers receive every block that becomes part of the best
 	// branch (including reorged-in blocks).
@@ -55,12 +60,13 @@ func New(params Params, genesis *Block) (*Chain, error) {
 		}
 	}
 	c := &Chain{
-		params:  params,
-		genesis: genesis,
-		index:   map[Hash]*Block{genesis.ID(): genesis},
-		best:    []*Block{genesis},
-		utxo:    utxo,
-		miners:  make(map[string]bool),
+		params:   params,
+		genesis:  genesis,
+		index:    map[Hash]*Block{genesis.ID(): genesis},
+		best:     []*Block{genesis},
+		utxo:     utxo,
+		miners:   make(map[string]bool),
+		verifier: NewVerifier(params.VerifyWorkers, NewSigCache(DefaultSigCacheSize)),
 	}
 	return c, nil
 }
@@ -74,6 +80,11 @@ func (c *Chain) AuthorizeMiner(pubKey []byte) {
 
 // Params returns the chain parameters.
 func (c *Chain) Params() Params { return c.params }
+
+// Verifier returns the chain's script verifier (worker pool + signature
+// cache). The mempool and miner share it so verification work done at
+// admission is not repeated at block connect.
+func (c *Chain) Verifier() *Verifier { return c.verifier }
 
 // Genesis returns the genesis block.
 func (c *Chain) Genesis() *Block { return c.genesis }
@@ -177,7 +188,7 @@ func (c *Chain) addBlockLocked(b *Block, notify *[]*Block) error {
 	if err != nil {
 		return err
 	}
-	if err := connectBlock(utxo, b, c.params); err != nil {
+	if err := connectBlock(utxo, b, c.params, c.verifier); err != nil {
 		return err
 	}
 
@@ -236,7 +247,7 @@ func (c *Chain) utxoFor(branch []*Block) (*UTXOSet, error) {
 			}
 			continue
 		}
-		if err := connectBlock(utxo, blk, c.params); err != nil {
+		if err := connectBlock(utxo, blk, c.params, c.verifier); err != nil {
 			return nil, fmt.Errorf("replay height %d: %w", i, err)
 		}
 	}

@@ -19,6 +19,11 @@ type Mempool struct {
 	order []Hash
 	// spends maps each spent outpoint to the claiming txid.
 	spends map[OutPoint]Hash
+	// verifier, when set via UseVerifier, runs Accept's script checks
+	// and records them in the shared signature cache so block connect
+	// skips re-verifying admitted transactions. Nil falls back to
+	// sequential uncached verification.
+	verifier *Verifier
 }
 
 // Mempool errors.
@@ -36,6 +41,15 @@ func NewMempool() *Mempool {
 		txs:    make(map[Hash]*Tx),
 		spends: make(map[OutPoint]Hash),
 	}
+}
+
+// UseVerifier shares a script verifier (typically Chain.Verifier()) with
+// the pool, so admission verifications populate the same signature cache
+// block connect consults.
+func (m *Mempool) UseVerifier(v *Verifier) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.verifier = v
 }
 
 // Accept validates tx against the provided UTXO view (spendability and
@@ -70,7 +84,7 @@ func (m *Mempool) Accept(tx *Tx, utxo *UTXOSet, height int64, params Params) err
 			_ = view.ApplyTx(pooled, height+1)
 		}
 	}
-	if _, err := ConnectTx(view, tx, height+1, params.CoinbaseMaturity, params.VerifyScripts); err != nil {
+	if _, err := ConnectTxVerified(view, tx, height+1, params.CoinbaseMaturity, params.VerifyScripts, m.verifier); err != nil {
 		return err
 	}
 	m.txs[id] = tx

@@ -41,7 +41,7 @@ func (m *Miner) BuildBlock(now time.Time) (*Block, error) {
 	txs := make([]*Tx, 0, len(candidates)+1)
 	txs = append(txs, nil) // coinbase placeholder
 	for _, tx := range candidates {
-		fee, err := ConnectTx(utxo, tx, height, params.CoinbaseMaturity, params.VerifyScripts)
+		fee, err := ConnectTxVerified(utxo, tx, height, params.CoinbaseMaturity, params.VerifyScripts, m.chain.Verifier())
 		if err != nil {
 			continue
 		}

@@ -6,7 +6,10 @@
 // (OP_CHECKRSA512PAIR) patched into validation.
 package chain
 
-import "time"
+import (
+	"runtime"
+	"time"
+)
 
 // Params are the chain's consensus and performance tunables — the knobs
 // Multichain exposes that "impact the theoretical maximum number of
@@ -26,10 +29,18 @@ type Params struct {
 	// verification; this switch reproduces that configuration (together
 	// with VerificationStall in the simulation layer).
 	VerifyScripts bool
+	// VerifyWorkers sets the script-verification fan-out when connecting
+	// blocks: 0 verifies sequentially on the caller's goroutine (the
+	// seed's deterministic behavior, used for the Fig. 5 ablation), n > 0
+	// fans independent input verifications out to n workers with
+	// first-error cancellation. Parallel and sequential validation accept
+	// and reject exactly the same blocks.
+	VerifyWorkers int
 }
 
 // DefaultParams mirrors the proof-of-concept configuration: a Multichain
 // with a short block interval, sized for the 5-node PlanetLab deployment.
+// Script verification fans out across all cores by default.
 func DefaultParams() Params {
 	return Params{
 		BlockInterval:    15 * time.Second,
@@ -37,5 +48,6 @@ func DefaultParams() Params {
 		CoinbaseReward:   50_000,
 		CoinbaseMaturity: 1,
 		VerifyScripts:    true,
+		VerifyWorkers:    runtime.GOMAXPROCS(0),
 	}
 }

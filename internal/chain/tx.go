@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"bcwan/internal/bccrypto"
 	"bcwan/internal/script"
@@ -60,11 +61,40 @@ type TxOut struct {
 // Tx is a transaction. LockTime, when nonzero, is the earliest block
 // height at which the transaction may be mined (BIP-65 semantics, used by
 // the fair-exchange refund path).
+//
+// Serialization and the transaction ID are memoized on first use: a Tx
+// must not be mutated after the first call to Serialize, SerializedSize
+// or ID. Construction code (wallet signing, deserialization) finishes
+// all field writes before anything hashes the transaction, so the
+// contract holds everywhere a Tx crosses a validation boundary.
 type Tx struct {
 	Version  int32
 	Inputs   []TxIn
 	Outputs  []TxOut
 	LockTime int64
+
+	// memo caches the canonical serialization and ID. Lock-free: a
+	// racing first computation produces identical bytes, so whichever
+	// pointer wins the swap is correct.
+	memo atomic.Pointer[txMemo]
+}
+
+// txMemo holds the lazily computed serialization and ID.
+type txMemo struct {
+	raw []byte
+	id  Hash
+}
+
+// memoized returns the cached serialization/ID, computing it on first
+// call.
+func (tx *Tx) memoized() *txMemo {
+	if m := tx.memo.Load(); m != nil {
+		return m
+	}
+	raw := tx.encode()
+	m := &txMemo{raw: raw, id: Hash(bccrypto.DoubleSHA256(raw))}
+	tx.memo.Store(m)
+	return m
 }
 
 // Serialization limits.
@@ -80,8 +110,20 @@ var (
 )
 
 // Serialize encodes the transaction in the canonical binary form its ID is
-// computed over.
+// computed over. The encoding is memoized; the returned slice is a copy
+// the caller may retain or modify.
 func (tx *Tx) Serialize() []byte {
+	raw := tx.memoized().raw
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	return out
+}
+
+// SerializedSize returns the canonical encoding length without copying.
+func (tx *Tx) SerializedSize() int { return len(tx.memoized().raw) }
+
+// encode performs the actual canonical encoding.
+func (tx *Tx) encode() []byte {
 	var buf bytes.Buffer
 	writeInt64(&buf, int64(tx.Version))
 	writeVarInt(&buf, uint64(len(tx.Inputs)))
@@ -173,9 +215,10 @@ func readTx(r *bytes.Reader) (*Tx, error) {
 	return &tx, nil
 }
 
-// ID returns the transaction hash.
+// ID returns the transaction hash. The hash is memoized; see the Tx
+// immutability contract.
 func (tx *Tx) ID() Hash {
-	return Hash(bccrypto.DoubleSHA256(tx.Serialize()))
+	return tx.memoized().id
 }
 
 // IsCoinbase reports whether the transaction is a block subsidy: a single
@@ -206,7 +249,7 @@ func (tx *Tx) SigHash(inputIndex int, prevLock script.Script) Hash {
 		}
 	}
 	var buf bytes.Buffer
-	buf.Write(clone.Serialize())
+	buf.Write(clone.encode())
 	writeUint32(&buf, uint32(inputIndex))
 	return Hash(bccrypto.DoubleSHA256(buf.Bytes()))
 }

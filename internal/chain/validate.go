@@ -32,7 +32,7 @@ func CheckTxSanity(tx *Tx) error {
 	if len(tx.Inputs) == 0 || len(tx.Outputs) == 0 {
 		return ErrEmptyTx
 	}
-	if len(tx.Serialize()) > maxTxSize {
+	if tx.SerializedSize() > maxTxSize {
 		return ErrTxTooLarge
 	}
 	var total uint64
@@ -60,49 +60,86 @@ func CheckTxSanity(tx *Tx) error {
 	return nil
 }
 
-// ConnectTx validates tx against the UTXO view at the given height and
-// returns the fee it pays. When verifyScripts is false the script pair is
-// not executed — the configuration the paper measures in Fig. 5.
-func ConnectTx(utxo *UTXOSet, tx *Tx, height int64, maturity int64, verifyScripts bool) (fee uint64, err error) {
+// connectTxUTXO is the sequential UTXO-accounting pass of transaction
+// validation: sanity, finality, spendability, maturity and value
+// conservation. Script execution is *not* performed; instead the
+// (input, locking script) pairs that still need verification are
+// appended to jobs, tagged with txIdx, for a later — possibly parallel —
+// script pass. Callers that want the seed's fused behavior run the
+// returned jobs immediately.
+func connectTxUTXO(utxo *UTXOSet, tx *Tx, txIdx int, height, maturity int64, jobs []verifyJob) (fee uint64, outJobs []verifyJob, err error) {
 	if err := CheckTxSanity(tx); err != nil {
-		return 0, err
+		return 0, jobs, err
 	}
 	if tx.IsCoinbase() {
-		return 0, nil
+		return 0, jobs, nil
 	}
 	if tx.LockTime > height {
-		return 0, fmt.Errorf("%w: lock time %d, height %d", ErrTxNotFinal, tx.LockTime, height)
+		return 0, jobs, fmt.Errorf("%w: lock time %d, height %d", ErrTxNotFinal, tx.LockTime, height)
 	}
 	var inValue, outValue uint64
 	for i, in := range tx.Inputs {
 		entry, ok := utxo.Get(in.Prev)
 		if !ok {
-			return 0, fmt.Errorf("%w: %s", ErrMissingUTXO, in.Prev)
+			return 0, jobs, fmt.Errorf("%w: %s", ErrMissingUTXO, in.Prev)
 		}
 		if entry.Coinbase && height-entry.Height < maturity {
-			return 0, fmt.Errorf("%w: %s at height %d, spend at %d",
+			return 0, jobs, fmt.Errorf("%w: %s at height %d, spend at %d",
 				ErrImmatureSpend, in.Prev, entry.Height, height)
 		}
 		inValue += entry.Out.Value
-		if verifyScripts {
-			if err := tx.VerifyInput(i, entry.Out.Lock); err != nil {
-				return 0, err
-			}
-		}
+		jobs = append(jobs, verifyJob{tx: tx, txIdx: txIdx, inputIdx: i, lock: entry.Out.Lock})
 	}
 	for _, out := range tx.Outputs {
 		outValue += out.Value
 	}
 	if inValue < outValue {
-		return 0, fmt.Errorf("%w: in %d, out %d", ErrInsufficientIn, inValue, outValue)
+		return 0, jobs, fmt.Errorf("%w: in %d, out %d", ErrInsufficientIn, inValue, outValue)
 	}
-	return inValue - outValue, nil
+	return inValue - outValue, jobs, nil
+}
+
+// ConnectTx validates tx against the UTXO view at the given height and
+// returns the fee it pays. When verifyScripts is false the script pair is
+// not executed — the configuration the paper measures in Fig. 5.
+//
+// Scripts are verified sequentially and uncached; consumers on the hot
+// path use ConnectTxVerified with a shared Verifier instead.
+func ConnectTx(utxo *UTXOSet, tx *Tx, height int64, maturity int64, verifyScripts bool) (fee uint64, err error) {
+	return ConnectTxVerified(utxo, tx, height, maturity, verifyScripts, nil)
+}
+
+// ConnectTxVerified is ConnectTx with an explicit verifier: the UTXO
+// accounting pass runs sequentially, then the script pass runs through v
+// (worker pool + signature cache). A nil verifier means sequential and
+// uncached.
+func ConnectTxVerified(utxo *UTXOSet, tx *Tx, height, maturity int64, verifyScripts bool, v *Verifier) (fee uint64, err error) {
+	fee, jobs, err := connectTxUTXO(utxo, tx, 0, height, maturity, nil)
+	if err != nil {
+		return 0, err
+	}
+	if !verifyScripts {
+		return fee, nil
+	}
+	if err := v.verifyJobs(jobs); err != nil {
+		// Single-transaction callers expect the bare input error, not
+		// the block-position wrapper.
+		return 0, errors.Unwrap(err)
+	}
+	return fee, nil
 }
 
 // connectBlock validates every rule that depends on the UTXO view and
 // mutates utxo on success. The caller has already validated the header
 // linkage.
-func connectBlock(utxo *UTXOSet, b *Block, params Params) error {
+//
+// Validation is two-pass: a sequential UTXO-accounting sweep over the
+// block (order-dependent — outputs created by tx i are spendable by tx
+// i+1) collects every script pair to check, then the verifier fans the
+// accumulated jobs out across cores. Script execution never touches the
+// UTXO set, so the split preserves accept/reject decisions exactly; the
+// utxo argument is a scratch view the caller only adopts on success.
+func connectBlock(utxo *UTXOSet, b *Block, params Params, v *Verifier) error {
 	if len(b.Txs) == 0 {
 		return ErrNoTxs
 	}
@@ -116,6 +153,7 @@ func connectBlock(utxo *UTXOSet, b *Block, params Params) error {
 		return ErrBadMerkleRoot
 	}
 	var fees uint64
+	var jobs []verifyJob
 	spentInBlock := make(map[OutPoint]bool)
 	for i, tx := range b.Txs {
 		if i > 0 && tx.IsCoinbase() {
@@ -129,7 +167,9 @@ func connectBlock(utxo *UTXOSet, b *Block, params Params) error {
 				spentInBlock[in.Prev] = true
 			}
 		}
-		fee, err := ConnectTx(utxo, tx, b.Header.Height, params.CoinbaseMaturity, params.VerifyScripts)
+		var fee uint64
+		var err error
+		fee, jobs, err = connectTxUTXO(utxo, tx, i, b.Header.Height, params.CoinbaseMaturity, jobs)
 		if err != nil {
 			return fmt.Errorf("tx %d (%s): %w", i, tx.ID(), err)
 		}
@@ -144,6 +184,11 @@ func connectBlock(utxo *UTXOSet, b *Block, params Params) error {
 	}
 	if coinbaseOut > params.CoinbaseReward+fees {
 		return fmt.Errorf("%w: pays %d, allowed %d", ErrExcessSubsidy, coinbaseOut, params.CoinbaseReward+fees)
+	}
+	if params.VerifyScripts {
+		if err := v.verifyJobs(jobs); err != nil {
+			return err
+		}
 	}
 	return nil
 }

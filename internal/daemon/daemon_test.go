@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/json"
 	"net"
@@ -279,7 +280,7 @@ func TestRPCVisibleAcrossCluster(t *testing.T) {
 	c := newCluster(t)
 	c.mine()
 	client := rpc.NewClient(c.rcptd.Node.RPCAddr())
-	h, err := client.GetBlockCount()
+	h, err := client.GetBlockCount(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -86,6 +86,10 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		pool:    chain.NewMempool(),
 		orphans: make(map[chain.Hash]*chain.Block),
 	}
+	// Share the chain's verifier (worker pool + signature cache) so
+	// gossip- and RPC-admitted transactions are not re-verified when
+	// their block connects.
+	n.pool.UseVerifier(c.Verifier())
 	n.dir = registry.NewDirectory()
 	n.dir.Attach(c)
 

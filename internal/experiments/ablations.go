@@ -204,6 +204,7 @@ func runDoubleSpendTrial(cfg DoubleSpendConfig, attackerWinsRace bool) (bool, er
 	}
 	c.AuthorizeMiner(minerWallet.PublicBytes())
 	pool := chain.NewMempool()
+	pool.UseVerifier(c.Verifier())
 	miner := chain.NewMiner(minerWallet.Key(), c, pool, rand.Reader)
 	ledger := &fairex.Node{Chain: c, Pool: pool}
 

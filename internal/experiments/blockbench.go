@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+	"time"
+
+	"bcwan/internal/chain"
+	"bcwan/internal/wallet"
+)
+
+// BlockConnectConfig sizes the block-connect throughput experiment: the
+// ablation behind Params.VerifyWorkers. A fixed sequence of signed
+// blocks is built once, then replayed into fresh chains that differ only
+// in worker count and signature-cache priming.
+type BlockConnectConfig struct {
+	Blocks      int   // blocks in the replayed sequence
+	TxsPerBlock int   // payment transactions per block (plus a coinbase)
+	Workers     []int // VerifyWorkers values to sweep; 0 = seed's sequential path
+}
+
+// DefaultBlockConnectConfig is the paper-scale sweep: the worker widths
+// of the Fig. 5/6 ablation discussion.
+func DefaultBlockConnectConfig() BlockConnectConfig {
+	return BlockConnectConfig{Blocks: 12, TxsPerBlock: 24, Workers: []int{0, 1, 2, 4, 8}}
+}
+
+// BlockConnectResult is one replay measurement.
+type BlockConnectResult struct {
+	Workers   int           // VerifyWorkers for this run
+	Warm      bool          // true when txs passed through the mempool first (shared sig cache primed)
+	Elapsed   time.Duration // total time inside Chain.AddBlock
+	Blocks    int
+	Txs       int // payment txs connected (coinbases excluded)
+	TxsPerSec float64
+}
+
+// blockConnectFixture is the prebuilt block sequence plus everything a
+// replay needs to reconstruct an identical chain.
+type blockConnectFixture struct {
+	params   chain.Params
+	genesis  []byte
+	blocks   [][]byte
+	payments int // per block
+}
+
+// buildBlockConnectFixture constructs the canonical block sequence: n
+// wallets each spend their single output once per block, so every block
+// carries exactly n independent signed payments.
+func buildBlockConnectFixture(cfg BlockConnectConfig) (*blockConnectFixture, error) {
+	params := chain.DefaultParams()
+
+	wallets := make([]*wallet.Wallet, cfg.TxsPerBlock)
+	alloc := make(map[[20]byte]uint64, cfg.TxsPerBlock)
+	for i := range wallets {
+		w, err := wallet.New(rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		wallets[i] = w
+		alloc[w.PubKeyHash()] = 1 << 32
+	}
+	minerW, err := wallet.New(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+
+	genesis := chain.GenesisBlock(alloc)
+	c, err := chain.New(params, genesis)
+	if err != nil {
+		return nil, err
+	}
+	c.AuthorizeMiner(minerW.PublicBytes())
+	pool := chain.NewMempool()
+	pool.UseVerifier(c.Verifier())
+	miner := chain.NewMiner(minerW.Key(), c, pool, rand.Reader)
+
+	now := time.Date(2018, 12, 10, 0, 0, 0, 0, time.UTC)
+	fix := &blockConnectFixture{
+		params:   params,
+		genesis:  genesis.Serialize(),
+		payments: cfg.TxsPerBlock,
+	}
+	for b := 0; b < cfg.Blocks; b++ {
+		for _, w := range wallets {
+			tx, err := w.BuildPayment(c.UTXO(), w.PubKeyHash(), 1000, 1)
+			if err != nil {
+				return nil, err
+			}
+			if err := pool.Accept(tx, c.UTXO(), c.Height(), params); err != nil {
+				return nil, err
+			}
+		}
+		now = now.Add(params.BlockInterval)
+		blk, err := miner.Mine(now)
+		if err != nil {
+			return nil, err
+		}
+		fix.blocks = append(fix.blocks, blk.Serialize())
+	}
+	return fix, nil
+}
+
+// replay connects the fixture's blocks into a fresh chain configured
+// with the given worker count, timing only Chain.AddBlock. When warm is
+// true, each block's payments are first admitted through a mempool
+// sharing the chain's verifier — the production handoff — so block
+// connect finds their script checks already cached.
+func (fix *blockConnectFixture) replay(workers int, warm bool) (*BlockConnectResult, error) {
+	params := fix.params
+	params.VerifyWorkers = workers
+	genesis, err := chain.DeserializeBlock(fix.genesis)
+	if err != nil {
+		return nil, err
+	}
+	c, err := chain.New(params, genesis)
+	if err != nil {
+		return nil, err
+	}
+	first, err := chain.DeserializeBlock(fix.blocks[0])
+	if err != nil {
+		return nil, err
+	}
+	c.AuthorizeMiner(first.Header.MinerPubKey)
+
+	pool := chain.NewMempool()
+	pool.UseVerifier(c.Verifier())
+
+	res := &BlockConnectResult{Workers: workers, Warm: warm, Blocks: len(fix.blocks)}
+	for _, raw := range fix.blocks {
+		blk, err := chain.DeserializeBlock(raw)
+		if err != nil {
+			return nil, err
+		}
+		if warm {
+			for _, tx := range blk.Txs[1:] {
+				if err := pool.Accept(tx, c.UTXO(), c.Height(), params); err != nil {
+					return nil, fmt.Errorf("mempool admission: %w", err)
+				}
+			}
+		}
+		start := time.Now()
+		err = c.AddBlock(blk)
+		res.Elapsed += time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("block %d: %w", blk.Header.Height, err)
+		}
+		res.Txs += len(blk.Txs) - 1
+	}
+	if res.Elapsed > 0 {
+		res.TxsPerSec = float64(res.Txs) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// RunBlockConnect builds the block sequence once and replays it cold
+// (empty signature cache) at every requested worker count, then warm
+// (mempool-primed cache) at the same counts.
+func RunBlockConnect(cfg BlockConnectConfig) ([]*BlockConnectResult, error) {
+	if cfg.Blocks <= 0 || cfg.TxsPerBlock <= 0 {
+		return nil, fmt.Errorf("block-connect config must be positive: %+v", cfg)
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = DefaultBlockConnectConfig().Workers
+	}
+	fix, err := buildBlockConnectFixture(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var results []*BlockConnectResult
+	for _, warm := range []bool{false, true} {
+		for _, w := range cfg.Workers {
+			res, err := fix.replay(w, warm)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, res)
+		}
+	}
+	return results, nil
+}
+
+// WriteBlockConnect prints the throughput sweep. The cold rows isolate
+// the worker pool; the warm rows show the mempool→block-connect cache
+// handoff, where block connect skips every script already verified at
+// admission.
+func WriteBlockConnect(w io.Writer, cfg BlockConnectConfig, results []*BlockConnectResult) {
+	fmt.Fprintf(w, "== Block-connect throughput (%d blocks x %d txs) ==\n", cfg.Blocks, cfg.TxsPerBlock)
+	fmt.Fprintf(w, "%-8s %-22s %12s %12s\n", "workers", "sig cache", "connect", "txs/sec")
+	var base float64
+	for _, r := range results {
+		cache := "cold"
+		if r.Warm {
+			cache = "warm (mempool-primed)"
+		}
+		speedup := ""
+		if r.Workers == 0 && !r.Warm {
+			base = r.TxsPerSec
+		} else if base > 0 {
+			speedup = fmt.Sprintf("  (%.2fx vs sequential cold)", r.TxsPerSec/base)
+		}
+		fmt.Fprintf(w, "%-8d %-22s %12s %12.0f%s\n",
+			r.Workers, cache, r.Elapsed.Round(time.Microsecond), r.TxsPerSec, speedup)
+	}
+	fmt.Fprintln(w)
+}

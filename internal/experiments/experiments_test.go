@@ -347,3 +347,38 @@ func TestLatencyRatioFig6OverFig5SameOrderAsPaper(t *testing.T) {
 		t.Fatalf("Fig6 mean %.2fs outside the paper's regime (~30s)", res6.Summary.Mean.Seconds())
 	}
 }
+
+func TestBlockConnectSweep(t *testing.T) {
+	cfg := BlockConnectConfig{Blocks: 3, TxsPerBlock: 4, Workers: []int{0, 2}}
+	results, err := RunBlockConnect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two cache states x two worker counts, ordered cold-first.
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4", len(results))
+	}
+	for i, r := range results {
+		if r.Blocks != cfg.Blocks || r.Txs != cfg.Blocks*cfg.TxsPerBlock {
+			t.Fatalf("result %d connected %d blocks / %d txs, want %d / %d",
+				i, r.Blocks, r.Txs, cfg.Blocks, cfg.Blocks*cfg.TxsPerBlock)
+		}
+		if wantWarm := i >= 2; r.Warm != wantWarm {
+			t.Fatalf("result %d warm = %v, want %v", i, r.Warm, wantWarm)
+		}
+		if r.TxsPerSec <= 0 {
+			t.Fatalf("result %d throughput not positive", i)
+		}
+	}
+	var buf strings.Builder
+	WriteBlockConnect(&buf, cfg, results)
+	if !strings.Contains(buf.String(), "warm (mempool-primed)") {
+		t.Fatalf("report missing warm rows:\n%s", buf.String())
+	}
+}
+
+func TestBlockConnectRejectsBadConfig(t *testing.T) {
+	if _, err := RunBlockConnect(BlockConnectConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

@@ -161,6 +161,7 @@ func newSim(cfg Config) (*sim, error) {
 	c.AuthorizeMiner(minerWallet.PublicBytes())
 	s.chain = c
 	s.pool = chain.NewMempool()
+	s.pool.UseVerifier(c.Verifier())
 	s.miner = chain.NewMiner(minerWallet.Key(), c, s.pool, rand.Reader)
 	s.ledger = &fairex.Node{Chain: c, Pool: s.pool}
 

@@ -1,0 +1,47 @@
+package rpc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecodePubKeyHash(t *testing.T) {
+	valid := strings.Repeat("ab", 20)
+	tests := []struct {
+		name    string
+		in      string
+		wantErr bool
+		want    byte // first byte of the decoded hash when wantErr is false
+	}{
+		{name: "valid", in: valid, want: 0xab},
+		{name: "uppercase hex", in: strings.ToUpper(valid), want: 0xab},
+		{name: "zero hash", in: strings.Repeat("00", 20), want: 0x00},
+		{name: "empty", in: "", wantErr: true},
+		{name: "not hex", in: strings.Repeat("zz", 20), wantErr: true},
+		{name: "odd length", in: valid[:39], wantErr: true},
+		{name: "too short", in: strings.Repeat("ab", 19), wantErr: true},
+		{name: "too long", in: strings.Repeat("ab", 21), wantErr: true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			hash, err := DecodePubKeyHash(tc.in)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("DecodePubKeyHash(%q) accepted", tc.in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("DecodePubKeyHash(%q): %v", tc.in, err)
+			}
+			for _, b := range hash {
+				if b != tc.want {
+					t.Fatalf("hash = %x, want all %02x", hash, tc.want)
+				}
+			}
+			if EncodePubKeyHash(hash) != strings.ToLower(tc.in) {
+				t.Fatalf("round trip = %s, want %s", EncodePubKeyHash(hash), strings.ToLower(tc.in))
+			}
+		})
+	}
+}

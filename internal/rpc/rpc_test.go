@@ -1,8 +1,15 @@
 package rpc
 
 import (
+	"bytes"
+	"context"
 	"crypto/rand"
+	"encoding/json"
 	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -43,6 +50,7 @@ func newFixture(t *testing.T) *fixture {
 	}
 	c.AuthorizeMiner(minerW.PublicBytes())
 	pool := chain.NewMempool()
+	pool.UseVerifier(c.Verifier())
 
 	f := &fixture{
 		t:       t,
@@ -65,9 +73,25 @@ func newFixture(t *testing.T) *fixture {
 	return f
 }
 
+// rawPost sends an arbitrary body and returns status plus response body.
+func (f *fixture) rawPost(body string) (int, []byte) {
+	f.t.Helper()
+	resp, err := http.Post("http://"+f.server.Addr()+"/", "application/json", strings.NewReader(body))
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		f.t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
 func TestGetBlockCount(t *testing.T) {
 	f := newFixture(t)
-	h, err := f.client.GetBlockCount()
+	ctx := context.Background()
+	h, err := f.client.GetBlockCount(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +101,7 @@ func TestGetBlockCount(t *testing.T) {
 	if _, err := f.miner.Mine(time.Now()); err != nil {
 		t.Fatal(err)
 	}
-	h, err = f.client.GetBlockCount()
+	h, err = f.client.GetBlockCount(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,11 +112,12 @@ func TestGetBlockCount(t *testing.T) {
 
 func TestSendRawTransactionRoundTrip(t *testing.T) {
 	f := newFixture(t)
+	ctx := context.Background()
 	tx, err := f.alice.BuildPayment(f.chain.UTXO(), f.bob.PubKeyHash(), 100, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	txid, err := f.client.SendRawTransaction(tx)
+	txid, err := f.client.SendRawTransaction(ctx, tx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +132,7 @@ func TestSendRawTransactionRoundTrip(t *testing.T) {
 	}
 
 	// Fetch it back from the mempool.
-	back, err := f.client.GetRawTransaction(tx.ID())
+	back, err := f.client.GetRawTransaction(ctx, tx.ID())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,14 +144,14 @@ func TestSendRawTransactionRoundTrip(t *testing.T) {
 	if _, err := f.miner.Mine(time.Now()); err != nil {
 		t.Fatal(err)
 	}
-	conf, err := f.client.GetConfirmations(tx.ID())
+	conf, err := f.client.GetConfirmations(ctx, tx.ID())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if conf != 1 {
 		t.Fatalf("confirmations = %d, want 1", conf)
 	}
-	blk, err := f.client.GetBlock(1)
+	blk, err := f.client.GetBlock(ctx, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,38 +168,40 @@ func TestSendRawTransactionRoundTrip(t *testing.T) {
 
 func TestSendRawTransactionRejectsInvalid(t *testing.T) {
 	f := newFixture(t)
+	ctx := context.Background()
 	// bob has no funds; a self-built spend of nonexistent coins fails.
 	tx, err := f.alice.BuildPayment(f.chain.UTXO(), f.bob.PubKeyHash(), 100, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	tx.Inputs[0].Prev.Index = 999 // nonexistent outpoint
-	if _, err := f.client.SendRawTransaction(tx); err == nil {
+	if _, err := f.client.SendRawTransaction(ctx, tx); err == nil {
 		t.Fatal("invalid transaction accepted")
 	}
 	var rpcErr *Error
-	if _, err := f.client.SendRawTransaction(tx); !errors.As(err, &rpcErr) {
+	if _, err := f.client.SendRawTransaction(ctx, tx); !errors.As(err, &rpcErr) {
 		t.Fatalf("err = %T, want *rpc.Error", err)
 	}
 }
 
 func TestListUnspentAndBalance(t *testing.T) {
 	f := newFixture(t)
-	outs, err := f.client.ListUnspent(f.alice.PubKeyHash())
+	ctx := context.Background()
+	outs, err := f.client.ListUnspent(ctx, f.alice.PubKeyHash())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(outs) != 1 || outs[0].Value != 1_000_000 {
 		t.Fatalf("unspent = %+v", outs)
 	}
-	bal, err := f.client.GetBalance(f.alice.PubKeyHash())
+	bal, err := f.client.GetBalance(ctx, f.alice.PubKeyHash())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if bal != 1_000_000 {
 		t.Fatalf("balance = %d", bal)
 	}
-	empty, err := f.client.ListUnspent(f.bob.PubKeyHash())
+	empty, err := f.client.ListUnspent(ctx, f.bob.PubKeyHash())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +212,7 @@ func TestListUnspentAndBalance(t *testing.T) {
 
 func TestUnknownMethod(t *testing.T) {
 	f := newFixture(t)
-	err := f.client.Call("getwalletinfo", nil)
+	err := f.client.Call(context.Background(), "getwalletinfo", nil)
 	var rpcErr *Error
 	if !errors.As(err, &rpcErr) || rpcErr.Code != CodeMethodNotFound {
 		t.Fatalf("err = %v, want method-not-found", err)
@@ -194,30 +221,35 @@ func TestUnknownMethod(t *testing.T) {
 
 func TestBadParams(t *testing.T) {
 	f := newFixture(t)
+	ctx := context.Background()
 	var out string
-	err := f.client.Call("getblock", &out) // missing param
+	err := f.client.Call(ctx, "getblock", &out) // missing param
 	var rpcErr *Error
 	if !errors.As(err, &rpcErr) || rpcErr.Code != CodeInvalidParams {
 		t.Fatalf("err = %v, want invalid-params", err)
 	}
-	err = f.client.Call("getblock", &out, 99999) // out of range
+	err = f.client.Call(ctx, "getblock", &out, 99999) // out of range
 	if !errors.As(err, &rpcErr) {
 		t.Fatalf("err = %v, want rpc.Error", err)
 	}
-	err = f.client.Call("getrawtransaction", &out, "nothex")
+	err = f.client.Call(ctx, "getrawtransaction", &out, "nothex")
 	if !errors.As(err, &rpcErr) || rpcErr.Code != CodeInvalidParams {
 		t.Fatalf("err = %v, want invalid-params", err)
 	}
-	err = f.client.Call("listunspent", nil, "abcd")
+	err = f.client.Call(ctx, "listunspent", nil, "abcd")
 	if !errors.As(err, &rpcErr) || rpcErr.Code != CodeInvalidParams {
 		t.Fatalf("err = %v, want invalid-params", err)
+	}
+	err = f.client.Call(ctx, "getblockcount", nil, "extra")
+	if !errors.As(err, &rpcErr) || rpcErr.Code != CodeInvalidParams {
+		t.Fatalf("err = %v, want invalid-params for extra arg", err)
 	}
 }
 
 func TestGetBestBlockHash(t *testing.T) {
 	f := newFixture(t)
 	var hash string
-	if err := f.client.Call("getbestblockhash", &hash); err != nil {
+	if err := f.client.Call(context.Background(), "getbestblockhash", &hash); err != nil {
 		t.Fatal(err)
 	}
 	if hash != f.chain.Tip().ID().String() {
@@ -233,7 +265,291 @@ func TestServerCloseIdempotent(t *testing.T) {
 	if err := f.server.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.client.GetBlockCount(); err == nil {
+	if _, err := f.client.GetBlockCount(context.Background()); err == nil {
 		t.Fatal("request succeeded after close")
+	}
+}
+
+// TestJSONRPC20Envelope checks the 2.0 wire format: version member,
+// id echo (including string ids), and legacy requests without a
+// jsonrpc member still being served.
+func TestJSONRPC20Envelope(t *testing.T) {
+	f := newFixture(t)
+	status, body := f.rawPost(`{"jsonrpc":"2.0","method":"getblockcount","params":[],"id":"abc-1"}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.JSONRPC != "2.0" {
+		t.Fatalf("jsonrpc = %q, want 2.0", resp.JSONRPC)
+	}
+	if string(bytes.TrimSpace(resp.ID)) != `"abc-1"` {
+		t.Fatalf("id = %s, want \"abc-1\"", resp.ID)
+	}
+	if resp.Error != nil {
+		t.Fatalf("error = %v", resp.Error)
+	}
+
+	// Legacy 1.0-style request: no jsonrpc member, integer id.
+	_, body = f.rawPost(`{"method":"getblockcount","params":[],"id":7}`)
+	resp = Response{}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Error != nil || string(bytes.TrimSpace(resp.ID)) != "7" {
+		t.Fatalf("legacy response = %+v", resp)
+	}
+}
+
+// TestParseErrorObject checks that malformed bodies produce a JSON-RPC
+// error object with code -32700 and a null id — not a bare HTTP error.
+func TestParseErrorObject(t *testing.T) {
+	f := newFixture(t)
+	status, body := f.rawPost(`{"method": "getblockcount", `) // truncated
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 with error object", status)
+	}
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("body %q not a response object: %v", body, err)
+	}
+	if resp.Error == nil || resp.Error.Code != CodeParseError {
+		t.Fatalf("error = %+v, want code %d", resp.Error, CodeParseError)
+	}
+	if string(bytes.TrimSpace(resp.ID)) != "null" {
+		t.Fatalf("id = %s, want null", resp.ID)
+	}
+}
+
+// TestNotification checks that requests without an id get no response
+// body.
+func TestNotification(t *testing.T) {
+	f := newFixture(t)
+	status, body := f.rawPost(`{"jsonrpc":"2.0","method":"getblockcount","params":[]}`)
+	if status != http.StatusNoContent {
+		t.Fatalf("status = %d, want 204", status)
+	}
+	if len(bytes.TrimSpace(body)) != 0 {
+		t.Fatalf("notification got body %q", body)
+	}
+}
+
+// TestBatchRequests covers the raw batch shape: ordered responses,
+// notifications omitted, invalid entries answered in place.
+func TestBatchRequests(t *testing.T) {
+	f := newFixture(t)
+	status, body := f.rawPost(`[
+		{"jsonrpc":"2.0","method":"getblockcount","params":[],"id":1},
+		{"jsonrpc":"2.0","method":"getblockcount","params":[]},
+		{"jsonrpc":"2.0","method":"nosuchmethod","params":[],"id":2},
+		42
+	]`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	var resps []Response
+	if err := json.Unmarshal(body, &resps); err != nil {
+		t.Fatalf("batch body %q: %v", body, err)
+	}
+	if len(resps) != 3 {
+		t.Fatalf("responses = %d, want 3 (notification omitted)", len(resps))
+	}
+	if resps[0].Error != nil || string(bytes.TrimSpace(resps[0].ID)) != "1" {
+		t.Fatalf("first = %+v", resps[0])
+	}
+	if resps[1].Error == nil || resps[1].Error.Code != CodeMethodNotFound {
+		t.Fatalf("second = %+v, want method-not-found", resps[1])
+	}
+	if resps[2].Error == nil || resps[2].Error.Code != CodeInvalidRequest {
+		t.Fatalf("third = %+v, want invalid-request", resps[2])
+	}
+
+	// Empty batch: single invalid-request error object.
+	_, body = f.rawPost(`[]`)
+	var single Response
+	if err := json.Unmarshal(body, &single); err != nil {
+		t.Fatal(err)
+	}
+	if single.Error == nil || single.Error.Code != CodeInvalidRequest {
+		t.Fatalf("empty batch error = %+v", single.Error)
+	}
+}
+
+// TestCallBatchClient exercises the client-side batch API end to end.
+func TestCallBatchClient(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	tx, err := f.alice.BuildPayment(f.chain.UTXO(), f.bob.PubKeyHash(), 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.client.SendRawTransaction(ctx, tx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.miner.Mine(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+
+	var height int64
+	var conf int64
+	calls := []BatchCall{
+		{Method: "getblockcount", Out: &height},
+		{Method: "getconfirmations", Params: []any{tx.ID().String()}, Out: &conf},
+		{Method: "nosuchmethod"},
+	}
+	if err := f.client.CallBatch(ctx, calls); err != nil {
+		t.Fatal(err)
+	}
+	if calls[0].Err != nil || height != 1 {
+		t.Fatalf("height call = %v, height = %d", calls[0].Err, height)
+	}
+	if calls[1].Err != nil || conf != 1 {
+		t.Fatalf("conf call = %v, conf = %d", calls[1].Err, conf)
+	}
+	var rpcErr *Error
+	if !errors.As(calls[2].Err, &rpcErr) || rpcErr.Code != CodeMethodNotFound {
+		t.Fatalf("bad call err = %v, want method-not-found", calls[2].Err)
+	}
+
+	// The gateway idiom: poll many confirmations in one round trip.
+	confs, err := f.client.GetConfirmationsBatch(ctx, []chain.Hash{tx.ID(), tx.ID()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(confs) != 2 || confs[0] != 1 || confs[1] != 1 {
+		t.Fatalf("confs = %v", confs)
+	}
+}
+
+// TestListMethods checks the dispatch-table catalog endpoint.
+func TestListMethods(t *testing.T) {
+	f := newFixture(t)
+	var names []string
+	if err := f.client.Call(context.Background(), "listmethods", &names); err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(methods) {
+		t.Fatalf("listmethods = %d entries, registry has %d", len(names), len(methods))
+	}
+	for _, want := range []string{"getblockcount", "sendrawtransaction", "listunspent"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("method %q missing from catalog %v", want, names)
+		}
+	}
+}
+
+// TestBodySizeCap checks that oversized request bodies are refused with
+// a parse-error object instead of being read to completion.
+func TestBodySizeCap(t *testing.T) {
+	f := newFixture(t)
+	huge := `{"method":"getblockcount","params":["` + strings.Repeat("a", maxRequestBytes+1024) + `"],"id":1}`
+	_, body := f.rawPost(huge)
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("oversize body answer %q: %v", body[:min(len(body), 200)], err)
+	}
+	if resp.Error == nil || resp.Error.Code != CodeParseError {
+		t.Fatalf("error = %+v, want parse error", resp.Error)
+	}
+}
+
+// TestCallTimeout checks the per-call deadline fires.
+func TestCallTimeout(t *testing.T) {
+	f := newFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired
+	if _, err := f.client.GetBlockCount(ctx); err == nil {
+		t.Fatal("call with canceled context succeeded")
+	}
+}
+
+// TestConcurrentRPCAndMining is the race-focused test: blocks connect
+// (parallel script verification, reorg-free fast path) while RPC
+// clients hammer listunspent/getbalance and submit transactions. Run
+// under -race this exercises the Chain lock, the shared signature
+// cache and the memoized transaction IDs together.
+func TestConcurrentRPCAndMining(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	const blocks = 8
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, 16)
+
+	// Reader goroutines: wallet state polls.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := f.client.ListUnspent(ctx, f.alice.PubKeyHash()); err != nil {
+					errCh <- fmt.Errorf("listunspent: %w", err)
+					return
+				}
+				if _, err := f.client.GetBalance(ctx, f.bob.PubKeyHash()); err != nil {
+					errCh <- fmt.Errorf("getbalance: %w", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Writer goroutine: submit payments through the RPC path.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx, err := f.alice.BuildPayment(f.chain.UTXO(), f.bob.PubKeyHash(), 10, 1)
+			if err != nil {
+				// Wallet raced the miner for its own change; retry.
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			// Mempool conflicts with in-flight change are expected.
+			_, _ = f.client.SendRawTransaction(ctx, tx)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Mining loop on the test goroutine.
+	for i := 0; i < blocks; i++ {
+		if _, err := f.miner.Mine(time.Now()); err != nil {
+			t.Fatalf("mine %d: %v", i, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	h, err := f.client.GetBlockCount(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != blocks {
+		t.Fatalf("height = %d, want %d", h, blocks)
 	}
 }

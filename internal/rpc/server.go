@@ -1,14 +1,23 @@
-// Package rpc exposes the blockchain node over JSON-RPC, mirroring the
-// Multichain daemon surface the paper's Go daemon wraps (§5.1): creating,
-// signing and sending raw transactions, publishing OP_RETURN data, and
-// querying blocks and unspent outputs.
+// Package rpc exposes the blockchain node over JSON-RPC 2.0, mirroring
+// the Multichain daemon surface the paper's Go daemon wraps (§5.1):
+// creating, signing and sending raw transactions, publishing OP_RETURN
+// data, and querying blocks and unspent outputs.
+//
+// The server speaks the JSON-RPC 2.0 wire format: requests carry
+// `"jsonrpc": "2.0"`, requests without an id (or with a null id) are
+// notifications and receive no response, and an array of requests is a
+// batch answered by an array of responses — a gateway polls
+// confirmations for many claims in one round trip. Legacy 1.0-style
+// requests (no jsonrpc member, integer ids) are still accepted.
 package rpc
 
 import (
+	"bytes"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sync"
@@ -16,18 +25,26 @@ import (
 	"bcwan/internal/chain"
 )
 
-// Request is a JSON-RPC request.
+// Request is a JSON-RPC 2.0 request. A nil or null ID marks a
+// notification: the server executes it but sends no response.
 type Request struct {
-	Method string            `json:"method"`
-	Params []json.RawMessage `json:"params"`
-	ID     int64             `json:"id"`
+	JSONRPC string            `json:"jsonrpc,omitempty"`
+	Method  string            `json:"method"`
+	Params  []json.RawMessage `json:"params,omitempty"`
+	ID      json.RawMessage   `json:"id,omitempty"`
 }
 
-// Response is a JSON-RPC response.
+// IsNotification reports whether the request carries no id.
+func (r *Request) IsNotification() bool {
+	return len(r.ID) == 0 || bytes.Equal(bytes.TrimSpace(r.ID), []byte("null"))
+}
+
+// Response is a JSON-RPC 2.0 response.
 type Response struct {
-	Result json.RawMessage `json:"result,omitempty"`
-	Error  *Error          `json:"error,omitempty"`
-	ID     int64           `json:"id"`
+	JSONRPC string          `json:"jsonrpc"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   *Error          `json:"error,omitempty"`
+	ID      json.RawMessage `json:"id"`
 }
 
 // Error is a JSON-RPC error object.
@@ -39,11 +56,22 @@ type Error struct {
 // Error implements the error interface.
 func (e *Error) Error() string { return fmt.Sprintf("rpc error %d: %s", e.Code, e.Message) }
 
-// JSON-RPC error codes.
+// Standard JSON-RPC 2.0 error codes.
 const (
+	CodeParseError     = -32700
+	CodeInvalidRequest = -32600
 	CodeMethodNotFound = -32601
 	CodeInvalidParams  = -32602
 	CodeServerError    = -32000
+)
+
+// Request-size guards.
+const (
+	// maxRequestBytes caps an HTTP request body; a full MaxBlockTxs
+	// block of maximum-size transactions still fits.
+	maxRequestBytes = 8 << 20
+	// maxBatchRequests caps the number of calls in one batch.
+	maxBatchRequests = 1000
 )
 
 // Backend is the node state the server exposes.
@@ -55,7 +83,29 @@ type Backend struct {
 	OnTxAccepted func(*chain.Tx)
 }
 
-// Server is an HTTP JSON-RPC server.
+// handlerFunc executes one RPC method against the node backend.
+type handlerFunc func(s *Server, params []json.RawMessage) (any, error)
+
+// methods is the dispatch table. Adding a method is one entry here plus
+// a handler below — no switch to grow. Populated in init to let
+// listmethods enumerate the table without an initialization cycle.
+var methods map[string]handlerFunc
+
+func init() {
+	methods = map[string]handlerFunc{
+		"getblockcount":      handleGetBlockCount,
+		"getbestblockhash":   handleGetBestBlockHash,
+		"getblock":           handleGetBlock,
+		"getrawtransaction":  handleGetRawTransaction,
+		"getconfirmations":   handleGetConfirmations,
+		"sendrawtransaction": handleSendRawTransaction,
+		"listunspent":        handleListUnspent,
+		"getbalance":         handleGetBalance,
+		"listmethods":        handleListMethods,
+	}
+}
+
+// Server is an HTTP JSON-RPC 2.0 server.
 type Server struct {
 	backend  Backend
 	server   *http.Server
@@ -96,43 +146,114 @@ func (s *Server) Close() error {
 	return s.server.Close()
 }
 
+// handle reads one HTTP request carrying either a single JSON-RPC call
+// or a batch (JSON array), and writes the matching response shape.
+// Malformed bodies produce a proper JSON-RPC error object with a null
+// id, never a bare HTTP error.
 func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeJSON(w, errorResponse(nil, &Error{Code: CodeParseError, Message: "request body unreadable or over size limit"}))
+		return
+	}
+	if trimmed := bytes.TrimLeft(body, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '[' {
+		s.handleBatch(w, trimmed)
+		return
+	}
 	var req Request
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request", http.StatusBadRequest)
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, errorResponse(nil, &Error{Code: CodeParseError, Message: err.Error()}))
 		return
 	}
 	resp := s.dispatch(&req)
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		// Connection-level failure; nothing else to do.
+	if req.IsNotification() {
+		w.WriteHeader(http.StatusNoContent)
 		return
 	}
+	writeJSON(w, resp)
 }
 
+// handleBatch answers an array of requests with an array of responses,
+// preserving order and omitting entries for notifications.
+func (s *Server) handleBatch(w http.ResponseWriter, body []byte) {
+	var raws []json.RawMessage
+	if err := json.Unmarshal(body, &raws); err != nil {
+		writeJSON(w, errorResponse(nil, &Error{Code: CodeParseError, Message: err.Error()}))
+		return
+	}
+	if len(raws) == 0 {
+		writeJSON(w, errorResponse(nil, &Error{Code: CodeInvalidRequest, Message: "empty batch"}))
+		return
+	}
+	if len(raws) > maxBatchRequests {
+		writeJSON(w, errorResponse(nil, &Error{Code: CodeInvalidRequest,
+			Message: fmt.Sprintf("batch of %d exceeds limit %d", len(raws), maxBatchRequests)}))
+		return
+	}
+	responses := make([]*Response, 0, len(raws))
+	for _, raw := range raws {
+		var req Request
+		if err := json.Unmarshal(raw, &req); err != nil {
+			responses = append(responses, errorResponse(nil, &Error{Code: CodeInvalidRequest, Message: err.Error()}))
+			continue
+		}
+		resp := s.dispatch(&req)
+		if !req.IsNotification() {
+			responses = append(responses, resp)
+		}
+	}
+	if len(responses) == 0 {
+		// A batch of nothing but notifications gets no response body.
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, responses)
+}
+
+// dispatch routes one request through the method registry.
 func (s *Server) dispatch(req *Request) *Response {
-	result, err := s.call(req)
-	resp := &Response{ID: req.ID}
+	handler, ok := methods[req.Method]
+	if !ok {
+		return errorResponse(req.ID, &Error{Code: CodeMethodNotFound, Message: req.Method})
+	}
+	result, err := handler(s, req.Params)
 	if err != nil {
 		var rpcErr *Error
-		if errors.As(err, &rpcErr) {
-			resp.Error = rpcErr
-		} else {
-			resp.Error = &Error{Code: CodeServerError, Message: err.Error()}
+		if !errors.As(err, &rpcErr) {
+			rpcErr = &Error{Code: CodeServerError, Message: err.Error()}
 		}
-		return resp
+		return errorResponse(req.ID, rpcErr)
 	}
 	raw, merr := json.Marshal(result)
 	if merr != nil {
-		resp.Error = &Error{Code: CodeServerError, Message: merr.Error()}
-		return resp
+		return errorResponse(req.ID, &Error{Code: CodeServerError, Message: merr.Error()})
 	}
-	resp.Result = raw
-	return resp
+	return &Response{JSONRPC: "2.0", Result: raw, ID: normalizeID(req.ID)}
+}
+
+// errorResponse builds a failure response. A nil id marshals as null,
+// the spec's value for requests whose id could not be recovered.
+func errorResponse(id json.RawMessage, rpcErr *Error) *Response {
+	return &Response{JSONRPC: "2.0", Error: rpcErr, ID: normalizeID(id)}
+}
+
+// normalizeID maps an absent id to explicit null so responses always
+// carry the member.
+func normalizeID(id json.RawMessage) json.RawMessage {
+	if len(id) == 0 {
+		return json.RawMessage("null")
+	}
+	return id
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	// Encoding errors mean a dead connection; nothing else to do.
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 // UnspentOutput is the listunspent result row.
@@ -156,119 +277,128 @@ type BlockSummary struct {
 	PrevHash string   `json:"previousblockhash"`
 }
 
-func (s *Server) call(req *Request) (any, error) {
-	switch req.Method {
-	case "getblockcount":
-		return s.backend.Chain.Height(), nil
+// Method handlers. Each decodes its parameters with the typed helpers
+// from params.go and returns a JSON-marshalable result.
 
-	case "getbestblockhash":
-		return s.backend.Chain.Tip().ID().String(), nil
-
-	case "getblock":
-		var height int64
-		if err := oneParam(req, &height); err != nil {
-			return nil, err
-		}
-		b, ok := s.backend.Chain.BlockAt(height)
-		if !ok {
-			return nil, &Error{Code: CodeInvalidParams, Message: "block not found"}
-		}
-		return blockSummary(b), nil
-
-	case "getrawtransaction":
-		var txid string
-		if err := oneParam(req, &txid); err != nil {
-			return nil, err
-		}
-		id, err := chain.HashFromString(txid)
-		if err != nil {
-			return nil, &Error{Code: CodeInvalidParams, Message: err.Error()}
-		}
-		if tx, ok := s.backend.Mempool.Get(id); ok {
-			return hex.EncodeToString(tx.Serialize()), nil
-		}
-		tx, _, ok := s.backend.Chain.FindTx(id)
-		if !ok {
-			return nil, &Error{Code: CodeInvalidParams, Message: "transaction not found"}
-		}
-		return hex.EncodeToString(tx.Serialize()), nil
-
-	case "getconfirmations":
-		var txid string
-		if err := oneParam(req, &txid); err != nil {
-			return nil, err
-		}
-		id, err := chain.HashFromString(txid)
-		if err != nil {
-			return nil, &Error{Code: CodeInvalidParams, Message: err.Error()}
-		}
-		return s.backend.Chain.Confirmations(id), nil
-
-	case "sendrawtransaction":
-		var txHex string
-		if err := oneParam(req, &txHex); err != nil {
-			return nil, err
-		}
-		raw, err := hex.DecodeString(txHex)
-		if err != nil {
-			return nil, &Error{Code: CodeInvalidParams, Message: "bad hex"}
-		}
-		tx, err := chain.DeserializeTx(raw)
-		if err != nil {
-			return nil, &Error{Code: CodeInvalidParams, Message: err.Error()}
-		}
-		c := s.backend.Chain
-		if err := s.backend.Mempool.Accept(tx, c.UTXO(), c.Height(), c.Params()); err != nil {
-			return nil, &Error{Code: CodeServerError, Message: err.Error()}
-		}
-		if s.backend.OnTxAccepted != nil {
-			s.backend.OnTxAccepted(tx)
-		}
-		return tx.ID().String(), nil
-
-	case "listunspent":
-		var hashHex string
-		if err := oneParam(req, &hashHex); err != nil {
-			return nil, err
-		}
-		var hash [20]byte
-		raw, err := hex.DecodeString(hashHex)
-		if err != nil || len(raw) != 20 {
-			return nil, &Error{Code: CodeInvalidParams, Message: "pubkey hash must be 20 hex bytes"}
-		}
-		copy(hash[:], raw)
-		utxo := s.backend.Chain.UTXO()
-		var out []UnspentOutput
-		for _, op := range utxo.FindByPubKeyHash(hash) {
-			entry, _ := utxo.Get(op)
-			out = append(out, UnspentOutput{
-				TxID:      op.TxID.String(),
-				Vout:      op.Index,
-				Value:     entry.Out.Value,
-				LockHex:   hex.EncodeToString(entry.Out.Lock),
-				Height:    entry.Height,
-				Coinbase:  entry.Coinbase,
-				Spendable: true,
-			})
-		}
-		return out, nil
-
-	case "getbalance":
-		var hashHex string
-		if err := oneParam(req, &hashHex); err != nil {
-			return nil, err
-		}
-		var hash [20]byte
-		raw, err := hex.DecodeString(hashHex)
-		if err != nil || len(raw) != 20 {
-			return nil, &Error{Code: CodeInvalidParams, Message: "pubkey hash must be 20 hex bytes"}
-		}
-		copy(hash[:], raw)
-		return s.backend.Chain.UTXO().BalanceOf(hash), nil
-
-	default:
-		return nil, &Error{Code: CodeMethodNotFound, Message: req.Method}
+func handleGetBlockCount(s *Server, params []json.RawMessage) (any, error) {
+	if err := noParams(params); err != nil {
+		return nil, err
 	}
+	return s.backend.Chain.Height(), nil
+}
+
+func handleGetBestBlockHash(s *Server, params []json.RawMessage) (any, error) {
+	if err := noParams(params); err != nil {
+		return nil, err
+	}
+	return s.backend.Chain.Tip().ID().String(), nil
+}
+
+func handleGetBlock(s *Server, params []json.RawMessage) (any, error) {
+	height, err := oneParam[int64](params)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := s.backend.Chain.BlockAt(height)
+	if !ok {
+		return nil, &Error{Code: CodeInvalidParams, Message: "block not found"}
+	}
+	return blockSummary(b), nil
+}
+
+func handleGetRawTransaction(s *Server, params []json.RawMessage) (any, error) {
+	id, err := txIDParam(params)
+	if err != nil {
+		return nil, err
+	}
+	if tx, ok := s.backend.Mempool.Get(id); ok {
+		return hex.EncodeToString(tx.Serialize()), nil
+	}
+	tx, _, ok := s.backend.Chain.FindTx(id)
+	if !ok {
+		return nil, &Error{Code: CodeInvalidParams, Message: "transaction not found"}
+	}
+	return hex.EncodeToString(tx.Serialize()), nil
+}
+
+func handleGetConfirmations(s *Server, params []json.RawMessage) (any, error) {
+	id, err := txIDParam(params)
+	if err != nil {
+		return nil, err
+	}
+	return s.backend.Chain.Confirmations(id), nil
+}
+
+func handleSendRawTransaction(s *Server, params []json.RawMessage) (any, error) {
+	txHex, err := oneParam[string](params)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := hex.DecodeString(txHex)
+	if err != nil {
+		return nil, &Error{Code: CodeInvalidParams, Message: "bad hex"}
+	}
+	tx, err := chain.DeserializeTx(raw)
+	if err != nil {
+		return nil, &Error{Code: CodeInvalidParams, Message: err.Error()}
+	}
+	c := s.backend.Chain
+	if err := s.backend.Mempool.Accept(tx, c.UTXO(), c.Height(), c.Params()); err != nil {
+		return nil, &Error{Code: CodeServerError, Message: err.Error()}
+	}
+	if s.backend.OnTxAccepted != nil {
+		s.backend.OnTxAccepted(tx)
+	}
+	return tx.ID().String(), nil
+}
+
+func handleListUnspent(s *Server, params []json.RawMessage) (any, error) {
+	hash, err := pubKeyHashParam(params)
+	if err != nil {
+		return nil, err
+	}
+	utxo := s.backend.Chain.UTXO()
+	out := []UnspentOutput{}
+	for _, op := range utxo.FindByPubKeyHash(hash) {
+		entry, _ := utxo.Get(op)
+		out = append(out, UnspentOutput{
+			TxID:      op.TxID.String(),
+			Vout:      op.Index,
+			Value:     entry.Out.Value,
+			LockHex:   hex.EncodeToString(entry.Out.Lock),
+			Height:    entry.Height,
+			Coinbase:  entry.Coinbase,
+			Spendable: true,
+		})
+	}
+	return out, nil
+}
+
+func handleGetBalance(s *Server, params []json.RawMessage) (any, error) {
+	hash, err := pubKeyHashParam(params)
+	if err != nil {
+		return nil, err
+	}
+	return s.backend.Chain.UTXO().BalanceOf(hash), nil
+}
+
+// handleListMethods returns the method catalog, so clients can discover
+// the dispatch table.
+func handleListMethods(_ *Server, params []json.RawMessage) (any, error) {
+	if err := noParams(params); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(methods))
+	for name := range methods {
+		names = append(names, name)
+	}
+	// Deterministic order for clients and tests.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names, nil
 }
 
 func blockSummary(b *chain.Block) BlockSummary {
@@ -284,14 +414,4 @@ func blockSummary(b *chain.Block) BlockSummary {
 		RawHex:   hex.EncodeToString(b.Serialize()),
 		PrevHash: b.Header.PrevBlock.String(),
 	}
-}
-
-func oneParam(req *Request, out any) error {
-	if len(req.Params) != 1 {
-		return &Error{Code: CodeInvalidParams, Message: "expected 1 parameter"}
-	}
-	if err := json.Unmarshal(req.Params[0], out); err != nil {
-		return &Error{Code: CodeInvalidParams, Message: err.Error()}
-	}
-	return nil
 }
