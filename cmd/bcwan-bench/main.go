@@ -43,6 +43,7 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "scaled-down run (seconds instead of minutes)")
 	only := fs.String("only", "", "run a single experiment: fig4|fig5|fig6|budget|doublespend|reputation|sweeps|legacy|blockconnect")
 	csvDir := fs.String("csv", "", "also write per-exchange latency series (the raw figure data) as CSV files into this directory")
+	resultsDir := fs.String("results", "results", "directory for machine-readable benchmark JSON (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -172,6 +173,13 @@ func run(args []string) error {
 			return err
 		}
 		experiments.WriteBlockConnect(out, cfg, results)
+		if *resultsDir != "" {
+			path := filepath.Join(*resultsDir, "BENCH_blockconnect.json")
+			if err := experiments.WriteBlockConnectJSON(path, cfg, results); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n\n", path)
+		}
 	}
 
 	if want("legacy") {

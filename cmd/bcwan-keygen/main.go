@@ -7,6 +7,9 @@
 //	                              AES-256 key K, the node's RSA-512
 //	                              signing keypair, and a device EUI
 //	                              (§4.4's provisioning phase)
+//
+// Add -n <count> to any type to generate a batch (one JSON document
+// per identity), e.g. provisioning a 30-sensor site in one call.
 package main
 
 import (
@@ -33,14 +36,31 @@ func run(args []string) error {
 	keyType := fs.String("type", "wallet", "what to generate: miner | wallet | sensor")
 	recipientAddr := fs.String("recipient", "", "recipient @R address (required for -type sensor)")
 	eui := fs.String("eui", "", "sensor device EUI as 16 hex chars (random if empty)")
+	count := fs.Int("n", 1, "generate this many identities (one JSON document each)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *count < 1 {
+		return fmt.Errorf("-n must be at least 1")
+	}
+	if *count > 1 && *eui != "" {
+		return fmt.Errorf("-eui fixes one device EUI; it cannot combine with -n %d", *count)
 	}
 
 	out := json.NewEncoder(os.Stdout)
 	out.SetIndent("", "  ")
 
-	switch *keyType {
+	for i := 0; i < *count; i++ {
+		if err := generate(out, *keyType, *recipientAddr, *eui); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// generate emits one identity of the requested type.
+func generate(out *json.Encoder, keyType, recipientAddr, eui string) error {
+	switch keyType {
 	case "miner":
 		key, err := bccrypto.GenerateECKey(rand.Reader)
 		if err != nil {
@@ -67,10 +87,10 @@ func run(args []string) error {
 		})
 
 	case "sensor":
-		if *recipientAddr == "" {
+		if recipientAddr == "" {
 			return fmt.Errorf("-type sensor requires -recipient <@R address>")
 		}
-		rHash, err := bccrypto.PubKeyHashFromAddress(*recipientAddr)
+		rHash, err := bccrypto.PubKeyHashFromAddress(recipientAddr)
 		if err != nil {
 			return fmt.Errorf("recipient address: %w", err)
 		}
@@ -83,8 +103,8 @@ func run(args []string) error {
 			return err
 		}
 		devEUI := make([]byte, 8)
-		if *eui != "" {
-			decoded, err := hex.DecodeString(*eui)
+		if eui != "" {
+			decoded, err := hex.DecodeString(eui)
 			if err != nil || len(decoded) != 8 {
 				return fmt.Errorf("-eui must be 16 hex chars")
 			}
@@ -104,6 +124,6 @@ func run(args []string) error {
 		})
 
 	default:
-		return fmt.Errorf("unknown -type %q (miner | wallet | sensor)", *keyType)
+		return fmt.Errorf("unknown -type %q (miner | wallet | sensor)", keyType)
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"bcwan/internal/chain"
 	"bcwan/internal/daemon"
 	"bcwan/internal/recipient"
+	"bcwan/internal/telemetry"
 )
 
 func main() {
@@ -61,6 +62,7 @@ func run(args []string) error {
 	peers := fs.String("peers", "", "gossip peers to dial, comma separated")
 	recipientAddr := fs.String("recipient", "", "also run a recipient delivery listener on this address")
 	dataDir := fs.String("datadir", "", "directory to persist the chain across restarts")
+	metricsLog := fs.Duration("metrics-log", 0, "periodically log a JSON telemetry snapshot at this interval (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -117,6 +119,12 @@ func run(args []string) error {
 	defer node.Close()
 	logger.Printf("p2p listening on %s", node.P2PAddr())
 	logger.Printf("rpc listening on %s", node.RPCAddr())
+	logger.Printf("metrics at http://%s/metrics (Prometheus text) and via the getmetrics RPC", node.RPCAddr())
+
+	if *metricsLog > 0 {
+		sl := telemetry.StartSnapshotLogger(node.Telemetry(), logger, *metricsLog)
+		defer sl.Stop()
+	}
 
 	var chainPath string
 	if *dataDir != "" {
@@ -124,13 +132,13 @@ func run(args []string) error {
 			return err
 		}
 		chainPath = daemon.DefaultChainPath(*dataDir)
-		loaded, err := daemon.LoadChain(node.Chain(), chainPath)
+		loaded, err := node.LoadChain(chainPath)
 		if err != nil {
 			return fmt.Errorf("restore chain: %w", err)
 		}
 		logger.Printf("restored %d blocks from %s (height %d)", loaded, chainPath, node.Chain().Height())
 		defer func() {
-			if err := daemon.SaveChain(node.Chain(), chainPath); err != nil {
+			if err := node.SaveChain(chainPath); err != nil {
 				logger.Printf("persist chain: %v", err)
 			} else {
 				logger.Printf("persisted chain at height %d", node.Chain().Height())

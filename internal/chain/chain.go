@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"bcwan/internal/script"
 )
@@ -34,6 +35,10 @@ type Chain struct {
 	// subscribers receive every block that becomes part of the best
 	// branch (including reorged-in blocks).
 	subscribers []func(*Block)
+
+	// metrics is nil until Instrument is called; every use is guarded
+	// so an uninstrumented chain pays only the nil check.
+	metrics *chainMetrics
 }
 
 // Chain errors.
@@ -158,6 +163,10 @@ func (c *Chain) AddBlock(b *Block) error {
 }
 
 func (c *Chain) addBlockLocked(b *Block, notify *[]*Block) error {
+	var start time.Time
+	if c.metrics != nil {
+		start = time.Now()
+	}
 	id := b.ID()
 	if _, dup := c.index[id]; dup {
 		return ErrDuplicateBlock
@@ -199,8 +208,25 @@ func (c *Chain) addBlockLocked(b *Block, notify *[]*Block) error {
 		// Blocks new to the best branch get notified.
 		fork := commonPrefixLen(c.best, branch)
 		*notify = append(*notify, branch[fork:]...)
+		if m := c.metrics; m != nil {
+			if depth := len(c.best) - fork; depth > 0 {
+				m.reorgs.Inc()
+				m.reorgDepth.Set(int64(depth))
+			}
+		}
 		c.best = branch
 		c.utxo = utxo
+	}
+	if m := c.metrics; m != nil {
+		m.connectSeconds.ObserveSince(start)
+		m.blocksConnected.Inc()
+		m.txsVerified.Add(uint64(len(b.Txs) - 1))
+		var scripts uint64
+		for _, tx := range b.Txs[1:] {
+			scripts += uint64(len(tx.Inputs))
+		}
+		m.scriptsVerified.Add(scripts)
+		m.utxoSize.Set(int64(c.utxo.Len()))
 	}
 	return nil
 }

@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"bcwan/internal/telemetry"
 )
 
 // Mempool holds transactions waiting to be mined. It enforces first-seen
@@ -24,6 +27,8 @@ type Mempool struct {
 	// skips re-verifying admitted transactions. Nil falls back to
 	// sequential uncached verification.
 	verifier *Verifier
+	// metrics is nil until Instrument is called.
+	metrics *mempoolMetrics
 }
 
 // Mempool errors.
@@ -52,19 +57,50 @@ func (m *Mempool) UseVerifier(v *Verifier) {
 	m.verifier = v
 }
 
+// Instrument registers the pool's metrics in reg (admissions, rejects
+// by reason, size gauge, admission latency). Call once, before the pool
+// sees concurrent use; a nil registry is a no-op.
+func (m *Mempool) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.metrics = newMempoolMetrics(reg)
+	m.metrics.size.Set(int64(len(m.txs)))
+}
+
 // Accept validates tx against the provided UTXO view (spendability and
 // scripts) and against pooled spends, then admits it. Outputs created by
 // pooled transactions are spendable — the gateway's claim chains onto the
 // recipient's still-unconfirmed payment (Fig. 3 steps 9–10, the paper's
 // deliberate zero-confirmation choice discussed in §6).
 func (m *Mempool) Accept(tx *Tx, utxo *UTXOSet, height int64, params Params) error {
-	if tx.IsCoinbase() {
-		return ErrBadCoinbase
-	}
 	id := tx.ID()
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	var start time.Time
+	if m.metrics != nil {
+		start = time.Now()
+	}
+	err := m.acceptLocked(tx, id, utxo, height, params)
+	if mm := m.metrics; mm != nil {
+		mm.acceptSeconds.ObserveSince(start)
+		if err == nil {
+			mm.admitted.Inc()
+			mm.size.Set(int64(len(m.txs)))
+		} else {
+			mm.rejectCounter(err).Inc()
+		}
+	}
+	return err
+}
+
+func (m *Mempool) acceptLocked(tx *Tx, id Hash, utxo *UTXOSet, height int64, params Params) error {
+	if tx.IsCoinbase() {
+		return ErrBadCoinbase
+	}
 	if _, dup := m.txs[id]; dup {
 		return ErrAlreadyPooled
 	}
@@ -115,6 +151,9 @@ func (m *Mempool) ForceReplace(tx *Tx) {
 	m.order = append(m.order, id)
 	for _, in := range tx.Inputs {
 		m.spends[in.Prev] = id
+	}
+	if m.metrics != nil {
+		m.metrics.size.Set(int64(len(m.txs)))
 	}
 }
 
@@ -182,6 +221,9 @@ func (m *Mempool) RemoveConfirmed(b *Block) {
 				m.removeLocked(prior)
 			}
 		}
+	}
+	if m.metrics != nil {
+		m.metrics.size.Set(int64(len(m.txs)))
 	}
 }
 

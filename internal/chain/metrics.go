@@ -1,0 +1,134 @@
+package chain
+
+import (
+	"errors"
+
+	"bcwan/internal/telemetry"
+)
+
+// Telemetry for the chain package. Each component (chain, mempool,
+// miner) grows an Instrument method that registers its metrics under
+// the bcwan_<component>_ namespace; uninstrumented components keep a
+// nil metrics struct and pay only a nil check per operation, which is
+// what keeps BenchmarkBlockConnect's registry-nil baseline honest.
+//
+// Instrument must be called before the component sees concurrent use
+// (in practice: right after construction, before gossip/RPC start).
+
+// chainMetrics is the per-Chain metric set.
+type chainMetrics struct {
+	connectSeconds  *telemetry.Histogram
+	blocksConnected *telemetry.Counter
+	txsVerified     *telemetry.Counter
+	scriptsVerified *telemetry.Counter
+	reorgs          *telemetry.Counter
+	reorgDepth      *telemetry.Gauge
+	utxoSize        *telemetry.Gauge
+}
+
+func newChainMetrics(reg *telemetry.Registry) *chainMetrics {
+	if reg == nil {
+		return nil
+	}
+	ns := reg.Namespace("chain")
+	return &chainMetrics{
+		connectSeconds: ns.Histogram("block_connect_seconds",
+			"Latency of accepting one block into the chain (validation incl. script verification).", nil),
+		blocksConnected: ns.Counter("blocks_connected_total",
+			"Blocks connected to the block tree."),
+		txsVerified: ns.Counter("txs_verified_total",
+			"Non-coinbase transactions validated at block connect."),
+		scriptsVerified: ns.Counter("scripts_verified_total",
+			"Script pairs submitted for verification at block connect (cache hits included)."),
+		reorgs: ns.Counter("reorgs_total",
+			"Best-branch reorganizations."),
+		reorgDepth: ns.Gauge("reorg_depth",
+			"Depth of the most recent reorganization (blocks disconnected)."),
+		utxoSize: ns.Gauge("utxo_size",
+			"Unspent outputs in the best-branch UTXO set."),
+	}
+}
+
+// Instrument registers the chain's metrics (including the shared
+// signature cache's hit/miss/eviction counters) in reg. Call once,
+// before the chain sees concurrent use; a nil registry is a no-op.
+func (c *Chain) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics = newChainMetrics(reg)
+	c.metrics.utxoSize.Set(int64(c.utxo.Len()))
+	ns := reg.Namespace("chain")
+	c.verifier.Cache().SetMetrics(
+		ns.Counter("sigcache_hits_total", "Signature-cache lookups that skipped re-verification."),
+		ns.Counter("sigcache_misses_total", "Signature-cache lookups that required verification."),
+		ns.Counter("sigcache_evictions_total", "Signature-cache entries evicted by the LRU bound."),
+	)
+}
+
+// mempoolMetrics is the per-Mempool metric set. Reject counters are
+// pre-registered per reason so the exposition shows the full taxonomy
+// at zero.
+type mempoolMetrics struct {
+	acceptSeconds   *telemetry.Histogram
+	admitted        *telemetry.Counter
+	rejectDuplicate *telemetry.Counter
+	rejectConflict  *telemetry.Counter
+	rejectInvalid   *telemetry.Counter
+	size            *telemetry.Gauge
+}
+
+func newMempoolMetrics(reg *telemetry.Registry) *mempoolMetrics {
+	if reg == nil {
+		return nil
+	}
+	ns := reg.Namespace("mempool")
+	reject := func(reason string) *telemetry.Counter {
+		return ns.Counter("rejected_total",
+			"Transactions rejected at admission, by reason.", telemetry.L("reason", reason))
+	}
+	return &mempoolMetrics{
+		acceptSeconds: ns.Histogram("accept_seconds",
+			"Latency of one mempool admission (validation incl. script verification).", nil),
+		admitted: ns.Counter("admitted_total",
+			"Transactions admitted to the mempool."),
+		rejectDuplicate: reject("duplicate"),
+		rejectConflict:  reject("conflict"),
+		rejectInvalid:   reject("invalid"),
+		size: ns.Gauge("size",
+			"Transactions currently pooled."),
+	}
+}
+
+// rejectCounter maps an admission error to its reject-reason counter.
+func (m *mempoolMetrics) rejectCounter(err error) *telemetry.Counter {
+	switch {
+	case errors.Is(err, ErrAlreadyPooled):
+		return m.rejectDuplicate
+	case errors.Is(err, ErrMempoolConflict):
+		return m.rejectConflict
+	default:
+		return m.rejectInvalid
+	}
+}
+
+// minerMetrics is the per-Miner metric set.
+type minerMetrics struct {
+	blocksMined     *telemetry.Counter
+	assemblySeconds *telemetry.Histogram
+}
+
+func newMinerMetrics(reg *telemetry.Registry) *minerMetrics {
+	if reg == nil {
+		return nil
+	}
+	ns := reg.Namespace("miner")
+	return &minerMetrics{
+		blocksMined: ns.Counter("blocks_mined_total",
+			"Blocks built, signed and connected by this miner."),
+		assemblySeconds: ns.Histogram("assembly_seconds",
+			"Latency of assembling and signing one block from the mempool.", nil),
+	}
+}

@@ -1,0 +1,124 @@
+package chain
+
+import (
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/telemetry"
+)
+
+// metricValue finds one series in a snapshot by name (ignoring labels
+// when want is empty) and returns its value.
+func metricValue(t *testing.T, snap []telemetry.Metric, name string, labels map[string]string) float64 {
+	t.Helper()
+	for _, m := range snap {
+		if m.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if m.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return m.Value
+		}
+	}
+	t.Fatalf("metric %s %v not in snapshot", name, labels)
+	return 0
+}
+
+func TestChainInstrumentation(t *testing.T) {
+	minerKey, err := bccrypto.GenerateECKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genesis := GenesisBlock(nil)
+	c, err := New(DefaultParams(), genesis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	c.Instrument(reg)
+	c.AuthorizeMiner(minerKey.PublicBytes())
+	pool := NewMempool()
+	pool.UseVerifier(c.Verifier())
+	pool.Instrument(reg)
+	miner := NewMiner(minerKey, c, pool, rand.Reader)
+	miner.Instrument(reg)
+
+	now := time.Date(2018, 12, 10, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		now = now.Add(15 * time.Second)
+		if _, err := miner.Mine(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := metricValue(t, snap, "bcwan_chain_blocks_connected_total", nil); got != 3 {
+		t.Fatalf("blocks connected = %v, want 3", got)
+	}
+	if got := metricValue(t, snap, "bcwan_miner_blocks_mined_total", nil); got != 3 {
+		t.Fatalf("blocks mined = %v, want 3", got)
+	}
+	if got := metricValue(t, snap, "bcwan_chain_utxo_size", nil); got != 4 {
+		// Genesis burn output + three coinbases.
+		t.Fatalf("utxo size = %v, want 4", got)
+	}
+	// The connect histogram observed one value per block.
+	for _, m := range snap {
+		if m.Name == "bcwan_chain_block_connect_seconds" {
+			if m.Histogram == nil || m.Histogram.Count != 3 {
+				t.Fatalf("connect histogram = %+v, want count 3", m.Histogram)
+			}
+		}
+	}
+
+	// A coinbase submission is an invalid-reason mempool reject.
+	cbErr := pool.Accept(genesis.Txs[0], c.UTXO(), c.Height(), c.Params())
+	if cbErr == nil {
+		t.Fatal("coinbase admitted")
+	}
+	snap = reg.Snapshot()
+	if got := metricValue(t, snap, "bcwan_mempool_rejected_total", map[string]string{"reason": "invalid"}); got != 1 {
+		t.Fatalf("invalid rejects = %v, want 1", got)
+	}
+	// All reject reasons are pre-registered even at zero.
+	metricValue(t, snap, "bcwan_mempool_rejected_total", map[string]string{"reason": "duplicate"})
+	metricValue(t, snap, "bcwan_mempool_rejected_total", map[string]string{"reason": "conflict"})
+}
+
+func TestSigCacheMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ns := reg.Namespace("chain")
+	cache := NewSigCache(2)
+	cache.SetMetrics(
+		ns.Counter("sigcache_hits_total", "hits"),
+		ns.Counter("sigcache_misses_total", "misses"),
+		ns.Counter("sigcache_evictions_total", "evictions"),
+	)
+	k1 := sigCacheKey{Index: 1}
+	k2 := sigCacheKey{Index: 2}
+	k3 := sigCacheKey{Index: 3}
+	cache.Contains(k1) // miss
+	cache.Add(k1)
+	cache.Contains(k1) // hit
+	cache.Add(k2)
+	cache.Add(k3) // capacity 2: evicts the LRU entry
+
+	snap := reg.Snapshot()
+	if got := metricValue(t, snap, "bcwan_chain_sigcache_hits_total", nil); got != 1 {
+		t.Fatalf("hits = %v, want 1", got)
+	}
+	if got := metricValue(t, snap, "bcwan_chain_sigcache_misses_total", nil); got != 1 {
+		t.Fatalf("misses = %v, want 1", got)
+	}
+	if got := metricValue(t, snap, "bcwan_chain_sigcache_evictions_total", nil); got != 1 {
+		t.Fatalf("evictions = %v, want 1", got)
+	}
+}

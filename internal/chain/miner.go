@@ -7,6 +7,7 @@ import (
 
 	"bcwan/internal/bccrypto"
 	"bcwan/internal/script"
+	"bcwan/internal/telemetry"
 )
 
 // Miner builds and signs blocks from mempool contents. In the paper's
@@ -18,6 +19,17 @@ type Miner struct {
 	chain   *Chain
 	mempool *Mempool
 	random  io.Reader
+	metrics *minerMetrics
+}
+
+// Instrument registers the miner's metrics in reg (blocks mined and
+// block-assembly latency). Call once, before mining starts; a nil
+// registry is a no-op.
+func (m *Miner) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	m.metrics = newMinerMetrics(reg)
 }
 
 // NewMiner returns a miner minting to the given key.
@@ -28,6 +40,10 @@ func NewMiner(key *bccrypto.ECKey, c *Chain, pool *Mempool, random io.Reader) *M
 // BuildBlock assembles, validates and signs the next block at the given
 // timestamp without adding it to the chain.
 func (m *Miner) BuildBlock(now time.Time) (*Block, error) {
+	var start time.Time
+	if m.metrics != nil {
+		start = time.Now()
+	}
 	params := m.chain.Params()
 	tip := m.chain.Tip()
 	height := tip.Header.Height + 1
@@ -79,6 +95,9 @@ func (m *Miner) BuildBlock(now time.Time) (*Block, error) {
 	if err := b.Header.Sign(m.key, m.random); err != nil {
 		return nil, fmt.Errorf("build block: %w", err)
 	}
+	if m.metrics != nil {
+		m.metrics.assemblySeconds.ObserveSince(start)
+	}
 	return b, nil
 }
 
@@ -90,6 +109,9 @@ func (m *Miner) Mine(now time.Time) (*Block, error) {
 	}
 	if err := m.chain.AddBlock(b); err != nil {
 		return nil, fmt.Errorf("mine: %w", err)
+	}
+	if m.metrics != nil {
+		m.metrics.blocksMined.Inc()
 	}
 	m.mempool.RemoveConfirmed(b)
 	return b, nil

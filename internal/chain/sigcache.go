@@ -6,6 +6,7 @@ import (
 
 	"bcwan/internal/bccrypto"
 	"bcwan/internal/script"
+	"bcwan/internal/telemetry"
 )
 
 // sigCacheKey identifies one successfully verified (transaction, input,
@@ -32,6 +33,11 @@ type SigCache struct {
 	cap int
 	lru *list.List // front = most recently used; values are sigCacheKey
 	idx map[sigCacheKey]*list.Element
+
+	// Telemetry counters; nil (a no-op) until SetMetrics wires them.
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
 }
 
 // DefaultSigCacheSize bounds the verification cache. At ~72 bytes per
@@ -49,6 +55,17 @@ func NewSigCache(capacity int) *SigCache {
 	}
 }
 
+// SetMetrics wires hit/miss/eviction counters (typically registered by
+// Chain.Instrument). Any may be nil; call before concurrent use.
+func (c *SigCache) SetMetrics(hits, misses, evictions *telemetry.Counter) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses, c.evictions = hits, misses, evictions
+}
+
 // Contains reports whether the entry was verified before, refreshing its
 // recency on a hit.
 func (c *SigCache) Contains(key sigCacheKey) bool {
@@ -60,6 +77,9 @@ func (c *SigCache) Contains(key sigCacheKey) bool {
 	el, ok := c.idx[key]
 	if ok {
 		c.lru.MoveToFront(el)
+		c.hits.Inc()
+	} else {
+		c.misses.Inc()
 	}
 	return ok
 }
@@ -80,6 +100,7 @@ func (c *SigCache) Add(key sigCacheKey) {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
 		delete(c.idx, oldest.Value.(sigCacheKey))
+		c.evictions.Inc()
 	}
 	c.idx[key] = c.lru.PushFront(key)
 }

@@ -39,9 +39,11 @@ func NewGatewayDaemon(node *Node, cfg gateway.Config, random io.Reader, logger *
 	if err != nil {
 		return nil, fmt.Errorf("daemon: gateway wallet: %w", err)
 	}
+	gw := gateway.New(cfg, w, node.Ledger(), node.Directory(), randomOrDefault(random))
+	gw.Instrument(node.Telemetry())
 	return &GatewayDaemon{
 		Node:    node,
-		Gateway: gateway.New(cfg, w, node.Ledger(), node.Directory(), randomOrDefault(random)),
+		Gateway: gw,
 		logger:  logger,
 	}, nil
 }
@@ -71,6 +73,7 @@ func (g *GatewayDaemon) deliverAndClaim(f *lora.Frame) error {
 	if err != nil {
 		return fmt.Errorf("daemon: deliver to %s: %w", netAddr, err)
 	}
+	g.Node.metrics.deliveriesSent.Inc()
 	if !ack.Accepted {
 		return fmt.Errorf("daemon: recipient refused delivery: %s", ack.Reason)
 	}
@@ -221,6 +224,7 @@ func (r *RecipientDaemon) handleConn(conn net.Conn) {
 		r.logf("delivery decode: %v", err)
 		return
 	}
+	r.Node.metrics.deliveriesReceived.Inc()
 	ack := fairex.Ack{}
 	payment, err := r.Recipient.HandleDelivery(&d)
 	if err != nil {

@@ -1,0 +1,22 @@
+package daemon
+
+import "bcwan/internal/telemetry"
+
+// daemonMetrics instruments the deployable daemons: Fig. 3 step-7 TCP
+// deliveries on both sides, and chain-store persistence latency.
+type daemonMetrics struct {
+	deliveriesSent     *telemetry.Counter
+	deliveriesReceived *telemetry.Counter
+	storeSaveSeconds   *telemetry.Histogram
+	storeLoadSeconds   *telemetry.Histogram
+}
+
+func newDaemonMetrics(reg *telemetry.Registry) *daemonMetrics {
+	ns := reg.Namespace("daemon")
+	return &daemonMetrics{
+		deliveriesSent:     ns.Counter("deliveries_sent_total", "TCP deliveries a gateway daemon pushed to recipients."),
+		deliveriesReceived: ns.Counter("deliveries_received_total", "TCP deliveries a recipient daemon accepted from gateways."),
+		storeSaveSeconds:   ns.Histogram("store_save_seconds", "Chain store save latency in seconds.", nil),
+		storeLoadSeconds:   ns.Histogram("store_load_seconds", "Chain store load latency in seconds.", nil),
+	}
+}

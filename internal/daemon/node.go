@@ -18,6 +18,7 @@ import (
 	"bcwan/internal/p2p"
 	"bcwan/internal/registry"
 	"bcwan/internal/rpc"
+	"bcwan/internal/telemetry"
 )
 
 // NodeConfig configures a blockchain node daemon.
@@ -44,6 +45,9 @@ type NodeConfig struct {
 	Random io.Reader
 	// Logger receives operational messages (nil = silent).
 	Logger *log.Logger
+	// Telemetry collects node-wide metrics; nil gets a fresh registry so
+	// every node serves GET /metrics and getmetrics out of the box.
+	Telemetry *telemetry.Registry
 }
 
 // Node is one running blockchain daemon.
@@ -56,6 +60,9 @@ type Node struct {
 	gossip *p2p.Node
 	rpcSrv *rpc.Server
 	miner  *chain.Miner
+	reg    *telemetry.Registry
+	// metrics is set once in NewNode, before any goroutine starts.
+	metrics *daemonMetrics
 
 	mu      sync.Mutex
 	orphans map[chain.Hash]*chain.Block // blocks waiting for their parent
@@ -73,6 +80,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.MineInterval <= 0 {
 		cfg.MineInterval = cfg.Params.BlockInterval
 	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
 	c, err := chain.New(cfg.Params, cfg.Genesis)
 	if err != nil {
 		return nil, fmt.Errorf("daemon: %w", err)
@@ -85,15 +95,19 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		chain:   c,
 		pool:    chain.NewMempool(),
 		orphans: make(map[chain.Hash]*chain.Block),
+		reg:     cfg.Telemetry,
+		metrics: newDaemonMetrics(cfg.Telemetry),
 	}
 	// Share the chain's verifier (worker pool + signature cache) so
 	// gossip- and RPC-admitted transactions are not re-verified when
 	// their block connects.
 	n.pool.UseVerifier(c.Verifier())
+	c.Instrument(n.reg)
+	n.pool.Instrument(n.reg)
 	n.dir = registry.NewDirectory()
 	n.dir.Attach(c)
 
-	gossip, err := p2p.NewNode(cfg.Transport, cfg.ListenP2P, cfg.Logger)
+	gossip, err := p2p.NewNodeWithTelemetry(cfg.Transport, cfg.ListenP2P, cfg.Logger, n.reg)
 	if err != nil {
 		return nil, err
 	}
@@ -115,6 +129,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		OnTxAccepted: func(tx *chain.Tx) {
 			gossip.Broadcast("tx", tx.Serialize())
 		},
+		Telemetry: n.reg,
 	})
 	if err != nil {
 		gossip.Close()
@@ -133,11 +148,37 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 
 	if cfg.MinerKey != nil {
 		n.miner = chain.NewMiner(cfg.MinerKey, c, n.pool, randomOrDefault(cfg.Random))
+		n.miner.Instrument(n.reg)
 		n.stopMine = make(chan struct{})
 		n.mineDone = make(chan struct{})
 		go n.mineLoop()
 	}
 	return n, nil
+}
+
+// Telemetry returns the node's metrics registry.
+func (n *Node) Telemetry() *telemetry.Registry { return n.reg }
+
+// SaveChain persists the best branch to path, recording the store
+// latency in the node's telemetry.
+func (n *Node) SaveChain(path string) error {
+	start := time.Now()
+	err := SaveChain(n.chain, path)
+	if err == nil {
+		n.metrics.storeSaveSeconds.ObserveSince(start)
+	}
+	return err
+}
+
+// LoadChain replays a stored branch into the node's chain, recording
+// the load latency in the node's telemetry.
+func (n *Node) LoadChain(path string) (int, error) {
+	start := time.Now()
+	loaded, err := LoadChain(n.chain, path)
+	if err == nil {
+		n.metrics.storeLoadSeconds.ObserveSince(start)
+	}
+	return loaded, err
 }
 
 // Ledger exposes the node's chain+mempool view.

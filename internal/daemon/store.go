@@ -66,7 +66,21 @@ func SaveChain(c *chain.Chain, path string) error {
 		return err
 	}
 	ok = true
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("daemon: save chain: %w", err)
+	}
+	// The rename is only durable once the directory entry itself is on
+	// disk: fsync the parent so a crash cannot resurrect the old file
+	// (or leave none at all).
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("daemon: save chain: open dir: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("daemon: save chain: sync dir: %w", err)
+	}
+	return d.Close()
 }
 
 // LoadChain replays a stored branch into the chain. Blocks that fail

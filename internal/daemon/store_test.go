@@ -117,6 +117,35 @@ func TestLoadChainRejectsTamperedBlock(t *testing.T) {
 	}
 }
 
+func TestLoadChainTruncatedFile(t *testing.T) {
+	c, genesis, miners := storedChain(t, 5)
+	path := filepath.Join(t.TempDir(), "chain.dat")
+	if err := SaveChain(c, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the file mid-record, as a crash between write and rename
+	// would: the loader must surface ErrBadStore, keeping the blocks
+	// that did round-trip intact.
+	if err := os.WriteFile(path, data[:len(data)-7], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	replica := freshReplica(t, genesis, miners)
+	loaded, err := LoadChain(replica, path)
+	if !errors.Is(err, ErrBadStore) {
+		t.Fatalf("err = %v, want ErrBadStore", err)
+	}
+	if loaded != 4 {
+		t.Fatalf("loaded = %d complete blocks, want 4", loaded)
+	}
+	if replica.Height() != 4 {
+		t.Fatalf("replica height = %d, want 4", replica.Height())
+	}
+}
+
 func TestLoadChainIdempotent(t *testing.T) {
 	c, _, _ := storedChain(t, 4)
 	path := filepath.Join(t.TempDir(), "chain.dat")

@@ -2,11 +2,15 @@ package experiments
 
 import (
 	"crypto/rand"
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"time"
 
 	"bcwan/internal/chain"
+	"bcwan/internal/telemetry"
 	"bcwan/internal/wallet"
 )
 
@@ -26,14 +30,19 @@ func DefaultBlockConnectConfig() BlockConnectConfig {
 	return BlockConnectConfig{Blocks: 12, TxsPerBlock: 24, Workers: []int{0, 1, 2, 4, 8}}
 }
 
-// BlockConnectResult is one replay measurement.
+// BlockConnectResult is one replay measurement. The signature-cache
+// fields come from the replay chain's telemetry snapshot, covering the
+// whole replay (warm runs include the mempool-priming verifications).
 type BlockConnectResult struct {
-	Workers   int           // VerifyWorkers for this run
-	Warm      bool          // true when txs passed through the mempool first (shared sig cache primed)
-	Elapsed   time.Duration // total time inside Chain.AddBlock
-	Blocks    int
-	Txs       int // payment txs connected (coinbases excluded)
-	TxsPerSec float64
+	Workers         int           // VerifyWorkers for this run
+	Warm            bool          // true when txs passed through the mempool first (shared sig cache primed)
+	Elapsed         time.Duration // total time inside Chain.AddBlock
+	Blocks          int
+	Txs             int // payment txs connected (coinbases excluded)
+	TxsPerSec       float64
+	SigCacheHits    uint64
+	SigCacheMisses  uint64
+	SigCacheHitRate float64 // hits / (hits + misses); 0 when no lookups ran
 }
 
 // blockConnectFixture is the prebuilt block sequence plus everything a
@@ -126,6 +135,10 @@ func (fix *blockConnectFixture) replay(workers int, warm bool) (*BlockConnectRes
 
 	pool := chain.NewMempool()
 	pool.UseVerifier(c.Verifier())
+	// A per-replay registry isolates each run's signature-cache stats.
+	reg := telemetry.NewRegistry()
+	c.Instrument(reg)
+	pool.Instrument(reg)
 
 	res := &BlockConnectResult{Workers: workers, Warm: warm, Blocks: len(fix.blocks)}
 	for _, raw := range fix.blocks {
@@ -151,7 +164,23 @@ func (fix *blockConnectFixture) replay(workers int, warm bool) (*BlockConnectRes
 	if res.Elapsed > 0 {
 		res.TxsPerSec = float64(res.Txs) / res.Elapsed.Seconds()
 	}
+	res.SigCacheHits = uint64(snapshotValue(reg, "bcwan_chain_sigcache_hits_total"))
+	res.SigCacheMisses = uint64(snapshotValue(reg, "bcwan_chain_sigcache_misses_total"))
+	if total := res.SigCacheHits + res.SigCacheMisses; total > 0 {
+		res.SigCacheHitRate = float64(res.SigCacheHits) / float64(total)
+	}
 	return res, nil
+}
+
+// snapshotValue reads one unlabeled series from a registry snapshot,
+// returning 0 when absent.
+func snapshotValue(reg *telemetry.Registry, name string) float64 {
+	for _, m := range reg.Snapshot() {
+		if m.Name == name && len(m.Labels) == 0 {
+			return m.Value
+		}
+	}
+	return 0
 }
 
 // RunBlockConnect builds the block sequence once and replays it cold
@@ -187,7 +216,7 @@ func RunBlockConnect(cfg BlockConnectConfig) ([]*BlockConnectResult, error) {
 // admission.
 func WriteBlockConnect(w io.Writer, cfg BlockConnectConfig, results []*BlockConnectResult) {
 	fmt.Fprintf(w, "== Block-connect throughput (%d blocks x %d txs) ==\n", cfg.Blocks, cfg.TxsPerBlock)
-	fmt.Fprintf(w, "%-8s %-22s %12s %12s\n", "workers", "sig cache", "connect", "txs/sec")
+	fmt.Fprintf(w, "%-8s %-22s %12s %12s %9s\n", "workers", "sig cache", "connect", "txs/sec", "hit rate")
 	var base float64
 	for _, r := range results {
 		cache := "cold"
@@ -200,8 +229,58 @@ func WriteBlockConnect(w io.Writer, cfg BlockConnectConfig, results []*BlockConn
 		} else if base > 0 {
 			speedup = fmt.Sprintf("  (%.2fx vs sequential cold)", r.TxsPerSec/base)
 		}
-		fmt.Fprintf(w, "%-8d %-22s %12s %12.0f%s\n",
-			r.Workers, cache, r.Elapsed.Round(time.Microsecond), r.TxsPerSec, speedup)
+		fmt.Fprintf(w, "%-8d %-22s %12s %12.0f %8.0f%%%s\n",
+			r.Workers, cache, r.Elapsed.Round(time.Microsecond), r.TxsPerSec, r.SigCacheHitRate*100, speedup)
 	}
 	fmt.Fprintln(w)
+}
+
+// blockConnectJSONRow is one machine-readable sweep row.
+type blockConnectJSONRow struct {
+	Workers         int     `json:"workers"`
+	Warm            bool    `json:"warm"`
+	NsPerBlock      int64   `json:"ns_per_block"`
+	BlocksPerSec    float64 `json:"blocks_per_sec"`
+	TxsPerSec       float64 `json:"txs_per_sec"`
+	SigCacheHits    uint64  `json:"sigcache_hits"`
+	SigCacheMisses  uint64  `json:"sigcache_misses"`
+	SigCacheHitRate float64 `json:"sigcache_hit_rate"`
+}
+
+// blockConnectJSON is the BENCH_blockconnect.json document.
+type blockConnectJSON struct {
+	Blocks      int                   `json:"blocks"`
+	TxsPerBlock int                   `json:"txs_per_block"`
+	Results     []blockConnectJSONRow `json:"results"`
+}
+
+// WriteBlockConnectJSON writes the sweep as machine-readable JSON to
+// path, creating parent directories as needed.
+func WriteBlockConnectJSON(path string, cfg BlockConnectConfig, results []*BlockConnectResult) error {
+	doc := blockConnectJSON{Blocks: cfg.Blocks, TxsPerBlock: cfg.TxsPerBlock}
+	for _, r := range results {
+		row := blockConnectJSONRow{
+			Workers:         r.Workers,
+			Warm:            r.Warm,
+			TxsPerSec:       r.TxsPerSec,
+			SigCacheHits:    r.SigCacheHits,
+			SigCacheMisses:  r.SigCacheMisses,
+			SigCacheHitRate: r.SigCacheHitRate,
+		}
+		if r.Blocks > 0 {
+			row.NsPerBlock = r.Elapsed.Nanoseconds() / int64(r.Blocks)
+		}
+		if r.Elapsed > 0 {
+			row.BlocksPerSec = float64(r.Blocks) / r.Elapsed.Seconds()
+		}
+		doc.Results = append(doc.Results, row)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

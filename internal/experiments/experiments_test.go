@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -369,11 +372,49 @@ func TestBlockConnectSweep(t *testing.T) {
 		if r.TxsPerSec <= 0 {
 			t.Fatalf("result %d throughput not positive", i)
 		}
+		if r.SigCacheHitRate < 0 || r.SigCacheHitRate > 1 {
+			t.Fatalf("result %d hit rate = %v", i, r.SigCacheHitRate)
+		}
+		// Warm replays verified every payment at admission, so block
+		// connect must find those checks cached.
+		if r.Warm && r.SigCacheHits == 0 {
+			t.Fatalf("result %d warm replay had zero sig-cache hits", i)
+		}
 	}
 	var buf strings.Builder
 	WriteBlockConnect(&buf, cfg, results)
 	if !strings.Contains(buf.String(), "warm (mempool-primed)") {
 		t.Fatalf("report missing warm rows:\n%s", buf.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "results", "BENCH_blockconnect.json")
+	if err := WriteBlockConnectJSON(path, cfg, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Blocks  int `json:"blocks"`
+		Results []struct {
+			Workers         int     `json:"workers"`
+			NsPerBlock      int64   `json:"ns_per_block"`
+			BlocksPerSec    float64 `json:"blocks_per_sec"`
+			SigCacheHitRate float64 `json:"sigcache_hit_rate"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Blocks != cfg.Blocks || len(doc.Results) != len(results) {
+		t.Fatalf("JSON doc = %d blocks / %d rows, want %d / %d",
+			doc.Blocks, len(doc.Results), cfg.Blocks, len(results))
+	}
+	for i, row := range doc.Results {
+		if row.NsPerBlock <= 0 || row.BlocksPerSec <= 0 {
+			t.Fatalf("JSON row %d has non-positive timing: %+v", i, row)
+		}
 	}
 }
 

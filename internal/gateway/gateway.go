@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"bcwan/internal/bccrypto"
 	"bcwan/internal/chain"
@@ -17,6 +18,7 @@ import (
 	"bcwan/internal/fairex"
 	"bcwan/internal/lora"
 	"bcwan/internal/registry"
+	"bcwan/internal/telemetry"
 	"bcwan/internal/wallet"
 )
 
@@ -57,6 +59,9 @@ var (
 type pendingExchange struct {
 	key *bccrypto.RSA512PrivateKey
 	pub []byte
+	// issued is when the key was handed out; zero unless the gateway is
+	// instrumented (it only feeds the key-disclosure histogram).
+	issued time.Time
 }
 
 // exchangeKey identifies one pending exchange: the ephemeral pair is
@@ -81,6 +86,7 @@ type Gateway struct {
 	mu           sync.Mutex
 	pending      map[exchangeKey]*pendingExchange
 	pendingOrder []exchangeKey
+	metrics      *gatewayMetrics
 
 	// Stats counts protocol outcomes.
 	Stats Stats
@@ -110,6 +116,18 @@ func New(cfg Config, w *wallet.Wallet, ledger fairex.Ledger, dir *registry.Direc
 // Wallet returns the gateway's wallet.
 func (g *Gateway) Wallet() *wallet.Wallet { return g.wallet }
 
+// Instrument registers exchange metrics in reg (started/settled/failed
+// counters and key-disclosure latency). Call before concurrent use; a
+// nil registry is a no-op.
+func (g *Gateway) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.metrics = newGatewayMetrics(reg)
+}
+
 // HandleKeyRequest performs Fig. 3 steps 1–2: mint an ephemeral RSA-512
 // pair for this message and answer with the public half.
 func (g *Gateway) HandleKeyRequest(f *lora.Frame) (*lora.Frame, error) {
@@ -126,7 +144,12 @@ func (g *Gateway) HandleKeyRequest(f *lora.Frame) (*lora.Frame, error) {
 	if _, exists := g.pending[ek]; !exists {
 		g.pendingOrder = append(g.pendingOrder, ek)
 	}
-	g.pending[ek] = &pendingExchange{key: key, pub: pub}
+	pend := &pendingExchange{key: key, pub: pub}
+	if g.metrics != nil {
+		pend.issued = time.Now()
+		g.metrics.exchangesStarted.Inc()
+	}
+	g.pending[ek] = pend
 	if len(g.pendingOrder) > maxPending {
 		evict := g.pendingOrder[0]
 		g.pendingOrder = g.pendingOrder[1:]
@@ -243,6 +266,12 @@ func (g *Gateway) VerifyAndClaim(devEUI lora.DevEUI, exchange uint32, paymentID 
 	g.mu.Lock()
 	g.Stats.Claims++
 	delete(g.pending, ek)
+	if g.metrics != nil {
+		g.metrics.exchangesSettled.Inc()
+		if !pend.issued.IsZero() {
+			g.metrics.keyDisclosureSeconds.ObserveSince(pend.issued)
+		}
+	}
 	g.mu.Unlock()
 	return claim, nil
 }
@@ -250,5 +279,8 @@ func (g *Gateway) VerifyAndClaim(devEUI lora.DevEUI, exchange uint32, paymentID 
 func (g *Gateway) bumpFailed() {
 	g.mu.Lock()
 	g.Stats.FailedClaims++
+	if g.metrics != nil {
+		g.metrics.exchangesFailed.Inc()
+	}
 	g.mu.Unlock()
 }

@@ -1,0 +1,57 @@
+package p2p
+
+import "bcwan/internal/telemetry"
+
+// p2pMetrics holds the gossip node's instrumentation. All fields are
+// nil-safe no-ops when the node was built without a registry, so the
+// hot paths only pay a nil check.
+type p2pMetrics struct {
+	ns            *telemetry.Namespace
+	bytesIn       *telemetry.Counter
+	bytesOut      *telemetry.Counter
+	messageBytes  *telemetry.Histogram
+	dupSuppressed *telemetry.Counter
+	seenEvictions *telemetry.Counter
+	peerCount     *telemetry.Gauge
+	dialFailures  *telemetry.Counter
+}
+
+// knownMessageTypes are pre-registered so the per-type series exist at
+// zero before the first message of each type flows.
+var knownMessageTypes = []string{"tx", "block", "sync"}
+
+func newP2PMetrics(reg *telemetry.Registry) *p2pMetrics {
+	ns := reg.Namespace("p2p")
+	m := &p2pMetrics{
+		ns:            ns,
+		bytesIn:       ns.Counter("bytes_in_total", "Total payload bytes received from peers."),
+		bytesOut:      ns.Counter("bytes_out_total", "Total payload bytes sent to peers."),
+		messageBytes:  ns.Histogram("message_bytes", "Distribution of received message payload sizes in bytes.", telemetry.SizeBuckets),
+		dupSuppressed: ns.Counter("duplicates_suppressed_total", "Gossip messages dropped because they were already seen."),
+		seenEvictions: ns.Counter("seen_evictions_total", "Entries evicted from the duplicate-suppression ring."),
+		peerCount:     ns.Gauge("peer_count", "Connected gossip peers."),
+		dialFailures:  ns.Counter("dial_failures_total", "Outbound connection attempts that failed."),
+	}
+	for _, t := range knownMessageTypes {
+		m.msgIn(t)
+		m.msgOut(t)
+	}
+	return m
+}
+
+// msgIn returns the received-message counter for a type. The registry's
+// create-or-get semantics make this cheap after first use.
+func (m *p2pMetrics) msgIn(msgType string) *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.ns.Counter("messages_in_total", "Gossip messages received, by type.", telemetry.L("type", msgType))
+}
+
+// msgOut returns the sent-message counter for a type.
+func (m *p2pMetrics) msgOut(msgType string) *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.ns.Counter("messages_out_total", "Gossip messages sent, by type.", telemetry.L("type", msgType))
+}

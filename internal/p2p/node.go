@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"log"
 	"sync"
+
+	"bcwan/internal/telemetry"
 )
 
 // Handler processes a gossip message. Handlers run on per-connection
@@ -18,12 +20,23 @@ type Node struct {
 	listener  Listener
 	logger    *log.Logger
 
+	// metrics is set once before the accept loop starts (see
+	// NewNodeWithTelemetry) and never mutated, so reads need no lock.
+	// All its methods are nil-safe no-ops when unset.
+	metrics *p2pMetrics
+
 	mu       sync.Mutex
 	peers    map[string]Conn
 	conns    map[Conn]bool // every live conn, incl. unregistered inbound
 	handlers map[string]Handler
 	seen     map[[sha256.Size]byte]bool
-	seenList [][sha256.Size]byte
+	// seenRing is a fixed-capacity ring over the keys of seen, in
+	// insertion order. It grows to maxSeen and is then overwritten in
+	// place at seenHead — unlike the previous slice-shift eviction,
+	// the backing array is allocated once and old digests become
+	// collectable as soon as they are overwritten.
+	seenRing [][sha256.Size]byte
+	seenHead int
 	closed   bool
 
 	wg sync.WaitGroup
@@ -34,6 +47,13 @@ const maxSeen = 100_000
 
 // NewNode starts a node listening on addr (empty = transport default).
 func NewNode(transport Transport, addr string, logger *log.Logger) (*Node, error) {
+	return NewNodeWithTelemetry(transport, addr, logger, nil)
+}
+
+// NewNodeWithTelemetry starts a node whose gossip traffic is recorded
+// in reg (messages and bytes in/out by type, duplicate suppression,
+// peer count, dial failures). A nil registry disables instrumentation.
+func NewNodeWithTelemetry(transport Transport, addr string, logger *log.Logger, reg *telemetry.Registry) (*Node, error) {
 	listener, err := transport.Listen(addr)
 	if err != nil {
 		return nil, err
@@ -46,6 +66,9 @@ func NewNode(transport Transport, addr string, logger *log.Logger) (*Node, error
 		conns:     make(map[Conn]bool),
 		handlers:  make(map[string]Handler),
 		seen:      make(map[[sha256.Size]byte]bool),
+	}
+	if reg != nil {
+		n.metrics = newP2PMetrics(reg)
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -82,6 +105,9 @@ func (n *Node) Connect(addr string) error {
 
 	conn, err := n.transport.Dial(addr)
 	if err != nil {
+		if m := n.metrics; m != nil {
+			m.dialFailures.Inc()
+		}
 		return err
 	}
 	n.addPeer(addr, conn)
@@ -116,6 +142,11 @@ func (n *Node) Broadcast(msgType string, payload []byte) {
 		if err := c.Send(msg); err != nil {
 			n.logf("send %s to %s: %v", msgType, addrs[i], err)
 			n.dropPeer(addrs[i])
+			continue
+		}
+		if m := n.metrics; m != nil {
+			m.msgOut(msgType).Inc()
+			m.bytesOut.Add(uint64(len(payload)))
 		}
 	}
 }
@@ -134,6 +165,7 @@ func (n *Node) Close() error {
 	}
 	n.peers = make(map[string]Conn)
 	n.conns = make(map[Conn]bool)
+	n.peerGaugeLocked()
 	n.mu.Unlock()
 
 	n.listener.Close()
@@ -179,6 +211,7 @@ func (n *Node) addPeer(addr string, conn Conn) {
 	}
 	n.peers[addr] = conn
 	n.conns[conn] = true
+	n.peerGaugeLocked()
 	n.mu.Unlock()
 	n.wg.Add(1)
 	go n.readLoop(addr, conn)
@@ -189,6 +222,7 @@ func (n *Node) dropPeer(addr string) {
 	conn, ok := n.peers[addr]
 	if ok {
 		delete(n.peers, addr)
+		n.peerGaugeLocked()
 	}
 	n.mu.Unlock()
 	if ok {
@@ -220,8 +254,14 @@ func (n *Node) readLoop(addr string, conn Conn) {
 			_, dup := n.peers[addr]
 			if !dup && !n.closed {
 				n.peers[addr] = conn
+				n.peerGaugeLocked()
 			}
 			n.mu.Unlock()
+		}
+		if m := n.metrics; m != nil {
+			m.msgIn(msg.Type).Inc()
+			m.bytesIn.Add(uint64(len(msg.Payload)))
+			m.messageBytes.Observe(float64(len(msg.Payload)))
 		}
 		n.dispatch(msg)
 	}
@@ -230,6 +270,9 @@ func (n *Node) readLoop(addr string, conn Conn) {
 // dispatch runs the handler once per unique message and re-floods it.
 func (n *Node) dispatch(msg Message) {
 	if !n.markSeen(msg) {
+		if m := n.metrics; m != nil {
+			m.dupSuppressed.Inc()
+		}
 		return
 	}
 	n.mu.Lock()
@@ -255,11 +298,18 @@ func (n *Node) dispatch(msg Message) {
 		if err := c.Send(fwd); err != nil {
 			n.logf("forward %s to %s: %v", msg.Type, addrs[i], err)
 			n.dropPeer(addrs[i])
+			continue
+		}
+		if m := n.metrics; m != nil {
+			m.msgOut(msg.Type).Inc()
+			m.bytesOut.Add(uint64(len(msg.Payload)))
 		}
 	}
 }
 
 // markSeen records the message body; it reports true the first time.
+// Once the ring reaches maxSeen entries the oldest digest is evicted in
+// place, keeping memory constant.
 func (n *Node) markSeen(msg Message) bool {
 	sum := sha256.Sum256(append([]byte(msg.Type+"\x00"), msg.Payload...))
 	n.mu.Lock()
@@ -268,13 +318,24 @@ func (n *Node) markSeen(msg Message) bool {
 		return false
 	}
 	n.seen[sum] = true
-	n.seenList = append(n.seenList, sum)
-	if len(n.seenList) > maxSeen {
-		evict := n.seenList[0]
-		n.seenList = n.seenList[1:]
-		delete(n.seen, evict)
+	if len(n.seenRing) < maxSeen {
+		n.seenRing = append(n.seenRing, sum)
+		return true
+	}
+	delete(n.seen, n.seenRing[n.seenHead])
+	n.seenRing[n.seenHead] = sum
+	n.seenHead = (n.seenHead + 1) % maxSeen
+	if m := n.metrics; m != nil {
+		m.seenEvictions.Inc()
 	}
 	return true
+}
+
+// peerGaugeLocked syncs the peer-count gauge; the caller holds n.mu.
+func (n *Node) peerGaugeLocked() {
+	if m := n.metrics; m != nil {
+		m.peerCount.Set(int64(len(n.peers)))
+	}
 }
 
 func (n *Node) logf(format string, args ...any) {

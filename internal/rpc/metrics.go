@@ -1,0 +1,53 @@
+package rpc
+
+import (
+	"strconv"
+
+	"bcwan/internal/telemetry"
+)
+
+// rpcMetrics instruments the JSON-RPC server. Per-method and per-code
+// series are pre-registered so every method in the dispatch table and
+// every standard error code exists at zero from startup.
+type rpcMetrics struct {
+	ns             *telemetry.Namespace
+	requestSeconds *telemetry.Histogram
+	inflight       *telemetry.Gauge
+}
+
+func newRPCMetrics(reg *telemetry.Registry) *rpcMetrics {
+	ns := reg.Namespace("rpc")
+	m := &rpcMetrics{
+		ns:             ns,
+		requestSeconds: ns.Histogram("request_seconds", "HTTP request handling latency in seconds.", nil),
+		inflight:       ns.Gauge("inflight_requests", "HTTP requests currently being handled."),
+	}
+	for name := range methods {
+		m.methodCounter(name)
+	}
+	for _, code := range []int{CodeParseError, CodeInvalidRequest, CodeMethodNotFound, CodeInvalidParams, CodeServerError} {
+		m.errorCounter(code)
+	}
+	return m
+}
+
+// methodCounter returns the per-method request counter. Unknown method
+// names collapse into one "unknown" series so remote callers cannot
+// inflate label cardinality.
+func (m *rpcMetrics) methodCounter(method string) *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	if _, known := methods[method]; !known {
+		method = "unknown"
+	}
+	return m.ns.Counter("requests_total", "JSON-RPC calls dispatched, by method.", telemetry.L("method", method))
+}
+
+// errorCounter returns the per-code error counter.
+func (m *rpcMetrics) errorCounter(code int) *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.ns.Counter("errors_total", "JSON-RPC error responses, by code.", telemetry.L("code", strconv.Itoa(code)))
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"bcwan/internal/chain"
+	"bcwan/internal/telemetry"
 	"bcwan/internal/wallet"
 )
 
@@ -27,6 +28,7 @@ type fixture struct {
 	server  *Server
 	client  *Client
 	gossip  []*chain.Tx
+	reg     *telemetry.Registry
 }
 
 func newFixture(t *testing.T) *fixture {
@@ -51,6 +53,9 @@ func newFixture(t *testing.T) *fixture {
 	c.AuthorizeMiner(minerW.PublicBytes())
 	pool := chain.NewMempool()
 	pool.UseVerifier(c.Verifier())
+	reg := telemetry.NewRegistry()
+	c.Instrument(reg)
+	pool.Instrument(reg)
 
 	f := &fixture{
 		t:       t,
@@ -59,11 +64,13 @@ func newFixture(t *testing.T) *fixture {
 		miner:   chain.NewMiner(minerW.Key(), c, pool, rand.Reader),
 		alice:   alice,
 		bob:     bob,
+		reg:     reg,
 	}
 	f.server, err = NewServer("", Backend{
 		Chain:        c,
 		Mempool:      pool,
 		OnTxAccepted: func(tx *chain.Tx) { f.gossip = append(f.gossip, tx) },
+		Telemetry:    reg,
 	})
 	if err != nil {
 		t.Fatal(err)

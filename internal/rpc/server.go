@@ -21,8 +21,10 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"bcwan/internal/chain"
+	"bcwan/internal/telemetry"
 )
 
 // Request is a JSON-RPC 2.0 request. A nil or null ID marks a
@@ -81,6 +83,10 @@ type Backend struct {
 	// OnTxAccepted, when set, is invoked after a sendrawtransaction is
 	// admitted to the mempool (the daemon gossips it to peers).
 	OnTxAccepted func(*chain.Tx)
+	// Telemetry, when set, is served at GET /metrics (Prometheus text)
+	// and by the getmetrics method, and the server records its own
+	// request metrics in it.
+	Telemetry *telemetry.Registry
 }
 
 // handlerFunc executes one RPC method against the node backend.
@@ -102,6 +108,7 @@ func init() {
 		"listunspent":        handleListUnspent,
 		"getbalance":         handleGetBalance,
 		"listmethods":        handleListMethods,
+		"getmetrics":         handleGetMetrics,
 	}
 }
 
@@ -110,6 +117,7 @@ type Server struct {
 	backend  Backend
 	server   *http.Server
 	listener net.Listener
+	metrics  *rpcMetrics // nil when Backend.Telemetry is nil
 
 	mu     sync.Mutex
 	closed bool
@@ -125,8 +133,12 @@ func NewServer(addr string, backend Backend) (*Server, error) {
 		return nil, fmt.Errorf("rpc listen: %w", err)
 	}
 	s := &Server{backend: backend, listener: l}
+	if backend.Telemetry != nil {
+		s.metrics = newRPCMetrics(backend.Telemetry)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handle)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.server = &http.Server{Handler: mux}
 	go s.server.Serve(l) //nolint:errcheck // Serve returns on Close.
 	return s, nil
@@ -151,13 +163,21 @@ func (s *Server) Close() error {
 // Malformed bodies produce a proper JSON-RPC error object with a null
 // id, never a bare HTTP error.
 func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	if m := s.metrics; m != nil {
+		start := time.Now()
+		m.inflight.Inc()
+		defer func() {
+			m.inflight.Dec()
+			m.requestSeconds.ObserveSince(start)
+		}()
+	}
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	if err != nil {
-		writeJSON(w, errorResponse(nil, &Error{Code: CodeParseError, Message: "request body unreadable or over size limit"}))
+		writeJSON(w, s.protocolError(nil, &Error{Code: CodeParseError, Message: "request body unreadable or over size limit"}))
 		return
 	}
 	if trimmed := bytes.TrimLeft(body, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '[' {
@@ -166,7 +186,7 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	}
 	var req Request
 	if err := json.Unmarshal(body, &req); err != nil {
-		writeJSON(w, errorResponse(nil, &Error{Code: CodeParseError, Message: err.Error()}))
+		writeJSON(w, s.protocolError(nil, &Error{Code: CodeParseError, Message: err.Error()}))
 		return
 	}
 	resp := s.dispatch(&req)
@@ -177,20 +197,37 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// handleMetrics serves the telemetry registry in Prometheus text
+// exposition format at GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	reg := s.backend.Telemetry
+	if reg == nil {
+		http.Error(w, "telemetry disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Write errors mean a dead connection; nothing else to do.
+	_ = telemetry.WritePrometheus(w, reg.Snapshot())
+}
+
 // handleBatch answers an array of requests with an array of responses,
 // preserving order and omitting entries for notifications.
 func (s *Server) handleBatch(w http.ResponseWriter, body []byte) {
 	var raws []json.RawMessage
 	if err := json.Unmarshal(body, &raws); err != nil {
-		writeJSON(w, errorResponse(nil, &Error{Code: CodeParseError, Message: err.Error()}))
+		writeJSON(w, s.protocolError(nil, &Error{Code: CodeParseError, Message: err.Error()}))
 		return
 	}
 	if len(raws) == 0 {
-		writeJSON(w, errorResponse(nil, &Error{Code: CodeInvalidRequest, Message: "empty batch"}))
+		writeJSON(w, s.protocolError(nil, &Error{Code: CodeInvalidRequest, Message: "empty batch"}))
 		return
 	}
 	if len(raws) > maxBatchRequests {
-		writeJSON(w, errorResponse(nil, &Error{Code: CodeInvalidRequest,
+		writeJSON(w, s.protocolError(nil, &Error{Code: CodeInvalidRequest,
 			Message: fmt.Sprintf("batch of %d exceeds limit %d", len(raws), maxBatchRequests)}))
 		return
 	}
@@ -198,7 +235,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, body []byte) {
 	for _, raw := range raws {
 		var req Request
 		if err := json.Unmarshal(raw, &req); err != nil {
-			responses = append(responses, errorResponse(nil, &Error{Code: CodeInvalidRequest, Message: err.Error()}))
+			responses = append(responses, s.protocolError(nil, &Error{Code: CodeInvalidRequest, Message: err.Error()}))
 			continue
 		}
 		resp := s.dispatch(&req)
@@ -216,6 +253,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, body []byte) {
 
 // dispatch routes one request through the method registry.
 func (s *Server) dispatch(req *Request) *Response {
+	s.metrics.methodCounter(req.Method).Inc()
+	resp := s.dispatchInner(req)
+	if resp.Error != nil {
+		s.metrics.errorCounter(resp.Error.Code).Inc()
+	}
+	return resp
+}
+
+func (s *Server) dispatchInner(req *Request) *Response {
 	handler, ok := methods[req.Method]
 	if !ok {
 		return errorResponse(req.ID, &Error{Code: CodeMethodNotFound, Message: req.Method})
@@ -233,6 +279,14 @@ func (s *Server) dispatch(req *Request) *Response {
 		return errorResponse(req.ID, &Error{Code: CodeServerError, Message: merr.Error()})
 	}
 	return &Response{JSONRPC: "2.0", Result: raw, ID: normalizeID(req.ID)}
+}
+
+// protocolError builds a failure response for errors raised before
+// dispatch (parse errors, malformed batches), counting them in the
+// per-code error series that dispatch maintains for method errors.
+func (s *Server) protocolError(id json.RawMessage, rpcErr *Error) *Response {
+	s.metrics.errorCounter(rpcErr.Code).Inc()
+	return errorResponse(id, rpcErr)
 }
 
 // errorResponse builds a failure response. A nil id marshals as null,
@@ -380,6 +434,20 @@ func handleGetBalance(s *Server, params []json.RawMessage) (any, error) {
 		return nil, err
 	}
 	return s.backend.Chain.UTXO().BalanceOf(hash), nil
+}
+
+// handleGetMetrics returns the telemetry snapshot as JSON — the same
+// series GET /metrics serves as Prometheus text, so the two expositions
+// can never drift.
+func handleGetMetrics(s *Server, params []json.RawMessage) (any, error) {
+	if err := noParams(params); err != nil {
+		return nil, err
+	}
+	reg := s.backend.Telemetry
+	if reg == nil {
+		return nil, &Error{Code: CodeServerError, Message: "telemetry disabled"}
+	}
+	return reg.Snapshot(), nil
 }
 
 // handleListMethods returns the method catalog, so clients can discover

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Metric is one snapshotted series. It marshals directly to the JSON
+// shape the getmetrics RPC returns; the Prometheus encoder renders the
+// same struct as text exposition format, so the two endpoints cannot
+// drift apart.
+type Metric struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter/gauge value; for histograms it mirrors Sum.
+	Value     float64        `json:"value"`
+	Histogram *HistogramData `json:"histogram,omitempty"`
+}
+
+// HistogramData is the snapshot of one histogram.
+type HistogramData struct {
+	// Buckets are cumulative counts per upper bound, ending at +Inf.
+	Buckets []Bucket `json:"buckets"`
+	Sum     float64  `json:"sum"`
+	Count   uint64   `json:"count"`
+}
+
+// Bucket is one cumulative histogram bucket. LE is the upper bound
+// rendered as a string ("0.005", "+Inf") so the JSON form can carry the
+// infinity bucket.
+type Bucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4). Series sharing a name form one family and get
+// a single HELP/TYPE header; the snapshot's sort order guarantees they
+// are adjacent.
+func WritePrometheus(w io.Writer, snapshot []Metric) error {
+	prevName := ""
+	for i := range snapshot {
+		m := &snapshot[i]
+		if m.Name != prevName {
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, escapeHelp(m.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+				return err
+			}
+			prevName = m.Name
+		}
+		if err := writeSeries(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, m *Metric) error {
+	switch m.Type {
+	case KindHistogram:
+		for _, b := range m.Histogram.Buckets {
+			labels := renderLabels(m.Labels, L("le", b.LE))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, labels, b.Count); err != nil {
+				return err
+			}
+		}
+		labels := renderLabels(m.Labels)
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, labels, formatFloat(m.Histogram.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, labels, m.Histogram.Count)
+		return err
+	default:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, renderLabels(m.Labels), formatFloat(m.Value))
+		return err
+	}
+}
+
+// renderLabels formats a label set (plus any extra labels) as
+// {k="v",...}, or "" when empty. Keys are emitted in sorted order to
+// keep output deterministic.
+func renderLabels(labels map[string]string, extra ...Label) string {
+	if len(labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	pairs := make([]Label, 0, len(labels)+len(extra))
+	for k, v := range labels {
+		pairs = append(pairs, Label{Key: k, Value: v})
+	}
+	pairs = sortedLabels(pairs)
+	pairs = append(pairs, extra...)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus clients expect:
+// shortest round-trip representation, integers without an exponent.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

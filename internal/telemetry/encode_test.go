@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a registry with one of each metric kind,
+// including a labeled family, so the encoder tests pin the exact wire
+// formats.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("bcwan_chain_blocks_connected_total", "Blocks connected to the best branch.").Add(3)
+	r.Counter("bcwan_p2p_messages_in_total", "Gossip messages received.", L("type", "tx")).Add(7)
+	r.Counter("bcwan_p2p_messages_in_total", "Gossip messages received.", L("type", "block")).Add(2)
+	r.Gauge("bcwan_chain_utxo_size", "Unspent outputs in the best-branch set.").Set(42)
+	h := r.Histogram("bcwan_rpc_request_seconds", "RPC dispatch latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	return r
+}
+
+const goldenPrometheus = `# HELP bcwan_chain_blocks_connected_total Blocks connected to the best branch.
+# TYPE bcwan_chain_blocks_connected_total counter
+bcwan_chain_blocks_connected_total 3
+# HELP bcwan_chain_utxo_size Unspent outputs in the best-branch set.
+# TYPE bcwan_chain_utxo_size gauge
+bcwan_chain_utxo_size 42
+# HELP bcwan_p2p_messages_in_total Gossip messages received.
+# TYPE bcwan_p2p_messages_in_total counter
+bcwan_p2p_messages_in_total{type="block"} 2
+bcwan_p2p_messages_in_total{type="tx"} 7
+# HELP bcwan_rpc_request_seconds RPC dispatch latency.
+# TYPE bcwan_rpc_request_seconds histogram
+bcwan_rpc_request_seconds_bucket{le="0.01"} 1
+bcwan_rpc_request_seconds_bucket{le="0.1"} 2
+bcwan_rpc_request_seconds_bucket{le="1"} 3
+bcwan_rpc_request_seconds_bucket{le="+Inf"} 4
+bcwan_rpc_request_seconds_sum 5.555
+bcwan_rpc_request_seconds_count 4
+`
+
+func TestPrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != goldenPrometheus {
+		t.Fatalf("prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), goldenPrometheus)
+	}
+}
+
+func TestJSONGolden(t *testing.T) {
+	data, err := json.Marshal(goldenRegistry().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `[{"name":"bcwan_chain_blocks_connected_total","type":"counter","help":"Blocks connected to the best branch.","value":3},` +
+		`{"name":"bcwan_chain_utxo_size","type":"gauge","help":"Unspent outputs in the best-branch set.","value":42},` +
+		`{"name":"bcwan_p2p_messages_in_total","type":"counter","help":"Gossip messages received.","labels":{"type":"block"},"value":2},` +
+		`{"name":"bcwan_p2p_messages_in_total","type":"counter","help":"Gossip messages received.","labels":{"type":"tx"},"value":7},` +
+		`{"name":"bcwan_rpc_request_seconds","type":"histogram","help":"RPC dispatch latency.","value":5.555,` +
+		`"histogram":{"buckets":[{"le":"0.01","count":1},{"le":"0.1","count":2},{"le":"1","count":3},{"le":"+Inf","count":4}],"sum":5.555,"count":4}}]`
+	if string(data) != want {
+		t.Fatalf("json mismatch:\n--- got ---\n%s\n--- want ---\n%s", data, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bcwan_test_esc_total", "line1\nline2", L("reason", `say "hi"\now`)).Inc()
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP bcwan_test_esc_total line1\nline2`) {
+		t.Fatalf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `reason="say \"hi\"\\now"`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+}

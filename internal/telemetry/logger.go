@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"log"
+	"sync"
+	"time"
+)
+
+// SnapshotLogger periodically logs a registry snapshot as one compact
+// JSON line, giving headless deployments a metrics trail without a
+// scraper. Zero-valued series are elided to keep lines short.
+type SnapshotLogger struct {
+	reg      *Registry
+	logger   *log.Logger
+	interval time.Duration
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartSnapshotLogger begins logging every interval. It returns nil
+// (a no-op logger is not started) when the registry or logger is nil or
+// the interval is not positive.
+func StartSnapshotLogger(reg *Registry, logger *log.Logger, interval time.Duration) *SnapshotLogger {
+	if reg == nil || logger == nil || interval <= 0 {
+		return nil
+	}
+	l := &SnapshotLogger{
+		reg:      reg,
+		logger:   logger,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go l.loop()
+	return l
+}
+
+// Stop halts the logger and waits for its goroutine. Safe on nil and
+// safe to call twice.
+func (l *SnapshotLogger) Stop() {
+	if l == nil {
+		return
+	}
+	l.stopOnce.Do(func() { close(l.stop) })
+	<-l.done
+}
+
+func (l *SnapshotLogger) loop() {
+	defer close(l.done)
+	ticker := time.NewTicker(l.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			l.logOnce()
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+func (l *SnapshotLogger) logOnce() {
+	snap := l.reg.Snapshot()
+	active := make([]Metric, 0, len(snap))
+	for _, m := range snap {
+		if m.Value != 0 || (m.Histogram != nil && m.Histogram.Count > 0) {
+			active = append(active, m)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+	data, err := json.Marshal(active)
+	if err != nil {
+		l.logger.Printf("telemetry: snapshot marshal: %v", err)
+		return
+	}
+	l.logger.Printf("telemetry %s", data)
+}
