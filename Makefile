@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench blockconnect ci
+.PHONY: build test vet race bench blockconnect chaos ci
 
 build:
 	$(GO) build ./...
@@ -23,5 +23,11 @@ bench:
 # Regenerate results/blockconnect.txt (VerifyWorkers x sig-cache sweep).
 blockconnect:
 	$(GO) run ./cmd/bcwan-bench -only blockconnect
+
+# Fault-injection scenario table under the race detector. Every run
+# logs each scenario's RNG seed; replay a failure with
+#   make chaos CHAOS_SEED=<seed>
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -v -run TestFaultScenarios ./internal/chaos
 
 ci: vet race

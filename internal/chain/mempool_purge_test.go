@@ -1,0 +1,84 @@
+package chain_test
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"bcwan/internal/chain"
+	"bcwan/internal/telemetry"
+)
+
+// TestMempoolPurgesDoubleSpendOnConnect covers the block-connect purge
+// path: our node pools tx1, another miner confirms a conflicting tx2,
+// and connecting that block must evict tx1 — otherwise the node keeps
+// relaying and trying to mine a transaction the chain has already
+// contradicted. The reject-reason telemetry is asserted along the way.
+func TestMempoolPurgesDoubleSpendOnConnect(t *testing.T) {
+	h := newHarness(t, chain.DefaultParams())
+	reg := telemetry.NewRegistry()
+	h.mempool.Instrument(reg)
+	conflicts := func() uint64 {
+		return reg.Counter("bcwan_mempool_rejected_total",
+			"Transactions rejected at admission, by reason.",
+			telemetry.L("reason", "conflict")).Value()
+	}
+
+	// tx1: alice pays bob; our node pools it.
+	tx1, err := h.alice.BuildPayment(h.chain.UTXO(), h.bob.PubKeyHash(), 400, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.accept(tx1)
+
+	// tx2 spends the same coins back to alice. Our pool rejects it
+	// (first-seen rule) and counts the conflict.
+	tx2, err := h.alice.BuildPayment(h.chain.UTXO(), h.alice.PubKeyHash(), 400, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.mempool.Accept(tx2, h.chain.UTXO(), h.chain.Height(), h.params); !errors.Is(err, chain.ErrMempoolConflict) {
+		t.Fatalf("accepting conflicting tx: err = %v, want ErrMempoolConflict", err)
+	}
+	if got := conflicts(); got != 1 {
+		t.Fatalf("conflict reject counter = %d, want 1", got)
+	}
+
+	// Another miner (same authorized key, its own pool) confirms tx2.
+	pool2 := chain.NewMempool()
+	if err := pool2.Accept(tx2, h.chain.UTXO(), h.chain.Height(), h.params); err != nil {
+		t.Fatalf("second miner pool: %v", err)
+	}
+	miner2 := chain.NewMiner(h.minerW.Key(), h.chain, pool2, rand.Reader)
+	b, err := miner2.Mine(h.now.Add(h.params.BlockInterval))
+	if err != nil {
+		t.Fatalf("mining conflicting block: %v", err)
+	}
+	if _, _, ok := h.chain.FindTx(tx2.ID()); !ok {
+		t.Fatal("conflicting tx2 not confirmed by the block")
+	}
+
+	// Connecting the block purges the contradicted tx1 from our pool.
+	h.mempool.RemoveConfirmed(b)
+	if h.mempool.Contains(tx1.ID()) {
+		t.Fatal("tx1 still pooled after a block confirmed a conflicting spend")
+	}
+	if h.mempool.Len() != 0 {
+		t.Fatalf("mempool still holds %d transactions", h.mempool.Len())
+	}
+
+	// Re-offering the purged tx1 now fails UTXO validation (its inputs
+	// are gone) and is counted under a non-conflict reason.
+	if err := h.mempool.Accept(tx1, h.chain.UTXO(), h.chain.Height(), h.params); err == nil {
+		t.Fatal("tx1 re-admitted although its inputs are spent on-chain")
+	}
+	if got := conflicts(); got != 1 {
+		t.Fatalf("conflict counter moved to %d on a missing-input reject, want 1", got)
+	}
+	invalid := reg.Counter("bcwan_mempool_rejected_total",
+		"Transactions rejected at admission, by reason.",
+		telemetry.L("reason", "invalid")).Value()
+	if invalid != 1 {
+		t.Fatalf("invalid reject counter = %d, want 1", invalid)
+	}
+}

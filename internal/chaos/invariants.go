@@ -1,0 +1,205 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/chain"
+	"bcwan/internal/fairex"
+	"bcwan/internal/script"
+)
+
+// The four safety properties every scenario must preserve (§4.4 and §6
+// of the paper): value conservation, convergence, fair-exchange
+// atomicity, and no double spend across reorgs.
+
+// Exchange records one fair exchange so the atomicity invariant can be
+// checked against whatever the chain ended up recording.
+type Exchange struct {
+	// Delivery is the gateway's offer (carries ePk, Em and the
+	// gateway's payment hash).
+	Delivery *fairex.Delivery
+	// Payment is the recipient's Listing 1 payment transaction.
+	Payment *chain.Tx
+	// SharedKey is the device↔recipient AES key K.
+	SharedKey []byte
+	// Plaintext is the sensor reading the exchange transported.
+	Plaintext []byte
+	// BuyerPubKeyHash is the refund destination (the recipient).
+	BuyerPubKeyHash [20]byte
+}
+
+// PaymentID is the payment transaction id.
+func (e *Exchange) PaymentID() chain.Hash { return e.Payment.ID() }
+
+// CheckInvariants runs every invariant against the cluster's live
+// nodes and the recorded exchanges, returning all violations joined.
+func CheckInvariants(c *Cluster, exchanges []*Exchange) error {
+	var errs []error
+	if err := CheckConvergence(c); err != nil {
+		errs = append(errs, err)
+	}
+	var ref *chain.Chain
+	for _, p := range c.peers {
+		if !p.Alive {
+			continue
+		}
+		ch := p.Node.Chain()
+		if ref == nil {
+			ref = ch
+		}
+		if err := CheckConservation(ch, c.GenesisValue); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", p.Name, err))
+		}
+		if err := CheckNoDoubleSpend(ch); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", p.Name, err))
+		}
+	}
+	if ref != nil {
+		for i, ex := range exchanges {
+			if err := CheckAtomicity(ref, ex); err != nil {
+				errs = append(errs, fmt.Errorf("exchange %d: %w", i, err))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// CheckConvergence asserts all live nodes agree on the best tip.
+func CheckConvergence(c *Cluster) error {
+	if c.Converged() {
+		return nil
+	}
+	var tips []string
+	for _, p := range c.peers {
+		if p.Alive {
+			t := p.Node.Chain().Tip()
+			tips = append(tips, fmt.Sprintf("%s@%d=%s", p.Name, t.Header.Height, t.ID()))
+		}
+	}
+	return fmt.Errorf("chaos: chains diverged: %v", tips)
+}
+
+// CheckConservation asserts no value was minted or burned outside the
+// coinbase schedule: the spendable total must be exactly the genesis
+// allocation plus one reward per mined block. (Fees move value into
+// the coinbase rather than destroying it, so they cancel out.)
+func CheckConservation(ch *chain.Chain, genesisValue uint64) error {
+	want := genesisValue + ch.Params().CoinbaseReward*uint64(ch.Height())
+	got := ch.UTXO().TotalValue()
+	if got != want {
+		return fmt.Errorf("chaos: value not conserved at height %d: UTXO total %d, want %d",
+			ch.Height(), got, want)
+	}
+	return nil
+}
+
+// CheckNoDoubleSpend replays the best branch into a fresh UTXO set; a
+// transaction spending a missing (already spent) output or recreating
+// an existing one means the chain the node converged to contains a
+// double spend.
+func CheckNoDoubleSpend(ch *chain.Chain) error {
+	utxo := chain.NewUTXOSet()
+	for h := int64(0); h <= ch.Height(); h++ {
+		b, ok := ch.BlockAt(h)
+		if !ok {
+			return fmt.Errorf("chaos: best branch missing height %d", h)
+		}
+		for i, tx := range b.Txs {
+			if err := utxo.ApplyTx(tx, h); err != nil {
+				return fmt.Errorf("chaos: double-spend check: height %d tx %d (%s): %w",
+					h, i, tx.ID(), err)
+			}
+		}
+	}
+	if got, want := utxo.TotalValue(), ch.UTXO().TotalValue(); got != want {
+		return fmt.Errorf("chaos: replayed UTXO total %d differs from node's %d", got, want)
+	}
+	return nil
+}
+
+// CheckAtomicity asserts the fair-exchange property on one exchange:
+// the gateway is paid ⟺ the RSA-512 key is disclosed on-chain ⟺ the
+// recipient can decrypt. Three terminal states are legal — unsettled
+// (payment unspent: nobody paid, nothing disclosed), claimed (gateway
+// paid AND key disclosed AND plaintext recoverable), refunded (buyer
+// repaid, no key). Anything else is a violation.
+func CheckAtomicity(ch *chain.Chain, ex *Exchange) error {
+	op := chain.OutPoint{TxID: ex.PaymentID(), Index: 0}
+	spender, _, spent := ch.FindSpender(op)
+	if !spent {
+		// Unsettled: safe (liveness is the scenario's business).
+		return nil
+	}
+	if _, _, ok := ch.FindTx(ex.PaymentID()); !ok {
+		return fmt.Errorf("chaos: atomicity: spender confirmed but payment %s is not", ex.PaymentID())
+	}
+	for _, in := range spender.Inputs {
+		if in.Prev != op {
+			continue
+		}
+		keyBytes, err := script.ExtractClaimedRSAKey(in.Unlock)
+		if err != nil {
+			return checkRefund(spender, ex)
+		}
+		return checkClaim(spender, ex, keyBytes)
+	}
+	return fmt.Errorf("chaos: atomicity: spender %s does not reference payment output", spender.ID())
+}
+
+// checkClaim verifies the claim arm: key disclosed ⇒ it is the offered
+// ephemeral key, the ciphertext decrypts to the original reading, and
+// the money went to the gateway.
+func checkClaim(spender *chain.Tx, ex *Exchange, keyBytes []byte) error {
+	eSk, err := bccrypto.UnmarshalRSA512PrivateKey(keyBytes)
+	if err != nil {
+		return fmt.Errorf("chaos: atomicity: disclosed key unparseable: %w", err)
+	}
+	ePk, err := bccrypto.UnmarshalRSA512PublicKey(ex.Delivery.EPk)
+	if err != nil {
+		return fmt.Errorf("chaos: atomicity: offered ePk unparseable: %w", err)
+	}
+	if !eSk.MatchesPublic(ePk) {
+		return fmt.Errorf("chaos: atomicity: gateway paid but disclosed key does not match offered ePk")
+	}
+	frame, err := bccrypto.DecryptRSA512(eSk, ex.Delivery.Em)
+	if err != nil {
+		return fmt.Errorf("chaos: atomicity: gateway paid but RSA layer does not decrypt: %w", err)
+	}
+	plain, err := bccrypto.DecryptFrame(ex.SharedKey, frame)
+	if err != nil {
+		return fmt.Errorf("chaos: atomicity: gateway paid but AES layer does not decrypt: %w", err)
+	}
+	if !bytes.Equal(plain, ex.Plaintext) {
+		return fmt.Errorf("chaos: atomicity: decrypted plaintext differs from the sensor reading")
+	}
+	if len(spender.Outputs) == 0 {
+		return fmt.Errorf("chaos: atomicity: claim has no outputs")
+	}
+	hash, err := script.ExtractP2PKHHash(spender.Outputs[0].Lock)
+	if err != nil {
+		return fmt.Errorf("chaos: atomicity: claim output 0 is not P2PKH: %w", err)
+	}
+	if hash != ex.Delivery.GatewayPubKeyHash {
+		return fmt.Errorf("chaos: atomicity: key disclosed but the claim pays %x, not the gateway", hash)
+	}
+	return nil
+}
+
+// checkRefund verifies the refund arm: no key disclosed ⇒ the money
+// went back to the buyer.
+func checkRefund(spender *chain.Tx, ex *Exchange) error {
+	if len(spender.Outputs) == 0 {
+		return fmt.Errorf("chaos: atomicity: refund has no outputs")
+	}
+	hash, err := script.ExtractP2PKHHash(spender.Outputs[0].Lock)
+	if err != nil {
+		return fmt.Errorf("chaos: atomicity: refund output 0 is not P2PKH: %w", err)
+	}
+	if hash != ex.BuyerPubKeyHash {
+		return fmt.Errorf("chaos: atomicity: payment spent without key disclosure and pays %x, not the buyer", hash)
+	}
+	return nil
+}

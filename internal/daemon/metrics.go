@@ -7,6 +7,7 @@ import "bcwan/internal/telemetry"
 type daemonMetrics struct {
 	deliveriesSent     *telemetry.Counter
 	deliveriesReceived *telemetry.Counter
+	orphanTxsParked    *telemetry.Counter
 	storeSaveSeconds   *telemetry.Histogram
 	storeLoadSeconds   *telemetry.Histogram
 }
@@ -16,6 +17,7 @@ func newDaemonMetrics(reg *telemetry.Registry) *daemonMetrics {
 	return &daemonMetrics{
 		deliveriesSent:     ns.Counter("deliveries_sent_total", "TCP deliveries a gateway daemon pushed to recipients."),
 		deliveriesReceived: ns.Counter("deliveries_received_total", "TCP deliveries a recipient daemon accepted from gateways."),
+		orphanTxsParked:    ns.Counter("orphan_txs_parked_total", "Gossiped transactions parked until their inputs become visible."),
 		storeSaveSeconds:   ns.Histogram("store_save_seconds", "Chain store save latency in seconds.", nil),
 		storeLoadSeconds:   ns.Histogram("store_load_seconds", "Chain store load latency in seconds.", nil),
 	}

@@ -6,6 +6,7 @@
 package daemon
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 	"log"
@@ -64,8 +65,9 @@ type Node struct {
 	// metrics is set once in NewNode, before any goroutine starts.
 	metrics *daemonMetrics
 
-	mu      sync.Mutex
-	orphans map[chain.Hash]*chain.Block // blocks waiting for their parent
+	mu        sync.Mutex
+	orphans   map[chain.Hash]*chain.Block // blocks waiting for their parent
+	orphanTxs map[chain.Hash]*chain.Tx    // txs whose inputs are not visible yet
 
 	stopMine chan struct{}
 	mineDone chan struct{}
@@ -91,12 +93,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		c.AuthorizeMiner(pub)
 	}
 	n := &Node{
-		cfg:     cfg,
-		chain:   c,
-		pool:    chain.NewMempool(),
-		orphans: make(map[chain.Hash]*chain.Block),
-		reg:     cfg.Telemetry,
-		metrics: newDaemonMetrics(cfg.Telemetry),
+		cfg:       cfg,
+		chain:     c,
+		pool:      chain.NewMempool(),
+		orphans:   make(map[chain.Hash]*chain.Block),
+		orphanTxs: make(map[chain.Hash]*chain.Tx),
+		reg:       cfg.Telemetry,
+		metrics:   newDaemonMetrics(cfg.Telemetry),
 	}
 	// Share the chain's verifier (worker pool + signature cache) so
 	// gossip- and RPC-admitted transactions are not re-verified when
@@ -142,9 +145,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			n.logf("connect %s: %v", peer, err)
 		}
 	}
-	// Ask the mesh for blocks we are missing. The nonce keeps distinct
-	// nodes' requests from colliding in the gossip dedup cache.
-	gossip.Broadcast("sync", []byte(fmt.Sprintf("%d|%d", c.Height(), syncNonce(randomOrDefault(cfg.Random)))))
+	n.RequestSync()
 
 	if cfg.MinerKey != nil {
 		n.miner = chain.NewMiner(cfg.MinerKey, c, n.pool, randomOrDefault(cfg.Random))
@@ -199,6 +200,47 @@ func (n *Node) RPCAddr() string { return n.rpcSrv.Addr() }
 // Connect dials an extra gossip peer.
 func (n *Node) Connect(addr string) error { return n.gossip.Connect(addr) }
 
+// RequestSync asks the mesh to re-broadcast blocks above our height
+// (anti-entropy after partitions, restarts or message loss). The nonce
+// keeps distinct requests from colliding in the gossip dedup cache.
+// Orphan blocks whose ancestors are still missing — a fork where both
+// sides mined, so the gap sits below our own height — trigger extra
+// backfill requests from below the orphan.
+func (n *Node) RequestSync() {
+	nonce := syncNonce(randomOrDefault(n.cfg.Random))
+	n.gossip.Broadcast("sync", []byte(fmt.Sprintf("%d|%d", n.chain.Height(), nonce)))
+	for _, from := range n.orphanGaps() {
+		n.gossip.Broadcast("sync", []byte(fmt.Sprintf("%d|%d", from, nonce)))
+	}
+}
+
+// orphanGaps returns, for each parked block whose parent is still
+// unknown, the height to re-request blocks above so the gap refills.
+func (n *Node) orphanGaps() []int64 {
+	n.mu.Lock()
+	parked := make([]*chain.Block, 0, len(n.orphans))
+	for _, b := range n.orphans {
+		parked = append(parked, b)
+	}
+	n.mu.Unlock()
+	var gaps []int64
+	for _, b := range parked {
+		if _, ok := n.chain.BlockByID(b.Header.PrevBlock); !ok {
+			gaps = append(gaps, b.Header.Height-2)
+		}
+	}
+	return gaps
+}
+
+// RebroadcastPending re-gossips every pooled transaction. Gossip
+// duplicate suppression drops copies peers already saw, so this only
+// repairs losses.
+func (n *Node) RebroadcastPending() {
+	for _, tx := range n.pool.Select(n.chain.Params().MaxBlockTxs) {
+		n.gossip.Broadcast("tx", tx.Serialize())
+	}
+}
+
 // MineNow mints one block immediately (used by tests and by single-node
 // setups instead of the timer loop).
 func (n *Node) MineNow() (*chain.Block, error) {
@@ -246,15 +288,68 @@ func (n *Node) mineLoop() {
 	}
 }
 
+// maxOrphanTxs bounds the out-of-order transaction buffer.
+const maxOrphanTxs = 10_000
+
 func (n *Node) onTx(_ string, msg p2p.Message) {
 	tx, err := chain.DeserializeTx(msg.Payload)
 	if err != nil {
 		n.logf("gossiped tx undecodable: %v", err)
 		return
 	}
-	// Gossiped duplicates and conflicts are normal; only log oddities.
-	if err := n.pool.Accept(tx, n.ledger.UTXO(), n.chain.Height(), n.chain.Params()); err != nil {
+	n.admitTx(tx)
+}
+
+// admitTx pools a gossiped transaction. A dependent transaction can
+// arrive before the one funding it (the gateway's claim chains onto the
+// unconfirmed payment), and gossip dedup means it will never be
+// re-delivered — so transactions with missing inputs are parked and
+// retried as the view grows instead of being dropped.
+func (n *Node) admitTx(tx *chain.Tx) {
+	err := n.pool.Accept(tx, n.ledger.UTXO(), n.chain.Height(), n.chain.Params())
+	switch {
+	case err == nil:
+		n.retryOrphanTxs()
+	case containsErr(err, chain.ErrMissingUTXO):
+		n.mu.Lock()
+		if _, dup := n.orphanTxs[tx.ID()]; !dup && len(n.orphanTxs) < maxOrphanTxs {
+			n.orphanTxs[tx.ID()] = tx
+			n.metrics.orphanTxsParked.Inc()
+		}
+		n.mu.Unlock()
+	default:
+		// Gossiped duplicates and conflicts are normal; only log oddities.
 		n.logf("gossiped tx %s rejected: %v", tx.ID(), err)
+	}
+}
+
+// retryOrphanTxs re-attempts parked transactions until a full pass
+// admits nothing new (an admitted tx can unblock another).
+func (n *Node) retryOrphanTxs() {
+	for {
+		n.mu.Lock()
+		pending := make([]*chain.Tx, 0, len(n.orphanTxs))
+		for _, tx := range n.orphanTxs {
+			pending = append(pending, tx)
+		}
+		n.mu.Unlock()
+		progressed := false
+		for _, tx := range pending {
+			err := n.pool.Accept(tx, n.ledger.UTXO(), n.chain.Height(), n.chain.Params())
+			if err == nil {
+				progressed = true
+			}
+			if err == nil || !containsErr(err, chain.ErrMissingUTXO) {
+				// Admitted, already known, conflicting or invalid:
+				// either way it no longer needs parking.
+				n.mu.Lock()
+				delete(n.orphanTxs, tx.ID())
+				n.mu.Unlock()
+			}
+		}
+		if !progressed {
+			return
+		}
 	}
 }
 
@@ -274,34 +369,60 @@ func (n *Node) acceptBlock(b *chain.Block) {
 	case err == nil:
 		n.pool.RemoveConfirmed(b)
 		n.drainOrphans()
+		// Confirmed outputs may fund transactions parked out of order.
+		n.retryOrphanTxs()
 	case isOrphanErr(err):
 		n.mu.Lock()
 		if len(n.orphans) < 10_000 {
 			n.orphans[b.Header.PrevBlock] = b
 		}
 		n.mu.Unlock()
+		// Ask the mesh for the missing ancestors right away; after a
+		// fork where both sides mined they sit below our own height, so
+		// the regular catch-up request never covers them. The nonce is
+		// derived from the orphan so the request passes gossip dedup
+		// once per distinct gap (RequestSync retries with fresh nonces
+		// if this one is lost).
+		id := b.ID()
+		nonce := int64(binary.BigEndian.Uint64(id[:8]) >> 1)
+		n.gossip.Broadcast("sync", []byte(fmt.Sprintf("%d|%d", b.Header.Height-2, nonce)))
 	default:
 		n.logf("block %s rejected: %v", b.ID(), err)
 	}
 }
 
+// drainOrphans attaches every parked block whose parent is now in the
+// index — on the best branch or a side branch (AddBlock reorganizes if
+// the side branch takes the lead) — repeating until a pass makes no
+// progress.
 func (n *Node) drainOrphans() {
 	for {
-		tip := n.chain.Tip().ID()
 		n.mu.Lock()
-		next, ok := n.orphans[tip]
-		if ok {
-			delete(n.orphans, tip)
+		pending := make([]*chain.Block, 0, len(n.orphans))
+		for _, b := range n.orphans {
+			pending = append(pending, b)
 		}
 		n.mu.Unlock()
-		if !ok {
+		progress := false
+		for _, b := range pending {
+			if _, ok := n.chain.BlockByID(b.Header.PrevBlock); !ok {
+				continue
+			}
+			n.mu.Lock()
+			delete(n.orphans, b.Header.PrevBlock)
+			n.mu.Unlock()
+			switch err := n.chain.AddBlock(b); {
+			case err == nil:
+				n.pool.RemoveConfirmed(b)
+				progress = true
+			case containsErr(err, chain.ErrDuplicateBlock):
+			default:
+				n.logf("orphan %s rejected: %v", b.ID(), err)
+			}
+		}
+		if !progress {
 			return
 		}
-		if err := n.chain.AddBlock(next); err != nil {
-			n.logf("orphan %s rejected: %v", next.ID(), err)
-			return
-		}
-		n.pool.RemoveConfirmed(next)
 	}
 }
 

@@ -14,6 +14,7 @@ type p2pMetrics struct {
 	seenEvictions *telemetry.Counter
 	peerCount     *telemetry.Gauge
 	dialFailures  *telemetry.Counter
+	queueDrops    *telemetry.Counter
 }
 
 // knownMessageTypes are pre-registered so the per-type series exist at
@@ -31,6 +32,7 @@ func newP2PMetrics(reg *telemetry.Registry) *p2pMetrics {
 		seenEvictions: ns.Counter("seen_evictions_total", "Entries evicted from the duplicate-suppression ring."),
 		peerCount:     ns.Gauge("peer_count", "Connected gossip peers."),
 		dialFailures:  ns.Counter("dial_failures_total", "Outbound connection attempts that failed."),
+		queueDrops:    ns.Counter("send_queue_drops_total", "Outbound messages dropped because a peer's send queue was full."),
 	}
 	for _, t := range knownMessageTypes {
 		m.msgIn(t)

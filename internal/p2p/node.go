@@ -26,7 +26,7 @@ type Node struct {
 	metrics *p2pMetrics
 
 	mu       sync.Mutex
-	peers    map[string]Conn
+	peers    map[string]*peer
 	conns    map[Conn]bool // every live conn, incl. unregistered inbound
 	handlers map[string]Handler
 	seen     map[[sha256.Size]byte]bool
@@ -45,6 +45,38 @@ type Node struct {
 // maxSeen bounds the duplicate-suppression memory.
 const maxSeen = 100_000
 
+// sendQueueLen bounds each peer's outbound queue. Handlers run on
+// reader goroutines and re-flood what they receive; if those floods
+// wrote to the transport directly, two nodes with full transport
+// buffers could block each other's readers forever (send-side
+// head-of-line deadlock). Sends therefore enqueue to a per-peer writer
+// goroutine and the queue sheds load when a peer stalls — gossip's
+// sync repair re-delivers anything dropped.
+const sendQueueLen = 256
+
+// peer is one registered neighbor: its connection plus the outbound
+// queue its writer goroutine drains.
+type peer struct {
+	conn Conn
+	out  chan Message
+	die  chan struct{}
+	once sync.Once
+}
+
+// stop wakes the writer so it exits; safe to call more than once.
+func (p *peer) stop() { p.once.Do(func() { close(p.die) }) }
+
+// enqueue offers msg to the writer without ever blocking the caller;
+// it reports false when the queue is full and the message was shed.
+func (p *peer) enqueue(msg Message) bool {
+	select {
+	case p.out <- msg:
+		return true
+	default:
+		return false
+	}
+}
+
 // NewNode starts a node listening on addr (empty = transport default).
 func NewNode(transport Transport, addr string, logger *log.Logger) (*Node, error) {
 	return NewNodeWithTelemetry(transport, addr, logger, nil)
@@ -62,7 +94,7 @@ func NewNodeWithTelemetry(transport Transport, addr string, logger *log.Logger, 
 		transport: transport,
 		listener:  listener,
 		logger:    logger,
-		peers:     make(map[string]Conn),
+		peers:     make(map[string]*peer),
 		conns:     make(map[Conn]bool),
 		handlers:  make(map[string]Handler),
 		seen:      make(map[[sha256.Size]byte]bool),
@@ -126,27 +158,35 @@ func (n *Node) Peers() []string {
 }
 
 // Broadcast floods a message to every connected peer. The message is
-// marked seen locally so a gossiped echo is not re-processed.
+// marked seen locally so a gossiped echo is not re-processed. Sends are
+// queued to per-peer writers and never block the caller.
 func (n *Node) Broadcast(msgType string, payload []byte) {
 	msg := Message{Type: msgType, From: n.Addr(), Payload: payload}
 	n.markSeen(msg)
+	n.sendToPeers(msg, "")
+}
+
+// sendToPeers queues msg to every peer except the one named by skip.
+func (n *Node) sendToPeers(msg Message, skip string) {
 	n.mu.Lock()
-	conns := make([]Conn, 0, len(n.peers))
-	addrs := make([]string, 0, len(n.peers))
-	for addr, c := range n.peers {
-		conns = append(conns, c)
-		addrs = append(addrs, addr)
+	targets := make([]*peer, 0, len(n.peers))
+	for addr, p := range n.peers {
+		if addr == skip {
+			continue
+		}
+		targets = append(targets, p)
 	}
 	n.mu.Unlock()
-	for i, c := range conns {
-		if err := c.Send(msg); err != nil {
-			n.logf("send %s to %s: %v", msgType, addrs[i], err)
-			n.dropPeer(addrs[i])
+	for _, p := range targets {
+		if !p.enqueue(msg) {
+			if m := n.metrics; m != nil {
+				m.queueDrops.Inc()
+			}
 			continue
 		}
 		if m := n.metrics; m != nil {
-			m.msgOut(msgType).Inc()
-			m.bytesOut.Add(uint64(len(payload)))
+			m.msgOut(msg.Type).Inc()
+			m.bytesOut.Add(uint64(len(msg.Payload)))
 		}
 	}
 }
@@ -163,7 +203,10 @@ func (n *Node) Close() error {
 	for c := range n.conns {
 		conns = append(conns, c)
 	}
-	n.peers = make(map[string]Conn)
+	for _, p := range n.peers {
+		p.stop()
+	}
+	n.peers = make(map[string]*peer)
 	n.conns = make(map[Conn]bool)
 	n.peerGaugeLocked()
 	n.mu.Unlock()
@@ -206,27 +249,58 @@ func (n *Node) addPeer(addr string, conn Conn) {
 		return
 	}
 	if old, dup := n.peers[addr]; dup {
-		old.Close()
-		delete(n.conns, old)
+		old.stop()
+		old.conn.Close()
+		delete(n.conns, old.conn)
 	}
-	n.peers[addr] = conn
+	n.registerPeerLocked(addr, conn)
 	n.conns[conn] = true
-	n.peerGaugeLocked()
 	n.mu.Unlock()
 	n.wg.Add(1)
 	go n.readLoop(addr, conn)
 }
 
+// registerPeerLocked records a peer and starts its writer; the caller
+// holds n.mu.
+func (n *Node) registerPeerLocked(addr string, conn Conn) *peer {
+	p := &peer{conn: conn, out: make(chan Message, sendQueueLen), die: make(chan struct{})}
+	n.peers[addr] = p
+	n.peerGaugeLocked()
+	n.wg.Add(1)
+	go n.writeLoop(addr, p)
+	return p
+}
+
+// writeLoop drains one peer's outbound queue onto its connection. A
+// send error drops the peer (the read loop notices the closed conn and
+// exits as well).
+func (n *Node) writeLoop(addr string, p *peer) {
+	defer n.wg.Done()
+	for {
+		select {
+		case msg := <-p.out:
+			if err := p.conn.Send(msg); err != nil {
+				n.logf("send %s to %s: %v", msg.Type, addr, err)
+				n.dropPeer(addr)
+				return
+			}
+		case <-p.die:
+			return
+		}
+	}
+}
+
 func (n *Node) dropPeer(addr string) {
 	n.mu.Lock()
-	conn, ok := n.peers[addr]
+	p, ok := n.peers[addr]
 	if ok {
 		delete(n.peers, addr)
 		n.peerGaugeLocked()
 	}
 	n.mu.Unlock()
 	if ok {
-		conn.Close()
+		p.stop()
+		p.conn.Close()
 	}
 }
 
@@ -253,8 +327,7 @@ func (n *Node) readLoop(addr string, conn Conn) {
 			n.mu.Lock()
 			_, dup := n.peers[addr]
 			if !dup && !n.closed {
-				n.peers[addr] = conn
-				n.peerGaugeLocked()
+				n.registerPeerLocked(addr, conn)
 			}
 			n.mu.Unlock()
 		}
@@ -282,29 +355,7 @@ func (n *Node) dispatch(msg Message) {
 		h(msg.From, msg)
 	}
 	// Gossip re-flood with our own origin, so indirect peers learn it.
-	n.mu.Lock()
-	conns := make([]Conn, 0, len(n.peers))
-	addrs := make([]string, 0, len(n.peers))
-	for a, c := range n.peers {
-		if a == msg.From {
-			continue
-		}
-		conns = append(conns, c)
-		addrs = append(addrs, a)
-	}
-	n.mu.Unlock()
-	fwd := Message{Type: msg.Type, From: n.Addr(), Payload: msg.Payload}
-	for i, c := range conns {
-		if err := c.Send(fwd); err != nil {
-			n.logf("forward %s to %s: %v", msg.Type, addrs[i], err)
-			n.dropPeer(addrs[i])
-			continue
-		}
-		if m := n.metrics; m != nil {
-			m.msgOut(msg.Type).Inc()
-			m.bytesOut.Add(uint64(len(msg.Payload)))
-		}
-	}
+	n.sendToPeers(Message{Type: msg.Type, From: n.Addr(), Payload: msg.Payload}, msg.From)
 }
 
 // markSeen records the message body; it reports true the first time.

@@ -13,6 +13,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Message is one framed gossip datagram.
@@ -64,6 +65,15 @@ type TCPTransport struct{}
 
 var _ Transport = TCPTransport{}
 
+// Socket timeouts, variables so tests can shrink them. Without the dial
+// bound a black-holed peer stalls Connect for the OS default (minutes);
+// without the write bound a peer that stops reading wedges its writer
+// goroutine forever instead of surfacing a send error that drops it.
+var (
+	tcpDialTimeout  = 10 * time.Second
+	tcpWriteTimeout = 30 * time.Second
+)
+
 // Listen implements Transport.
 func (TCPTransport) Listen(addr string) (Listener, error) {
 	if addr == "" {
@@ -78,7 +88,7 @@ func (TCPTransport) Listen(addr string) (Listener, error) {
 
 // Dial implements Transport.
 func (TCPTransport) Dial(addr string) (Conn, error) {
-	c, err := net.Dial("tcp", addr)
+	c, err := net.DialTimeout("tcp", addr, tcpDialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("p2p dial %s: %w", addr, err)
 	}
@@ -118,6 +128,9 @@ func (t *tcpConn) Send(m Message) error {
 	binary.BigEndian.PutUint32(lenb[:], uint32(len(data)))
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if err := t.c.SetWriteDeadline(time.Now().Add(tcpWriteTimeout)); err != nil {
+		return err
+	}
 	if _, err := t.c.Write(lenb[:]); err != nil {
 		return err
 	}

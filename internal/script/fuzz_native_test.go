@@ -1,0 +1,168 @@
+package script
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// Native fuzz targets (go test -fuzz=FuzzName ./internal/script). The
+// checked properties:
+//
+//  1. Verify never panics, whatever bytes arrive — the engine is
+//     consensus code, a panic is a remote crash vector.
+//  2. Parsing is a faithful codec: re-serializing the instruction
+//     stream reproduces the input byte for byte, and parsing again
+//     yields the same instructions.
+//  3. Normalizing a script through the Builder (minimal pushes)
+//     preserves evaluation: the engine must not care how a push was
+//     encoded, only what it pushed.
+
+// serializeInstructions re-encodes a parsed instruction stream
+// preserving each push's original opcode form — the exact inverse of
+// Parse, unlike the Builder, which normalizes.
+func serializeInstructions(instrs []Instruction) Script {
+	var out []byte
+	for _, in := range instrs {
+		switch {
+		case in.Op >= 0x01 && in.Op <= maxDirectPush:
+			out = append(out, byte(in.Op))
+			out = append(out, in.Data...)
+		case in.Op == OpPushData1:
+			out = append(out, byte(OpPushData1), byte(len(in.Data)))
+			out = append(out, in.Data...)
+		case in.Op == OpPushData2:
+			var n [2]byte
+			binary.LittleEndian.PutUint16(n[:], uint16(len(in.Data)))
+			out = append(out, byte(OpPushData2))
+			out = append(out, n[:]...)
+			out = append(out, in.Data...)
+		default:
+			out = append(out, byte(in.Op))
+		}
+	}
+	return out
+}
+
+// pushedValue returns the stack element a push instruction produces,
+// regardless of encoding (nil, false for non-push opcodes).
+func pushedValue(in Instruction) ([]byte, bool) {
+	if v, ok := in.Op.smallIntValue(); ok {
+		return encodeNum(v), true
+	}
+	if in.Op.IsPush() {
+		if in.Data == nil {
+			return []byte{}, true
+		}
+		return in.Data, true
+	}
+	return nil, false
+}
+
+func fuzzSeedScripts() []Script {
+	var hash [HashLen]byte
+	krs := KeyRelease(KeyReleaseParams{
+		RSAPubKey:         make([]byte, 72),
+		GatewayPubKeyHash: hash,
+		BuyerPubKeyHash:   hash,
+		RefundHeight:      144,
+	})
+	return []Script{
+		PayToPubKeyHash(hash),
+		UnlockP2PKH(make([]byte, 70), make([]byte, 33)),
+		NullData([]byte("bcwan")),
+		krs,
+		NewBuilder().AddInt64(17).AddInt64(-5).AddOp(OpAdd).Script(),
+	}
+}
+
+// FuzzVerify feeds arbitrary unlock/lock pairs through the engine;
+// reaching the end of the function means no panic.
+func FuzzVerify(f *testing.F) {
+	for _, s := range fuzzSeedScripts() {
+		f.Add([]byte(nil), []byte(s))
+		f.Add([]byte(s), []byte(s))
+	}
+	f.Fuzz(func(t *testing.T, unlock, lock []byte) {
+		_ = Verify(unlock, lock, nil)
+	})
+}
+
+// FuzzParseSerializeEval checks the codec and encoding-independence
+// properties on every parseable input.
+func FuzzParseSerializeEval(f *testing.F) {
+	for _, s := range fuzzSeedScripts() {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		instrs, err := Parse(raw)
+		if err != nil {
+			return // unparseable input: nothing to round-trip
+		}
+
+		// Exact round trip: serialize(Parse(s)) == s, and parsing the
+		// result reproduces the instruction stream.
+		exact := serializeInstructions(instrs)
+		if !bytes.Equal(exact, raw) {
+			t.Fatalf("serialize(parse(s)) != s\n in: %x\nout: %x", raw, exact)
+		}
+		again, err := Parse(exact)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(again) != len(instrs) {
+			t.Fatalf("re-parse produced %d instructions, want %d", len(again), len(instrs))
+		}
+		for i := range instrs {
+			if instrs[i].Op != again[i].Op || !bytes.Equal(instrs[i].Data, again[i].Data) {
+				t.Fatalf("instruction %d drifted: %v/%x vs %v/%x",
+					i, instrs[i].Op, instrs[i].Data, again[i].Op, again[i].Data)
+			}
+		}
+
+		// Normalized round trip: rebuilding through the Builder changes
+		// push encodings but must not change what executes.
+		norm := NewBuilder()
+		for _, in := range instrs {
+			if v, ok := pushedValue(in); ok {
+				if sv, small := in.Op.smallIntValue(); small {
+					norm.AddInt64(sv)
+				} else {
+					norm.AddData(v)
+				}
+				continue
+			}
+			norm.AddOp(in.Op)
+		}
+		normalized := norm.Script()
+		normInstrs, err := Parse(normalized)
+		if err != nil {
+			t.Fatalf("normalized script unparseable: %v", err)
+		}
+		// Same push values and same non-push opcodes, in order.
+		if len(normInstrs) != len(instrs) {
+			t.Fatalf("normalization changed instruction count: %d vs %d", len(normInstrs), len(instrs))
+		}
+		for i := range instrs {
+			ov, opush := pushedValue(instrs[i])
+			nv, npush := pushedValue(normInstrs[i])
+			if opush != npush {
+				t.Fatalf("instruction %d changed push-ness", i)
+			}
+			if opush {
+				if !bytes.Equal(ov, nv) {
+					t.Fatalf("instruction %d pushes %x after normalization, was %x", i, nv, ov)
+				}
+			} else if instrs[i].Op != normInstrs[i].Op {
+				t.Fatalf("instruction %d opcode changed: %v vs %v", i, instrs[i].Op, normInstrs[i].Op)
+			}
+		}
+		// Encoding independence: the engine's verdict is identical.
+		errOrig := Verify(nil, raw, nil)
+		errNorm := Verify(nil, normalized, nil)
+		if (errOrig == nil) != (errNorm == nil) {
+			t.Fatalf("normalization changed the verdict: %v vs %v\n orig: %x\n norm: %x",
+				errOrig, errNorm, raw, normalized)
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package script
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bcwan/internal/bccrypto"
+)
+
+// rsaPairVectors mirrors testdata/checkrsa512pair.json.
+type rsaPairVectors struct {
+	Comment string `json:"comment"`
+	Vectors []struct {
+		Name    string `json:"name"`
+		Comment string `json:"comment"`
+		Priv    string `json:"priv"`
+		Pub     string `json:"pub"`
+		Valid   bool   `json:"valid"`
+	} `json:"vectors"`
+}
+
+// TestCheckRSA512PairGoldenVectors pins OP_CHECKRSA512PAIR to committed
+// key material: the paper's custom opcode is consensus-critical, so its
+// accept/reject behavior must not drift across refactors.
+func TestCheckRSA512PairGoldenVectors(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "checkrsa512pair.json"))
+	if err != nil {
+		t.Fatalf("read vectors: %v", err)
+	}
+	var vecs rsaPairVectors
+	if err := json.Unmarshal(raw, &vecs); err != nil {
+		t.Fatalf("decode vectors: %v", err)
+	}
+	if len(vecs.Vectors) < 4 {
+		t.Fatalf("only %d vectors, corpus truncated?", len(vecs.Vectors))
+	}
+	for _, v := range vecs.Vectors {
+		t.Run(v.Name, func(t *testing.T) {
+			priv, err := hex.DecodeString(v.Priv)
+			if err != nil {
+				t.Fatalf("priv hex: %v", err)
+			}
+			pub, err := hex.DecodeString(v.Pub)
+			if err != nil {
+				t.Fatalf("pub hex: %v", err)
+			}
+			unlock := NewBuilder().AddData(priv).Script()
+			lock := NewBuilder().AddData(pub).AddOp(OpCheckRSA512Pair).Script()
+			err = Verify(unlock, lock, nil)
+			if v.Valid && err != nil {
+				t.Fatalf("valid pair rejected: %v", err)
+			}
+			if !v.Valid {
+				if err == nil {
+					t.Fatal("invalid pair accepted")
+				}
+				// The opcode must push false (leaving a falsy stack), not
+				// abort mid-script: aborting would make Listing 1's
+				// OP_ELSE refund branch unreachable.
+				if !errors.Is(err, ErrScriptFalse) {
+					t.Fatalf("expected a false result, got abort: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenVectorsMatchWireFormat cross-checks the committed material
+// against the bccrypto codec so the vectors cannot rot silently.
+func TestGoldenVectorsMatchWireFormat(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "checkrsa512pair.json"))
+	if err != nil {
+		t.Fatalf("read vectors: %v", err)
+	}
+	var vecs rsaPairVectors
+	if err := json.Unmarshal(raw, &vecs); err != nil {
+		t.Fatalf("decode vectors: %v", err)
+	}
+	for _, v := range vecs.Vectors {
+		if v.Name != "valid-pair" {
+			continue
+		}
+		priv, _ := hex.DecodeString(v.Priv)
+		pub, _ := hex.DecodeString(v.Pub)
+		sk, err := bccrypto.UnmarshalRSA512PrivateKey(priv)
+		if err != nil {
+			t.Fatalf("golden private key does not unmarshal: %v", err)
+		}
+		pk, err := bccrypto.UnmarshalRSA512PublicKey(pub)
+		if err != nil {
+			t.Fatalf("golden public key does not unmarshal: %v", err)
+		}
+		if !sk.MatchesPublic(pk) {
+			t.Fatal("golden valid-pair material does not match at the crypto layer")
+		}
+		return
+	}
+	t.Fatal("valid-pair vector missing from corpus")
+}
