@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench blockconnect chaos ci
+.PHONY: build test vet race bench blockconnect reorg bench-gate lint fuzz chaos ci
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,39 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-# Regenerate results/blockconnect.txt (VerifyWorkers x sig-cache sweep).
+# Regenerate results/BENCH_blockconnect.json (VerifyWorkers x sig-cache
+# sweep). Commit the result to move the CI regression baseline.
 blockconnect:
 	$(GO) run ./cmd/bcwan-bench -only blockconnect
+
+# Regenerate results/BENCH_reorg.json (depth-2 reorg cost vs chain
+# length, the undo-journal ablation).
+reorg:
+	$(GO) run ./cmd/bcwan-bench -only reorg
+
+# What the CI bench-regression job runs: re-measure into a scratch
+# directory and gate against the committed baselines.
+bench-gate:
+	$(GO) run ./cmd/bcwan-bench -only blockconnect -results /tmp/bcwan-bench-candidate
+	$(GO) run ./cmd/bcwan-bench -only reorg -results /tmp/bcwan-bench-candidate
+	$(GO) run ./cmd/bcwan-benchgate -kind blockconnect \
+		-baseline results/BENCH_blockconnect.json \
+		-candidate /tmp/bcwan-bench-candidate/BENCH_blockconnect.json
+	$(GO) run ./cmd/bcwan-benchgate -kind reorg \
+		-baseline results/BENCH_reorg.json \
+		-candidate /tmp/bcwan-bench-candidate/BENCH_reorg.json
+
+# Static analysis. CI installs the tools; locally:
+#   go install honnef.co/go/tools/cmd/staticcheck@latest
+#   go install golang.org/x/vuln/cmd/govulncheck@latest
+lint:
+	staticcheck ./...
+	govulncheck ./...
+
+# 30-second coverage-guided smoke of the script verifier (the
+# consensus-critical surface).
+fuzz:
+	$(GO) test -fuzz=FuzzVerify -fuzztime=30s -run '^$$' ./internal/script/
 
 # Fault-injection scenario table under the race detector. Every run
 # logs each scenario's RNG seed; replay a failure with

@@ -8,7 +8,8 @@
 //	§6      double-spend exposure vs confirmation policy
 //	§4.4    reputation baseline vs script fair exchange
 //	extras  block-interval / gateway-count / SF sweeps, legacy baseline,
-//	        block-connect throughput vs VerifyWorkers and sig-cache state
+//	        block-connect throughput vs VerifyWorkers and sig-cache state,
+//	        depth-2 reorg cost vs chain length (undo-journal ablation)
 //
 // Run everything at paper scale (minutes):
 //
@@ -41,7 +42,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bcwan-bench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "scaled-down run (seconds instead of minutes)")
-	only := fs.String("only", "", "run a single experiment: fig4|fig5|fig6|budget|doublespend|reputation|sweeps|legacy|blockconnect")
+	only := fs.String("only", "", "run a single experiment: fig4|fig5|fig6|budget|doublespend|reputation|sweeps|legacy|blockconnect|reorg")
 	csvDir := fs.String("csv", "", "also write per-exchange latency series (the raw figure data) as CSV files into this directory")
 	resultsDir := fs.String("results", "results", "directory for machine-readable benchmark JSON (empty disables)")
 	if err := fs.Parse(args); err != nil {
@@ -176,6 +177,26 @@ func run(args []string) error {
 		if *resultsDir != "" {
 			path := filepath.Join(*resultsDir, "BENCH_blockconnect.json")
 			if err := experiments.WriteBlockConnectJSON(path, cfg, results); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n\n", path)
+		}
+	}
+
+	if want("reorg") {
+		cfg := experiments.DefaultReorgConfig()
+		if *quick {
+			cfg.ChainLengths = []int{20, 60}
+			cfg.Iterations = 5
+		}
+		results, err := experiments.RunReorg(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.WriteReorg(out, cfg, results)
+		if *resultsDir != "" {
+			path := filepath.Join(*resultsDir, "BENCH_reorg.json")
+			if err := experiments.WriteReorgJSON(path, cfg, results); err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s\n\n", path)

@@ -1,0 +1,191 @@
+// bcwan-benchgate compares a freshly measured benchmark JSON against
+// the committed baseline and exits non-zero on a regression. CI runs it
+// after bcwan-bench so that chain-level performance properties — block
+// connect throughput, signature-cache effectiveness, and the O(depth)
+// reorg-cost bound of the undo-journal design — gate every merge.
+//
+//	bcwan-benchgate -kind blockconnect \
+//	    -baseline results/BENCH_blockconnect.json -candidate /tmp/BENCH_blockconnect.json
+//	bcwan-benchgate -kind reorg \
+//	    -baseline results/BENCH_reorg.json -candidate /tmp/BENCH_reorg.json
+//
+// The thresholds are deliberately loose (25% ns/op slack, hit rate no
+// lower than 75% of baseline, reorg scaling ratio at most 5x) so shared
+// CI runners do not flake; a genuine algorithmic regression — say a
+// reorg going back to replay-from-genesis — overshoots them by orders
+// of magnitude. See README.md for what to do when this gate fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bcwan-benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("bcwan-benchgate", flag.ContinueOnError)
+	kind := fs.String("kind", "", "benchmark document kind: blockconnect|reorg")
+	baselinePath := fs.String("baseline", "", "committed baseline JSON (required)")
+	candidatePath := fs.String("candidate", "", "freshly measured JSON (required)")
+	maxRegression := fs.Float64("max-regression", 0.25, "allowed ns/op increase over baseline (fraction)")
+	minHitRateFrac := fs.Float64("min-hitrate-frac", 0.75, "candidate hit rate must be at least this fraction of baseline")
+	maxScaling := fs.Float64("max-scaling", 5, "reorg: max per-reorg cost ratio of longest vs shortest chain")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baselinePath == "" || *candidatePath == "" {
+		return fmt.Errorf("-baseline and -candidate are required")
+	}
+
+	var failures []string
+	var err error
+	switch *kind {
+	case "blockconnect":
+		failures, err = gateBlockConnect(*baselinePath, *candidatePath, *maxRegression, *minHitRateFrac)
+	case "reorg":
+		failures, err = gateReorg(*baselinePath, *candidatePath, *maxScaling)
+	default:
+		return fmt.Errorf("-kind must be blockconnect or reorg, got %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(out, "FAIL:", f)
+		}
+		return fmt.Errorf("%d regression(s) against %s", len(failures), *baselinePath)
+	}
+	fmt.Fprintf(out, "PASS: %s within thresholds of %s\n", *candidatePath, *baselinePath)
+	return nil
+}
+
+// blockConnectDoc mirrors results/BENCH_blockconnect.json.
+type blockConnectDoc struct {
+	Blocks      int `json:"blocks"`
+	TxsPerBlock int `json:"txs_per_block"`
+	Repeats     int `json:"repeats"`
+	Results     []struct {
+		Workers         int     `json:"workers"`
+		Warm            bool    `json:"warm"`
+		NsPerBlock      int64   `json:"ns_per_block"`
+		SigCacheHitRate float64 `json:"sigcache_hit_rate"`
+	} `json:"results"`
+}
+
+// reorgDoc mirrors results/BENCH_reorg.json.
+type reorgDoc struct {
+	Depth        int     `json:"depth"`
+	ScalingRatio float64 `json:"scaling_ratio"`
+	Results      []struct {
+		ChainLen   int   `json:"chain_len"`
+		NsPerReorg int64 `json:"ns_per_reorg"`
+	} `json:"results"`
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// gateBlockConnect matches candidate rows to baseline rows by
+// (workers, warm) and flags any ns/op regression beyond maxRegression
+// or any hit rate falling below minHitRateFrac of the baseline's.
+// Rows only one side has are ignored: sweeping a new worker count must
+// not fail the gate.
+func gateBlockConnect(baselinePath, candidatePath string, maxRegression, minHitRateFrac float64) ([]string, error) {
+	var base, cand blockConnectDoc
+	if err := readJSON(baselinePath, &base); err != nil {
+		return nil, err
+	}
+	if err := readJSON(candidatePath, &cand); err != nil {
+		return nil, err
+	}
+	if base.Blocks != cand.Blocks || base.TxsPerBlock != cand.TxsPerBlock || base.Repeats != cand.Repeats {
+		return nil, fmt.Errorf("workload mismatch: baseline %dx%d best-of-%d vs candidate %dx%d best-of-%d — regenerate the baseline",
+			base.Blocks, base.TxsPerBlock, base.Repeats, cand.Blocks, cand.TxsPerBlock, cand.Repeats)
+	}
+
+	type key struct {
+		workers int
+		warm    bool
+	}
+	baseRows := make(map[key]int)
+	for i, r := range base.Results {
+		baseRows[key{r.Workers, r.Warm}] = i
+	}
+	var failures []string
+	matched := 0
+	for _, c := range cand.Results {
+		i, ok := baseRows[key{c.Workers, c.Warm}]
+		if !ok {
+			continue
+		}
+		matched++
+		b := base.Results[i]
+		if b.NsPerBlock > 0 && float64(c.NsPerBlock) > float64(b.NsPerBlock)*(1+maxRegression) {
+			failures = append(failures, fmt.Sprintf(
+				"block connect workers=%d warm=%v: %d ns/block vs baseline %d (+%.0f%%, allowed +%.0f%%)",
+				c.Workers, c.Warm, c.NsPerBlock, b.NsPerBlock,
+				100*(float64(c.NsPerBlock)/float64(b.NsPerBlock)-1), 100*maxRegression))
+		}
+		if b.SigCacheHitRate > 0 && c.SigCacheHitRate < b.SigCacheHitRate*minHitRateFrac {
+			failures = append(failures, fmt.Sprintf(
+				"sig cache workers=%d warm=%v: hit rate %.2f vs baseline %.2f (floor %.2f)",
+				c.Workers, c.Warm, c.SigCacheHitRate, b.SigCacheHitRate, b.SigCacheHitRate*minHitRateFrac))
+		}
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("no candidate row matches any baseline row — wrong file?")
+	}
+	return failures, nil
+}
+
+// gateReorg asserts the undo-journal property inside the candidate file
+// itself: the per-reorg cost on the longest chain must stay within
+// maxScaling times the cost on the shortest. This is a same-machine
+// comparison, so it holds on any runner speed — a replay-from-genesis
+// reorg would push the ratio toward chainLenMax/chainLenMin. The
+// baseline is only checked for workload-shape agreement (absolute
+// nanoseconds are not compared across machines).
+func gateReorg(baselinePath, candidatePath string, maxScaling float64) ([]string, error) {
+	var base, cand reorgDoc
+	if err := readJSON(baselinePath, &base); err != nil {
+		return nil, err
+	}
+	if err := readJSON(candidatePath, &cand); err != nil {
+		return nil, err
+	}
+	if base.Depth != cand.Depth || len(base.Results) != len(cand.Results) {
+		return nil, fmt.Errorf("workload mismatch: baseline depth %d/%d lengths vs candidate depth %d/%d lengths — regenerate the baseline",
+			base.Depth, len(base.Results), cand.Depth, len(cand.Results))
+	}
+	if len(cand.Results) < 2 {
+		return nil, fmt.Errorf("reorg document needs at least two chain lengths, got %d", len(cand.Results))
+	}
+	first, last := cand.Results[0], cand.Results[len(cand.Results)-1]
+	if first.NsPerReorg <= 0 {
+		return nil, fmt.Errorf("reorg baseline row has non-positive ns_per_reorg")
+	}
+	ratio := float64(last.NsPerReorg) / float64(first.NsPerReorg)
+	if ratio > maxScaling {
+		return []string{fmt.Sprintf(
+			"depth-%d reorg cost scales with chain length: %d ns at height %d vs %d ns at height %d (%.2fx > %.1fx) — did a reorg path fall back to replay-from-genesis?",
+			cand.Depth, last.NsPerReorg, last.ChainLen, first.NsPerReorg, first.ChainLen, ratio, maxScaling)}, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseBlockConnect = `{
+  "blocks": 12, "txs_per_block": 24,
+  "results": [
+    {"workers": 0, "warm": false, "ns_per_block": 4000000, "sigcache_hit_rate": 0},
+    {"workers": 4, "warm": true,  "ns_per_block": 200000,  "sigcache_hit_rate": 0.5}
+  ]
+}`
+
+func TestGateBlockConnectPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", baseBlockConnect)
+	// 20% slower and hit rate at 80% of baseline: inside both thresholds.
+	cand := writeFile(t, dir, "cand.json", `{
+	  "blocks": 12, "txs_per_block": 24,
+	  "results": [
+	    {"workers": 0, "warm": false, "ns_per_block": 4800000, "sigcache_hit_rate": 0},
+	    {"workers": 4, "warm": true,  "ns_per_block": 210000,  "sigcache_hit_rate": 0.4}
+	  ]
+	}`)
+	failures, err := gateBlockConnect(base, cand, 0.25, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+}
+
+func TestGateBlockConnectFlagsRegressions(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", baseBlockConnect)
+	// Sequential row 50% slower, warm row's cache effectively disabled.
+	cand := writeFile(t, dir, "cand.json", `{
+	  "blocks": 12, "txs_per_block": 24,
+	  "results": [
+	    {"workers": 0, "warm": false, "ns_per_block": 6000000, "sigcache_hit_rate": 0},
+	    {"workers": 4, "warm": true,  "ns_per_block": 200000,  "sigcache_hit_rate": 0.1}
+	  ]
+	}`)
+	failures, err := gateBlockConnect(base, cand, 0.25, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want ns/op and hit-rate regressions", failures)
+	}
+	if !strings.Contains(failures[0], "ns/block") || !strings.Contains(failures[1], "hit rate") {
+		t.Fatalf("unexpected failure messages: %v", failures)
+	}
+}
+
+func TestGateBlockConnectWorkloadMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", baseBlockConnect)
+	cand := writeFile(t, dir, "cand.json", `{"blocks": 4, "txs_per_block": 8, "results": []}`)
+	if _, err := gateBlockConnect(base, cand, 0.25, 0.75); err == nil {
+		t.Fatal("want workload-mismatch error")
+	}
+}
+
+const baseReorg = `{
+  "depth": 2, "scaling_ratio": 1.5,
+  "results": [
+    {"chain_len": 100,  "ns_per_reorg": 300000},
+    {"chain_len": 1000, "ns_per_reorg": 450000}
+  ]
+}`
+
+func TestGateReorgPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", baseReorg)
+	failures, err := gateReorg(base, base, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+}
+
+func TestGateReorgFlagsLinearScaling(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", baseReorg)
+	// A replay-from-genesis reorg: 10x the cost at 10x the height.
+	cand := writeFile(t, dir, "cand.json", `{
+	  "depth": 2, "scaling_ratio": 10,
+	  "results": [
+	    {"chain_len": 100,  "ns_per_reorg": 300000},
+	    {"chain_len": 1000, "ns_per_reorg": 3000000}
+	  ]
+	}`)
+	failures, err := gateReorg(base, cand, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "scales with chain length") {
+		t.Fatalf("failures = %v, want one scaling violation", failures)
+	}
+}
+
+func TestGateAgainstCommittedBaselines(t *testing.T) {
+	// The committed baselines must pass against themselves, or the CI
+	// job would fail on an untouched tree.
+	root := "../.."
+	bc := filepath.Join(root, "results", "BENCH_blockconnect.json")
+	if failures, err := gateBlockConnect(bc, bc, 0.25, 0.75); err != nil || len(failures) != 0 {
+		t.Fatalf("blockconnect self-gate: err=%v failures=%v", err, failures)
+	}
+	ro := filepath.Join(root, "results", "BENCH_reorg.json")
+	if failures, err := gateReorg(ro, ro, 5); err != nil || len(failures) != 0 {
+		t.Fatalf("reorg self-gate: err=%v failures=%v", err, failures)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -126,20 +127,29 @@ func run(args []string) error {
 		defer sl.Stop()
 	}
 
-	var chainPath string
 	if *dataDir != "" {
 		if err := os.MkdirAll(*dataDir, 0o700); err != nil {
 			return err
 		}
-		chainPath = daemon.DefaultChainPath(*dataDir)
-		loaded, err := node.LoadChain(chainPath)
+		storeDir := filepath.Join(*dataDir, "chainstore")
+		loaded, err := node.OpenStore(storeDir)
 		if err != nil {
 			return fmt.Errorf("restore chain: %w", err)
 		}
-		logger.Printf("restored %d blocks from %s (height %d)", loaded, chainPath, node.Chain().Height())
+		logger.Printf("restored %d blocks from %s (height %d)", loaded, storeDir, node.Chain().Height())
+		// Migrate a legacy whole-file store if one is present: its blocks
+		// connect through normal validation and land in the new log.
+		if legacy := daemon.DefaultChainPath(*dataDir); fileExists(legacy) {
+			migrated, err := node.LoadChain(legacy)
+			if err != nil {
+				logger.Printf("legacy store %s: %v", legacy, err)
+			} else if migrated > 0 {
+				logger.Printf("migrated %d blocks from legacy store %s", migrated, legacy)
+			}
+		}
 		defer func() {
-			if err := node.SaveChain(chainPath); err != nil {
-				logger.Printf("persist chain: %v", err)
+			if err := node.Store().Compact(node.Chain()); err != nil {
+				logger.Printf("compact chain store: %v", err)
 			} else {
 				logger.Printf("persisted chain at height %d", node.Chain().Height())
 			}
@@ -164,6 +174,11 @@ func run(args []string) error {
 	<-sig
 	logger.Print("shutting down")
 	return nil
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 func printGenesis(allocSpec string) error {

@@ -21,8 +21,22 @@ type Chain struct {
 	index map[Hash]*Block
 	// best is the active branch, genesis first.
 	best []*Block
-	// utxo is the UTXO set of the best branch tip.
+	// utxo is the UTXO set of the best branch tip, maintained
+	// incrementally: blocks connect and disconnect in place, journaled
+	// by undo.
 	utxo *UTXOSet
+	// undo maps each best-branch block to the journal that reverses it;
+	// entries for disconnected blocks are dropped (and re-captured if
+	// the block reconnects).
+	undo map[Hash]*BlockUndo
+	// txIndex locates every best-branch transaction by ID in O(1); it is
+	// maintained on connect/disconnect and backs FindTx, Confirmations
+	// and the RPC lookups.
+	txIndex map[Hash]txLoc
+	// spenders maps each outpoint spent on the best branch to the
+	// spending transaction's ID, making FindSpender — the recipient's
+	// claim watch — an O(1) lookup.
+	spenders map[OutPoint]Hash
 	// miners is the set of authorized miner public keys (hex of the
 	// serialized point). Empty means any signed block is accepted.
 	miners map[string]bool
@@ -41,12 +55,23 @@ type Chain struct {
 	metrics *chainMetrics
 }
 
+// txLoc is one txIndex entry: the transaction and the height of its
+// best-branch block.
+type txLoc struct {
+	tx     *Tx
+	height int64
+}
+
 // Chain errors.
 var (
 	// ErrDuplicateBlock reports a block already in the index.
 	ErrDuplicateBlock = errors.New("chain: duplicate block")
 	// ErrInvalidGenesis reports a genesis block that fails validation.
 	ErrInvalidGenesis = errors.New("chain: invalid genesis block")
+	// ErrInconsistentState reports that the incremental UTXO set or the
+	// chain indexes diverged from a from-genesis replay — the debug
+	// cross-check failing.
+	ErrInconsistentState = errors.New("chain: incremental state inconsistent with replay")
 )
 
 // New creates a chain from a genesis block. The genesis block is not
@@ -70,9 +95,13 @@ func New(params Params, genesis *Block) (*Chain, error) {
 		index:    map[Hash]*Block{genesis.ID(): genesis},
 		best:     []*Block{genesis},
 		utxo:     utxo,
+		undo:     make(map[Hash]*BlockUndo),
+		txIndex:  make(map[Hash]txLoc),
+		spenders: make(map[OutPoint]Hash),
 		miners:   make(map[string]bool),
 		verifier: NewVerifier(params.VerifyWorkers, NewSigCache(DefaultSigCacheSize)),
 	}
+	c.indexBlockTxs(genesis)
 	return c, nil
 }
 
@@ -163,6 +192,13 @@ func (c *Chain) AddBlock(b *Block) error {
 }
 
 func (c *Chain) addBlockLocked(b *Block, notify *[]*Block) error {
+	return c.addBlockPolicy(b, notify, c.params)
+}
+
+// addBlockPolicy is addBlockLocked with an explicit parameter set, so
+// the trusted store-restore path can run the same code with script
+// verification switched off.
+func (c *Chain) addBlockPolicy(b *Block, notify *[]*Block, params Params) error {
 	var start time.Time
 	if c.metrics != nil {
 		start = time.Now()
@@ -184,51 +220,167 @@ func (c *Chain) addBlockLocked(b *Block, notify *[]*Block) error {
 	if !b.Header.VerifySignature() {
 		return ErrBadMinerSig
 	}
+	if err := checkBlockStateless(b, params); err != nil {
+		return err
+	}
 
-	// Build the candidate branch: genesis..parent + b.
+	tip := c.best[len(c.best)-1]
+	if parent == tip {
+		// The common case: extend the best branch in place, journaling
+		// the mutations. connectBlockUndo rolls the set back itself on
+		// failure.
+		undo, err := connectBlockUndo(c.utxo, b, params, c.verifier)
+		if err != nil {
+			return err
+		}
+		c.index[id] = b
+		c.undo[id] = undo
+		c.indexBlockTxs(b)
+		c.best = append(c.best, b)
+		*notify = append(*notify, b)
+		c.noteConnect(b, start)
+		return nil
+	}
+
+	// Side branch. The block must link back to genesis; full UTXO
+	// validation is deferred until its branch takes the lead (cheap
+	// header, signature and stateless checks already ran above).
 	branch, err := c.branchTo(parent)
 	if err != nil {
 		return err
 	}
 	branch = append(branch, b)
-
-	// Validate b against the UTXO view of its parent branch.
-	utxo, err := c.utxoFor(branch[:len(branch)-1])
-	if err != nil {
-		return err
-	}
-	if err := connectBlock(utxo, b, c.params, c.verifier); err != nil {
-		return err
-	}
-
 	c.index[id] = b
-
-	// Adopt the branch if it is strictly longer than the current best.
-	if len(branch) > len(c.best) {
-		// Blocks new to the best branch get notified.
-		fork := commonPrefixLen(c.best, branch)
-		*notify = append(*notify, branch[fork:]...)
-		if m := c.metrics; m != nil {
-			if depth := len(c.best) - fork; depth > 0 {
-				m.reorgs.Inc()
-				m.reorgDepth.Set(int64(depth))
-			}
-		}
-		c.best = branch
-		c.utxo = utxo
+	if len(branch) <= len(c.best) {
+		return nil
 	}
-	if m := c.metrics; m != nil {
-		m.connectSeconds.ObserveSince(start)
-		m.blocksConnected.Inc()
-		m.txsVerified.Add(uint64(len(b.Txs) - 1))
-		var scripts uint64
-		for _, tx := range b.Txs[1:] {
-			scripts += uint64(len(tx.Inputs))
+	if err := c.reorgLocked(branch, notify); err != nil {
+		delete(c.index, id)
+		return err
+	}
+	c.noteConnect(b, start)
+	return nil
+}
+
+// reorgLocked switches the best branch to the strictly longer candidate:
+// the losing suffix is disconnected through its undo journals and the
+// winning suffix connected with full validation, in O(reorg depth)
+// total. If a winning block fails validation the chain is restored to
+// its pre-reorg state exactly and the error returned.
+func (c *Chain) reorgLocked(branch []*Block, notify *[]*Block) error {
+	fork := commonPrefixLen(c.best, branch)
+	detached := append([]*Block(nil), c.best[fork:]...)
+
+	// Disconnect the losing suffix, tip first.
+	for i := len(c.best) - 1; i >= fork; i-- {
+		blk := c.best[i]
+		blkID := blk.ID()
+		if err := c.utxo.UndoBlock(c.undo[blkID]); err != nil {
+			// Journal corruption — never expected; surface loudly.
+			panic(fmt.Sprintf("chain: disconnect height %d: %v", i, err))
 		}
-		m.scriptsVerified.Add(scripts)
-		m.utxoSize.Set(int64(c.utxo.Len()))
+		c.unindexBlockTxs(blk)
+		delete(c.undo, blkID)
+	}
+	c.best = c.best[:fork:fork]
+
+	// Connect the winning suffix.
+	for j := fork; j < len(branch); j++ {
+		blk := branch[j]
+		undo, err := connectBlockUndo(c.utxo, blk, c.params, c.verifier)
+		if err != nil {
+			c.restoreBranch(fork, detached)
+			return fmt.Errorf("chain: reorg connect height %d (%s): %w", j, blk.ID(), err)
+		}
+		blkID := blk.ID()
+		c.undo[blkID] = undo
+		c.indexBlockTxs(blk)
+		c.best = append(c.best, blk)
+	}
+	*notify = append(*notify, branch[fork:]...)
+	if m := c.metrics; m != nil {
+		if depth := len(detached); depth > 0 {
+			m.reorgs.Inc()
+			m.reorgDepth.Set(int64(depth))
+			m.blocksDisconnected.Add(uint64(depth))
+		}
 	}
 	return nil
+}
+
+// restoreBranch rolls a half-connected reorg back: blocks connected so
+// far are disconnected through their fresh journals, then the original
+// suffix is re-applied trusted (it was fully validated when it first
+// connected).
+func (c *Chain) restoreBranch(fork int, detached []*Block) {
+	for i := len(c.best) - 1; i >= fork; i-- {
+		blk := c.best[i]
+		blkID := blk.ID()
+		if err := c.utxo.UndoBlock(c.undo[blkID]); err != nil {
+			panic(fmt.Sprintf("chain: reorg rollback at height %d: %v", i, err))
+		}
+		c.unindexBlockTxs(blk)
+		delete(c.undo, blkID)
+	}
+	c.best = c.best[:fork:fork]
+	for _, blk := range detached {
+		undo, err := applyBlockTrusted(c.utxo, blk)
+		if err != nil {
+			panic(fmt.Sprintf("chain: reorg restore height %d: %v", blk.Header.Height, err))
+		}
+		c.undo[blk.ID()] = undo
+		c.indexBlockTxs(blk)
+		c.best = append(c.best, blk)
+	}
+}
+
+// noteConnect records the per-connect metrics.
+func (c *Chain) noteConnect(b *Block, start time.Time) {
+	m := c.metrics
+	if m == nil {
+		return
+	}
+	m.connectSeconds.ObserveSince(start)
+	m.blocksConnected.Inc()
+	m.txsVerified.Add(uint64(len(b.Txs) - 1))
+	var scripts uint64
+	for _, tx := range b.Txs[1:] {
+		scripts += uint64(len(tx.Inputs))
+	}
+	m.scriptsVerified.Add(scripts)
+	m.utxoSize.Set(int64(c.utxo.Len()))
+	m.txIndexSize.Set(int64(len(c.txIndex)))
+	m.spenderIndexSize.Set(int64(len(c.spenders)))
+}
+
+// indexBlockTxs adds a connected block's transactions to the txid and
+// spender indexes.
+func (c *Chain) indexBlockTxs(b *Block) {
+	h := b.Header.Height
+	for _, tx := range b.Txs {
+		c.txIndex[tx.ID()] = txLoc{tx: tx, height: h}
+		if tx.IsCoinbase() {
+			continue
+		}
+		id := tx.ID()
+		for _, in := range tx.Inputs {
+			c.spenders[in.Prev] = id
+		}
+	}
+}
+
+// unindexBlockTxs removes a disconnected block's transactions from the
+// txid and spender indexes.
+func (c *Chain) unindexBlockTxs(b *Block) {
+	for _, tx := range b.Txs {
+		delete(c.txIndex, tx.ID())
+		if tx.IsCoinbase() {
+			continue
+		}
+		for _, in := range tx.Inputs {
+			delete(c.spenders, in.Prev)
+		}
+	}
 }
 
 // branchTo walks parent links from b back to genesis.
@@ -255,14 +407,12 @@ func (c *Chain) branchTo(b *Block) ([]*Block, error) {
 	return branch, nil
 }
 
-// utxoFor replays a branch from genesis into a fresh UTXO set. If the
-// branch shares the current best branch as a prefix, the existing tip set
-// is reused; otherwise the branch is replayed (O(n), acceptable at the
-// scale of the PoC's deployments).
-func (c *Chain) utxoFor(branch []*Block) (*UTXOSet, error) {
-	if commonPrefixLen(c.best, branch) == len(branch) && len(branch) == len(c.best) {
-		return c.utxo.Clone(), nil
-	}
+// replayBranch replays a branch from genesis into a fresh UTXO set
+// through the full validation path. The live chain never uses it — the
+// incremental undo journals replaced the replay — but it survives as
+// the debug cross-check behind CheckConsistency: the O(n) ground truth
+// the O(depth) path must agree with byte for byte.
+func (c *Chain) replayBranch(branch []*Block) (*UTXOSet, error) {
 	utxo := NewUTXOSet()
 	for i, blk := range branch {
 		if i == 0 {
@@ -280,6 +430,57 @@ func (c *Chain) utxoFor(branch []*Block) (*UTXOSet, error) {
 	return utxo, nil
 }
 
+// CheckConsistency replays the best branch from genesis and verifies
+// that the incrementally maintained UTXO set and chain indexes match the
+// replay exactly. It is O(chain length) — a debug and test cross-check,
+// also wired into the chaos invariants — and returns
+// ErrInconsistentState (wrapped with detail) on divergence.
+func (c *Chain) CheckConsistency() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	replayed, err := c.replayBranch(c.best)
+	if err != nil {
+		return fmt.Errorf("%w: replay failed: %v", ErrInconsistentState, err)
+	}
+	if !c.utxo.Equal(replayed) {
+		return fmt.Errorf("%w: utxo set diverged (incremental %d entries, replay %d)",
+			ErrInconsistentState, c.utxo.Len(), replayed.Len())
+	}
+	// Rebuild the indexes from the best branch and compare.
+	var txs, spends int
+	for _, blk := range c.best {
+		for _, tx := range blk.Txs {
+			txs++
+			loc, ok := c.txIndex[tx.ID()]
+			if !ok || loc.height != blk.Header.Height || loc.tx != tx {
+				return fmt.Errorf("%w: txIndex entry for %s wrong or missing", ErrInconsistentState, tx.ID())
+			}
+			if tx.IsCoinbase() {
+				continue
+			}
+			for _, in := range tx.Inputs {
+				spends++
+				if c.spenders[in.Prev] != tx.ID() {
+					return fmt.Errorf("%w: spender index for %s wrong or missing", ErrInconsistentState, in.Prev)
+				}
+			}
+		}
+	}
+	if txs != len(c.txIndex) {
+		return fmt.Errorf("%w: txIndex has %d entries, best branch has %d txs", ErrInconsistentState, len(c.txIndex), txs)
+	}
+	if spends != len(c.spenders) {
+		return fmt.Errorf("%w: spender index has %d entries, best branch has %d spends", ErrInconsistentState, len(c.spenders), spends)
+	}
+	// Every best-branch block above genesis must hold an undo journal.
+	for _, blk := range c.best[1:] {
+		if _, ok := c.undo[blk.ID()]; !ok {
+			return fmt.Errorf("%w: missing undo journal for height %d", ErrInconsistentState, blk.Header.Height)
+		}
+	}
+	return nil
+}
+
 func commonPrefixLen(a, b []*Block) int {
 	n := len(a)
 	if len(b) < n {
@@ -293,40 +494,74 @@ func commonPrefixLen(a, b []*Block) int {
 	return n
 }
 
-// FindTx scans the best branch for a transaction, returning it with the
-// height of its block. Confirmations = tip height − height + 1.
+// FindTx locates a best-branch transaction by ID through the maintained
+// txid index — an O(1) lookup, where the seed scanned every transaction
+// in every block. Confirmations = tip height − height + 1.
 func (c *Chain) FindTx(id Hash) (*Tx, int64, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	for h := len(c.best) - 1; h >= 0; h-- {
-		for _, tx := range c.best[h].Txs {
-			if tx.ID() == id {
-				return tx, int64(h), true
-			}
-		}
+	loc, ok := c.txIndex[id]
+	if !ok {
+		return nil, 0, false
 	}
-	return nil, 0, false
+	return loc.tx, loc.height, true
 }
 
-// FindSpender scans the best branch for the transaction that spends the
-// given outpoint. The recipient uses it to spot the gateway's claim and
-// extract the revealed ephemeral key (Fig. 3 step 10).
+// FindSpender locates the best-branch transaction spending the given
+// outpoint through the maintained spender index — an O(1) lookup. The
+// recipient uses it to spot the gateway's claim and extract the revealed
+// ephemeral key (Fig. 3 step 10); with the index, the claim-watch loop
+// no longer rescans the chain on every new block.
 func (c *Chain) FindSpender(op OutPoint) (*Tx, int64, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	for h := len(c.best) - 1; h >= 0; h-- {
-		for _, tx := range c.best[h].Txs {
-			if tx.IsCoinbase() {
-				continue
-			}
-			for _, in := range tx.Inputs {
-				if in.Prev == op {
-					return tx, int64(h), true
-				}
-			}
+	id, ok := c.spenders[op]
+	if !ok {
+		return nil, 0, false
+	}
+	loc, ok := c.txIndex[id]
+	if !ok {
+		return nil, 0, false
+	}
+	return loc.tx, loc.height, true
+}
+
+// ReadState runs fn with the tip block and a read-only view of the tip
+// UTXO set, under the chain's read lock. It lets hot paths (mempool
+// admission, block-template assembly) layer a UTXOView overlay over the
+// live set instead of deep-cloning it. fn must treat utxo as immutable
+// and must not call back into Chain methods that take the lock (Tip,
+// UTXO, AddBlock, …) — the values it needs are passed in.
+func (c *Chain) ReadState(fn func(tip *Block, utxo UTXOReader)) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	fn(c.best[len(c.best)-1], c.utxo)
+}
+
+// AddBlockTrusted connects a block whose scripts were validated when it
+// was first persisted — the snapshot-restore path of the daemon store.
+// Header linkage, miner authorization, signatures and all UTXO
+// accounting rules still run; only script execution is skipped, which is
+// what makes restart O(history txs) in map operations rather than
+// signature verifications.
+func (c *Chain) AddBlockTrusted(b *Block) error {
+	c.mu.Lock()
+	var notify []*Block
+	params := c.params
+	params.VerifyScripts = false
+	err := c.addBlockPolicy(b, &notify, params)
+	subs := make([]func(*Block), len(c.subscribers))
+	copy(subs, c.subscribers)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, nb := range notify {
+		for _, fn := range subs {
+			fn(nb)
 		}
 	}
-	return nil, 0, false
+	return nil
 }
 
 // Confirmations returns how many blocks confirm the transaction (1 =

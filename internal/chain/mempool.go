@@ -75,7 +75,11 @@ func (m *Mempool) Instrument(reg *telemetry.Registry) {
 // pooled transactions are spendable — the gateway's claim chains onto the
 // recipient's still-unconfirmed payment (Fig. 3 steps 9–10, the paper's
 // deliberate zero-confirmation choice discussed in §6).
-func (m *Mempool) Accept(tx *Tx, utxo *UTXOSet, height int64, params Params) error {
+//
+// utxo is only read, never mutated: pooled transactions are layered on
+// top through a copy-on-write overlay, so callers can pass the chain's
+// live set from inside Chain.ReadState without cloning it.
+func (m *Mempool) Accept(tx *Tx, utxo UTXOReader, height int64, params Params) error {
 	id := tx.ID()
 
 	m.mu.Lock()
@@ -97,7 +101,7 @@ func (m *Mempool) Accept(tx *Tx, utxo *UTXOSet, height int64, params Params) err
 	return err
 }
 
-func (m *Mempool) acceptLocked(tx *Tx, id Hash, utxo *UTXOSet, height int64, params Params) error {
+func (m *Mempool) acceptLocked(tx *Tx, id Hash, utxo UTXOReader, height int64, params Params) error {
 	if tx.IsCoinbase() {
 		return ErrBadCoinbase
 	}
@@ -110,8 +114,10 @@ func (m *Mempool) acceptLocked(tx *Tx, id Hash, utxo *UTXOSet, height int64, par
 		}
 	}
 	// Extend the confirmed view with pooled transactions, in arrival
-	// order, so chained unconfirmed spends validate.
-	view := utxo.Clone()
+	// order, so chained unconfirmed spends validate. The overlay costs
+	// O(pooled txs), not O(UTXO set) — the old Clone here dominated
+	// admission latency on large sets.
+	view := NewUTXOView(utxo)
 	for _, poolID := range m.order {
 		if pooled, ok := m.txs[poolID]; ok {
 			// Pooled txs were validated on entry; application can

@@ -17,13 +17,16 @@ import (
 
 // chainMetrics is the per-Chain metric set.
 type chainMetrics struct {
-	connectSeconds  *telemetry.Histogram
-	blocksConnected *telemetry.Counter
-	txsVerified     *telemetry.Counter
-	scriptsVerified *telemetry.Counter
-	reorgs          *telemetry.Counter
-	reorgDepth      *telemetry.Gauge
-	utxoSize        *telemetry.Gauge
+	connectSeconds     *telemetry.Histogram
+	blocksConnected    *telemetry.Counter
+	blocksDisconnected *telemetry.Counter
+	txsVerified        *telemetry.Counter
+	scriptsVerified    *telemetry.Counter
+	reorgs             *telemetry.Counter
+	reorgDepth         *telemetry.Gauge
+	utxoSize           *telemetry.Gauge
+	txIndexSize        *telemetry.Gauge
+	spenderIndexSize   *telemetry.Gauge
 }
 
 func newChainMetrics(reg *telemetry.Registry) *chainMetrics {
@@ -36,6 +39,8 @@ func newChainMetrics(reg *telemetry.Registry) *chainMetrics {
 			"Latency of accepting one block into the chain (validation incl. script verification).", nil),
 		blocksConnected: ns.Counter("blocks_connected_total",
 			"Blocks connected to the block tree."),
+		blocksDisconnected: ns.Counter("blocks_disconnected_total",
+			"Best-branch blocks disconnected through their undo journals during reorganizations."),
 		txsVerified: ns.Counter("txs_verified_total",
 			"Non-coinbase transactions validated at block connect."),
 		scriptsVerified: ns.Counter("scripts_verified_total",
@@ -46,6 +51,10 @@ func newChainMetrics(reg *telemetry.Registry) *chainMetrics {
 			"Depth of the most recent reorganization (blocks disconnected)."),
 		utxoSize: ns.Gauge("utxo_size",
 			"Unspent outputs in the best-branch UTXO set."),
+		txIndexSize: ns.Gauge("txindex_size",
+			"Transactions in the best-branch txid index (O(1) FindTx)."),
+		spenderIndexSize: ns.Gauge("spender_index_size",
+			"Spent outpoints in the best-branch spender index (O(1) FindSpender)."),
 	}
 }
 
@@ -60,6 +69,8 @@ func (c *Chain) Instrument(reg *telemetry.Registry) {
 	defer c.mu.Unlock()
 	c.metrics = newChainMetrics(reg)
 	c.metrics.utxoSize.Set(int64(c.utxo.Len()))
+	c.metrics.txIndexSize.Set(int64(len(c.txIndex)))
+	c.metrics.spenderIndexSize.Set(int64(len(c.spenders)))
 	ns := reg.Namespace("chain")
 	c.verifier.Cache().SetMetrics(
 		ns.Counter("sigcache_hits_total", "Signature-cache lookups that skipped re-verification."),

@@ -45,28 +45,36 @@ func (m *Miner) BuildBlock(now time.Time) (*Block, error) {
 		start = time.Now()
 	}
 	params := m.chain.Params()
-	tip := m.chain.Tip()
-	height := tip.Header.Height + 1
-
+	verifier := m.chain.Verifier()
 	candidates := m.mempool.Select(params.MaxBlockTxs - 1)
 
 	// Re-validate candidates against the current view, dropping any that
 	// became unspendable (e.g. conflicting block arrived since Accept).
-	utxo := m.chain.UTXO()
+	// A copy-on-write overlay held under the chain's read lock replaces
+	// the old full-set clone, so template assembly costs O(template txs)
+	// regardless of UTXO size.
+	var tip *Block
+	var height int64
 	var fees uint64
-	txs := make([]*Tx, 0, len(candidates)+1)
-	txs = append(txs, nil) // coinbase placeholder
-	for _, tx := range candidates {
-		fee, err := ConnectTxVerified(utxo, tx, height, params.CoinbaseMaturity, params.VerifyScripts, m.chain.Verifier())
-		if err != nil {
-			continue
+	var txs []*Tx
+	m.chain.ReadState(func(t *Block, utxo UTXOReader) {
+		tip = t
+		height = t.Header.Height + 1
+		view := NewUTXOView(utxo)
+		txs = make([]*Tx, 0, len(candidates)+1)
+		txs = append(txs, nil) // coinbase placeholder
+		for _, tx := range candidates {
+			fee, err := ConnectTxVerified(view, tx, height, params.CoinbaseMaturity, params.VerifyScripts, verifier)
+			if err != nil {
+				continue
+			}
+			if err := view.ApplyTx(tx, height); err != nil {
+				continue
+			}
+			fees += fee
+			txs = append(txs, tx)
 		}
-		if err := utxo.ApplyTx(tx, height); err != nil {
-			continue
-		}
-		fees += fee
-		txs = append(txs, tx)
-	}
+	})
 
 	hash := m.key.PubKeyHash()
 	coinbase := &Tx{

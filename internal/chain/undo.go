@@ -1,0 +1,130 @@
+package chain
+
+import (
+	"bytes"
+	"fmt"
+
+	"bcwan/internal/script"
+)
+
+// Undo journals make chain state incremental: when a block connects,
+// every UTXO mutation it performs is recorded so a reorganization can
+// disconnect the losing branch in O(reorg depth) instead of replaying
+// the winning branch from genesis. The journal is the exact inverse of
+// ApplyTx — spent entries are restored with their original metadata,
+// created outpoints are deleted — so disconnect(connect(S)) == S
+// byte-for-byte, an invariant the property tests replay-check.
+
+// SpentOutput is one input's consumed entry, with the metadata needed to
+// restore it on disconnect.
+type SpentOutput struct {
+	Prev  OutPoint
+	Entry UTXOEntry
+}
+
+// TxUndo records the UTXO mutations of one applied transaction: the
+// entries its inputs consumed (empty for coinbases) and the outpoints
+// its outputs created (OP_RETURN outputs never enter the set, so they
+// never appear here).
+type TxUndo struct {
+	Spent   []SpentOutput
+	Created []OutPoint
+}
+
+// BlockUndo is the per-block journal, one TxUndo per transaction in
+// block order.
+type BlockUndo struct {
+	Txs []*TxUndo
+}
+
+// ApplyTxUndo is ApplyTx with journaling: it spends the transaction's
+// inputs and creates its outputs, returning the undo record that
+// UndoTx needs to reverse the mutation exactly. On error the set is
+// left untouched.
+func (u *UTXOSet) ApplyTxUndo(tx *Tx, height int64) (*TxUndo, error) {
+	undo := &TxUndo{}
+	if !tx.IsCoinbase() {
+		undo.Spent = make([]SpentOutput, 0, len(tx.Inputs))
+		for _, in := range tx.Inputs {
+			e, ok := u.entries[in.Prev]
+			if !ok {
+				// Roll back the inputs already consumed so a failed
+				// apply leaves no partial mutation.
+				for _, s := range undo.Spent {
+					u.entries[s.Prev] = s.Entry
+				}
+				return nil, fmt.Errorf("%w: %s", ErrMissingUTXO, in.Prev)
+			}
+			undo.Spent = append(undo.Spent, SpentOutput{Prev: in.Prev, Entry: e})
+			delete(u.entries, in.Prev)
+		}
+	}
+	id := tx.ID()
+	for i, out := range tx.Outputs {
+		if script.Classify(out.Lock) == script.ClassOpReturn {
+			continue
+		}
+		op := OutPoint{TxID: id, Index: uint32(i)}
+		if _, ok := u.entries[op]; ok {
+			for _, c := range undo.Created {
+				delete(u.entries, c)
+			}
+			for _, s := range undo.Spent {
+				u.entries[s.Prev] = s.Entry
+			}
+			return nil, fmt.Errorf("%w: %s", ErrDuplicateUTXO, op)
+		}
+		u.entries[op] = UTXOEntry{Out: out, Height: height, Coinbase: tx.IsCoinbase()}
+		undo.Created = append(undo.Created, op)
+	}
+	return undo, nil
+}
+
+// UndoTx reverses ApplyTxUndo: created outpoints are removed, spent
+// entries restored. It fails (without partial mutation beyond the
+// detected inconsistency) if the set does not reflect the apply being
+// undone — which can only mean journal corruption.
+func (u *UTXOSet) UndoTx(undo *TxUndo) error {
+	for _, op := range undo.Created {
+		if _, ok := u.entries[op]; !ok {
+			return fmt.Errorf("chain: undo: created outpoint %s missing", op)
+		}
+		delete(u.entries, op)
+	}
+	for i := len(undo.Spent) - 1; i >= 0; i-- {
+		s := undo.Spent[i]
+		if _, ok := u.entries[s.Prev]; ok {
+			return fmt.Errorf("chain: undo: spent outpoint %s already present", s.Prev)
+		}
+		u.entries[s.Prev] = s.Entry
+	}
+	return nil
+}
+
+// UndoBlock reverses every transaction of a connected block, in reverse
+// block order (a transaction's outputs may have been spent by a later
+// transaction in the same block).
+func (u *UTXOSet) UndoBlock(undo *BlockUndo) error {
+	for i := len(undo.Txs) - 1; i >= 0; i-- {
+		if err := u.UndoTx(undo.Txs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two sets hold byte-identical entries — the
+// acceptance predicate of the undo-vs-replay cross-check.
+func (u *UTXOSet) Equal(other *UTXOSet) bool {
+	if len(u.entries) != len(other.entries) {
+		return false
+	}
+	for op, e := range u.entries {
+		oe, ok := other.entries[op]
+		if !ok || e.Height != oe.Height || e.Coinbase != oe.Coinbase ||
+			e.Out.Value != oe.Out.Value || !bytes.Equal(e.Out.Lock, oe.Out.Lock) {
+			return false
+		}
+	}
+	return true
+}

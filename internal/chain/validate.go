@@ -67,7 +67,7 @@ func CheckTxSanity(tx *Tx) error {
 // appended to jobs, tagged with txIdx, for a later — possibly parallel —
 // script pass. Callers that want the seed's fused behavior run the
 // returned jobs immediately.
-func connectTxUTXO(utxo *UTXOSet, tx *Tx, txIdx int, height, maturity int64, jobs []verifyJob) (fee uint64, outJobs []verifyJob, err error) {
+func connectTxUTXO(utxo UTXOReader, tx *Tx, txIdx int, height, maturity int64, jobs []verifyJob) (fee uint64, outJobs []verifyJob, err error) {
 	if err := CheckTxSanity(tx); err != nil {
 		return 0, jobs, err
 	}
@@ -105,7 +105,7 @@ func connectTxUTXO(utxo *UTXOSet, tx *Tx, txIdx int, height, maturity int64, job
 //
 // Scripts are verified sequentially and uncached; consumers on the hot
 // path use ConnectTxVerified with a shared Verifier instead.
-func ConnectTx(utxo *UTXOSet, tx *Tx, height int64, maturity int64, verifyScripts bool) (fee uint64, err error) {
+func ConnectTx(utxo UTXOReader, tx *Tx, height int64, maturity int64, verifyScripts bool) (fee uint64, err error) {
 	return ConnectTxVerified(utxo, tx, height, maturity, verifyScripts, nil)
 }
 
@@ -113,7 +113,7 @@ func ConnectTx(utxo *UTXOSet, tx *Tx, height int64, maturity int64, verifyScript
 // accounting pass runs sequentially, then the script pass runs through v
 // (worker pool + signature cache). A nil verifier means sequential and
 // uncached.
-func ConnectTxVerified(utxo *UTXOSet, tx *Tx, height, maturity int64, verifyScripts bool, v *Verifier) (fee uint64, err error) {
+func ConnectTxVerified(utxo UTXOReader, tx *Tx, height, maturity int64, verifyScripts bool, v *Verifier) (fee uint64, err error) {
 	fee, jobs, err := connectTxUTXO(utxo, tx, 0, height, maturity, nil)
 	if err != nil {
 		return 0, err
@@ -191,4 +191,107 @@ func connectBlock(utxo *UTXOSet, b *Block, params Params, v *Verifier) error {
 		}
 	}
 	return nil
+}
+
+// checkBlockStateless runs every block rule that needs no UTXO view:
+// shape, coinbase placement, transaction limit, merkle root. These run
+// for every arriving block, including side-branch blocks whose full
+// validation is deferred until their branch takes the lead.
+func checkBlockStateless(b *Block, params Params) error {
+	if len(b.Txs) == 0 {
+		return ErrNoTxs
+	}
+	if len(b.Txs) > params.MaxBlockTxs {
+		return ErrTooManyBlockTxs
+	}
+	if !b.Txs[0].IsCoinbase() {
+		return ErrBadCoinbase
+	}
+	for i, tx := range b.Txs[1:] {
+		if tx.IsCoinbase() {
+			return ErrBadCoinbase
+		}
+		if err := CheckTxSanity(tx); err != nil {
+			return fmt.Errorf("tx %d (%s): %w", i+1, tx.ID(), err)
+		}
+	}
+	if MerkleRoot(b.Txs) != b.Header.MerkleRoot {
+		return ErrBadMerkleRoot
+	}
+	return nil
+}
+
+// connectBlockUndo is the incremental counterpart of connectBlock: it
+// validates the block against — and applies it directly to — the live
+// UTXO set, journaling every mutation. On any failure (UTXO accounting
+// or script verification) the partial mutations are unwound through the
+// journal before returning, so the set is exactly as it was. On success
+// the returned journal lets a reorganization disconnect the block in
+// O(block txs).
+func connectBlockUndo(utxo *UTXOSet, b *Block, params Params, v *Verifier) (*BlockUndo, error) {
+	if err := checkBlockStateless(b, params); err != nil {
+		return nil, err
+	}
+	undo := &BlockUndo{Txs: make([]*TxUndo, 0, len(b.Txs))}
+	rollback := func() {
+		for i := len(undo.Txs) - 1; i >= 0; i-- {
+			// Undoing a journal we just recorded cannot fail unless the
+			// set was corrupted concurrently; the chain lock excludes
+			// that.
+			if err := utxo.UndoTx(undo.Txs[i]); err != nil {
+				panic(fmt.Sprintf("chain: rollback failed: %v", err))
+			}
+		}
+	}
+	var fees uint64
+	var jobs []verifyJob
+	for i, tx := range b.Txs {
+		var fee uint64
+		var err error
+		fee, jobs, err = connectTxUTXO(utxo, tx, i, b.Header.Height, params.CoinbaseMaturity, jobs)
+		if err != nil {
+			rollback()
+			return nil, fmt.Errorf("tx %d (%s): %w", i, tx.ID(), err)
+		}
+		fees += fee
+		// ApplyTxUndo re-checks input existence, which also catches
+		// in-block double spends: the first spend removed the entry.
+		txUndo, err := utxo.ApplyTxUndo(tx, b.Header.Height)
+		if err != nil {
+			rollback()
+			return nil, fmt.Errorf("tx %d (%s): %w", i, tx.ID(), err)
+		}
+		undo.Txs = append(undo.Txs, txUndo)
+	}
+	var coinbaseOut uint64
+	for _, out := range b.Txs[0].Outputs {
+		coinbaseOut += out.Value
+	}
+	if coinbaseOut > params.CoinbaseReward+fees {
+		rollback()
+		return nil, fmt.Errorf("%w: pays %d, allowed %d", ErrExcessSubsidy, coinbaseOut, params.CoinbaseReward+fees)
+	}
+	if params.VerifyScripts {
+		if err := v.verifyJobs(jobs); err != nil {
+			rollback()
+			return nil, err
+		}
+	}
+	return undo, nil
+}
+
+// applyBlockTrusted connects a block that was fully validated when it
+// was first on the best branch, re-capturing its undo journal without
+// re-running validation. Used only to restore the original branch after
+// a failed reorganization attempt.
+func applyBlockTrusted(utxo *UTXOSet, b *Block) (*BlockUndo, error) {
+	undo := &BlockUndo{Txs: make([]*TxUndo, 0, len(b.Txs))}
+	for _, tx := range b.Txs {
+		txUndo, err := utxo.ApplyTxUndo(tx, b.Header.Height)
+		if err != nil {
+			return nil, err
+		}
+		undo.Txs = append(undo.Txs, txUndo)
+	}
+	return undo, nil
 }

@@ -1,0 +1,83 @@
+package chain
+
+import (
+	"fmt"
+
+	"bcwan/internal/script"
+)
+
+// UTXOReader is the read side of a UTXO state: the full set and the
+// copy-on-write overlay both implement it, and validation
+// (ConnectTxVerified and friends) only ever needs this much.
+type UTXOReader interface {
+	Get(op OutPoint) (UTXOEntry, bool)
+}
+
+var (
+	_ UTXOReader = (*UTXOSet)(nil)
+	_ UTXOReader = (*UTXOView)(nil)
+)
+
+// UTXOView is a lightweight copy-on-write overlay on a base UTXO state:
+// spends and creations land in two small maps sized by the overlaid
+// transactions, never by the base set. The mempool uses it to validate
+// chained unconfirmed spends and the miner to assemble block templates
+// — both previously deep-cloned the full set per call.
+//
+// The base must not be mutated for the lifetime of the view (hold it
+// inside Chain.ReadState, or use a snapshot).
+type UTXOView struct {
+	base    UTXOReader
+	spent   map[OutPoint]bool
+	created map[OutPoint]UTXOEntry
+}
+
+// NewUTXOView returns an empty overlay over base.
+func NewUTXOView(base UTXOReader) *UTXOView {
+	return &UTXOView{
+		base:    base,
+		spent:   make(map[OutPoint]bool),
+		created: make(map[OutPoint]UTXOEntry),
+	}
+}
+
+// Get implements UTXOReader: overlay creations win, overlay spends
+// shadow the base, anything else falls through.
+func (v *UTXOView) Get(op OutPoint) (UTXOEntry, bool) {
+	if e, ok := v.created[op]; ok {
+		return e, true
+	}
+	if v.spent[op] {
+		return UTXOEntry{}, false
+	}
+	return v.base.Get(op)
+}
+
+// ApplyTx spends the transaction's inputs and creates its outputs in
+// the overlay, mirroring UTXOSet.ApplyTx exactly (OP_RETURN outputs are
+// skipped, duplicate outpoints rejected). The base is never touched.
+func (v *UTXOView) ApplyTx(tx *Tx, height int64) error {
+	if !tx.IsCoinbase() {
+		for _, in := range tx.Inputs {
+			if _, ok := v.Get(in.Prev); !ok {
+				return fmt.Errorf("%w: %s", ErrMissingUTXO, in.Prev)
+			}
+		}
+		for _, in := range tx.Inputs {
+			delete(v.created, in.Prev)
+			v.spent[in.Prev] = true
+		}
+	}
+	id := tx.ID()
+	for i, out := range tx.Outputs {
+		if script.Classify(out.Lock) == script.ClassOpReturn {
+			continue
+		}
+		op := OutPoint{TxID: id, Index: uint32(i)}
+		if _, ok := v.Get(op); ok {
+			return fmt.Errorf("%w: %s", ErrDuplicateUTXO, op)
+		}
+		v.created[op] = UTXOEntry{Out: out, Height: height, Coinbase: tx.IsCoinbase()}
+	}
+	return nil
+}

@@ -5,7 +5,6 @@ import (
 	"io"
 	"log"
 	mrand "math/rand"
-	"os"
 	"path/filepath"
 	"time"
 
@@ -45,11 +44,13 @@ type Options struct {
 
 // Peer is one cluster member.
 type Peer struct {
-	Index     int
-	Name      string
-	StorePath string
-	Node      *daemon.Node
-	Alive     bool
+	Index int
+	Name  string
+	// StoreDir is the node's incremental chain store directory
+	// (append-only block log + periodic snapshot).
+	StoreDir string
+	Node     *daemon.Node
+	Alive    bool
 	// generation distinguishes restarts so a reborn node does not
 	// replay the identical random stream (its sync nonces would be
 	// suppressed by gossip dedup as already-seen).
@@ -130,9 +131,9 @@ func NewCluster(opts Options) (*Cluster, error) {
 
 	for i := 0; i < opts.Nodes; i++ {
 		c.peers = append(c.peers, &Peer{
-			Index:     i,
-			Name:      nodeName(i),
-			StorePath: filepath.Join(opts.Dir, nodeName(i), "chain.dat"),
+			Index:    i,
+			Name:     nodeName(i),
+			StoreDir: filepath.Join(opts.Dir, nodeName(i), "chainstore"),
 		})
 	}
 	for i := range c.peers {
@@ -157,9 +158,6 @@ func (c *Cluster) nodeRandom(i, generation int) io.Reader {
 // disk.
 func (c *Cluster) startNode(i int) (int, error) {
 	p := c.peers[i]
-	if err := os.MkdirAll(filepath.Dir(p.StorePath), 0o755); err != nil {
-		return 0, fmt.Errorf("chaos: store dir: %w", err)
-	}
 	node, err := daemon.NewNode(daemon.NodeConfig{
 		Genesis:      c.Genesis,
 		Params:       c.Params,
@@ -170,19 +168,20 @@ func (c *Cluster) startNode(i int) (int, error) {
 		Transport:    c.Net.TransportFor(p.Name),
 		Random:       c.nodeRandom(i, p.generation),
 		Logger:       c.Opts.Logger,
+		// Compact aggressively so restart scenarios exercise the
+		// snapshot + log-tail recovery path, not just the log.
+		StoreCompactEvery: 4,
 	})
 	if err != nil {
 		return 0, fmt.Errorf("chaos: start %s: %w", p.Name, err)
 	}
-	loaded, err := node.LoadChain(p.StorePath)
+	// The store appends every best-branch connect durably, so a crash at
+	// any point restarts from the last fsync'd block.
+	loaded, err := node.OpenStore(p.StoreDir)
 	if err != nil {
 		node.Close()
 		return 0, fmt.Errorf("chaos: reload %s: %w", p.Name, err)
 	}
-	// Persist every block that joins the best branch, so a crash at any
-	// point restarts from the last connected block.
-	store := p.StorePath
-	node.Chain().Subscribe(func(*chain.Block) { _ = node.SaveChain(store) })
 	for _, other := range c.peers {
 		if other != p && other.Alive {
 			if err := node.Connect(other.Name); err != nil && c.Opts.Logger != nil {

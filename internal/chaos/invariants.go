@@ -56,6 +56,12 @@ func CheckInvariants(c *Cluster, exchanges []*Exchange) error {
 		if err := CheckNoDoubleSpend(ch); err != nil {
 			errs = append(errs, fmt.Errorf("%s: %w", p.Name, err))
 		}
+		// The incremental state (undo-journal UTXO set, tx/spender
+		// indexes) must match a from-genesis replay exactly — the chain's
+		// own O(n) cross-check of its O(depth) bookkeeping.
+		if err := ch.CheckConsistency(); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", p.Name, err))
+		}
 	}
 	if ref != nil {
 		for i, ex := range exchanges {

@@ -10,6 +10,8 @@ type daemonMetrics struct {
 	orphanTxsParked    *telemetry.Counter
 	storeSaveSeconds   *telemetry.Histogram
 	storeLoadSeconds   *telemetry.Histogram
+	storeAppendSeconds *telemetry.Histogram
+	storeCompactions   *telemetry.Counter
 }
 
 func newDaemonMetrics(reg *telemetry.Registry) *daemonMetrics {
@@ -20,5 +22,7 @@ func newDaemonMetrics(reg *telemetry.Registry) *daemonMetrics {
 		orphanTxsParked:    ns.Counter("orphan_txs_parked_total", "Gossiped transactions parked until their inputs become visible."),
 		storeSaveSeconds:   ns.Histogram("store_save_seconds", "Chain store save latency in seconds.", nil),
 		storeLoadSeconds:   ns.Histogram("store_load_seconds", "Chain store load latency in seconds.", nil),
+		storeAppendSeconds: ns.Histogram("store_append_seconds", "Block-log append+fsync latency in seconds.", nil),
+		storeCompactions:   ns.Counter("store_compactions_total", "Snapshot + log-compaction cycles of the incremental store."),
 	}
 }

@@ -49,6 +49,10 @@ type NodeConfig struct {
 	// Telemetry collects node-wide metrics; nil gets a fresh registry so
 	// every node serves GET /metrics and getmetrics out of the box.
 	Telemetry *telemetry.Registry
+	// StoreCompactEvery is how many appended log records trigger a
+	// snapshot + log compaction in a store opened via OpenStore
+	// (0 = default of 64).
+	StoreCompactEvery int
 }
 
 // Node is one running blockchain daemon.
@@ -61,6 +65,7 @@ type Node struct {
 	gossip *p2p.Node
 	rpcSrv *rpc.Server
 	miner  *chain.Miner
+	store  *Store // nil until OpenStore; set before the append subscription
 	reg    *telemetry.Registry
 	// metrics is set once in NewNode, before any goroutine starts.
 	metrics *daemonMetrics
@@ -182,6 +187,50 @@ func (n *Node) LoadChain(path string) (int, error) {
 	return loaded, err
 }
 
+// OpenStore attaches the incremental chain store in dir: the snapshot
+// and log tail are loaded into the chain, then every future best-branch
+// connect is appended (fsync'd) to the log, with a snapshot + log
+// compaction every cfg.StoreCompactEvery appends. Call once, after
+// NewNode and before the node sees traffic. Returns the number of
+// blocks restored from disk.
+func (n *Node) OpenStore(dir string) (int, error) {
+	st, err := OpenStore(dir)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	loaded, err := st.Load(n.chain)
+	if err != nil {
+		st.Close()
+		return loaded, err
+	}
+	n.metrics.storeLoadSeconds.ObserveSince(start)
+	n.store = st
+	every := n.cfg.StoreCompactEvery
+	if every <= 0 {
+		every = 64
+	}
+	n.chain.Subscribe(func(b *chain.Block) {
+		appendStart := time.Now()
+		if err := st.AppendBlock(b); err != nil {
+			n.logf("store append %s: %v", b.ID(), err)
+			return
+		}
+		n.metrics.storeAppendSeconds.ObserveSince(appendStart)
+		if st.LogRecords() >= every {
+			if err := st.Compact(n.chain); err != nil {
+				n.logf("store compact: %v", err)
+				return
+			}
+			n.metrics.storeCompactions.Inc()
+		}
+	})
+	return loaded, nil
+}
+
+// Store returns the attached incremental store (nil before OpenStore).
+func (n *Node) Store() *Store { return n.store }
+
 // Ledger exposes the node's chain+mempool view.
 func (n *Node) Ledger() *fairex.Node { return n.ledger }
 
@@ -269,7 +318,13 @@ func (n *Node) Close() error {
 		<-n.mineDone
 	}
 	n.rpcSrv.Close()
-	return n.gossip.Close()
+	err := n.gossip.Close()
+	if n.store != nil {
+		if serr := n.store.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
 }
 
 func (n *Node) mineLoop() {
@@ -306,7 +361,7 @@ func (n *Node) onTx(_ string, msg p2p.Message) {
 // re-delivered — so transactions with missing inputs are parked and
 // retried as the view grows instead of being dropped.
 func (n *Node) admitTx(tx *chain.Tx) {
-	err := n.pool.Accept(tx, n.ledger.UTXO(), n.chain.Height(), n.chain.Params())
+	err := n.acceptPooled(tx)
 	switch {
 	case err == nil:
 		n.retryOrphanTxs()
@@ -323,6 +378,18 @@ func (n *Node) admitTx(tx *chain.Tx) {
 	}
 }
 
+// acceptPooled validates tx against the chain's live UTXO set under its
+// read lock. The old path cloned the full set (and pre-extended it with
+// pooled transactions Accept layers on anyway); the overlay admission
+// makes both redundant.
+func (n *Node) acceptPooled(tx *chain.Tx) error {
+	var err error
+	n.chain.ReadState(func(tip *chain.Block, utxo chain.UTXOReader) {
+		err = n.pool.Accept(tx, utxo, tip.Header.Height, n.chain.Params())
+	})
+	return err
+}
+
 // retryOrphanTxs re-attempts parked transactions until a full pass
 // admits nothing new (an admitted tx can unblock another).
 func (n *Node) retryOrphanTxs() {
@@ -335,7 +402,7 @@ func (n *Node) retryOrphanTxs() {
 		n.mu.Unlock()
 		progressed := false
 		for _, tx := range pending {
-			err := n.pool.Accept(tx, n.ledger.UTXO(), n.chain.Height(), n.chain.Params())
+			err := n.acceptPooled(tx)
 			if err == nil {
 				progressed = true
 			}

@@ -22,12 +22,16 @@ type BlockConnectConfig struct {
 	Blocks      int   // blocks in the replayed sequence
 	TxsPerBlock int   // payment transactions per block (plus a coinbase)
 	Workers     []int // VerifyWorkers values to sweep; 0 = seed's sequential path
+	// Repeats replays each configuration this many times and reports
+	// the fastest run, suppressing scheduler noise so the CI regression
+	// gate's 25% threshold measures the code, not the runner.
+	Repeats int
 }
 
 // DefaultBlockConnectConfig is the paper-scale sweep: the worker widths
 // of the Fig. 5/6 ablation discussion.
 func DefaultBlockConnectConfig() BlockConnectConfig {
-	return BlockConnectConfig{Blocks: 12, TxsPerBlock: 24, Workers: []int{0, 1, 2, 4, 8}}
+	return BlockConnectConfig{Blocks: 12, TxsPerBlock: 24, Workers: []int{0, 1, 2, 4, 8}, Repeats: 5}
 }
 
 // BlockConnectResult is one replay measurement. The signature-cache
@@ -193,6 +197,9 @@ func RunBlockConnect(cfg BlockConnectConfig) ([]*BlockConnectResult, error) {
 	if len(cfg.Workers) == 0 {
 		cfg.Workers = DefaultBlockConnectConfig().Workers
 	}
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 1
+	}
 	fix, err := buildBlockConnectFixture(cfg)
 	if err != nil {
 		return nil, err
@@ -200,11 +207,20 @@ func RunBlockConnect(cfg BlockConnectConfig) ([]*BlockConnectResult, error) {
 	var results []*BlockConnectResult
 	for _, warm := range []bool{false, true} {
 		for _, w := range cfg.Workers {
-			res, err := fix.replay(w, warm)
-			if err != nil {
-				return nil, err
+			// Best of cfg.Repeats: the minimum elapsed time is the run
+			// least disturbed by the scheduler. Cache stats are identical
+			// across repeats (each replay starts from a fresh chain).
+			var best *BlockConnectResult
+			for r := 0; r < cfg.Repeats; r++ {
+				res, err := fix.replay(w, warm)
+				if err != nil {
+					return nil, err
+				}
+				if best == nil || res.Elapsed < best.Elapsed {
+					best = res
+				}
 			}
-			results = append(results, res)
+			results = append(results, best)
 		}
 	}
 	return results, nil
@@ -251,13 +267,14 @@ type blockConnectJSONRow struct {
 type blockConnectJSON struct {
 	Blocks      int                   `json:"blocks"`
 	TxsPerBlock int                   `json:"txs_per_block"`
+	Repeats     int                   `json:"repeats"`
 	Results     []blockConnectJSONRow `json:"results"`
 }
 
 // WriteBlockConnectJSON writes the sweep as machine-readable JSON to
 // path, creating parent directories as needed.
 func WriteBlockConnectJSON(path string, cfg BlockConnectConfig, results []*BlockConnectResult) error {
-	doc := blockConnectJSON{Blocks: cfg.Blocks, TxsPerBlock: cfg.TxsPerBlock}
+	doc := blockConnectJSON{Blocks: cfg.Blocks, TxsPerBlock: cfg.TxsPerBlock, Repeats: cfg.Repeats}
 	for _, r := range results {
 		row := blockConnectJSONRow{
 			Workers:         r.Workers,

@@ -129,9 +129,15 @@ func (n *Node) UTXO() *chain.UTXOSet {
 	return view
 }
 
-// Submit implements Ledger.
+// Submit implements Ledger. Admission validates against the chain's
+// live UTXO set under its read lock — no clone — with pooled ancestors
+// layered on inside Accept's copy-on-write overlay.
 func (n *Node) Submit(tx *chain.Tx) error {
-	if err := n.Pool.Accept(tx, n.Chain.UTXO(), n.Chain.Height(), n.Chain.Params()); err != nil {
+	var err error
+	n.Chain.ReadState(func(tip *chain.Block, utxo chain.UTXOReader) {
+		err = n.Pool.Accept(tx, utxo, tip.Header.Height, n.Chain.Params())
+	})
+	if err != nil {
 		return err
 	}
 	if n.OnSubmit != nil {

@@ -397,8 +397,12 @@ func handleSendRawTransaction(s *Server, params []json.RawMessage) (any, error) 
 		return nil, &Error{Code: CodeInvalidParams, Message: err.Error()}
 	}
 	c := s.backend.Chain
-	if err := s.backend.Mempool.Accept(tx, c.UTXO(), c.Height(), c.Params()); err != nil {
-		return nil, &Error{Code: CodeServerError, Message: err.Error()}
+	var acceptErr error
+	c.ReadState(func(tip *chain.Block, utxo chain.UTXOReader) {
+		acceptErr = s.backend.Mempool.Accept(tx, utxo, tip.Header.Height, c.Params())
+	})
+	if acceptErr != nil {
+		return nil, &Error{Code: CodeServerError, Message: acceptErr.Error()}
 	}
 	if s.backend.OnTxAccepted != nil {
 		s.backend.OnTxAccepted(tx)
