@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench blockconnect reorg bench-gate lint fuzz chaos ci
+.PHONY: build test vet race bench blockconnect reorg relay-bench bench-gate lint fuzz chaos ci
 
 build:
 	$(GO) build ./...
@@ -30,17 +30,26 @@ blockconnect:
 reorg:
 	$(GO) run ./cmd/bcwan-bench -only reorg
 
+# Regenerate results/BENCH_relay.json (16-node mesh wire bytes and
+# propagation time: flood vs inventory/compact relay).
+relay-bench:
+	$(GO) run ./cmd/bcwan-bench -only relay
+
 # What the CI bench-regression job runs: re-measure into a scratch
 # directory and gate against the committed baselines.
 bench-gate:
 	$(GO) run ./cmd/bcwan-bench -only blockconnect -results /tmp/bcwan-bench-candidate
 	$(GO) run ./cmd/bcwan-bench -only reorg -results /tmp/bcwan-bench-candidate
+	$(GO) run ./cmd/bcwan-bench -only relay -results /tmp/bcwan-bench-candidate
 	$(GO) run ./cmd/bcwan-benchgate -kind blockconnect \
 		-baseline results/BENCH_blockconnect.json \
 		-candidate /tmp/bcwan-bench-candidate/BENCH_blockconnect.json
 	$(GO) run ./cmd/bcwan-benchgate -kind reorg \
 		-baseline results/BENCH_reorg.json \
 		-candidate /tmp/bcwan-bench-candidate/BENCH_reorg.json
+	$(GO) run ./cmd/bcwan-benchgate -kind relay \
+		-baseline results/BENCH_relay.json \
+		-candidate /tmp/bcwan-bench-candidate/BENCH_relay.json
 
 # Static analysis. CI installs the tools; locally:
 #   go install honnef.co/go/tools/cmd/staticcheck@latest

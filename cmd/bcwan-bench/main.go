@@ -9,7 +9,8 @@
 //	§4.4    reputation baseline vs script fair exchange
 //	extras  block-interval / gateway-count / SF sweeps, legacy baseline,
 //	        block-connect throughput vs VerifyWorkers and sig-cache state,
-//	        depth-2 reorg cost vs chain length (undo-journal ablation)
+//	        depth-2 reorg cost vs chain length (undo-journal ablation),
+//	        wire bytes and propagation time: flood vs inv/compact relay
 //
 // Run everything at paper scale (minutes):
 //
@@ -42,7 +43,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bcwan-bench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "scaled-down run (seconds instead of minutes)")
-	only := fs.String("only", "", "run a single experiment: fig4|fig5|fig6|budget|doublespend|reputation|sweeps|legacy|blockconnect|reorg")
+	only := fs.String("only", "", "run a single experiment: fig4|fig5|fig6|budget|doublespend|reputation|sweeps|legacy|blockconnect|reorg|relay")
 	csvDir := fs.String("csv", "", "also write per-exchange latency series (the raw figure data) as CSV files into this directory")
 	resultsDir := fs.String("results", "results", "directory for machine-readable benchmark JSON (empty disables)")
 	if err := fs.Parse(args); err != nil {
@@ -197,6 +198,25 @@ func run(args []string) error {
 		if *resultsDir != "" {
 			path := filepath.Join(*resultsDir, "BENCH_reorg.json")
 			if err := experiments.WriteReorgJSON(path, cfg, results); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n\n", path)
+		}
+	}
+
+	if want("relay") {
+		cfg := experiments.DefaultRelayBenchConfig()
+		if *quick {
+			cfg = experiments.RelayBenchConfig{Nodes: 6, Degree: 2, TxsPerBlock: 6, Blocks: 2}
+		}
+		results, err := experiments.RunRelayBench(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.WriteRelayBench(out, cfg, results)
+		if *resultsDir != "" {
+			path := filepath.Join(*resultsDir, "BENCH_relay.json")
+			if err := experiments.WriteRelayBenchJSON(path, cfg, results); err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s\n\n", path)

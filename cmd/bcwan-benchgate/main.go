@@ -8,12 +8,16 @@
 //	    -baseline results/BENCH_blockconnect.json -candidate /tmp/BENCH_blockconnect.json
 //	bcwan-benchgate -kind reorg \
 //	    -baseline results/BENCH_reorg.json -candidate /tmp/BENCH_reorg.json
+//	bcwan-benchgate -kind relay \
+//	    -baseline results/BENCH_relay.json -candidate /tmp/BENCH_relay.json
 //
 // The thresholds are deliberately loose (25% ns/op slack, hit rate no
-// lower than 75% of baseline, reorg scaling ratio at most 5x) so shared
-// CI runners do not flake; a genuine algorithmic regression — say a
-// reorg going back to replay-from-genesis — overshoots them by orders
-// of magnitude. See README.md for what to do when this gate fails.
+// lower than 75% of baseline, reorg scaling ratio at most 5x, relay
+// bytes-per-block slack 25% with a 0.75 compact hit-rate floor) so
+// shared CI runners do not flake; a genuine algorithmic regression —
+// say a reorg going back to replay-from-genesis, or the inv relay
+// degenerating back to flooding — overshoots them by orders of
+// magnitude. See README.md for what to do when this gate fails.
 package main
 
 import (
@@ -32,11 +36,11 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("bcwan-benchgate", flag.ContinueOnError)
-	kind := fs.String("kind", "", "benchmark document kind: blockconnect|reorg")
+	kind := fs.String("kind", "", "benchmark document kind: blockconnect|reorg|relay")
 	baselinePath := fs.String("baseline", "", "committed baseline JSON (required)")
 	candidatePath := fs.String("candidate", "", "freshly measured JSON (required)")
 	maxRegression := fs.Float64("max-regression", 0.25, "allowed ns/op increase over baseline (fraction)")
-	minHitRateFrac := fs.Float64("min-hitrate-frac", 0.75, "candidate hit rate must be at least this fraction of baseline")
+	minHitRateFrac := fs.Float64("min-hitrate-frac", 0.75, "blockconnect: candidate hit rate as a fraction of baseline; relay: absolute hit-rate floor")
 	maxScaling := fs.Float64("max-scaling", 5, "reorg: max per-reorg cost ratio of longest vs shortest chain")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,8 +56,10 @@ func run(args []string, out *os.File) error {
 		failures, err = gateBlockConnect(*baselinePath, *candidatePath, *maxRegression, *minHitRateFrac)
 	case "reorg":
 		failures, err = gateReorg(*baselinePath, *candidatePath, *maxScaling)
+	case "relay":
+		failures, err = gateRelay(*baselinePath, *candidatePath, *maxRegression, *minHitRateFrac)
 	default:
-		return fmt.Errorf("-kind must be blockconnect or reorg, got %q", *kind)
+		return fmt.Errorf("-kind must be blockconnect, reorg, or relay, got %q", *kind)
 	}
 	if err != nil {
 		return err
@@ -78,6 +84,20 @@ type blockConnectDoc struct {
 		Warm            bool    `json:"warm"`
 		NsPerBlock      int64   `json:"ns_per_block"`
 		SigCacheHitRate float64 `json:"sigcache_hit_rate"`
+	} `json:"results"`
+}
+
+// relayDoc mirrors results/BENCH_relay.json.
+type relayDoc struct {
+	Nodes          int     `json:"nodes"`
+	Degree         int     `json:"degree"`
+	TxsPerBlock    int     `json:"txs_per_block"`
+	Blocks         int     `json:"blocks"`
+	ReductionRatio float64 `json:"reduction_ratio"`
+	Results        []struct {
+		Mode          string  `json:"mode"`
+		BytesPerBlock int64   `json:"bytes_per_block"`
+		HitRate       float64 `json:"hit_rate"`
 	} `json:"results"`
 }
 
@@ -188,4 +208,58 @@ func gateReorg(baselinePath, candidatePath string, maxScaling float64) ([]string
 			cand.Depth, last.NsPerReorg, last.ChainLen, first.NsPerReorg, first.ChainLen, ratio, maxScaling)}, nil
 	}
 	return nil, nil
+}
+
+// gateRelay compares the inv-relay row of the candidate against the
+// baseline: wire bytes per block may grow at most maxRegression over
+// the committed figure, and the compact-block reconstruction hit rate
+// must stay at or above minHitRate (an absolute floor, not a fraction
+// of baseline — reconstruction on a warm mempool is deterministic, so
+// a drop means the short-txid matching broke). Bytes are comparable
+// across machines because the workload — message count and sizes on an
+// in-memory transport — is fixed by the document's node/tx shape.
+func gateRelay(baselinePath, candidatePath string, maxRegression, minHitRate float64) ([]string, error) {
+	var base, cand relayDoc
+	if err := readJSON(baselinePath, &base); err != nil {
+		return nil, err
+	}
+	if err := readJSON(candidatePath, &cand); err != nil {
+		return nil, err
+	}
+	if base.Nodes != cand.Nodes || base.Degree != cand.Degree ||
+		base.TxsPerBlock != cand.TxsPerBlock || base.Blocks != cand.Blocks {
+		return nil, fmt.Errorf("workload mismatch: baseline %d nodes/deg %d/%dx%d vs candidate %d nodes/deg %d/%dx%d — regenerate the baseline",
+			base.Nodes, base.Degree, base.TxsPerBlock, base.Blocks,
+			cand.Nodes, cand.Degree, cand.TxsPerBlock, cand.Blocks)
+	}
+
+	row := func(doc relayDoc, mode string) (int64, float64, bool) {
+		for _, r := range doc.Results {
+			if r.Mode == mode {
+				return r.BytesPerBlock, r.HitRate, true
+			}
+		}
+		return 0, 0, false
+	}
+	baseBytes, _, ok := row(base, "inv")
+	if !ok {
+		return nil, fmt.Errorf("%s: no inv row", baselinePath)
+	}
+	candBytes, candHit, ok := row(cand, "inv")
+	if !ok {
+		return nil, fmt.Errorf("%s: no inv row", candidatePath)
+	}
+
+	var failures []string
+	if baseBytes > 0 && float64(candBytes) > float64(baseBytes)*(1+maxRegression) {
+		failures = append(failures, fmt.Sprintf(
+			"relay bytes per block: %d vs baseline %d (+%.0f%%, allowed +%.0f%%)",
+			candBytes, baseBytes, 100*(float64(candBytes)/float64(baseBytes)-1), 100*maxRegression))
+	}
+	if candHit < minHitRate {
+		failures = append(failures, fmt.Sprintf(
+			"compact reconstruction hit rate %.2f below floor %.2f — short-txid matching or mempool lookup regressed",
+			candHit, minHitRate))
+	}
+	return failures, nil
 }

@@ -116,6 +116,70 @@ func TestGateReorgFlagsLinearScaling(t *testing.T) {
 	}
 }
 
+const baseRelay = `{
+  "nodes": 16, "degree": 3, "txs_per_block": 32, "blocks": 3,
+  "reduction_ratio": 6.0,
+  "results": [
+    {"mode": "flood", "bytes_per_block": 600000, "propagation_ms": 4.0, "hit_rate": 0, "txn_roundtrips": 0, "full_fallbacks": 0},
+    {"mode": "inv",   "bytes_per_block": 100000, "propagation_ms": 5.0, "hit_rate": 0.97, "txn_roundtrips": 1, "full_fallbacks": 0}
+  ]
+}`
+
+func TestGateRelayPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", baseRelay)
+	// 20% more bytes and a slightly lower hit rate: inside both thresholds.
+	cand := writeFile(t, dir, "cand.json", `{
+	  "nodes": 16, "degree": 3, "txs_per_block": 32, "blocks": 3,
+	  "reduction_ratio": 5.0,
+	  "results": [
+	    {"mode": "flood", "bytes_per_block": 600000, "hit_rate": 0},
+	    {"mode": "inv",   "bytes_per_block": 120000, "hit_rate": 0.90}
+	  ]
+	}`)
+	failures, err := gateRelay(base, cand, 0.25, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+}
+
+func TestGateRelayFlagsRegressions(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", baseRelay)
+	// Relay degenerated back to flooding: bytes blew past the slack and
+	// reconstruction stopped working.
+	cand := writeFile(t, dir, "cand.json", `{
+	  "nodes": 16, "degree": 3, "txs_per_block": 32, "blocks": 3,
+	  "reduction_ratio": 1.0,
+	  "results": [
+	    {"mode": "flood", "bytes_per_block": 600000, "hit_rate": 0},
+	    {"mode": "inv",   "bytes_per_block": 590000, "hit_rate": 0.2}
+	  ]
+	}`)
+	failures, err := gateRelay(base, cand, 0.25, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want bytes and hit-rate regressions", failures)
+	}
+	if !strings.Contains(failures[0], "bytes per block") || !strings.Contains(failures[1], "hit rate") {
+		t.Fatalf("unexpected failure messages: %v", failures)
+	}
+}
+
+func TestGateRelayWorkloadMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", baseRelay)
+	cand := writeFile(t, dir, "cand.json", `{"nodes": 6, "degree": 2, "txs_per_block": 6, "blocks": 2, "results": []}`)
+	if _, err := gateRelay(base, cand, 0.25, 0.75); err == nil {
+		t.Fatal("want workload-mismatch error")
+	}
+}
+
 func TestGateAgainstCommittedBaselines(t *testing.T) {
 	// The committed baselines must pass against themselves, or the CI
 	// job would fail on an untouched tree.
@@ -127,5 +191,9 @@ func TestGateAgainstCommittedBaselines(t *testing.T) {
 	ro := filepath.Join(root, "results", "BENCH_reorg.json")
 	if failures, err := gateReorg(ro, ro, 5); err != nil || len(failures) != 0 {
 		t.Fatalf("reorg self-gate: err=%v failures=%v", err, failures)
+	}
+	re := filepath.Join(root, "results", "BENCH_relay.json")
+	if failures, err := gateRelay(re, re, 0.25, 0.75); err != nil || len(failures) != 0 {
+		t.Fatalf("relay self-gate: err=%v failures=%v", err, failures)
 	}
 }

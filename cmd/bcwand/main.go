@@ -64,6 +64,7 @@ func run(args []string) error {
 	recipientAddr := fs.String("recipient", "", "also run a recipient delivery listener on this address")
 	dataDir := fs.String("datadir", "", "directory to persist the chain across restarts")
 	metricsLog := fs.Duration("metrics-log", 0, "periodically log a JSON telemetry snapshot at this interval (0 disables)")
+	floodRelay := fs.Bool("flood-relay", false, "gossip full tx/block payloads to every peer instead of the inv/compact announcement protocol (debugging escape hatch)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +97,7 @@ func run(args []string) error {
 		ListenRPC:    *rpcAddr,
 		Peers:        splitNonEmpty(*peers),
 		MineInterval: *interval,
+		FloodRelay:   *floodRelay,
 		Logger:       logger,
 	}
 	if *mine {

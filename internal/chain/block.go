@@ -55,12 +55,16 @@ func (h *Header) digest() Hash {
 }
 
 // ID returns the block hash: the double SHA-256 of the full serialized
-// header including the miner signature.
-func (b *Block) ID() Hash {
+// header including the miner signature. The compact relay uses it to
+// key a sketch to its block without shipping the body.
+func (h *Header) ID() Hash {
 	var buf bytes.Buffer
-	b.Header.serialize(&buf)
+	h.serialize(&buf)
 	return Hash(bccrypto.DoubleSHA256(buf.Bytes()))
 }
+
+// ID returns the block hash.
+func (b *Block) ID() Hash { return b.Header.ID() }
 
 // Timestamp converts the header time to time.Time.
 func (h *Header) Timestamp() time.Time { return time.Unix(0, h.Time) }
@@ -130,31 +134,42 @@ func (b *Block) Serialize() []byte {
 	return buf.Bytes()
 }
 
+// readHeader parses a serialized header from r; shared by the full
+// block and compact block decoders.
+func readHeader(r *bytes.Reader) (Header, error) {
+	var h Header
+	v, err := readInt64(r)
+	if err != nil {
+		return Header{}, err
+	}
+	h.Version = int32(v)
+	if _, err := io.ReadFull(r, h.PrevBlock[:]); err != nil {
+		return Header{}, ErrBlockTruncated
+	}
+	if _, err := io.ReadFull(r, h.MerkleRoot[:]); err != nil {
+		return Header{}, ErrBlockTruncated
+	}
+	if h.Time, err = readInt64(r); err != nil {
+		return Header{}, err
+	}
+	if h.Height, err = readInt64(r); err != nil {
+		return Header{}, err
+	}
+	if h.MinerPubKey, err = readVarBytes(r, 1024); err != nil {
+		return Header{}, err
+	}
+	if h.Signature, err = readVarBytes(r, 1024); err != nil {
+		return Header{}, err
+	}
+	return h, nil
+}
+
 // DeserializeBlock parses a block produced by Serialize.
 func DeserializeBlock(data []byte) (*Block, error) {
 	r := bytes.NewReader(data)
 	var b Block
-	v, err := readInt64(r)
-	if err != nil {
-		return nil, err
-	}
-	b.Header.Version = int32(v)
-	if _, err := io.ReadFull(r, b.Header.PrevBlock[:]); err != nil {
-		return nil, ErrBlockTruncated
-	}
-	if _, err := io.ReadFull(r, b.Header.MerkleRoot[:]); err != nil {
-		return nil, ErrBlockTruncated
-	}
-	if b.Header.Time, err = readInt64(r); err != nil {
-		return nil, err
-	}
-	if b.Header.Height, err = readInt64(r); err != nil {
-		return nil, err
-	}
-	if b.Header.MinerPubKey, err = readVarBytes(r, 1024); err != nil {
-		return nil, err
-	}
-	if b.Header.Signature, err = readVarBytes(r, 1024); err != nil {
+	var err error
+	if b.Header, err = readHeader(r); err != nil {
 		return nil, err
 	}
 	nTxs, err := readVarInt(r)

@@ -1,0 +1,250 @@
+package chain
+
+import (
+	"testing"
+
+	"bcwan/internal/script"
+)
+
+// buildChainedSpends returns a base UTXO set holding fanout funding
+// outputs and n valid unsigned transactions where tx i+1 spends tx i's
+// first output — the shape that exercises chained unconfirmed spends.
+// Scripts are unsigned; pair with Params.VerifyScripts = false.
+func buildChainedSpends(tb testing.TB, n, fanout int) (*UTXOSet, []*Tx) {
+	tb.Helper()
+	var lockTo [script.HashLen]byte
+	lock := script.PayToPubKeyHash(lockTo)
+	fund := &Tx{Version: 1}
+	for i := 0; i < fanout; i++ {
+		fund.Outputs = append(fund.Outputs, TxOut{Value: 1000, Lock: lock})
+	}
+	utxo := NewUTXOSet()
+	if err := utxo.ApplyTx(fund, 0); err != nil {
+		tb.Fatal(err)
+	}
+	txs := make([]*Tx, n)
+	prev := OutPoint{TxID: fund.ID(), Index: 0}
+	for i := range txs {
+		txs[i] = &Tx{
+			Version: 1,
+			Inputs:  []TxIn{{Prev: prev}},
+			Outputs: []TxOut{{Value: 1000, Lock: lock}},
+		}
+		prev = OutPoint{TxID: txs[i].ID(), Index: 0}
+	}
+	return utxo, txs
+}
+
+// noVerifyParams disables script checks so fixture transactions need no
+// signatures.
+func noVerifyParams() Params {
+	p := DefaultParams()
+	p.VerifyScripts = false
+	return p
+}
+
+// sketchFixture builds a pool-shaped block: coinbase plus n chained txs.
+func sketchFixture(t *testing.T, n int) (*Block, []*Tx) {
+	t.Helper()
+	_, txs := buildChainedSpends(t, n, 1)
+	coinbase := &Tx{
+		Version: 1,
+		Inputs:  []TxIn{{Prev: OutPoint{Index: coinbaseIndex}}},
+		Outputs: []TxOut{{Value: 50, Lock: script.PayToPubKeyHash([20]byte{1})}},
+	}
+	all := append([]*Tx{coinbase}, txs...)
+	b := &Block{
+		Header: Header{Version: 1, Height: 1, MerkleRoot: MerkleRoot(all)},
+		Txs:    all,
+	}
+	return b, txs
+}
+
+// poolLookup builds a Reconstruct lookup over a set of transactions.
+func poolLookup(txs []*Tx) func(uint64) []*Tx {
+	byShort := make(map[uint64][]*Tx)
+	for _, tx := range txs {
+		sid := ShortTxID(tx.ID())
+		byShort[sid] = append(byShort[sid], tx)
+	}
+	return func(sid uint64) []*Tx { return byShort[sid] }
+}
+
+func TestCompactBlockRoundTripWarmPool(t *testing.T) {
+	b, txs := sketchFixture(t, 8)
+	cb := NewCompactBlock(b)
+	if cb.TxCount() != len(b.Txs) {
+		t.Fatalf("TxCount = %d, want %d", cb.TxCount(), len(b.Txs))
+	}
+	if cb.BlockID() != b.ID() {
+		t.Fatal("sketch block id diverges from block id")
+	}
+
+	wire := cb.Serialize()
+	if full := b.Serialize(); len(wire) >= len(full) {
+		t.Fatalf("compact encoding (%d bytes) not smaller than full block (%d bytes)", len(wire), len(full))
+	}
+	decoded, err := DeserializeCompactBlock(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm pool: every non-coinbase tx resolves, no round trip needed.
+	got, _, missing, err := decoded.Reconstruct(poolLookup(txs))
+	if err != nil || len(missing) != 0 {
+		t.Fatalf("warm reconstruct: missing=%v err=%v", missing, err)
+	}
+	if got.ID() != b.ID() || len(got.Txs) != len(b.Txs) {
+		t.Fatal("reconstructed block differs from original")
+	}
+}
+
+func TestCompactBlockMissingTxsAssemble(t *testing.T) {
+	const k = 3
+	b, txs := sketchFixture(t, 8)
+	cb := NewCompactBlock(b)
+
+	// Cold pool: the receiver lacks the first k transactions.
+	warm := txs[k:]
+	block, partial, missing, err := cb.Reconstruct(poolLookup(warm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if block != nil {
+		t.Fatal("reconstruction claimed completion with k txs missing")
+	}
+	if len(missing) != k {
+		t.Fatalf("missing = %v, want %d indexes", missing, k)
+	}
+	// Missing indexes are block positions: txs[0..k-1] sit at 1..k.
+	for i, idx := range missing {
+		if int(idx) != i+1 {
+			t.Fatalf("missing[%d] = %d, want %d", i, idx, i+1)
+		}
+	}
+
+	// getblocktxn/blocktxn round trip on the wire.
+	req := EncodeGetBlockTxn(cb.BlockID(), missing)
+	reqID, reqIdx, err := DecodeGetBlockTxn(req)
+	if err != nil || reqID != cb.BlockID() || len(reqIdx) != k {
+		t.Fatalf("getblocktxn round trip: %v %v %v", reqID, reqIdx, err)
+	}
+	var fills []PrefilledTx
+	for _, idx := range reqIdx {
+		fills = append(fills, PrefilledTx{Index: idx, Tx: b.Txs[idx]})
+	}
+	resp := EncodeBlockTxn(cb.BlockID(), fills)
+	respID, respTxs, err := DecodeBlockTxn(resp)
+	if err != nil || respID != cb.BlockID() || len(respTxs) != k {
+		t.Fatalf("blocktxn round trip: %v %d %v", respID, len(respTxs), err)
+	}
+
+	got, err := cb.Assemble(partial, respTxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID() != b.ID() {
+		t.Fatal("assembled block differs from original")
+	}
+
+	// Incomplete fills must not pass the merkle gate.
+	if _, err := cb.Assemble(partial, respTxs[:k-1]); err == nil {
+		t.Fatal("Assemble accepted an incomplete fill set")
+	}
+}
+
+func TestCompactBlockCollisionFallsBack(t *testing.T) {
+	b, txs := sketchFixture(t, 4)
+	cb := NewCompactBlock(b)
+
+	// A short-id collision (two candidates) counts as missing rather
+	// than guessing.
+	collide := func(sid uint64) []*Tx {
+		cands := poolLookup(txs)(sid)
+		if len(cands) == 1 && cands[0] == txs[0] {
+			return []*Tx{txs[0], txs[1]}
+		}
+		return cands
+	}
+	block, _, missing, err := cb.Reconstruct(collide)
+	if err != nil || block != nil {
+		t.Fatalf("collision reconstruct: block=%v err=%v", block, err)
+	}
+	if len(missing) != 1 || missing[0] != 1 {
+		t.Fatalf("missing = %v, want [1]", missing)
+	}
+
+	// A wrong-but-unique candidate is caught by the merkle check.
+	wrong := func(sid uint64) []*Tx {
+		cands := poolLookup(txs)(sid)
+		if len(cands) == 1 && cands[0] == txs[0] {
+			return []*Tx{txs[1]}
+		}
+		return cands
+	}
+	if _, _, _, err := cb.Reconstruct(wrong); err != ErrCompactMismatch {
+		t.Fatalf("wrong candidate err = %v, want ErrCompactMismatch", err)
+	}
+}
+
+func TestCompactBlockMalformedEncodings(t *testing.T) {
+	b, _ := sketchFixture(t, 2)
+	wire := NewCompactBlock(b).Serialize()
+	for _, bad := range [][]byte{
+		nil,
+		wire[:10],
+		wire[:len(wire)-1],
+		append(append([]byte{}, wire...), 0),
+	} {
+		if _, err := DeserializeCompactBlock(bad); err == nil {
+			t.Fatalf("DeserializeCompactBlock accepted malformed input of %d bytes", len(bad))
+		}
+	}
+	if _, _, err := DecodeGetBlockTxn([]byte{1, 2, 3}); err == nil {
+		t.Fatal("DecodeGetBlockTxn accepted a truncated frame")
+	}
+	if _, _, err := DecodeBlockTxn([]byte{1, 2, 3}); err == nil {
+		t.Fatal("DecodeBlockTxn accepted a truncated frame")
+	}
+
+	// A sketch whose prefilled index exceeds the tx count is rejected at
+	// reconstruction.
+	cb := NewCompactBlock(b)
+	cb.ShortIDs = append(cb.ShortIDs, 42)
+	cb.Prefilled[0].Index = uint32(cb.TxCount())
+	if _, _, _, err := cb.Reconstruct(func(uint64) []*Tx { return nil }); err == nil {
+		t.Fatal("Reconstruct accepted an out-of-range prefilled index")
+	}
+}
+
+func TestShortTxIDPrefix(t *testing.T) {
+	id := Hash{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0xff}
+	if got := ShortTxID(id); got != 0x0102030405060708 {
+		t.Fatalf("ShortTxID = %x", got)
+	}
+}
+
+func TestMempoolGetByShort(t *testing.T) {
+	utxo, txs := buildChainedSpends(t, 3, 1)
+	params := noVerifyParams()
+	m := NewMempool()
+	for _, tx := range txs {
+		if err := m.Accept(tx, utxo, 0, params); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tx := range txs {
+		got := m.GetByShort(ShortTxID(tx.ID()))
+		if len(got) != 1 || got[0].ID() != tx.ID() {
+			t.Fatalf("GetByShort(%x) = %v", ShortTxID(tx.ID()), got)
+		}
+	}
+	if got := m.GetByShort(0xdeadbeef); got != nil {
+		t.Fatalf("GetByShort(unknown) = %v, want nil", got)
+	}
+	// Removal cleans the index.
+	m.RemoveConfirmed(&Block{Txs: txs[:1]})
+	if got := m.GetByShort(ShortTxID(txs[0].ID())); len(got) != 0 {
+		t.Fatalf("GetByShort after removal = %v", got)
+	}
+}

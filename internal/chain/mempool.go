@@ -18,10 +18,26 @@ type Mempool struct {
 	mu sync.Mutex
 	// txs maps txid to transaction in arrival order (order kept
 	// separately for deterministic block building).
-	txs   map[Hash]*Tx
-	order []Hash
+	txs map[Hash]*Tx
+	// order is the arrival sequence with tombstones: a removed entry is
+	// zeroed in place (the zero Hash is unreachable for a real txid) and
+	// compacted once tombstones outnumber live entries, so confirming a
+	// large block never slice-shifts the whole tail per transaction.
+	order    []Hash
+	orderIdx map[Hash]int // txid → index into order
+	tomb     int          // tombstone count in order
 	// spends maps each spent outpoint to the claiming txid.
 	spends map[OutPoint]Hash
+	// short indexes pooled txids by their compact-relay short id so
+	// block reconstruction resolves sketches without scanning the pool.
+	short map[uint64][]Hash
+	// overlay is the persistent copy-on-write view of base+pool that
+	// Accept validates against, updated incrementally per admission and
+	// rebuilt lazily when the base or height moves or the pool shrinks.
+	// Rebuilding per Accept made admission O(pool²) overall.
+	overlay       *UTXOView
+	overlayBase   UTXOReader
+	overlayHeight int64
 	// verifier, when set via UseVerifier, runs Accept's script checks
 	// and records them in the shared signature cache so block connect
 	// skips re-verifying admitted transactions. Nil falls back to
@@ -43,8 +59,10 @@ var (
 // NewMempool returns an empty pool.
 func NewMempool() *Mempool {
 	return &Mempool{
-		txs:    make(map[Hash]*Tx),
-		spends: make(map[OutPoint]Hash),
+		txs:      make(map[Hash]*Tx),
+		orderIdx: make(map[Hash]int),
+		spends:   make(map[OutPoint]Hash),
+		short:    make(map[uint64][]Hash),
 	}
 }
 
@@ -113,10 +131,33 @@ func (m *Mempool) acceptLocked(tx *Tx, id Hash, utxo UTXOReader, height int64, p
 			return fmt.Errorf("%w: %s already spent by %s", ErrMempoolConflict, in.Prev, prior)
 		}
 	}
-	// Extend the confirmed view with pooled transactions, in arrival
-	// order, so chained unconfirmed spends validate. The overlay costs
-	// O(pooled txs), not O(UTXO set) — the old Clone here dominated
-	// admission latency on large sets.
+	// Validate against the persistent confirmed+pooled overlay, so
+	// chained unconfirmed spends connect. The overlay is extended by
+	// exactly this transaction on success — the previous code rebuilt
+	// it from the whole pool on every call, which made a burst of n
+	// admissions O(n²).
+	view := m.overlayLocked(utxo, height)
+	if _, err := ConnectTxVerified(view, tx, height+1, params.CoinbaseMaturity, params.VerifyScripts, m.verifier); err != nil {
+		return err
+	}
+	if err := view.ApplyTx(tx, height+1); err != nil {
+		// ApplyTx mutates the overlay before it can fail (inputs are
+		// spent before the duplicate-output check), so a partial
+		// application poisons it for the next admission.
+		m.overlay = nil
+		return err
+	}
+	m.addLocked(id, tx)
+	return nil
+}
+
+// overlayLocked returns the persistent confirmed+pooled view, rebuilding
+// it when the base state or tip height moved or a removal invalidated
+// it; the caller holds m.mu.
+func (m *Mempool) overlayLocked(utxo UTXOReader, height int64) *UTXOView {
+	if m.overlay != nil && m.overlayBase == utxo && m.overlayHeight == height {
+		return m.overlay
+	}
 	view := NewUTXOView(utxo)
 	for _, poolID := range m.order {
 		if pooled, ok := m.txs[poolID]; ok {
@@ -126,15 +167,21 @@ func (m *Mempool) acceptLocked(tx *Tx, id Hash, utxo UTXOReader, height int64, p
 			_ = view.ApplyTx(pooled, height+1)
 		}
 	}
-	if _, err := ConnectTxVerified(view, tx, height+1, params.CoinbaseMaturity, params.VerifyScripts, m.verifier); err != nil {
-		return err
-	}
+	m.overlay, m.overlayBase, m.overlayHeight = view, utxo, height
+	return view
+}
+
+// addLocked records an admitted transaction in every index; the caller
+// holds m.mu and has already validated the transaction.
+func (m *Mempool) addLocked(id Hash, tx *Tx) {
 	m.txs[id] = tx
+	m.orderIdx[id] = len(m.order)
 	m.order = append(m.order, id)
 	for _, in := range tx.Inputs {
 		m.spends[in.Prev] = id
 	}
-	return nil
+	sid := ShortTxID(id)
+	m.short[sid] = append(m.short[sid], id)
 }
 
 // ForceReplace admits tx, evicting any pooled transactions that conflict
@@ -153,11 +200,11 @@ func (m *Mempool) ForceReplace(tx *Tx) {
 	if _, dup := m.txs[id]; dup {
 		return
 	}
-	m.txs[id] = tx
-	m.order = append(m.order, id)
-	for _, in := range tx.Inputs {
-		m.spends[in.Prev] = id
-	}
+	m.addLocked(id, tx)
+	// The replacement skipped validation, so the incremental overlay no
+	// longer mirrors the pool.
+	m.overlay = nil
+	m.compactOrderLocked()
 	if m.metrics != nil {
 		m.metrics.size.Set(int64(len(m.txs)))
 	}
@@ -183,6 +230,25 @@ func (m *Mempool) Get(id Hash) (*Tx, bool) {
 	defer m.mu.Unlock()
 	tx, ok := m.txs[id]
 	return tx, ok
+}
+
+// GetByShort returns every pooled transaction whose txid abbreviates to
+// the given compact-relay short id — normally zero or one; more than
+// one is a collision the reconstruction treats as missing.
+func (m *Mempool) GetByShort(sid uint64) []*Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := m.short[sid]
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]*Tx, 0, len(ids))
+	for _, id := range ids {
+		if tx, ok := m.txs[id]; ok {
+			out = append(out, tx)
+		}
+	}
+	return out
 }
 
 // Contains reports whether the transaction is pooled.
@@ -228,6 +294,7 @@ func (m *Mempool) RemoveConfirmed(b *Block) {
 			}
 		}
 	}
+	m.compactOrderLocked()
 	if m.metrics != nil {
 		m.metrics.size.Set(int64(len(m.txs)))
 	}
@@ -244,12 +311,42 @@ func (m *Mempool) removeLocked(id Hash) {
 			delete(m.spends, in.Prev)
 		}
 	}
-	for i, h := range m.order {
+	if i, ok := m.orderIdx[id]; ok {
+		m.order[i] = Hash{}
+		delete(m.orderIdx, id)
+		m.tomb++
+	}
+	sid := ShortTxID(id)
+	ids := m.short[sid]
+	for i, h := range ids {
 		if h == id {
-			m.order = append(m.order[:i], m.order[i+1:]...)
+			m.short[sid] = append(ids[:i], ids[i+1:]...)
 			break
 		}
 	}
+	if len(m.short[sid]) == 0 {
+		delete(m.short, sid)
+	}
+	// The removed transaction's effects are baked into the incremental
+	// overlay; drop it so the next Accept rebuilds from the live pool.
+	m.overlay = nil
+}
+
+// compactOrderLocked rewrites order without tombstones once they reach
+// half the slice, keeping removal amortized O(1); the caller holds m.mu.
+func (m *Mempool) compactOrderLocked() {
+	if m.tomb*2 < len(m.order) {
+		return
+	}
+	live := m.order[:0]
+	for _, id := range m.order {
+		if id != (Hash{}) {
+			m.orderIdx[id] = len(live)
+			live = append(live, id)
+		}
+	}
+	m.order = live
+	m.tomb = 0
 }
 
 func min(a, b int) int {

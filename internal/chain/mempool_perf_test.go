@@ -1,0 +1,195 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestMempoolOverlayIncrementalAdmission drives the persistent-overlay
+// path: a long chain of unconfirmed spends admits one by one (each new
+// tx validates against the overlay extended by its predecessors), and
+// conflict/duplicate rejection still holds.
+func TestMempoolOverlayIncrementalAdmission(t *testing.T) {
+	utxo, txs := buildChainedSpends(t, 16, 2)
+	params := noVerifyParams()
+	m := NewMempool()
+	for i, tx := range txs {
+		if err := m.Accept(tx, utxo, 0, params); err != nil {
+			t.Fatalf("accept chained tx %d: %v", i, err)
+		}
+	}
+	if m.Len() != len(txs) {
+		t.Fatalf("pool holds %d, want %d", m.Len(), len(txs))
+	}
+	// Double spend of the first link is a conflict.
+	conflict := &Tx{
+		Version: 1,
+		Inputs:  txs[0].Inputs,
+		Outputs: []TxOut{{Value: 999, Lock: txs[0].Outputs[0].Lock}},
+	}
+	if err := m.Accept(conflict, utxo, 0, params); !errors.Is(err, ErrMempoolConflict) {
+		t.Fatalf("conflict err = %v, want ErrMempoolConflict", err)
+	}
+	if err := m.Accept(txs[3], utxo, 0, params); !errors.Is(err, ErrAlreadyPooled) {
+		t.Fatalf("duplicate err = %v, want ErrAlreadyPooled", err)
+	}
+	// A fresh spend of the second funding output also connects — the
+	// overlay covers the base set, not just the chained branch.
+	fundSpend := &Tx{
+		Version: 1,
+		Inputs:  []TxIn{{Prev: OutPoint{TxID: fundingTxID(t, utxo, txs), Index: 1}}},
+		Outputs: []TxOut{{Value: 1000, Lock: txs[0].Outputs[0].Lock}},
+	}
+	if err := m.Accept(fundSpend, utxo, 0, params); err != nil {
+		t.Fatalf("accept independent spend: %v", err)
+	}
+}
+
+// fundingTxID recovers the funding txid from the first chained tx's
+// input (buildChainedSpends spends funding output 0 first).
+func fundingTxID(t *testing.T, utxo *UTXOSet, txs []*Tx) Hash {
+	t.Helper()
+	if len(txs) == 0 {
+		t.Fatal("no fixture txs")
+	}
+	return txs[0].Inputs[0].Prev.TxID
+}
+
+// TestMempoolOverlayInvalidation checks the rebuild triggers: removal,
+// height movement and base replacement must all invalidate the
+// incremental overlay rather than validating against stale state.
+func TestMempoolOverlayInvalidation(t *testing.T) {
+	utxo, txs := buildChainedSpends(t, 4, 1)
+	params := noVerifyParams()
+	m := NewMempool()
+	for _, tx := range txs[:2] {
+		if err := m.Accept(tx, utxo, 0, params); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Confirm both: the pool empties and its outputs leave the overlay,
+	// so the next chained tx no longer connects against this base.
+	m.RemoveConfirmed(&Block{Txs: txs[:2]})
+	if m.Len() != 0 {
+		t.Fatalf("pool holds %d after confirmation", m.Len())
+	}
+	if err := m.Accept(txs[2], utxo, 0, params); err == nil {
+		t.Fatal("tx chained on a confirmed-but-unapplied parent was admitted from a stale overlay")
+	}
+
+	// Apply the confirmed txs to an advanced base: acceptance resumes.
+	for _, tx := range txs[:2] {
+		if err := utxo.ApplyTx(tx, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Accept(txs[2], utxo, 1, params); err != nil {
+		t.Fatalf("accept after base advance: %v", err)
+	}
+
+	// A different base instance (chain swap) is also detected.
+	other := NewUTXOSet()
+	if err := m.Accept(txs[3], other, 1, params); err == nil {
+		t.Fatal("tx admitted against an empty replacement base")
+	}
+}
+
+// TestMempoolOrderTombstones checks that removal tombstones keep
+// arrival order for the survivors and that compaction bounds the order
+// slice.
+func TestMempoolOrderTombstones(t *testing.T) {
+	utxo, seed := buildChainedSpends(t, 1, 64)
+	fundID := seed[0].Inputs[0].Prev.TxID
+	lock := seed[0].Outputs[0].Lock
+	params := noVerifyParams()
+	m := NewMempool()
+	txs := make([]*Tx, 64)
+	for i := range txs {
+		txs[i] = &Tx{
+			Version: 1,
+			Inputs:  []TxIn{{Prev: OutPoint{TxID: fundID, Index: uint32(i)}}},
+			Outputs: []TxOut{{Value: 1000, Lock: lock}},
+		}
+		if err := m.Accept(txs[i], utxo, 0, params); err != nil {
+			t.Fatalf("accept %d: %v", i, err)
+		}
+	}
+
+	// Remove every even-index tx; survivors keep arrival order.
+	var confirmed []*Tx
+	for i := 0; i < len(txs); i += 2 {
+		confirmed = append(confirmed, txs[i])
+	}
+	m.RemoveConfirmed(&Block{Txs: confirmed})
+
+	sel := m.Select(1000)
+	if len(sel) != len(txs)/2 {
+		t.Fatalf("Select returned %d, want %d", len(sel), len(txs)/2)
+	}
+	for i, tx := range sel {
+		if tx.ID() != txs[2*i+1].ID() {
+			t.Fatalf("Select[%d] out of arrival order", i)
+		}
+	}
+
+	// Tombstones exceeded half the slice, so compaction ran.
+	m.mu.Lock()
+	tomb, orderLen, idxLen := m.tomb, len(m.order), len(m.orderIdx)
+	m.mu.Unlock()
+	if tomb != 0 || orderLen != len(txs)/2 || idxLen != len(txs)/2 {
+		t.Fatalf("after compaction: tomb=%d order=%d idx=%d, want 0/%d/%d",
+			tomb, orderLen, idxLen, len(txs)/2, len(txs)/2)
+	}
+}
+
+// BenchmarkMempoolAccept measures a burst of n chained admissions into
+// one pool — the path that was O(n²) when every Accept rebuilt the
+// overlay from the whole pool. VerifyScripts is off so the numbers
+// isolate pool bookkeeping from ECDSA.
+func BenchmarkMempoolAccept(b *testing.B) {
+	for _, size := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("pool=%d", size), func(b *testing.B) {
+			utxo, txs := buildChainedSpends(b, size, 1)
+			params := noVerifyParams()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := NewMempool()
+				b.StartTimer()
+				for _, tx := range txs {
+					if err := m.Accept(tx, utxo, 0, params); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMempoolRemoveConfirmed measures confirming a large block out
+// of a full pool — quadratic before order removal was tombstoned.
+func BenchmarkMempoolRemoveConfirmed(b *testing.B) {
+	for _, size := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("pool=%d", size), func(b *testing.B) {
+			utxo, txs := buildChainedSpends(b, size, 1)
+			params := noVerifyParams()
+			blk := &Block{Txs: txs}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := NewMempool()
+				for _, tx := range txs {
+					if err := m.Accept(tx, utxo, 0, params); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				m.RemoveConfirmed(blk)
+			}
+		})
+	}
+}

@@ -168,6 +168,11 @@ func (c *Cluster) startNode(i int) (int, error) {
 		Transport:    c.Net.TransportFor(p.Name),
 		Random:       c.nodeRandom(i, p.generation),
 		Logger:       c.Opts.Logger,
+		// Re-request dropped relay objects at the cluster's time scale
+		// (10 ms pumps, ~3 ms links). At the 500 ms default a laggard
+		// stalls half a second per faulted block body while the pump
+		// keeps mining, and catch-up barely outruns block production.
+		RelayRequestTimeout: 50 * time.Millisecond,
 		// Compact aggressively so restart scenarios exercise the
 		// snapshot + log-tail recovery path, not just the log.
 		StoreCompactEvery: 4,

@@ -232,6 +232,57 @@ func TestFaultScenarios(t *testing.T) {
 			},
 		},
 		{
+			// n3 is cut off while the claim gossips, then the block
+			// carrying it is mined immediately after heal: n3's compact
+			// reconstruction is missing the claim tx and must climb to the
+			// getblocktxn round trip (DESIGN.md §12 fallback ladder).
+			name: "compact-missing-tx", seed: 1010, nodes: 4, miners: []int{0},
+			midExchange: func(t *testing.T, env *scenarioEnv) {
+				env.c.Net.Partition([]string{"n0", "n1", "n2"}, []string{"n3"})
+				// No mining while split: the claim must stay pooled so the
+				// post-heal block is the first n3 hears of it.
+				env.miners = nil
+			},
+			beforeSettle: func(t *testing.T, env *scenarioEnv) {
+				// The claim's inv/getdata round trip from the gateway node
+				// is still in flight when the claim call returns; the mined
+				// block must carry it, so wait for n0's pool first.
+				deadline := time.Now().Add(scenarioTimeout)
+				for env.c.Node(0).Ledger().Pool.Len() < 2 {
+					if time.Now().After(deadline) {
+						t.Fatalf("claim never reached the miner's pool")
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				env.c.Net.Heal()
+				// Mine before any pump round can re-announce pending txs,
+				// so the sketch reaches n3 with the claim still unknown.
+				blk, err := env.c.Node(0).MineNow()
+				if err != nil {
+					t.Fatalf("mine after heal: %v", err)
+				}
+				// Wait for n3 to adopt it without pumping: a pump round
+				// would force-rebroadcast the claim, racing it into n3's
+				// pool before the sketch and voiding the round trip.
+				deadline = time.Now().Add(scenarioTimeout)
+				for env.c.Node(3).Chain().Tip().ID() != blk.ID() {
+					if time.Now().After(deadline) {
+						t.Fatalf("n3 never adopted the post-heal block")
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				env.miners = []int{0}
+			},
+			check: func(t *testing.T, env *scenarioEnv) {
+				if got := nodeCounter(env.c, 3, "bcwan_daemon_cmpct_txn_requests_total"); got < 1 {
+					t.Errorf("n3 issued %v getblocktxn round trips, want ≥ 1", got)
+				}
+				if got := nodeCounter(env.c, 3, "bcwan_daemon_cmpct_received_total"); got < 1 {
+					t.Errorf("n3 received %v compact sketches, want ≥ 1", got)
+				}
+			},
+		},
+		{
 			name: "churn", seed: 909, nodes: 4, miners: []int{0},
 			faults: Faults{
 				Drop:      0.1,

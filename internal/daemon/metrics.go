@@ -12,6 +12,17 @@ type daemonMetrics struct {
 	storeLoadSeconds   *telemetry.Histogram
 	storeAppendSeconds *telemetry.Histogram
 	storeCompactions   *telemetry.Counter
+
+	// Compact block relay (BIP152-style; see DESIGN.md §12). Hit rate =
+	// hits/received; the fallback ladder shows up as txn round trips and
+	// full-block fetches.
+	cmpctSent          *telemetry.Counter
+	cmpctReceived      *telemetry.Counter
+	cmpctHits          *telemetry.Counter
+	cmpctReconstructed *telemetry.Counter
+	cmpctTxnRequests   *telemetry.Counter
+	cmpctTxnServed     *telemetry.Counter
+	cmpctFullFallbacks *telemetry.Counter
 }
 
 func newDaemonMetrics(reg *telemetry.Registry) *daemonMetrics {
@@ -24,5 +35,13 @@ func newDaemonMetrics(reg *telemetry.Registry) *daemonMetrics {
 		storeLoadSeconds:   ns.Histogram("store_load_seconds", "Chain store load latency in seconds.", nil),
 		storeAppendSeconds: ns.Histogram("store_append_seconds", "Block-log append+fsync latency in seconds.", nil),
 		storeCompactions:   ns.Counter("store_compactions_total", "Snapshot + log-compaction cycles of the incremental store."),
+
+		cmpctSent:          ns.Counter("cmpct_sent_total", "Compact block sketches pushed to peers."),
+		cmpctReceived:      ns.Counter("cmpct_received_total", "Compact block sketches received from peers."),
+		cmpctHits:          ns.Counter("cmpct_hits_total", "Compact blocks reconstructed entirely from the local mempool."),
+		cmpctReconstructed: ns.Counter("cmpct_reconstructed_total", "Compact blocks reconstructed, including via a getblocktxn round trip."),
+		cmpctTxnRequests:   ns.Counter("cmpct_txn_requests_total", "getblocktxn round trips issued for transactions missing from the mempool."),
+		cmpctTxnServed:     ns.Counter("cmpct_txn_served_total", "getblocktxn requests answered with a blocktxn response."),
+		cmpctFullFallbacks: ns.Counter("cmpct_full_fallbacks_total", "Compact reconstructions abandoned for a full-block fetch."),
 	}
 }

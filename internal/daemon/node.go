@@ -53,6 +53,14 @@ type NodeConfig struct {
 	// snapshot + log compaction in a store opened via OpenStore
 	// (0 = default of 64).
 	StoreCompactEvery int
+	// FloodRelay reverts to the legacy full-payload gossip flood instead
+	// of the inventory/compact-block relay. Kept for the relaybench
+	// baseline and as an escape hatch.
+	FloodRelay bool
+	// RelayRequestTimeout is how long the relay waits for an announced
+	// object (and a blocktxn response) before falling back to the next
+	// source (0 = the p2p default of 500ms).
+	RelayRequestTimeout time.Duration
 }
 
 // Node is one running blockchain daemon.
@@ -63,6 +71,7 @@ type Node struct {
 	ledger *fairex.Node
 	dir    *registry.Directory
 	gossip *p2p.Node
+	relay  *p2p.Relay // nil when cfg.FloodRelay
 	rpcSrv *rpc.Server
 	miner  *chain.Miner
 	store  *Store // nil until OpenStore; set before the append subscription
@@ -73,6 +82,8 @@ type Node struct {
 	mu        sync.Mutex
 	orphans   map[chain.Hash]*chain.Block // blocks waiting for their parent
 	orphanTxs map[chain.Hash]*chain.Tx    // txs whose inputs are not visible yet
+	// pendingCmpct tracks compact blocks awaiting a blocktxn response.
+	pendingCmpct map[chain.Hash]*pendingCompact
 
 	stopMine chan struct{}
 	mineDone chan struct{}
@@ -98,13 +109,14 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		c.AuthorizeMiner(pub)
 	}
 	n := &Node{
-		cfg:       cfg,
-		chain:     c,
-		pool:      chain.NewMempool(),
-		orphans:   make(map[chain.Hash]*chain.Block),
-		orphanTxs: make(map[chain.Hash]*chain.Tx),
-		reg:       cfg.Telemetry,
-		metrics:   newDaemonMetrics(cfg.Telemetry),
+		cfg:          cfg,
+		chain:        c,
+		pool:         chain.NewMempool(),
+		orphans:      make(map[chain.Hash]*chain.Block),
+		orphanTxs:    make(map[chain.Hash]*chain.Tx),
+		pendingCmpct: make(map[chain.Hash]*pendingCompact),
+		reg:          cfg.Telemetry,
+		metrics:      newDaemonMetrics(cfg.Telemetry),
 	}
 	// Share the chain's verifier (worker pool + signature cache) so
 	// gossip- and RPC-admitted transactions are not re-verified when
@@ -124,18 +136,31 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		Chain: c,
 		Pool:  n.pool,
 		OnSubmit: func(tx *chain.Tx) {
-			gossip.Broadcast("tx", tx.Serialize())
+			n.broadcastTx(tx, false)
 		},
 	}
-	gossip.Handle("tx", n.onTx)
-	gossip.Handle("block", n.onBlock)
+	if cfg.FloodRelay {
+		gossip.Handle("tx", n.onTx)
+		gossip.Handle("block", n.onBlock)
+	} else {
+		n.relay = p2p.NewRelay(gossip, p2p.RelayConfig{
+			Have:           n.relayHave,
+			Fetch:          n.relayFetch,
+			RequestTimeout: cfg.RelayRequestTimeout,
+		})
+		n.relay.Handle("tx", n.onRelayTx)
+		n.relay.Handle("block", n.onRelayBlock)
+		gossip.HandleDirect("cmpctblock", n.onCompactBlock)
+		gossip.HandleDirect("getblocktxn", n.onGetBlockTxn)
+		gossip.HandleDirect("blocktxn", n.onBlockTxn)
+	}
 	gossip.Handle("sync", n.onSync)
 
 	rpcSrv, err := rpc.NewServer(cfg.ListenRPC, rpc.Backend{
 		Chain:   c,
 		Mempool: n.pool,
 		OnTxAccepted: func(tx *chain.Tx) {
-			gossip.Broadcast("tx", tx.Serialize())
+			n.broadcastTx(tx, false)
 		},
 		Telemetry: n.reg,
 	})
@@ -281,13 +306,30 @@ func (n *Node) orphanGaps() []int64 {
 	return gaps
 }
 
-// RebroadcastPending re-gossips every pooled transaction. Gossip
-// duplicate suppression drops copies peers already saw, so this only
-// repairs losses.
+// RebroadcastPending re-gossips every pooled transaction. In flood mode
+// gossip duplicate suppression drops copies peers already saw; in relay
+// mode the whole pool goes out as one forced inv frame per peer —
+// forced because a peer that lost the original inv to a fault would
+// otherwise be skipped forever by its known-inventory entry, batched
+// because per-tx announcements cost O(txs × peers) messages per call.
 func (n *Node) RebroadcastPending() {
-	for _, tx := range n.pool.Select(n.chain.Params().MaxBlockTxs) {
-		n.gossip.Broadcast("tx", tx.Serialize())
+	txs := n.pool.Select(n.chain.Params().MaxBlockTxs)
+	if len(txs) == 0 {
+		return
 	}
+	if n.relay == nil {
+		for _, tx := range txs {
+			n.broadcastTx(tx, true)
+		}
+		return
+	}
+	ids := make([]p2p.ObjectID, len(txs))
+	bodies := make([][]byte, len(txs))
+	for i, tx := range txs {
+		ids[i] = p2p.ObjectID(tx.ID())
+		bodies[i] = tx.Serialize()
+	}
+	n.relay.AnnounceBatch("tx", ids, bodies, true)
 }
 
 // MineNow mints one block immediately (used by tests and by single-node
@@ -300,7 +342,7 @@ func (n *Node) MineNow() (*chain.Block, error) {
 	if err != nil {
 		return nil, err
 	}
-	n.gossip.Broadcast("block", b.Serialize())
+	n.broadcastBlock(b)
 	return b, nil
 }
 
@@ -317,6 +359,15 @@ func (n *Node) Close() error {
 		close(n.stopMine)
 		<-n.mineDone
 	}
+	if n.relay != nil {
+		n.relay.Close()
+	}
+	n.mu.Lock()
+	for id, pc := range n.pendingCmpct {
+		pc.timer.Stop()
+		delete(n.pendingCmpct, id)
+	}
+	n.mu.Unlock()
 	n.rpcSrv.Close()
 	err := n.gossip.Close()
 	if n.store != nil {
@@ -497,19 +548,46 @@ func isOrphanErr(err error) bool {
 	return err != nil && containsErr(err, chain.ErrBadPrevBlock)
 }
 
-// onSync answers a peer's catch-up request by re-broadcasting every block
-// above the requested height (duplicate suppression keeps this cheap at
-// PoC scale).
-func (n *Node) onSync(_ string, msg p2p.Message) {
-	var from, nonce int64
-	if _, err := fmt.Sscanf(string(msg.Payload), "%d|%d", &from, &nonce); err != nil {
+// maxSyncBlocks caps one sync response. Answering with the whole gap
+// melts down when the requester is far behind a live miner: every
+// repeated request costs O(gap) ids, pending-fetch timers, and block
+// bodies — enough to overflow the bounded per-peer send queue — while
+// the gap keeps growing, so recovery work is quadratic in the deficit.
+// A capped response hands over a bounded chunk; the requester's next
+// sync continues from its new tip.
+const maxSyncBlocks = 64
+
+// onSync answers a peer's catch-up request. In relay mode the gap
+// chunk is advertised as one batched inv to the peer the request
+// arrived from (the requester, or a forwarder that then answers the
+// requester itself when the flooded request reaches it); re-announcing
+// every block to every peer amplified each request by O(gap × peers)
+// and starved the send queues. Flood mode re-broadcasts full bodies
+// and lets duplicate suppression clean up.
+func (n *Node) onSync(from string, msg p2p.Message) {
+	var reqHeight, nonce int64
+	if _, err := fmt.Sscanf(string(msg.Payload), "%d|%d", &reqHeight, &nonce); err != nil {
 		return
 	}
-	for h := from + 1; h <= n.chain.Height(); h++ {
+	if n.relay == nil {
+		for h := reqHeight + 1; h <= n.chain.Height() && h <= reqHeight+maxSyncBlocks; h++ {
+			if b, ok := n.chain.BlockAt(h); ok {
+				n.gossip.Broadcast("block", b.Serialize())
+			}
+		}
+		return
+	}
+	var (
+		ids    []p2p.ObjectID
+		bodies [][]byte
+	)
+	for h := reqHeight + 1; h <= n.chain.Height() && len(ids) < maxSyncBlocks; h++ {
 		if b, ok := n.chain.BlockAt(h); ok {
-			n.gossip.Broadcast("block", b.Serialize())
+			ids = append(ids, p2p.ObjectID(b.ID()))
+			bodies = append(bodies, b.Serialize())
 		}
 	}
+	n.relay.AnnounceTo(from, "block", ids, bodies)
 }
 
 func (n *Node) logf(format string, args ...any) {

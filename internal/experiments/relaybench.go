@@ -1,0 +1,351 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/chain"
+	"bcwan/internal/daemon"
+	"bcwan/internal/p2p"
+	"bcwan/internal/wallet"
+)
+
+// RelayBenchConfig sizes the gossip-relay experiment: the ablation
+// behind the inventory/compact-block relay (DESIGN.md §12). The same
+// transaction-then-block workload runs twice over a sparse daemon mesh
+// — once with the legacy full-payload flood, once with the inv/getdata
+// + compact-block relay — and the bytes-on-wire plus time-to-full-
+// propagation are compared side by side.
+type RelayBenchConfig struct {
+	Nodes       int // mesh size
+	Degree      int // outbound dials per node (ring + doubling chords)
+	TxsPerBlock int // payments gossiped then mined per block
+	Blocks      int // mined blocks (workload rounds)
+}
+
+// DefaultRelayBenchConfig is the committed-baseline workload: a 16-node
+// mesh where every block's transactions are gossiped to every pool
+// before mining, the regime the compact sketch is designed for.
+func DefaultRelayBenchConfig() RelayBenchConfig {
+	return RelayBenchConfig{Nodes: 16, Degree: 3, TxsPerBlock: 32, Blocks: 3}
+}
+
+// RelayBenchResult is the measured cost of one relay mode.
+type RelayBenchResult struct {
+	Mode          string  // "flood" or "inv"
+	BytesPerBlock int64   // total wire bytes sent across the mesh, per block round
+	PropagationMS float64 // mean MineNow → every-node-at-height latency
+	HitRate       float64 // compact reconstructions resolved from the mempool alone
+	TxnRoundTrips uint64  // getblocktxn round trips across the mesh
+	FullFallbacks uint64  // reconstructions abandoned for a full-block fetch
+}
+
+// relayBenchTimeout bounds each propagation wait; the mesh is in-memory
+// and fault-free, so reaching it means the relay is broken, not slow.
+const relayBenchTimeout = 30 * time.Second
+
+// meshNeighbors returns the outbound dial targets of node i: the ring
+// successor plus doubling chords (offsets 1, 2, 4, ...), which keeps the
+// diameter logarithmic at any degree.
+func meshNeighbors(i, nodes, degree int) []int {
+	var out []int
+	offset := 1
+	for j := 0; j < degree; j++ {
+		n := (i + offset) % nodes
+		if n != i {
+			out = append(out, n)
+		}
+		offset *= 2
+	}
+	return out
+}
+
+// relayMesh is one running instance of the benchmark cluster.
+type relayMesh struct {
+	cfg     RelayBenchConfig
+	params  chain.Params
+	nodes   []*daemon.Node
+	wallets []*wallet.Wallet
+}
+
+// newRelayMesh boots cfg.Nodes daemons (node 0 mines) over a shared
+// in-memory transport with the sparse dial plan, and waits until every
+// link is bidirectional so announcements reach every neighbor.
+func newRelayMesh(cfg RelayBenchConfig, flood bool) (*relayMesh, error) {
+	minerKey, err := bccrypto.GenerateECKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	m := &relayMesh{cfg: cfg, params: chain.DefaultParams()}
+	alloc := make(map[[20]byte]uint64, cfg.TxsPerBlock)
+	for i := 0; i < cfg.TxsPerBlock; i++ {
+		w, err := wallet.New(rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		m.wallets = append(m.wallets, w)
+		alloc[w.PubKeyHash()] = 1 << 32
+	}
+	genesis := chain.GenesisBlock(alloc)
+
+	tr := p2p.NewMemTransport()
+	for i := 0; i < cfg.Nodes; i++ {
+		nc := daemon.NodeConfig{
+			Genesis:      genesis,
+			Params:       m.params,
+			Miners:       [][]byte{minerKey.PublicBytes()},
+			Transport:    tr,
+			MineInterval: time.Hour,
+			FloodRelay:   flood,
+		}
+		if i == 0 {
+			nc.MinerKey = minerKey
+		}
+		n, err := daemon.NewNode(nc)
+		if err != nil {
+			m.close()
+			return nil, err
+		}
+		m.nodes = append(m.nodes, n)
+	}
+
+	// Dial the mesh, then sync-nudge so every dialee registers its
+	// dialer (inbound peers register on the first received message).
+	degrees := make([]map[int]bool, cfg.Nodes)
+	for i := range degrees {
+		degrees[i] = make(map[int]bool)
+	}
+	for i, n := range m.nodes {
+		for _, j := range meshNeighbors(i, cfg.Nodes, cfg.Degree) {
+			if err := n.Connect(m.nodes[j].P2PAddr()); err != nil {
+				m.close()
+				return nil, fmt.Errorf("relay bench: dial %d→%d: %w", i, j, err)
+			}
+			degrees[i][j] = true
+			degrees[j][i] = true
+		}
+		n.RequestSync()
+	}
+	err = m.waitFor("bidirectional mesh", func() bool {
+		for i, n := range m.nodes {
+			if int(n.Telemetry().Gauge("bcwan_p2p_peer_count", "").Value()) != len(degrees[i]) {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		m.close()
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *relayMesh) close() {
+	for _, n := range m.nodes {
+		n.Close()
+	}
+}
+
+func (m *relayMesh) waitFor(what string, cond func() bool) error {
+	deadline := time.Now().Add(relayBenchTimeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("relay bench: timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// sum adds one counter across every node in the mesh.
+func (m *relayMesh) sum(name string) uint64 {
+	var total uint64
+	for _, n := range m.nodes {
+		total += n.Telemetry().Counter(name, "").Value()
+	}
+	return total
+}
+
+// run drives the workload: per block, gossip TxsPerBlock payments from
+// node 0 until every pool holds them, then mine and time full
+// propagation of the block.
+func (m *relayMesh) run(mode string) (*RelayBenchResult, error) {
+	res := &RelayBenchResult{Mode: mode}
+	miner := m.nodes[0]
+	startBytes := m.sum("bcwan_p2p_bytes_out_total")
+	var propagation time.Duration
+	for round := 0; round < m.cfg.Blocks; round++ {
+		for i, w := range m.wallets {
+			tx, err := w.BuildPayment(miner.Chain().UTXO(), w.PubKeyHash(), 1000, 1)
+			if err != nil {
+				return nil, fmt.Errorf("relay bench: payment %d round %d: %w", i, round, err)
+			}
+			if err := miner.Ledger().Submit(tx); err != nil {
+				return nil, fmt.Errorf("relay bench: submit %d round %d: %w", i, round, err)
+			}
+		}
+		err := m.waitFor("warm pools", func() bool {
+			for _, n := range m.nodes {
+				if n.Ledger().Pool.Len() != m.cfg.TxsPerBlock {
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		want := int64(round + 1)
+		start := time.Now()
+		if _, err := miner.MineNow(); err != nil {
+			return nil, fmt.Errorf("relay bench: mine round %d: %w", round, err)
+		}
+		err = m.waitFor(fmt.Sprintf("height %d everywhere", want), func() bool {
+			for _, n := range m.nodes {
+				if n.Chain().Height() != want {
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		propagation += time.Since(start)
+	}
+	// Let trailing announcements (re-relayed invs, duplicate sketches)
+	// drain so both modes pay for their full message cost.
+	time.Sleep(50 * time.Millisecond)
+
+	res.BytesPerBlock = int64(m.sum("bcwan_p2p_bytes_out_total")-startBytes) / int64(m.cfg.Blocks)
+	res.PropagationMS = float64(propagation.Microseconds()) / 1000 / float64(m.cfg.Blocks)
+	hits := m.sum("bcwan_daemon_cmpct_hits_total")
+	res.TxnRoundTrips = m.sum("bcwan_daemon_cmpct_txn_requests_total")
+	res.FullFallbacks = m.sum("bcwan_daemon_cmpct_full_fallbacks_total")
+	if attempts := hits + res.TxnRoundTrips + res.FullFallbacks; attempts > 0 {
+		res.HitRate = float64(hits) / float64(attempts)
+	}
+	return res, nil
+}
+
+// RunRelayBench measures the workload under both relay modes: the
+// legacy flood first (the baseline the paper's gossip layer started
+// from), then the inventory/compact-block relay.
+func RunRelayBench(cfg RelayBenchConfig) ([]*RelayBenchResult, error) {
+	if cfg.Nodes < 2 || cfg.Degree < 1 || cfg.TxsPerBlock < 1 || cfg.Blocks < 1 {
+		return nil, fmt.Errorf("relay bench config must be positive: %+v", cfg)
+	}
+	var results []*RelayBenchResult
+	for _, mode := range []string{"flood", "inv"} {
+		mesh, err := newRelayMesh(cfg, mode == "flood")
+		if err != nil {
+			return nil, err
+		}
+		res, err := mesh.run(mode)
+		mesh.close()
+		if err != nil {
+			return nil, fmt.Errorf("relay bench %s: %w", mode, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// RelayReductionRatio is flood bytes-per-block over inv bytes-per-block
+// — the headline number of the relay redesign; 0 when either row is
+// missing or non-positive.
+func RelayReductionRatio(results []*RelayBenchResult) float64 {
+	var flood, inv int64
+	for _, r := range results {
+		switch r.Mode {
+		case "flood":
+			flood = r.BytesPerBlock
+		case "inv":
+			inv = r.BytesPerBlock
+		}
+	}
+	if flood <= 0 || inv <= 0 {
+		return 0
+	}
+	return float64(flood) / float64(inv)
+}
+
+// WriteRelayBench prints both modes side by side with the byte
+// reduction ratio the CI gate tracks.
+func WriteRelayBench(w io.Writer, cfg RelayBenchConfig, results []*RelayBenchResult) {
+	fmt.Fprintf(w, "== Gossip relay: flood vs inventory/compact (%d nodes, degree %d, %d tx × %d blocks) ==\n",
+		cfg.Nodes, cfg.Degree, cfg.TxsPerBlock, cfg.Blocks)
+	fmt.Fprintf(w, "%-8s %16s %16s %10s %14s %14s\n",
+		"mode", "bytes/block", "propagation", "hit rate", "txn roundtrips", "full fallbacks")
+	for _, r := range results {
+		hit := "-"
+		if r.Mode == "inv" {
+			hit = fmt.Sprintf("%8.0f%%", 100*r.HitRate)
+		}
+		fmt.Fprintf(w, "%-8s %16d %13.2fms %10s %14d %14d\n",
+			r.Mode, r.BytesPerBlock, r.PropagationMS, hit, r.TxnRoundTrips, r.FullFallbacks)
+	}
+	if ratio := RelayReductionRatio(results); ratio > 0 {
+		fmt.Fprintf(w, "wire-byte reduction: %.1fx\n", ratio)
+	}
+	fmt.Fprintln(w)
+}
+
+// relayJSONRow is one machine-readable relay measurement.
+type relayJSONRow struct {
+	Mode          string  `json:"mode"`
+	BytesPerBlock int64   `json:"bytes_per_block"`
+	PropagationMS float64 `json:"propagation_ms"`
+	HitRate       float64 `json:"hit_rate"`
+	TxnRoundTrips uint64  `json:"txn_roundtrips"`
+	FullFallbacks uint64  `json:"full_fallbacks"`
+}
+
+// relayJSON is the BENCH_relay.json document bcwan-benchgate consumes:
+// it bounds the inv row's bytes_per_block against the committed
+// baseline and floors its reconstruction hit rate.
+type relayJSON struct {
+	Nodes          int            `json:"nodes"`
+	Degree         int            `json:"degree"`
+	TxsPerBlock    int            `json:"txs_per_block"`
+	Blocks         int            `json:"blocks"`
+	ReductionRatio float64        `json:"reduction_ratio"`
+	Results        []relayJSONRow `json:"results"`
+}
+
+// WriteRelayBenchJSON writes the measurements as machine-readable JSON
+// to path, creating parent directories as needed.
+func WriteRelayBenchJSON(path string, cfg RelayBenchConfig, results []*RelayBenchResult) error {
+	doc := relayJSON{
+		Nodes:          cfg.Nodes,
+		Degree:         cfg.Degree,
+		TxsPerBlock:    cfg.TxsPerBlock,
+		Blocks:         cfg.Blocks,
+		ReductionRatio: RelayReductionRatio(results),
+	}
+	for _, r := range results {
+		doc.Results = append(doc.Results, relayJSONRow{
+			Mode:          r.Mode,
+			BytesPerBlock: r.BytesPerBlock,
+			PropagationMS: r.PropagationMS,
+			HitRate:       r.HitRate,
+			TxnRoundTrips: r.TxnRoundTrips,
+			FullFallbacks: r.FullFallbacks,
+		})
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

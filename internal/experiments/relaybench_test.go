@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMeshNeighbors(t *testing.T) {
+	for i := 0; i < 16; i++ {
+		ns := meshNeighbors(i, 16, 3)
+		if len(ns) != 3 {
+			t.Fatalf("node %d has %d neighbors, want 3", i, len(ns))
+		}
+		seen := map[int]bool{i: true}
+		for _, n := range ns {
+			if seen[n] {
+				t.Fatalf("node %d neighbor list %v repeats or self-links", i, ns)
+			}
+			seen[n] = true
+		}
+	}
+	// Degenerate mesh: a 2-node "ring" must still link the pair once.
+	if ns := meshNeighbors(0, 2, 3); len(ns) == 0 {
+		t.Fatal("2-node mesh has no links")
+	}
+}
+
+func TestRelayBenchInvBeatsFlood(t *testing.T) {
+	cfg := RelayBenchConfig{Nodes: 6, Degree: 2, TxsPerBlock: 6, Blocks: 2}
+	results, err := RunRelayBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Mode != "flood" || results[1].Mode != "inv" {
+		t.Fatalf("want [flood inv] rows, got %+v", results)
+	}
+	flood, inv := results[0], results[1]
+	if inv.BytesPerBlock >= flood.BytesPerBlock {
+		t.Fatalf("inv relay moved %d bytes/block, flood moved %d — no reduction",
+			inv.BytesPerBlock, flood.BytesPerBlock)
+	}
+	if inv.HitRate < 0.9 {
+		t.Fatalf("warm-pool reconstruction hit rate %.2f, want ≥ 0.90", inv.HitRate)
+	}
+	if inv.FullFallbacks != 0 {
+		t.Fatalf("fault-free mesh fell back to %d full blocks", inv.FullFallbacks)
+	}
+	if ratio := RelayReductionRatio(results); ratio <= 1 {
+		t.Fatalf("reduction ratio %.2f, want > 1", ratio)
+	}
+
+	var text bytes.Buffer
+	WriteRelayBench(&text, cfg, results)
+	if !bytes.Contains(text.Bytes(), []byte("wire-byte reduction")) {
+		t.Fatalf("report missing reduction line:\n%s", text.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_relay.json")
+	if err := WriteRelayBenchJSON(path, cfg, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Nodes          int     `json:"nodes"`
+		ReductionRatio float64 `json:"reduction_ratio"`
+		Results        []struct {
+			Mode          string `json:"mode"`
+			BytesPerBlock int64  `json:"bytes_per_block"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Nodes != cfg.Nodes || len(doc.Results) != 2 || doc.ReductionRatio <= 1 {
+		t.Fatalf("JSON document malformed: %+v", doc)
+	}
+}

@@ -15,24 +15,36 @@ type p2pMetrics struct {
 	peerCount     *telemetry.Gauge
 	dialFailures  *telemetry.Counter
 	queueDrops    *telemetry.Counter
+
+	// Inventory-relay counters (see relay.go). All nil-safe through the
+	// label-lookup helpers below.
+	relayTimeouts    *telemetry.Counter
+	relayRerequests  *telemetry.Counter
+	relayExpired     *telemetry.Counter
+	relayUnfulfilled *telemetry.Counter
 }
 
 // knownMessageTypes are pre-registered so the per-type series exist at
 // zero before the first message of each type flows.
-var knownMessageTypes = []string{"tx", "block", "sync"}
+var knownMessageTypes = []string{"tx", "block", "sync", "inv", "getdata", "cmpctblock", "getblocktxn", "blocktxn"}
 
 func newP2PMetrics(reg *telemetry.Registry) *p2pMetrics {
 	ns := reg.Namespace("p2p")
 	m := &p2pMetrics{
 		ns:            ns,
-		bytesIn:       ns.Counter("bytes_in_total", "Total payload bytes received from peers."),
-		bytesOut:      ns.Counter("bytes_out_total", "Total payload bytes sent to peers."),
-		messageBytes:  ns.Histogram("message_bytes", "Distribution of received message payload sizes in bytes.", telemetry.SizeBuckets),
+		bytesIn:       ns.Counter("bytes_in_total", "Total message bytes (type, sender, payload) received from peers."),
+		bytesOut:      ns.Counter("bytes_out_total", "Total message bytes (type, sender, payload) sent to peers."),
+		messageBytes:  ns.Histogram("message_bytes", "Distribution of received message sizes in bytes (type, sender, payload).", telemetry.SizeBuckets),
 		dupSuppressed: ns.Counter("duplicates_suppressed_total", "Gossip messages dropped because they were already seen."),
 		seenEvictions: ns.Counter("seen_evictions_total", "Entries evicted from the duplicate-suppression ring."),
 		peerCount:     ns.Gauge("peer_count", "Connected gossip peers."),
 		dialFailures:  ns.Counter("dial_failures_total", "Outbound connection attempts that failed."),
 		queueDrops:    ns.Counter("send_queue_drops_total", "Outbound messages dropped because a peer's send queue was full."),
+
+		relayTimeouts:    ns.Counter("relay_request_timeouts_total", "Object requests that timed out waiting for the asked announcer."),
+		relayRerequests:  ns.Counter("relay_rerequests_total", "Timed-out object requests retried against another announcer."),
+		relayExpired:     ns.Counter("relay_requests_expired_total", "Object requests abandoned after every announcer was tried."),
+		relayUnfulfilled: ns.Counter("relay_getdata_unfulfilled_total", "getdata requests for objects this node no longer holds."),
 	}
 	for _, t := range knownMessageTypes {
 		m.msgIn(t)
@@ -56,4 +68,43 @@ func (m *p2pMetrics) msgOut(msgType string) *telemetry.Counter {
 		return nil
 	}
 	return m.ns.Counter("messages_out_total", "Gossip messages sent, by type.", telemetry.L("type", msgType))
+}
+
+// relayAnnounce returns the inv-announcement counter for a kind and
+// direction ("in"/"out").
+func (m *p2pMetrics) relayAnnounce(kind, dir string) *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.ns.Counter("relay_announces_total", "Inventory digests announced, by object kind and direction.",
+		telemetry.L("kind", kind), telemetry.L("dir", dir))
+}
+
+// relayRequest returns the getdata counter for a kind and direction.
+func (m *p2pMetrics) relayRequest(kind, dir string) *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.ns.Counter("relay_requests_total", "Objects requested via getdata, by kind and direction.",
+		telemetry.L("kind", kind), telemetry.L("dir", dir))
+}
+
+// relayFulfill returns the fulfillment counter for a kind and direction.
+func (m *p2pMetrics) relayFulfill(kind, dir string) *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.ns.Counter("relay_fulfills_total", "Objects delivered in answer to getdata, by kind and direction.",
+		telemetry.L("kind", kind), telemetry.L("dir", dir))
+}
+
+// relayBytesSaved returns the estimated-savings counter for a kind: the
+// full-body bytes a naive flood would have pushed for announcements of
+// objects this node already held.
+func (m *p2pMetrics) relayBytesSaved(kind string) *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.ns.Counter("relay_bytes_saved_total", "Estimated wire bytes saved vs naive flooding: object bytes not re-sent because an announcement found the object already present.",
+		telemetry.L("kind", kind))
 }

@@ -104,8 +104,11 @@ func TestP2PTelemetryCounters(t *testing.T) {
 	if got := snapValue(t, regA, "bcwan_p2p_messages_out_total", map[string]string{"type": "tx"}); got != 1 {
 		t.Fatalf("a messages_out = %v, want 1", got)
 	}
-	if got := snapValue(t, regA, "bcwan_p2p_bytes_out_total", nil); got != float64(len(payload)) {
-		t.Fatalf("a bytes_out = %v, want %d", got, len(payload))
+	// Byte counters cover the whole message — type, sender and payload —
+	// so relay-savings comparisons are honest about announcement overhead.
+	wire := (&Message{Type: "tx", From: a.Addr(), Payload: payload}).WireSize()
+	if got := snapValue(t, regA, "bcwan_p2p_bytes_out_total", nil); got != float64(wire) {
+		t.Fatalf("a bytes_out = %v, want %d", got, wire)
 	}
 	if got := snapValue(t, regA, "bcwan_p2p_peer_count", nil); got != 1 {
 		t.Fatalf("a peer_count = %v, want 1", got)
@@ -113,8 +116,8 @@ func TestP2PTelemetryCounters(t *testing.T) {
 	if got := snapValue(t, regB, "bcwan_p2p_messages_in_total", map[string]string{"type": "tx"}); got != 1 {
 		t.Fatalf("b messages_in = %v, want 1", got)
 	}
-	if got := snapValue(t, regB, "bcwan_p2p_bytes_in_total", nil); got != float64(len(payload)) {
-		t.Fatalf("b bytes_in = %v, want %d", got, len(payload))
+	if got := snapValue(t, regB, "bcwan_p2p_bytes_in_total", nil); got != float64(wire) {
+		t.Fatalf("b bytes_in = %v, want %d", got, wire)
 	}
 	// Pre-registered series exist at zero even for unseen types.
 	if got := snapValue(t, regB, "bcwan_p2p_messages_in_total", map[string]string{"type": "block"}); got != 0 {

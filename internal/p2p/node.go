@@ -29,7 +29,12 @@ type Node struct {
 	peers    map[string]*peer
 	conns    map[Conn]bool // every live conn, incl. unregistered inbound
 	handlers map[string]Handler
-	seen     map[[sha256.Size]byte]bool
+	// direct marks message types that are addressed point-to-point (the
+	// relay's inv/getdata/fulfillment traffic): they bypass duplicate
+	// suppression — the same getdata from two peers must be answered
+	// twice — and are never re-flooded.
+	direct map[string]bool
+	seen   map[[sha256.Size]byte]bool
 	// seenRing is a fixed-capacity ring over the keys of seen, in
 	// insertion order. It grows to maxSeen and is then overwritten in
 	// place at seenHead — unlike the previous slice-shift eviction,
@@ -97,6 +102,7 @@ func NewNodeWithTelemetry(transport Transport, addr string, logger *log.Logger, 
 		peers:     make(map[string]*peer),
 		conns:     make(map[Conn]bool),
 		handlers:  make(map[string]Handler),
+		direct:    make(map[string]bool),
 		seen:      make(map[[sha256.Size]byte]bool),
 	}
 	if reg != nil {
@@ -116,6 +122,16 @@ func (n *Node) Handle(msgType string, h Handler) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.handlers[msgType] = h
+}
+
+// HandleDirect registers a handler for a point-to-point message type:
+// no duplicate suppression and no gossip re-flood. Handlers must be
+// idempotent — the wire may deliver the same message more than once.
+func (n *Node) HandleDirect(msgType string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[msgType] = h
+	n.direct[msgType] = true
 }
 
 // Connect dials a peer and starts reading from it. Connecting to an
@@ -166,6 +182,30 @@ func (n *Node) Broadcast(msgType string, payload []byte) {
 	n.sendToPeers(msg, "")
 }
 
+// SendTo queues a message to one connected peer only — the relay's
+// announcement, request and fulfillment traffic. It reports false when
+// the peer is unknown or its queue was full (the message was shed).
+func (n *Node) SendTo(addr, msgType string, payload []byte) bool {
+	msg := Message{Type: msgType, From: n.Addr(), Payload: payload}
+	n.mu.Lock()
+	p := n.peers[addr]
+	n.mu.Unlock()
+	if p == nil {
+		return false
+	}
+	if !p.enqueue(msg) {
+		if m := n.metrics; m != nil {
+			m.queueDrops.Inc()
+		}
+		return false
+	}
+	if m := n.metrics; m != nil {
+		m.msgOut(msg.Type).Inc()
+		m.bytesOut.Add(uint64(msg.WireSize()))
+	}
+	return true
+}
+
 // sendToPeers queues msg to every peer except the one named by skip.
 func (n *Node) sendToPeers(msg Message, skip string) {
 	n.mu.Lock()
@@ -186,7 +226,7 @@ func (n *Node) sendToPeers(msg Message, skip string) {
 		}
 		if m := n.metrics; m != nil {
 			m.msgOut(msg.Type).Inc()
-			m.bytesOut.Add(uint64(len(msg.Payload)))
+			m.bytesOut.Add(uint64(msg.WireSize()))
 		}
 	}
 }
@@ -333,24 +373,33 @@ func (n *Node) readLoop(addr string, conn Conn) {
 		}
 		if m := n.metrics; m != nil {
 			m.msgIn(msg.Type).Inc()
-			m.bytesIn.Add(uint64(len(msg.Payload)))
-			m.messageBytes.Observe(float64(len(msg.Payload)))
+			m.bytesIn.Add(uint64(msg.WireSize()))
+			m.messageBytes.Observe(float64(msg.WireSize()))
 		}
 		n.dispatch(msg)
 	}
 }
 
 // dispatch runs the handler once per unique message and re-floods it.
+// Direct (point-to-point) types skip both the duplicate suppression and
+// the re-flood.
 func (n *Node) dispatch(msg Message) {
+	n.mu.Lock()
+	h := n.handlers[msg.Type]
+	direct := n.direct[msg.Type]
+	n.mu.Unlock()
+	if direct {
+		if h != nil {
+			h(msg.From, msg)
+		}
+		return
+	}
 	if !n.markSeen(msg) {
 		if m := n.metrics; m != nil {
 			m.dupSuppressed.Inc()
 		}
 		return
 	}
-	n.mu.Lock()
-	h := n.handlers[msg.Type]
-	n.mu.Unlock()
 	if h != nil {
 		h(msg.From, msg)
 	}
@@ -358,11 +407,27 @@ func (n *Node) dispatch(msg Message) {
 	n.sendToPeers(Message{Type: msg.Type, From: n.Addr(), Payload: msg.Payload}, msg.From)
 }
 
+// messageDigest is the duplicate-suppression key. The payload is hashed
+// on its own first (Sum256 runs over the original slice, no copy), then
+// combined with the type through a small stack buffer — the previous
+// type+payload concatenation allocated a fresh payload-sized buffer for
+// every message on the hot path. Types longer than 63 bytes are
+// truncated; gossip types are short constants.
+func messageDigest(msgType string, payload []byte) [sha256.Size]byte {
+	inner := sha256.Sum256(payload)
+	var buf [63 + 1 + sha256.Size]byte
+	n := copy(buf[:63], msgType)
+	buf[n] = 0
+	n++
+	n += copy(buf[n:], inner[:])
+	return sha256.Sum256(buf[:n])
+}
+
 // markSeen records the message body; it reports true the first time.
 // Once the ring reaches maxSeen entries the oldest digest is evicted in
 // place, keeping memory constant.
 func (n *Node) markSeen(msg Message) bool {
-	sum := sha256.Sum256(append([]byte(msg.Type+"\x00"), msg.Payload...))
+	sum := messageDigest(msg.Type, msg.Payload)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.seen[sum] {

@@ -1,0 +1,280 @@
+package p2p
+
+import (
+	"crypto/sha256"
+	"testing"
+	"time"
+
+	"bcwan/internal/telemetry"
+)
+
+// relayTestNode bundles a node, its relay, its registry and a collector
+// for received object bodies.
+type relayTestNode struct {
+	node  *Node
+	relay *Relay
+	reg   *telemetry.Registry
+	got   collector
+}
+
+func newRelayTestNode(t *testing.T, tr Transport, cfg RelayConfig) *relayTestNode {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	n, err := NewNodeWithTelemetry(tr, "", nil, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRelay(n, cfg)
+	rt := &relayTestNode{node: n, relay: r, reg: reg}
+	r.Handle("tx", func(from string, payload []byte) (ObjectID, bool) {
+		rt.got.handler(from, Message{Type: "tx", From: from, Payload: payload})
+		return sha256.Sum256(payload), true
+	})
+	t.Cleanup(func() {
+		r.Close()
+		n.Close()
+	})
+	return rt
+}
+
+// counterValue reads a registered series; zero when it does not exist.
+func counterValue(reg *telemetry.Registry, name string, labels ...telemetry.Label) uint64 {
+	return reg.Namespace("p2p").Counter(name, "", labels...).Value()
+}
+
+// TestRelayMeshFewerBytesThanFlood runs the same payload through the
+// same sparse mesh twice — naive flood vs inventory relay — and
+// requires the relay to converge with strictly fewer wire bytes.
+func TestRelayMeshFewerBytesThanFlood(t *testing.T) {
+	const nNodes = 8
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+
+	// connectMesh wires a ring with +2 chords: degree 4, redundant paths.
+	connectMesh := func(t *testing.T, addrs []string, connect func(i int, addr string)) {
+		for i := range addrs {
+			connect(i, addrs[(i+1)%nNodes])
+			connect(i, addrs[(i+2)%nNodes])
+		}
+	}
+
+	// Flood baseline.
+	floodBytes := func() uint64 {
+		tr := NewMemTransport()
+		regs := make([]*telemetry.Registry, nNodes)
+		nodes := make([]*Node, nNodes)
+		cols := make([]collector, nNodes)
+		addrs := make([]string, nNodes)
+		for i := range nodes {
+			regs[i] = telemetry.NewRegistry()
+			n, err := NewNodeWithTelemetry(tr, "", nil, regs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer n.Close()
+			nodes[i] = n
+			addrs[i] = n.Addr()
+			nodes[i].Handle("tx", cols[i].handler)
+		}
+		connectMesh(t, addrs, func(i int, addr string) {
+			if err := nodes[i].Connect(addr); err != nil {
+				t.Fatal(err)
+			}
+		})
+		nodes[0].Broadcast("tx", payload)
+		for i := 1; i < nNodes; i++ {
+			cols[i].waitFor(t, 1)
+		}
+		// Let in-flight duplicate floods finish before counting.
+		time.Sleep(100 * time.Millisecond)
+		var total uint64
+		for _, reg := range regs {
+			total += counterValue(reg, "bytes_out_total")
+		}
+		return total
+	}()
+
+	// Inventory relay over the identical topology and payload.
+	relayBytes := func() uint64 {
+		tr := NewMemTransport()
+		rts := make([]*relayTestNode, nNodes)
+		addrs := make([]string, nNodes)
+		for i := range rts {
+			rts[i] = newRelayTestNode(t, tr, RelayConfig{})
+			addrs[i] = rts[i].node.Addr()
+		}
+		connectMesh(t, addrs, func(i int, addr string) {
+			if err := rts[i].node.Connect(addr); err != nil {
+				t.Fatal(err)
+			}
+		})
+		id := sha256.Sum256(payload)
+		rts[0].relay.Announce("tx", id, payload, false)
+		for i := 1; i < nNodes; i++ {
+			rts[i].got.waitFor(t, 1)
+		}
+		time.Sleep(100 * time.Millisecond)
+		var total uint64
+		for _, rt := range rts {
+			total += counterValue(rt.reg, "bytes_out_total")
+		}
+		return total
+	}()
+
+	if relayBytes >= floodBytes {
+		t.Fatalf("relay moved %d bytes, flood %d — relay must be strictly cheaper", relayBytes, floodBytes)
+	}
+	t.Logf("flood %d bytes, relay %d bytes (%.1fx reduction)",
+		floodBytes, relayBytes, float64(floodBytes)/float64(relayBytes))
+}
+
+// TestRelayRerequestsFromSecondAnnouncer starves the first getdata: a
+// silent peer announces first, an honest peer announces second, and the
+// request timeout must move the fetch to the honest peer.
+func TestRelayRerequestsFromSecondAnnouncer(t *testing.T) {
+	tr := NewMemTransport()
+	target := newRelayTestNode(t, tr, RelayConfig{RequestTimeout: 50 * time.Millisecond})
+
+	payload := []byte("relayed-object-body")
+	id := sha256.Sum256(payload)
+	inv := encodeInv("tx", id)
+
+	// silent announces the object but never answers getdata.
+	silent, err := NewNode(tr, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	silent.HandleDirect("getdata", func(string, Message) {})
+
+	// honest serves the body on request.
+	honest, err := NewNode(tr, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer honest.Close()
+	honest.HandleDirect("getdata", func(from string, msg Message) {
+		if kind, ids, ok := decodeInv(msg.Payload); ok && kind == "tx" && ids[0] == id {
+			honest.SendTo(from, "tx", payload)
+		}
+	})
+
+	if err := silent.Connect(target.node.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := honest.Connect(target.node.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The silent peer's inv must arrive (and be asked) first.
+	silent.SendTo(target.node.Addr(), "inv", inv)
+	deadline := time.Now().Add(5 * time.Second)
+	for counterValue(target.reg, "relay_requests_total",
+		telemetry.L("kind", "tx"), telemetry.L("dir", "out")) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("target never requested from the silent announcer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	honest.SendTo(target.node.Addr(), "inv", inv)
+
+	target.got.waitFor(t, 1)
+	if string(target.got.msgs[0].Payload) != string(payload) {
+		t.Fatalf("payload = %q", target.got.msgs[0].Payload)
+	}
+	if v := counterValue(target.reg, "relay_rerequests_total"); v == 0 {
+		t.Fatal("fetch succeeded without a re-request — timeout path untested")
+	}
+	if v := counterValue(target.reg, "relay_request_timeouts_total"); v == 0 {
+		t.Fatal("timeout counter did not advance")
+	}
+}
+
+// TestRelayNeverAnnouncesBack checks the per-peer known-inventory set:
+// the node that taught us an object must not be told about it again.
+func TestRelayNeverAnnouncesBack(t *testing.T) {
+	tr := NewMemTransport()
+	a := newRelayTestNode(t, tr, RelayConfig{})
+	b := newRelayTestNode(t, tr, RelayConfig{})
+	if err := a.node.Connect(b.node.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := []byte("no-echo")
+	id := sha256.Sum256(payload)
+	a.relay.Announce("tx", id, payload, false)
+	b.got.waitFor(t, 1)
+
+	// b's handler relayed the object onward; its only peer is a, which is
+	// known to hold it, so b must announce nothing.
+	time.Sleep(100 * time.Millisecond)
+	if v := counterValue(b.reg, "relay_announces_total",
+		telemetry.L("kind", "tx"), telemetry.L("dir", "out")); v != 0 {
+		t.Fatalf("b announced %d times back toward its teacher", v)
+	}
+	if v := counterValue(a.reg, "relay_announces_total",
+		telemetry.L("kind", "tx"), telemetry.L("dir", "in")); v != 0 {
+		t.Fatalf("a received %d echo announcements", v)
+	}
+	if !b.relay.Known(a.node.Addr(), "tx", id) {
+		t.Fatal("b did not record a as knowing the object")
+	}
+}
+
+// TestRelayDedupAcrossAnnouncers checks that two announcers cause one
+// fetch: the second inv registers as a backup announcer, not a second
+// getdata.
+func TestRelayDedupAcrossAnnouncers(t *testing.T) {
+	tr := NewMemTransport()
+	target := newRelayTestNode(t, tr, RelayConfig{RequestTimeout: time.Minute})
+
+	payload := []byte("fetched-once")
+	id := sha256.Sum256(payload)
+	inv := encodeInv("tx", id)
+
+	mkServer := func() *Node {
+		n, err := NewNode(tr, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		n.HandleDirect("getdata", func(from string, msg Message) {
+			n.SendTo(from, "tx", payload)
+		})
+		if err := n.Connect(target.node.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	s1 := mkServer()
+	s2 := mkServer()
+	s1.SendTo(target.node.Addr(), "inv", inv)
+	s2.SendTo(target.node.Addr(), "inv", inv)
+
+	target.got.waitFor(t, 1)
+	time.Sleep(100 * time.Millisecond)
+	if got := target.got.count(); got != 1 {
+		t.Fatalf("object delivered %d times, want 1", got)
+	}
+	out := counterValue(target.reg, "relay_requests_total",
+		telemetry.L("kind", "tx"), telemetry.L("dir", "out"))
+	if out != 1 {
+		t.Fatalf("sent %d getdata, want exactly 1", out)
+	}
+}
+
+func TestInvEncodingRoundTrip(t *testing.T) {
+	id1 := sha256.Sum256([]byte("a"))
+	id2 := sha256.Sum256([]byte("b"))
+	kind, ids, ok := decodeInv(encodeInv("block", id1, id2))
+	if !ok || kind != "block" || len(ids) != 2 || ids[0] != id1 || ids[1] != id2 {
+		t.Fatalf("round trip failed: %q %v %v", kind, ids, ok)
+	}
+	for _, bad := range [][]byte{nil, {}, {5, 'a'}, encodeInv("tx")[:3], append(encodeInv("tx", id1), 1)} {
+		if _, _, ok := decodeInv(bad); ok {
+			t.Fatalf("decodeInv accepted malformed frame %v", bad)
+		}
+	}
+}
