@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench blockconnect reorg relay-bench bench-gate lint fuzz chaos ci
+.PHONY: build test vet race bench blockconnect reorg relay-bench sync-bench bench-gate lint fuzz chaos ci
 
 build:
 	$(GO) build ./...
@@ -35,12 +35,18 @@ reorg:
 relay-bench:
 	$(GO) run ./cmd/bcwan-bench -only relay
 
+# Regenerate results/BENCH_sync.json (height-100k gateway cold start:
+# genesis replay vs headers + snapshot bootstrap). Takes minutes.
+sync-bench:
+	$(GO) run ./cmd/bcwan-bench -only sync
+
 # What the CI bench-regression job runs: re-measure into a scratch
 # directory and gate against the committed baselines.
 bench-gate:
 	$(GO) run ./cmd/bcwan-bench -only blockconnect -results /tmp/bcwan-bench-candidate
 	$(GO) run ./cmd/bcwan-bench -only reorg -results /tmp/bcwan-bench-candidate
 	$(GO) run ./cmd/bcwan-bench -only relay -results /tmp/bcwan-bench-candidate
+	$(GO) run ./cmd/bcwan-bench -only sync -results /tmp/bcwan-bench-candidate
 	$(GO) run ./cmd/bcwan-benchgate -kind blockconnect \
 		-baseline results/BENCH_blockconnect.json \
 		-candidate /tmp/bcwan-bench-candidate/BENCH_blockconnect.json
@@ -50,6 +56,9 @@ bench-gate:
 	$(GO) run ./cmd/bcwan-benchgate -kind relay \
 		-baseline results/BENCH_relay.json \
 		-candidate /tmp/bcwan-bench-candidate/BENCH_relay.json
+	$(GO) run ./cmd/bcwan-benchgate -kind sync \
+		-baseline results/BENCH_sync.json \
+		-candidate /tmp/bcwan-bench-candidate/BENCH_sync.json
 
 # Static analysis. CI installs the tools; locally:
 #   go install honnef.co/go/tools/cmd/staticcheck@latest

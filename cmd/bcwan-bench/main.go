@@ -10,7 +10,8 @@
 //	extras  block-interval / gateway-count / SF sweeps, legacy baseline,
 //	        block-connect throughput vs VerifyWorkers and sig-cache state,
 //	        depth-2 reorg cost vs chain length (undo-journal ablation),
-//	        wire bytes and propagation time: flood vs inv/compact relay
+//	        wire bytes and propagation time: flood vs inv/compact relay,
+//	        gateway cold start: genesis replay vs snapshot bootstrap
 //
 // Run everything at paper scale (minutes):
 //
@@ -43,7 +44,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bcwan-bench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "scaled-down run (seconds instead of minutes)")
-	only := fs.String("only", "", "run a single experiment: fig4|fig5|fig6|budget|doublespend|reputation|sweeps|legacy|blockconnect|reorg|relay")
+	only := fs.String("only", "", "run a single experiment: fig4|fig5|fig6|budget|doublespend|reputation|sweeps|legacy|blockconnect|reorg|relay|sync")
 	csvDir := fs.String("csv", "", "also write per-exchange latency series (the raw figure data) as CSV files into this directory")
 	resultsDir := fs.String("results", "results", "directory for machine-readable benchmark JSON (empty disables)")
 	if err := fs.Parse(args); err != nil {
@@ -217,6 +218,25 @@ func run(args []string) error {
 		if *resultsDir != "" {
 			path := filepath.Join(*resultsDir, "BENCH_relay.json")
 			if err := experiments.WriteRelayBenchJSON(path, cfg, results); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n\n", path)
+		}
+	}
+
+	if want("sync") {
+		cfg := experiments.DefaultSyncBenchConfig()
+		if *quick {
+			cfg = experiments.SyncBenchConfig{Height: 600, SnapshotInterval: 128, SnapshotChunkSize: 32 << 10, TxsPerBlock: 2}
+		}
+		results, err := experiments.RunSyncBench(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.WriteSyncBench(out, cfg, results)
+		if *resultsDir != "" {
+			path := filepath.Join(*resultsDir, "BENCH_sync.json")
+			if err := experiments.WriteSyncBenchJSON(path, cfg, results); err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s\n\n", path)

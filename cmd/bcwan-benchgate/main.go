@@ -10,14 +10,18 @@
 //	    -baseline results/BENCH_reorg.json -candidate /tmp/BENCH_reorg.json
 //	bcwan-benchgate -kind relay \
 //	    -baseline results/BENCH_relay.json -candidate /tmp/BENCH_relay.json
+//	bcwan-benchgate -kind sync \
+//	    -baseline results/BENCH_sync.json -candidate /tmp/BENCH_sync.json
 //
 // The thresholds are deliberately loose (25% ns/op slack, hit rate no
 // lower than 75% of baseline, reorg scaling ratio at most 5x, relay
-// bytes-per-block slack 25% with a 0.75 compact hit-rate floor) so
-// shared CI runners do not flake; a genuine algorithmic regression —
-// say a reorg going back to replay-from-genesis, or the inv relay
-// degenerating back to flooding — overshoots them by orders of
-// magnitude. See README.md for what to do when this gate fails.
+// bytes-per-block slack 25% with a 0.75 compact hit-rate floor, sync
+// cold-start speedup at least 1.5x) so shared CI runners do not flake;
+// a genuine algorithmic regression — say a reorg going back to
+// replay-from-genesis, the inv relay degenerating back to flooding, or
+// the snapshot bootstrap silently falling back to a body-by-body
+// replay — overshoots them by orders of magnitude. See README.md for
+// what to do when this gate fails.
 package main
 
 import (
@@ -36,12 +40,13 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("bcwan-benchgate", flag.ContinueOnError)
-	kind := fs.String("kind", "", "benchmark document kind: blockconnect|reorg|relay")
+	kind := fs.String("kind", "", "benchmark document kind: blockconnect|reorg|relay|sync")
 	baselinePath := fs.String("baseline", "", "committed baseline JSON (required)")
 	candidatePath := fs.String("candidate", "", "freshly measured JSON (required)")
 	maxRegression := fs.Float64("max-regression", 0.25, "allowed ns/op increase over baseline (fraction)")
 	minHitRateFrac := fs.Float64("min-hitrate-frac", 0.75, "blockconnect: candidate hit rate as a fraction of baseline; relay: absolute hit-rate floor")
 	maxScaling := fs.Float64("max-scaling", 5, "reorg: max per-reorg cost ratio of longest vs shortest chain")
+	minSyncSpeedup := fs.Float64("min-sync-speedup", 1.5, "sync: min snapshot-bootstrap speedup over genesis replay (first-delivery ratio)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,8 +63,10 @@ func run(args []string, out *os.File) error {
 		failures, err = gateReorg(*baselinePath, *candidatePath, *maxScaling)
 	case "relay":
 		failures, err = gateRelay(*baselinePath, *candidatePath, *maxRegression, *minHitRateFrac)
+	case "sync":
+		failures, err = gateSync(*baselinePath, *candidatePath, *minSyncSpeedup)
 	default:
-		return fmt.Errorf("-kind must be blockconnect, reorg, or relay, got %q", *kind)
+		return fmt.Errorf("-kind must be blockconnect, reorg, relay, or sync, got %q", *kind)
 	}
 	if err != nil {
 		return err
@@ -98,6 +105,19 @@ type relayDoc struct {
 		Mode          string  `json:"mode"`
 		BytesPerBlock int64   `json:"bytes_per_block"`
 		HitRate       float64 `json:"hit_rate"`
+	} `json:"results"`
+}
+
+// syncDoc mirrors results/BENCH_sync.json.
+type syncDoc struct {
+	Height           int64 `json:"height"`
+	SnapshotInterval int64 `json:"snapshot_interval"`
+	TxsPerBlock      int   `json:"txs_per_block"`
+	Results          []struct {
+		Mode            string  `json:"mode"`
+		FirstDeliveryMS float64 `json:"first_delivery_ms"`
+		PruneBase       int64   `json:"prune_base"`
+		BlocksReplayed  int64   `json:"blocks_replayed"`
 	} `json:"results"`
 }
 
@@ -208,6 +228,67 @@ func gateReorg(baselinePath, candidatePath string, maxScaling float64) ([]string
 			cand.Depth, last.NsPerReorg, last.ChainLen, first.NsPerReorg, first.ChainLen, ratio, maxScaling)}, nil
 	}
 	return nil, nil
+}
+
+// gateSync asserts the snapshot-bootstrap property inside the candidate
+// file itself: joining via snapshot must reach first delivery at least
+// minSpeedup times faster than the genesis replay of the same history,
+// and the snapshot join must actually have pruned (prune_base > 0) with
+// fewer bodies executed than the replay. Both joins run back to back on
+// the same machine, so the ratio holds on any runner speed — a
+// bootstrap that quietly degrades to replaying every body pushes it to
+// 1x. The baseline is only checked for workload-shape agreement
+// (absolute milliseconds are not compared across machines).
+func gateSync(baselinePath, candidatePath string, minSpeedup float64) ([]string, error) {
+	var base, cand syncDoc
+	if err := readJSON(baselinePath, &base); err != nil {
+		return nil, err
+	}
+	if err := readJSON(candidatePath, &cand); err != nil {
+		return nil, err
+	}
+	if base.Height != cand.Height || base.SnapshotInterval != cand.SnapshotInterval ||
+		base.TxsPerBlock != cand.TxsPerBlock {
+		return nil, fmt.Errorf("workload mismatch: baseline height %d/interval %d/%d txs vs candidate height %d/interval %d/%d txs — regenerate the baseline",
+			base.Height, base.SnapshotInterval, base.TxsPerBlock,
+			cand.Height, cand.SnapshotInterval, cand.TxsPerBlock)
+	}
+
+	row := func(doc syncDoc, mode string) (float64, int64, int64, bool) {
+		for _, r := range doc.Results {
+			if r.Mode == mode {
+				return r.FirstDeliveryMS, r.PruneBase, r.BlocksReplayed, true
+			}
+		}
+		return 0, 0, 0, false
+	}
+	replayMS, _, replayBlocks, ok := row(cand, "replay")
+	if !ok {
+		return nil, fmt.Errorf("%s: no replay row", candidatePath)
+	}
+	snapMS, snapBase, snapBlocks, ok := row(cand, "snapshot")
+	if !ok {
+		return nil, fmt.Errorf("%s: no snapshot row", candidatePath)
+	}
+	if replayMS <= 0 || snapMS <= 0 {
+		return nil, fmt.Errorf("%s: non-positive first-delivery time", candidatePath)
+	}
+
+	var failures []string
+	if ratio := replayMS / snapMS; ratio < minSpeedup {
+		failures = append(failures, fmt.Sprintf(
+			"snapshot bootstrap speedup %.2fx below floor %.1fx (replay %.0fms vs snapshot %.0fms at height %d) — is the join replaying bodies below the horizon?",
+			ratio, minSpeedup, replayMS, snapMS, cand.Height))
+	}
+	if snapBase <= 0 {
+		failures = append(failures, fmt.Sprintf(
+			"snapshot join never pruned (prune_base %d) — did the bootstrap fall back to a full sync?", snapBase))
+	}
+	if snapBlocks >= replayBlocks {
+		failures = append(failures, fmt.Sprintf(
+			"snapshot join executed %d bodies, replay %d — the horizon saved nothing", snapBlocks, replayBlocks))
+	}
+	return failures, nil
 }
 
 // gateRelay compares the inv-relay row of the candidate against the

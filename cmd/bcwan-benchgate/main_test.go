@@ -180,6 +180,62 @@ func TestGateRelayWorkloadMismatch(t *testing.T) {
 	}
 }
 
+const baseSync = `{
+  "height": 100000, "snapshot_interval": 8192, "snapshot_chunk_size": 262144, "txs_per_block": 4,
+  "speedup_ratio": 4.0,
+  "results": [
+    {"mode": "replay",   "cold_start_ms": 60000, "first_delivery_ms": 60100, "bytes_in": 150000000, "prune_base": 0,     "blocks_replayed": 100001},
+    {"mode": "snapshot", "cold_start_ms": 15000, "first_delivery_ms": 15025, "bytes_in": 40000000,  "prune_base": 98304, "blocks_replayed": 1696}
+  ]
+}`
+
+func TestGateSyncPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", baseSync)
+	failures, err := gateSync(base, base, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+}
+
+func TestGateSyncFlagsDegradedBootstrap(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", baseSync)
+	// The bootstrap quietly fell back to a full replay: no pruning, every
+	// body executed, and the speedup collapsed to parity.
+	cand := writeFile(t, dir, "cand.json", `{
+	  "height": 100000, "snapshot_interval": 8192, "snapshot_chunk_size": 262144, "txs_per_block": 4,
+	  "speedup_ratio": 1.0,
+	  "results": [
+	    {"mode": "replay",   "first_delivery_ms": 60000, "prune_base": 0, "blocks_replayed": 100001},
+	    {"mode": "snapshot", "first_delivery_ms": 59000, "prune_base": 0, "blocks_replayed": 100001}
+	  ]
+	}`)
+	failures, err := gateSync(base, cand, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 3 {
+		t.Fatalf("failures = %v, want speedup, prune and body-count violations", failures)
+	}
+	if !strings.Contains(failures[0], "speedup") || !strings.Contains(failures[1], "never pruned") ||
+		!strings.Contains(failures[2], "saved nothing") {
+		t.Fatalf("unexpected failure messages: %v", failures)
+	}
+}
+
+func TestGateSyncWorkloadMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", baseSync)
+	cand := writeFile(t, dir, "cand.json", `{"height": 600, "snapshot_interval": 128, "txs_per_block": 2, "results": []}`)
+	if _, err := gateSync(base, cand, 1.5); err == nil {
+		t.Fatal("want workload-mismatch error")
+	}
+}
+
 func TestGateAgainstCommittedBaselines(t *testing.T) {
 	// The committed baselines must pass against themselves, or the CI
 	// job would fail on an untouched tree.
@@ -195,5 +251,9 @@ func TestGateAgainstCommittedBaselines(t *testing.T) {
 	re := filepath.Join(root, "results", "BENCH_relay.json")
 	if failures, err := gateRelay(re, re, 0.25, 0.75); err != nil || len(failures) != 0 {
 		t.Fatalf("relay self-gate: err=%v failures=%v", err, failures)
+	}
+	sy := filepath.Join(root, "results", "BENCH_sync.json")
+	if failures, err := gateSync(sy, sy, 1.5); err != nil || len(failures) != 0 {
+		t.Fatalf("sync self-gate: err=%v failures=%v", err, failures)
 	}
 }

@@ -28,7 +28,6 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -65,6 +64,9 @@ func run(args []string) error {
 	dataDir := fs.String("datadir", "", "directory to persist the chain across restarts")
 	metricsLog := fs.Duration("metrics-log", 0, "periodically log a JSON telemetry snapshot at this interval (0 disables)")
 	floodRelay := fs.Bool("flood-relay", false, "gossip full tx/block payloads to every peer instead of the inv/compact announcement protocol (debugging escape hatch)")
+	prune := fs.Int64("prune", 0, "keep only this many recent block bodies; older heights become header-only stubs at each store compaction (0 = keep everything)")
+	snapshotInterval := fs.Int64("snapshot-interval", 0, "height spacing of signed snapshot commitments published when mining (0 = default 1024)")
+	legacySync := fs.Bool("legacy-sync", false, "join by replaying every block from genesis instead of headers-first + snapshot bootstrap")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,6 +101,10 @@ func run(args []string) error {
 		MineInterval: *interval,
 		FloodRelay:   *floodRelay,
 		Logger:       logger,
+
+		LegacySyncOnly:   *legacySync,
+		PruneDepth:       *prune,
+		SnapshotInterval: *snapshotInterval,
 	}
 	if *mine {
 		if *minerKeyHex == "" {
@@ -133,22 +139,13 @@ func run(args []string) error {
 		if err := os.MkdirAll(*dataDir, 0o700); err != nil {
 			return err
 		}
-		storeDir := filepath.Join(*dataDir, "chainstore")
-		loaded, err := node.OpenStore(storeDir)
+		// Open loads the incremental store and migrates a legacy
+		// whole-file chain.dat if one is present.
+		loaded, err := node.Open(*dataDir)
 		if err != nil {
 			return fmt.Errorf("restore chain: %w", err)
 		}
-		logger.Printf("restored %d blocks from %s (height %d)", loaded, storeDir, node.Chain().Height())
-		// Migrate a legacy whole-file store if one is present: its blocks
-		// connect through normal validation and land in the new log.
-		if legacy := daemon.DefaultChainPath(*dataDir); fileExists(legacy) {
-			migrated, err := node.LoadChain(legacy)
-			if err != nil {
-				logger.Printf("legacy store %s: %v", legacy, err)
-			} else if migrated > 0 {
-				logger.Printf("migrated %d blocks from legacy store %s", migrated, legacy)
-			}
-		}
+		logger.Printf("restored %d blocks from %s (height %d)", loaded, *dataDir, node.Chain().Height())
 		defer func() {
 			if err := node.Store().Compact(node.Chain()); err != nil {
 				logger.Printf("compact chain store: %v", err)
@@ -176,11 +173,6 @@ func run(args []string) error {
 	<-sig
 	logger.Print("shutting down")
 	return nil
-}
-
-func fileExists(path string) bool {
-	_, err := os.Stat(path)
-	return err == nil
 }
 
 func printGenesis(allocSpec string) error {

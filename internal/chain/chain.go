@@ -40,6 +40,11 @@ type Chain struct {
 	// miners is the set of authorized miner public keys (hex of the
 	// serialized point). Empty means any signed block is accepted.
 	miners map[string]bool
+	// pruneBase is the pruned horizon: best-branch blocks at heights
+	// 1..pruneBase are header-only stubs with no bodies, indexes or undo
+	// journals. 0 means nothing is pruned. Reorgs forking at or below
+	// the base are rejected (ErrPrunedFork).
+	pruneBase int64
 	// verifier runs script verification for block connect and reorg
 	// replay; shared (via Verifier()) with the mempool and miner so a
 	// script pair checked at mempool admission is a cache hit at block
@@ -269,6 +274,11 @@ func (c *Chain) addBlockPolicy(b *Block, notify *[]*Block, params Params) error 
 // its pre-reorg state exactly and the error returned.
 func (c *Chain) reorgLocked(branch []*Block, notify *[]*Block) error {
 	fork := commonPrefixLen(c.best, branch)
+	if int64(fork) <= c.pruneBase {
+		// Disconnecting down to the fork would unwind pruned heights,
+		// whose bodies and undo journals are gone.
+		return fmt.Errorf("%w: fork at height %d, prune base %d", ErrPrunedFork, fork, c.pruneBase)
+	}
 	detached := append([]*Block(nil), c.best[fork:]...)
 
 	// Disconnect the losing suffix, tip first.
@@ -438,6 +448,9 @@ func (c *Chain) replayBranch(branch []*Block) (*UTXOSet, error) {
 func (c *Chain) CheckConsistency() error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if c.pruneBase > 0 {
+		return c.checkConsistencyPrunedLocked()
+	}
 	replayed, err := c.replayBranch(c.best)
 	if err != nil {
 		return fmt.Errorf("%w: replay failed: %v", ErrInconsistentState, err)
@@ -477,6 +490,78 @@ func (c *Chain) CheckConsistency() error {
 		if _, ok := c.undo[blk.ID()]; !ok {
 			return fmt.Errorf("%w: missing undo journal for height %d", ErrInconsistentState, blk.Header.Height)
 		}
+	}
+	return nil
+}
+
+// checkConsistencyPrunedLocked is the pruned-chain variant of
+// CheckConsistency: genesis replay is impossible once bodies below the
+// horizon are gone, so the ground truth becomes the undo journals —
+// unwind the tip set to the prune base, re-apply the unpruned suffix
+// through full validation, and require the round trip to land exactly
+// on the incrementally maintained state. Indexes are checked over
+// genesis plus the unpruned suffix only.
+func (c *Chain) checkConsistencyPrunedLocked() error {
+	base := c.pruneBase
+	rewound := c.utxo.Clone()
+	for h := int64(len(c.best)) - 1; h > base; h-- {
+		undo, ok := c.undo[c.best[h].ID()]
+		if !ok {
+			return fmt.Errorf("%w: missing undo journal for height %d", ErrInconsistentState, h)
+		}
+		if err := rewound.UndoBlock(undo); err != nil {
+			return fmt.Errorf("%w: unwind height %d: %v", ErrInconsistentState, h, err)
+		}
+	}
+	for h := base + 1; h < int64(len(c.best)); h++ {
+		if err := connectBlock(rewound, c.best[h], c.params, c.verifier); err != nil {
+			return fmt.Errorf("%w: re-apply height %d: %v", ErrInconsistentState, h, err)
+		}
+	}
+	if !c.utxo.Equal(rewound) {
+		return fmt.Errorf("%w: utxo set diverged after unwind/re-apply round trip (incremental %d entries, round trip %d)",
+			ErrInconsistentState, c.utxo.Len(), rewound.Len())
+	}
+	// Stubs must stay stubs, and indexed txs/spends must come from
+	// genesis plus the unpruned suffix exactly.
+	for h := int64(1); h <= base; h++ {
+		if len(c.best[h].Txs) != 0 {
+			return fmt.Errorf("%w: pruned height %d still holds a body", ErrInconsistentState, h)
+		}
+	}
+	var txs, spends int
+	checkBlock := func(blk *Block) error {
+		for _, tx := range blk.Txs {
+			txs++
+			loc, ok := c.txIndex[tx.ID()]
+			if !ok || loc.height != blk.Header.Height || loc.tx != tx {
+				return fmt.Errorf("%w: txIndex entry for %s wrong or missing", ErrInconsistentState, tx.ID())
+			}
+			if tx.IsCoinbase() {
+				continue
+			}
+			for _, in := range tx.Inputs {
+				spends++
+				if c.spenders[in.Prev] != tx.ID() {
+					return fmt.Errorf("%w: spender index for %s wrong or missing", ErrInconsistentState, in.Prev)
+				}
+			}
+		}
+		return nil
+	}
+	if err := checkBlock(c.best[0]); err != nil {
+		return err
+	}
+	for h := base + 1; h < int64(len(c.best)); h++ {
+		if err := checkBlock(c.best[h]); err != nil {
+			return err
+		}
+	}
+	if txs != len(c.txIndex) {
+		return fmt.Errorf("%w: txIndex has %d entries, unpruned blocks have %d txs", ErrInconsistentState, len(c.txIndex), txs)
+	}
+	if spends != len(c.spenders) {
+		return fmt.Errorf("%w: spender index has %d entries, unpruned blocks have %d spends", ErrInconsistentState, len(c.spenders), spends)
 	}
 	return nil
 }

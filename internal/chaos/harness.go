@@ -38,6 +38,13 @@ type Options struct {
 	// PumpInterval is the pause after each gossip/mine round (defaults
 	// to 10ms).
 	PumpInterval time.Duration
+	// DeferStart lists node indexes NOT booted by NewCluster; scenarios
+	// start them later with Start, e.g. a gateway joining a mesh that
+	// already has history to bootstrap from.
+	DeferStart []int
+	// NodeTweak, when set, may adjust each node's config just before it
+	// boots (per-node prune depth, snapshot knobs, tamper hooks...).
+	NodeTweak func(i int, cfg *daemon.NodeConfig)
 	// Logger receives node logs (nil = silent).
 	Logger *log.Logger
 }
@@ -46,11 +53,11 @@ type Options struct {
 type Peer struct {
 	Index int
 	Name  string
-	// StoreDir is the node's incremental chain store directory
-	// (append-only block log + periodic snapshot).
-	StoreDir string
-	Node     *daemon.Node
-	Alive    bool
+	// DataDir is the node's persistence root; the incremental chain
+	// store (append-only block log + periodic snapshot) lives under it.
+	DataDir string
+	Node    *daemon.Node
+	Alive   bool
 	// generation distinguishes restarts so a reborn node does not
 	// replay the identical random stream (its sync nonces would be
 	// suppressed by gossip dedup as already-seen).
@@ -131,12 +138,23 @@ func NewCluster(opts Options) (*Cluster, error) {
 
 	for i := 0; i < opts.Nodes; i++ {
 		c.peers = append(c.peers, &Peer{
-			Index:    i,
-			Name:     nodeName(i),
-			StoreDir: filepath.Join(opts.Dir, nodeName(i), "chainstore"),
+			Index:   i,
+			Name:    nodeName(i),
+			DataDir: filepath.Join(opts.Dir, nodeName(i)),
 		})
 	}
+	deferred := make(map[int]bool, len(opts.DeferStart))
+	for _, idx := range opts.DeferStart {
+		if idx < 0 || idx >= opts.Nodes {
+			c.Close()
+			return nil, fmt.Errorf("chaos: defer-start index %d out of range", idx)
+		}
+		deferred[idx] = true
+	}
 	for i := range c.peers {
+		if deferred[i] {
+			continue
+		}
 		if _, err := c.startNode(i); err != nil {
 			c.Close()
 			return nil, err
@@ -158,7 +176,7 @@ func (c *Cluster) nodeRandom(i, generation int) io.Reader {
 // disk.
 func (c *Cluster) startNode(i int) (int, error) {
 	p := c.peers[i]
-	node, err := daemon.NewNode(daemon.NodeConfig{
+	cfg := daemon.NodeConfig{
 		Genesis:      c.Genesis,
 		Params:       c.Params,
 		Miners:       c.minerPubs,
@@ -173,16 +191,23 @@ func (c *Cluster) startNode(i int) (int, error) {
 		// stalls half a second per faulted block body while the pump
 		// keeps mining, and catch-up barely outruns block production.
 		RelayRequestTimeout: 50 * time.Millisecond,
+		// Drive the sync state machine at the same time scale; the pump
+		// also kicks it every round through RequestSync.
+		SyncRetryInterval: 20 * time.Millisecond,
 		// Compact aggressively so restart scenarios exercise the
 		// snapshot + log-tail recovery path, not just the log.
 		StoreCompactEvery: 4,
-	})
+	}
+	if c.Opts.NodeTweak != nil {
+		c.Opts.NodeTweak(i, &cfg)
+	}
+	node, err := daemon.NewNode(cfg)
 	if err != nil {
 		return 0, fmt.Errorf("chaos: start %s: %w", p.Name, err)
 	}
 	// The store appends every best-branch connect durably, so a crash at
 	// any point restarts from the last fsync'd block.
-	loaded, err := node.OpenStore(p.StoreDir)
+	loaded, err := node.Open(p.DataDir)
 	if err != nil {
 		node.Close()
 		return 0, fmt.Errorf("chaos: reload %s: %w", p.Name, err)
@@ -226,6 +251,15 @@ func (c *Cluster) Restart(i int) (int, error) {
 		return 0, fmt.Errorf("chaos: %s is already running", p.Name)
 	}
 	p.generation++
+	return c.startNode(i)
+}
+
+// Start boots a node deferred at cluster construction (DeferStart).
+func (c *Cluster) Start(i int) (int, error) {
+	p := c.peers[i]
+	if p.Alive {
+		return 0, fmt.Errorf("chaos: %s is already running", p.Name)
+	}
 	return c.startNode(i)
 }
 

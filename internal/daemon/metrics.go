@@ -8,10 +8,16 @@ type daemonMetrics struct {
 	deliveriesSent     *telemetry.Counter
 	deliveriesReceived *telemetry.Counter
 	orphanTxsParked    *telemetry.Counter
-	storeSaveSeconds   *telemetry.Histogram
 	storeLoadSeconds   *telemetry.Histogram
 	storeAppendSeconds *telemetry.Histogram
 	storeCompactions   *telemetry.Counter
+
+	// Headers-first sync and snapshot bootstrap (DESIGN.md §13).
+	headersSynced           *telemetry.Counter
+	snapshotRejected        *telemetry.Counter
+	snapshotChunksServed    *telemetry.Counter
+	syncFullFallbacks       *telemetry.Counter
+	snapshotInstalledHeight *telemetry.Gauge
 
 	// Compact block relay (BIP152-style; see DESIGN.md §12). Hit rate =
 	// hits/received; the fallback ladder shows up as txn round trips and
@@ -31,10 +37,15 @@ func newDaemonMetrics(reg *telemetry.Registry) *daemonMetrics {
 		deliveriesSent:     ns.Counter("deliveries_sent_total", "TCP deliveries a gateway daemon pushed to recipients."),
 		deliveriesReceived: ns.Counter("deliveries_received_total", "TCP deliveries a recipient daemon accepted from gateways."),
 		orphanTxsParked:    ns.Counter("orphan_txs_parked_total", "Gossiped transactions parked until their inputs become visible."),
-		storeSaveSeconds:   ns.Histogram("store_save_seconds", "Chain store save latency in seconds.", nil),
 		storeLoadSeconds:   ns.Histogram("store_load_seconds", "Chain store load latency in seconds.", nil),
 		storeAppendSeconds: ns.Histogram("store_append_seconds", "Block-log append+fsync latency in seconds.", nil),
 		storeCompactions:   ns.Counter("store_compactions_total", "Snapshot + log-compaction cycles of the incremental store."),
+
+		headersSynced:           ns.Counter("sync_headers_total", "Headers appended to the sync spine during headers-first sync."),
+		snapshotRejected:        ns.Counter("snapshot_rejected_total", "Snapshot manifests, chunks or commitments that failed verification."),
+		snapshotChunksServed:    ns.Counter("snapshot_chunks_served_total", "Snapshot chunks served to bootstrapping peers."),
+		syncFullFallbacks:       ns.Counter("sync_full_fallbacks_total", "Bootstraps that fell back to full sync after every snapshot peer failed."),
+		snapshotInstalledHeight: ns.Gauge("snapshot_installed_height", "Horizon height of the installed snapshot bootstrap (0 = full sync)."),
 
 		cmpctSent:          ns.Counter("cmpct_sent_total", "Compact block sketches pushed to peers."),
 		cmpctReceived:      ns.Counter("cmpct_received_total", "Compact block sketches received from peers."),

@@ -2,7 +2,6 @@ package daemon
 
 import (
 	"context"
-	"path/filepath"
 	"strings"
 	"testing"
 
@@ -10,8 +9,8 @@ import (
 )
 
 // TestNodeTelemetryEndToEnd checks a deployed cluster's registries carry
-// series from every instrumented subsystem, and that the node-level
-// Save/LoadChain wrappers record store latency.
+// series from every instrumented subsystem, and that Node.Open records
+// store load latency.
 func TestNodeTelemetryEndToEnd(t *testing.T) {
 	c := newCluster(t)
 	c.mine()
@@ -23,11 +22,7 @@ func TestNodeTelemetryEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	path := filepath.Join(t.TempDir(), "chain.dat")
-	if err := c.master.SaveChain(path); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := c.master.LoadChain(path); err != nil {
+	if _, err := c.master.Open(t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -56,8 +51,7 @@ func TestNodeTelemetryEndToEnd(t *testing.T) {
 		}
 	}
 	for _, m := range c.master.Telemetry().Snapshot() {
-		switch m.Name {
-		case "bcwan_daemon_store_save_seconds", "bcwan_daemon_store_load_seconds":
+		if m.Name == "bcwan_daemon_store_load_seconds" {
 			if m.Histogram == nil || m.Histogram.Count != 1 {
 				t.Errorf("%s count = %+v, want 1 observation", m.Name, m.Histogram)
 			}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -61,6 +62,36 @@ type NodeConfig struct {
 	// object (and a blocktxn response) before falling back to the next
 	// source (0 = the p2p default of 500ms).
 	RelayRequestTimeout time.Duration
+	// LegacySyncOnly disables the headers-first sync state machine and
+	// keeps the height-blast anti-entropy as the only catch-up path.
+	// Kept for the sync benchmark baseline and as an escape hatch.
+	// FloodRelay implies it (the machine's tail fetch needs the relay).
+	LegacySyncOnly bool
+	// SnapshotSyncDisabled keeps headers-first sync but never bootstraps
+	// from a peer-served snapshot (a fresh node always fetches bodies).
+	SnapshotSyncDisabled bool
+	// SnapshotInterval is the height spacing of miner snapshot
+	// commitments (0 = default of 1024). Miners publish a signed
+	// commitment whenever they mine a multiple of it.
+	SnapshotInterval int64
+	// SnapshotChunkSize is the snapshot transfer chunk size in bytes
+	// (0 = default of 64 KiB).
+	SnapshotChunkSize int
+	// SnapshotMinGap is the minimum height deficit before a fresh node
+	// prefers a snapshot bootstrap over fetching every body
+	// (0 = default of 64).
+	SnapshotMinGap int64
+	// PruneDepth, when positive, drops block bodies more than this many
+	// heights below the tip at every store compaction, keeping the node
+	// a pruned gateway. Reorgs deeper than PruneDepth become impossible
+	// for this node.
+	PruneDepth int64
+	// SyncRetryInterval is the sync state machine's retry tick
+	// (0 = default of 500ms).
+	SyncRetryInterval time.Duration
+	// TamperSnapshot, when set, rewrites served snapshot chunk payloads
+	// — a chaos-test hook that simulates a lying snapshot peer.
+	TamperSnapshot func(height int64, chunk int32, payload []byte) []byte
 }
 
 // Node is one running blockchain daemon.
@@ -74,7 +105,8 @@ type Node struct {
 	relay  *p2p.Relay // nil when cfg.FloodRelay
 	rpcSrv *rpc.Server
 	miner  *chain.Miner
-	store  *Store // nil until OpenStore; set before the append subscription
+	store  *Store       // nil until Open; set before the append subscription
+	sync   *syncManager // nil when LegacySyncOnly or FloodRelay
 	reg    *telemetry.Registry
 	// metrics is set once in NewNode, before any goroutine starts.
 	metrics *daemonMetrics
@@ -100,6 +132,11 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	if cfg.Random != nil {
+		// crypto/rand is safe as-is; injected deterministic streams are
+		// not, and several node goroutines draw from the same source.
+		cfg.Random = &lockedReader{r: cfg.Random}
 	}
 	c, err := chain.New(cfg.Params, cfg.Genesis)
 	if err != nil {
@@ -155,6 +192,17 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		gossip.HandleDirect("blocktxn", n.onBlockTxn)
 	}
 	gossip.Handle("sync", n.onSync)
+	// Headers are served to anyone; the sync state machine needs the
+	// relay (its tail fetch is a getdata batch), so FloodRelay falls
+	// back to legacy sync.
+	gossip.HandleDirect(p2p.MsgTypeGetHeaders, n.onGetHeaders)
+	if !cfg.LegacySyncOnly && !cfg.FloodRelay {
+		n.sync = newSyncManager(n)
+		gossip.HandleDirect(p2p.MsgTypeHeaders, func(from string, msg p2p.Message) { n.sync.onHeaders(from, msg) })
+		gossip.HandleDirect(p2p.MsgTypeGetSnapshot, n.onGetSnapshot)
+		gossip.HandleDirect(p2p.MsgTypeSnapshotChunk, func(from string, msg p2p.Message) { n.sync.onSnapshotChunk(from, msg) })
+		gossip.Handle(p2p.MsgTypeSnapCommit, n.onSnapCommit)
+	}
 
 	rpcSrv, err := rpc.NewServer(cfg.ListenRPC, rpc.Backend{
 		Chain:   c,
@@ -163,6 +211,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			n.broadcastTx(tx, false)
 		},
 		Telemetry: n.reg,
+		SyncInfo:  func() any { return n.SyncInfo() },
 	})
 	if err != nil {
 		gossip.Close()
@@ -176,6 +225,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		}
 	}
 	n.RequestSync()
+	if n.sync != nil {
+		n.sync.start()
+	}
 
 	if cfg.MinerKey != nil {
 		n.miner = chain.NewMiner(cfg.MinerKey, c, n.pool, randomOrDefault(cfg.Random))
@@ -190,36 +242,19 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 // Telemetry returns the node's metrics registry.
 func (n *Node) Telemetry() *telemetry.Registry { return n.reg }
 
-// SaveChain persists the best branch to path, recording the store
-// latency in the node's telemetry.
-func (n *Node) SaveChain(path string) error {
-	start := time.Now()
-	err := SaveChain(n.chain, path)
-	if err == nil {
-		n.metrics.storeSaveSeconds.ObserveSince(start)
-	}
-	return err
-}
-
-// LoadChain replays a stored branch into the node's chain, recording
-// the load latency in the node's telemetry.
-func (n *Node) LoadChain(path string) (int, error) {
-	start := time.Now()
-	loaded, err := LoadChain(n.chain, path)
-	if err == nil {
-		n.metrics.storeLoadSeconds.ObserveSince(start)
-	}
-	return loaded, err
-}
-
-// OpenStore attaches the incremental chain store in dir: the snapshot
-// and log tail are loaded into the chain, then every future best-branch
-// connect is appended (fsync'd) to the log, with a snapshot + log
-// compaction every cfg.StoreCompactEvery appends. Call once, after
-// NewNode and before the node sees traffic. Returns the number of
-// blocks restored from disk.
-func (n *Node) OpenStore(dir string) (int, error) {
-	st, err := OpenStore(dir)
+// Open attaches persistence rooted at dataDir: the incremental store
+// in dataDir/chainstore is loaded into the chain (snapshot plus log
+// tail), a retired whole-file chain.dat found in dataDir is migrated
+// into the store, and every future best-branch connect is appended
+// (fsync'd) to the log, with a snapshot + log compaction every
+// cfg.StoreCompactEvery appends. When cfg.PruneDepth is set, each
+// compaction first prunes block bodies more than PruneDepth heights
+// below the tip, so the store's next snapshot is the pruned form.
+//
+// Call once, after NewNode and before the node sees traffic. Returns
+// the number of blocks restored from disk (including migrated ones).
+func (n *Node) Open(dataDir string) (int, error) {
+	st, err := OpenStore(filepath.Join(dataDir, "chainstore"))
 	if err != nil {
 		return 0, err
 	}
@@ -229,6 +264,12 @@ func (n *Node) OpenStore(dir string) (int, error) {
 		st.Close()
 		return loaded, err
 	}
+	migrated, err := MigrateLegacy(st, n.chain, DefaultChainPath(dataDir))
+	if err != nil {
+		st.Close()
+		return loaded + migrated, err
+	}
+	loaded += migrated
 	n.metrics.storeLoadSeconds.ObserveSince(start)
 	n.store = st
 	every := n.cfg.StoreCompactEvery
@@ -243,6 +284,13 @@ func (n *Node) OpenStore(dir string) (int, error) {
 		}
 		n.metrics.storeAppendSeconds.ObserveSince(appendStart)
 		if st.LogRecords() >= every {
+			if depth := n.cfg.PruneDepth; depth > 0 {
+				if target := n.chain.Height() - depth; target > n.chain.PruneBase() {
+					if err := n.chain.PruneBelow(target); err != nil {
+						n.logf("prune below %d: %v", target, err)
+					}
+				}
+			}
 			if err := st.Compact(n.chain); err != nil {
 				n.logf("store compact: %v", err)
 				return
@@ -250,6 +298,17 @@ func (n *Node) OpenStore(dir string) (int, error) {
 			n.metrics.storeCompactions.Inc()
 		}
 	})
+	if sm := n.sync; sm != nil {
+		// A restarting miner re-offers a commitment at its latest
+		// snapshot boundary so joiners can bootstrap without waiting for
+		// the next boundary to be mined.
+		if n.cfg.MinerKey != nil {
+			if h := (n.chain.Height() / n.snapshotInterval()) * n.snapshotInterval(); h > 0 && h >= n.chain.PruneBase() {
+				n.publishSnapshotCommitment(h)
+			}
+		}
+		sm.release()
+	}
 	return loaded, nil
 }
 
@@ -281,6 +340,19 @@ func (n *Node) Connect(addr string) error { return n.gossip.Connect(addr) }
 // sides mined, so the gap sits below our own height — trigger extra
 // backfill requests from below the orphan.
 func (n *Node) RequestSync() {
+	if sm := n.sync; sm != nil && sm.active() {
+		// The state machine owns catch-up until it goes live; a legacy
+		// height blast during bootstrap would pull full bodies the
+		// snapshot is about to make redundant.
+		sm.kick()
+		return
+	}
+	n.legacySyncBroadcast()
+}
+
+// legacySyncBroadcast is the height-blast anti-entropy request itself;
+// the sync machine fires it once when it goes live to hand over.
+func (n *Node) legacySyncBroadcast() {
 	nonce := syncNonce(randomOrDefault(n.cfg.Random))
 	n.gossip.Broadcast("sync", []byte(fmt.Sprintf("%d|%d", n.chain.Height(), nonce)))
 	for _, from := range n.orphanGaps() {
@@ -343,6 +415,7 @@ func (n *Node) MineNow() (*chain.Block, error) {
 		return nil, err
 	}
 	n.broadcastBlock(b)
+	n.maybePublishCommitment(b)
 	return b, nil
 }
 
@@ -358,6 +431,9 @@ func (n *Node) Close() error {
 	if n.stopMine != nil {
 		close(n.stopMine)
 		<-n.mineDone
+	}
+	if n.sync != nil {
+		n.sync.close()
 	}
 	if n.relay != nil {
 		n.relay.Close()
@@ -489,12 +565,22 @@ func (n *Node) acceptBlock(b *chain.Block) {
 		n.drainOrphans()
 		// Confirmed outputs may fund transactions parked out of order.
 		n.retryOrphanTxs()
+		if sm := n.sync; sm != nil {
+			sm.noteBlockConnected()
+		}
 	case isOrphanErr(err):
 		n.mu.Lock()
 		if len(n.orphans) < 10_000 {
 			n.orphans[b.Header.PrevBlock] = b
 		}
 		n.mu.Unlock()
+		// While the sync machine is bootstrapping, live blocks park here
+		// until the snapshot + tail catch up and drain them; a backfill
+		// blast now would cascade full-body downloads to genesis and
+		// defeat the snapshot.
+		if sm := n.sync; sm != nil && sm.active() {
+			return
+		}
 		// Ask the mesh for the missing ancestors right away; after a
 		// fork where both sides mined they sit below our own height, so
 		// the regular catch-up request never covers them. The nonce is
@@ -571,7 +657,10 @@ func (n *Node) onSync(from string, msg p2p.Message) {
 	}
 	if n.relay == nil {
 		for h := reqHeight + 1; h <= n.chain.Height() && h <= reqHeight+maxSyncBlocks; h++ {
-			if b, ok := n.chain.BlockAt(h); ok {
+			// Pruned stubs have no body to serve (nor does any valid
+			// serialization for one exist) — the requester must
+			// bootstrap from a snapshot instead.
+			if b, ok := n.chain.BlockAt(h); ok && len(b.Txs) > 0 {
 				n.gossip.Broadcast("block", b.Serialize())
 			}
 		}
@@ -582,10 +671,13 @@ func (n *Node) onSync(from string, msg p2p.Message) {
 		bodies [][]byte
 	)
 	for h := reqHeight + 1; h <= n.chain.Height() && len(ids) < maxSyncBlocks; h++ {
-		if b, ok := n.chain.BlockAt(h); ok {
+		if b, ok := n.chain.BlockAt(h); ok && len(b.Txs) > 0 {
 			ids = append(ids, p2p.ObjectID(b.ID()))
 			bodies = append(bodies, b.Serialize())
 		}
+	}
+	if len(ids) == 0 {
+		return
 	}
 	n.relay.AnnounceTo(from, "block", ids, bodies)
 }

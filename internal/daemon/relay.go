@@ -53,7 +53,9 @@ func (n *Node) relayFetch(kind string, id p2p.ObjectID) ([]byte, bool) {
 			return tx.Serialize(), true
 		}
 	case "block":
-		if b, ok := n.chain.BlockByID(chain.Hash(id)); ok {
+		// Pruned stubs keep their ID in the index but have no body left
+		// to serve.
+		if b, ok := n.chain.BlockByID(chain.Hash(id)); ok && len(b.Txs) > 0 {
 			return b.Serialize(), true
 		}
 	}

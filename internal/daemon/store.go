@@ -15,140 +15,106 @@ import (
 	"bcwan/internal/chain"
 )
 
-// Chain persistence. Two generations coexist:
+// Chain persistence: an fsync'd append-only block log plus a periodic
+// snapshot (blocks + serialized UTXO set). Steady-state cost is O(1)
+// per block; restart cost is O(snapshot) map work plus full validation
+// of the short log tail. A torn final record — the crash case — is
+// detected by CRC and truncated away.
 //
-//   - The legacy whole-file format (SaveChain/LoadChain): the best branch
-//     rewritten atomically as one length-prefixed block sequence. O(chain)
-//     per save, so saving on every connect made persistence quadratic.
-//   - The incremental Store: an fsync'd append-only block log plus a
-//     periodic snapshot (blocks + serialized UTXO set). Steady-state cost
-//     is O(1) per block; restart cost is O(snapshot) map work plus full
-//     validation of the short log tail. A torn final record — the crash
-//     case — is detected by CRC and truncated away.
+// Snapshot generations:
+//
+//   - v1 (snapMagic): every best-branch block from height 1 plus the tip
+//     UTXO set. Written by unpruned nodes.
+//   - v2 (snapMagic2): the pruned form — headers only up to the prune
+//     base, the UTXO set at the base, full blocks above it, and the tip
+//     set's hash as an integrity cross-check. Written once the chain has
+//     a pruned horizon; restoring installs the base through the chain's
+//     trusted snapshot path, so a pruned gateway restarts without the
+//     bodies it deliberately dropped.
+//
+// The legacy whole-file format (storeMagic, chain.dat) is read once by
+// MigrateLegacy and never written again.
 
-// storeMagic guards against loading foreign files.
+// storeMagic heads the retired whole-file format; MigrateLegacy still
+// recognizes it.
 var storeMagic = []byte("BCWANCHAIN1\n")
 
-// logMagic and snapMagic head the incremental store's two files.
+// logMagic and snapMagic/snapMagic2 head the incremental store's files.
 var (
-	logMagic  = []byte("BCWANLOG1\n")
-	snapMagic = []byte("BCWANSNAP1\n")
+	logMagic   = []byte("BCWANLOG1\n")
+	snapMagic  = []byte("BCWANSNAP1\n")
+	snapMagic2 = []byte("BCWANSNAP2\n")
 )
 
 // ErrBadStore reports an unreadable chain file.
 var ErrBadStore = errors.New("daemon: malformed chain store")
 
-// SaveChain writes the best branch (excluding genesis, which is
-// configuration) to path atomically.
-func SaveChain(c *chain.Chain, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("daemon: save chain: %w", err)
-	}
-	w := bufio.NewWriter(f)
-	ok := false
-	defer func() {
-		if !ok {
-			f.Close()
-			os.Remove(tmp)
-		}
-	}()
-	if _, err := w.Write(storeMagic); err != nil {
-		return err
-	}
-	for h := int64(1); h <= c.Height(); h++ {
-		b, found := c.BlockAt(h)
-		if !found {
-			return fmt.Errorf("daemon: save chain: missing height %d", h)
-		}
-		raw := b.Serialize()
-		var lenb [4]byte
-		binary.BigEndian.PutUint32(lenb[:], uint32(len(raw)))
-		if _, err := w.Write(lenb[:]); err != nil {
-			return err
-		}
-		if _, err := w.Write(raw); err != nil {
-			return err
-		}
-	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	ok = true
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("daemon: save chain: %w", err)
-	}
-	// The rename is only durable once the directory entry itself is on
-	// disk: fsync the parent so a crash cannot resurrect the old file
-	// (or leave none at all).
-	d, err := os.Open(filepath.Dir(path))
-	if err != nil {
-		return fmt.Errorf("daemon: save chain: open dir: %w", err)
-	}
-	if err := d.Sync(); err != nil {
-		d.Close()
-		return fmt.Errorf("daemon: save chain: sync dir: %w", err)
-	}
-	return d.Close()
-}
-
-// LoadChain replays a stored branch into the chain. Blocks that fail
-// validation abort the load (the file is untrusted input). A missing file
-// is not an error — the daemon simply starts fresh.
-func LoadChain(c *chain.Chain, path string) (int, error) {
+// MigrateLegacy absorbs a retired whole-file chain.dat into the open
+// store: every stored block is replayed into the chain through full
+// validation and, when newly connected, appended to the block log, and
+// the file is renamed to path+".migrated" so the next start skips it.
+// A missing file is not an error. Returns how many blocks migrated.
+func MigrateLegacy(s *Store, c *chain.Chain, path string) (int, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
 	}
 	if err != nil {
-		return 0, fmt.Errorf("daemon: load chain: %w", err)
+		return 0, fmt.Errorf("daemon: migrate legacy: %w", err)
 	}
-	defer f.Close()
 	r := bufio.NewReader(f)
-
 	magic := make([]byte, len(storeMagic))
-	if _, err := io.ReadFull(r, magic); err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrBadStore, err)
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != string(storeMagic) {
+		f.Close()
+		return 0, fmt.Errorf("%w: bad legacy magic", ErrBadStore)
 	}
-	if string(magic) != string(storeMagic) {
-		return 0, fmt.Errorf("%w: bad magic", ErrBadStore)
-	}
-	loaded := 0
+	migrated := 0
 	for {
 		var lenb [4]byte
 		if _, err := io.ReadFull(r, lenb[:]); err != nil {
 			if errors.Is(err, io.EOF) {
-				return loaded, nil
+				break
 			}
-			return loaded, fmt.Errorf("%w: %v", ErrBadStore, err)
+			f.Close()
+			return migrated, fmt.Errorf("%w: %v", ErrBadStore, err)
 		}
 		n := binary.BigEndian.Uint32(lenb[:])
-		if n > 64<<20 {
-			return loaded, fmt.Errorf("%w: block of %d bytes", ErrBadStore, n)
+		if n > maxStoredBlock {
+			f.Close()
+			return migrated, fmt.Errorf("%w: block of %d bytes", ErrBadStore, n)
 		}
 		raw := make([]byte, n)
 		if _, err := io.ReadFull(r, raw); err != nil {
-			return loaded, fmt.Errorf("%w: %v", ErrBadStore, err)
+			f.Close()
+			return migrated, fmt.Errorf("%w: %v", ErrBadStore, err)
 		}
 		b, err := chain.DeserializeBlock(raw)
 		if err != nil {
-			return loaded, fmt.Errorf("daemon: load chain: %w", err)
+			f.Close()
+			return migrated, fmt.Errorf("daemon: migrate legacy: %w", err)
 		}
-		if err := c.AddBlock(b); err != nil {
-			if errors.Is(err, chain.ErrDuplicateBlock) {
-				continue
+		switch err := c.AddBlock(b); {
+		case err == nil:
+			// Durable in the new store before the old file goes away.
+			if err := s.AppendBlock(b); err != nil {
+				f.Close()
+				return migrated, err
 			}
-			return loaded, fmt.Errorf("daemon: load chain height %d: %w", b.Header.Height, err)
+			migrated++
+		case errors.Is(err, chain.ErrDuplicateBlock):
+		default:
+			f.Close()
+			return migrated, fmt.Errorf("daemon: migrate legacy height %d: %w", b.Header.Height, err)
 		}
-		loaded++
 	}
+	f.Close()
+	if err := os.Rename(path, path+".migrated"); err != nil {
+		return migrated, fmt.Errorf("daemon: migrate legacy: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return migrated, fmt.Errorf("daemon: migrate legacy: %w", err)
+	}
+	return migrated, nil
 }
 
 // DefaultChainPath places the store under dir.
@@ -281,7 +247,8 @@ func (s *Store) Load(c *chain.Chain) (int, error) {
 	return loaded + tail, err
 }
 
-// loadSnapshot restores snapshot.dat if it exists.
+// loadSnapshot restores snapshot.dat if it exists, dispatching on the
+// generation magic.
 func (s *Store) loadSnapshot(c *chain.Chain) (int, error) {
 	raw, err := os.ReadFile(filepath.Join(s.dir, "snapshot.dat"))
 	if errors.Is(err, os.ErrNotExist) {
@@ -290,7 +257,15 @@ func (s *Store) loadSnapshot(c *chain.Chain) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("daemon: load snapshot: %w", err)
 	}
-	if len(raw) < len(snapMagic)+4 || string(raw[:len(snapMagic)]) != string(snapMagic) {
+	if len(raw) < len(snapMagic)+4 {
+		return 0, fmt.Errorf("%w: bad snapshot magic", ErrBadStore)
+	}
+	pruned := false
+	switch string(raw[:len(snapMagic)]) {
+	case string(snapMagic):
+	case string(snapMagic2):
+		pruned = true
+	default:
 		return 0, fmt.Errorf("%w: bad snapshot magic", ErrBadStore)
 	}
 	body := raw[len(snapMagic) : len(raw)-4]
@@ -299,6 +274,9 @@ func (s *Store) loadSnapshot(c *chain.Chain) (int, error) {
 		return 0, fmt.Errorf("%w: snapshot checksum mismatch", ErrBadStore)
 	}
 	r := bytes.NewReader(body)
+	if pruned {
+		return s.loadSnapshotV2(c, r)
+	}
 	var scratch [4]byte
 	if _, err := io.ReadFull(r, scratch[:]); err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrBadStore, err)
@@ -337,6 +315,98 @@ func (s *Store) loadSnapshot(c *chain.Chain) (int, error) {
 	// replay just rebuilt — this is the integrity check that makes
 	// skipping script verification on restore safe to trust.
 	if !snapUTXO.Equal(c.UTXO()) {
+		return loaded, fmt.Errorf("%w: snapshot UTXO set does not match replayed chain state", ErrBadStore)
+	}
+	return loaded, nil
+}
+
+// maxStoredHeader bounds one header record in a v2 snapshot.
+const maxStoredHeader = 4096
+
+// loadSnapshotV2 restores a pruned snapshot: headers 1..base install as
+// stubs with the base UTXO set through the chain's trusted snapshot
+// path, full blocks above the base connect through the trusted fast
+// path, and the stored tip-set hash cross-checks the rebuilt state.
+func (s *Store) loadSnapshotV2(c *chain.Chain, r *bytes.Reader) (int, error) {
+	var s8 [8]byte
+	if _, err := io.ReadFull(r, s8[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadStore, err)
+	}
+	base := int64(binary.BigEndian.Uint64(s8[:]))
+	var s4 [4]byte
+	if _, err := io.ReadFull(r, s4[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadStore, err)
+	}
+	headerCount := binary.BigEndian.Uint32(s4[:])
+	if int64(headerCount) != base {
+		return 0, fmt.Errorf("%w: %d headers for prune base %d", ErrBadStore, headerCount, base)
+	}
+	headers := make([]*chain.Header, 0, headerCount)
+	for i := uint32(0); i < headerCount; i++ {
+		if _, err := io.ReadFull(r, s4[:]); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrBadStore, err)
+		}
+		n := binary.BigEndian.Uint32(s4[:])
+		if n > maxStoredHeader {
+			return 0, fmt.Errorf("%w: header of %d bytes", ErrBadStore, n)
+		}
+		raw := make([]byte, n)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrBadStore, err)
+		}
+		h, err := chain.DeserializeHeader(raw)
+		if err != nil {
+			return 0, fmt.Errorf("daemon: load snapshot: %w", err)
+		}
+		headers = append(headers, h)
+	}
+	utxo, err := chain.DeserializeUTXO(r)
+	if err != nil {
+		return 0, fmt.Errorf("daemon: load snapshot: %w", err)
+	}
+	if err := c.InitFromSnapshot(headers, utxo); err != nil {
+		return 0, fmt.Errorf("daemon: load snapshot: %w", err)
+	}
+	loaded := len(headers)
+	if _, err := io.ReadFull(r, s4[:]); err != nil {
+		return loaded, fmt.Errorf("%w: %v", ErrBadStore, err)
+	}
+	blockCount := binary.BigEndian.Uint32(s4[:])
+	for i := uint32(0); i < blockCount; i++ {
+		if _, err := io.ReadFull(r, s4[:]); err != nil {
+			return loaded, fmt.Errorf("%w: %v", ErrBadStore, err)
+		}
+		n := binary.BigEndian.Uint32(s4[:])
+		if n > maxStoredBlock {
+			return loaded, fmt.Errorf("%w: block of %d bytes", ErrBadStore, n)
+		}
+		raw := make([]byte, n)
+		if _, err := io.ReadFull(r, raw); err != nil {
+			return loaded, fmt.Errorf("%w: %v", ErrBadStore, err)
+		}
+		b, err := chain.DeserializeBlock(raw)
+		if err != nil {
+			return loaded, fmt.Errorf("daemon: load snapshot: %w", err)
+		}
+		if err := c.AddBlockTrusted(b); err != nil {
+			if errors.Is(err, chain.ErrDuplicateBlock) {
+				continue
+			}
+			return loaded, fmt.Errorf("daemon: load snapshot height %d: %w", b.Header.Height, err)
+		}
+		loaded++
+	}
+	var tipHash chain.Hash
+	if _, err := io.ReadFull(r, tipHash[:]); err != nil {
+		return loaded, fmt.Errorf("%w: %v", ErrBadStore, err)
+	}
+	if r.Len() != 0 {
+		return loaded, fmt.Errorf("%w: %d trailing bytes", ErrBadStore, r.Len())
+	}
+	// The stored tip-set hash must match the state the trusted replay
+	// rebuilt — the integrity check that makes skipping script
+	// verification on restore safe to trust.
+	if chain.SnapshotHash(c.UTXO().SerializeUTXO()) != tipHash {
 		return loaded, fmt.Errorf("%w: snapshot UTXO set does not match replayed chain state", ErrBadStore)
 	}
 	return loaded, nil
@@ -419,21 +489,15 @@ func (s *Store) replayLog(c *chain.Chain) (int, error) {
 // missing ones.
 func (s *Store) Compact(c *chain.Chain) error {
 	var body bytes.Buffer
-	var scratch [4]byte
-	height := c.Height()
-	binary.BigEndian.PutUint32(scratch[:], uint32(height))
-	body.Write(scratch[:])
-	for h := int64(1); h <= height; h++ {
-		b, ok := c.BlockAt(h)
-		if !ok {
-			return fmt.Errorf("daemon: compact: missing height %d", h)
+	magic := snapMagic
+	if c.PruneBase() > 0 {
+		magic = snapMagic2
+		if err := writePrunedBody(&body, c); err != nil {
+			return err
 		}
-		raw := b.Serialize()
-		binary.BigEndian.PutUint32(scratch[:], uint32(len(raw)))
-		body.Write(scratch[:])
-		body.Write(raw)
+	} else if err := writeFullBody(&body, c); err != nil {
+		return err
 	}
-	body.Write(c.UTXO().SerializeUTXO())
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -455,7 +519,7 @@ func (s *Store) Compact(c *chain.Chain) error {
 	}()
 	var crcb [4]byte
 	binary.BigEndian.PutUint32(crcb[:], crc32.ChecksumIEEE(body.Bytes()))
-	if _, err := f.Write(snapMagic); err != nil {
+	if _, err := f.Write(magic); err != nil {
 		return fmt.Errorf("daemon: compact: %w", err)
 	}
 	if _, err := f.Write(body.Bytes()); err != nil {
@@ -487,6 +551,112 @@ func (s *Store) Compact(c *chain.Chain) error {
 	}
 	s.records = 0
 	return nil
+}
+
+// writeFullBody serializes the v1 snapshot body: every best-branch
+// block from height 1 plus the tip UTXO set.
+func writeFullBody(body *bytes.Buffer, c *chain.Chain) error {
+	var scratch [4]byte
+	height := c.Height()
+	binary.BigEndian.PutUint32(scratch[:], uint32(height))
+	body.Write(scratch[:])
+	for h := int64(1); h <= height; h++ {
+		b, ok := c.BlockAt(h)
+		if !ok {
+			return fmt.Errorf("daemon: compact: missing height %d", h)
+		}
+		raw := b.Serialize()
+		binary.BigEndian.PutUint32(scratch[:], uint32(len(raw)))
+		body.Write(scratch[:])
+		body.Write(raw)
+	}
+	body.Write(c.UTXO().SerializeUTXO())
+	return nil
+}
+
+// writePrunedBody serializes the v2 snapshot body: headers up to the
+// prune base, the UTXO set at the base, full blocks above it, and the
+// tip set's hash.
+func writePrunedBody(body *bytes.Buffer, c *chain.Chain) error {
+	var s8 [8]byte
+	var s4 [4]byte
+	base := c.PruneBase()
+	height := c.Height()
+	binary.BigEndian.PutUint64(s8[:], uint64(base))
+	body.Write(s8[:])
+	binary.BigEndian.PutUint32(s4[:], uint32(base))
+	body.Write(s4[:])
+	for h := int64(1); h <= base; h++ {
+		b, ok := c.BlockAt(h)
+		if !ok {
+			return fmt.Errorf("daemon: compact: missing height %d", h)
+		}
+		raw := b.Header.Serialize()
+		binary.BigEndian.PutUint32(s4[:], uint32(len(raw)))
+		body.Write(s4[:])
+		body.Write(raw)
+	}
+	baseState, err := c.StateAt(base)
+	if err != nil {
+		return fmt.Errorf("daemon: compact: %w", err)
+	}
+	body.Write(baseState.SerializeUTXO())
+	binary.BigEndian.PutUint32(s4[:], uint32(height-base))
+	body.Write(s4[:])
+	for h := base + 1; h <= height; h++ {
+		b, ok := c.BlockAt(h)
+		if !ok {
+			return fmt.Errorf("daemon: compact: missing height %d", h)
+		}
+		raw := b.Serialize()
+		binary.BigEndian.PutUint32(s4[:], uint32(len(raw)))
+		body.Write(s4[:])
+		body.Write(raw)
+	}
+	tipHash := chain.SnapshotHash(c.UTXO().SerializeUTXO())
+	body.Write(tipHash[:])
+	return nil
+}
+
+// SnapshotChunks splits a serialized snapshot into fixed-size chunks
+// for piecewise transfer; the final chunk carries the remainder.
+func SnapshotChunks(data []byte, chunkSize int) [][]byte {
+	if chunkSize <= 0 {
+		chunkSize = 64 << 10
+	}
+	var chunks [][]byte
+	for len(data) > chunkSize {
+		chunks = append(chunks, data[:chunkSize:chunkSize])
+		data = data[chunkSize:]
+	}
+	return append(chunks, data)
+}
+
+// AssembleSnapshot reassembles downloaded chunks, verifies them against
+// the commitment (total size, then the committed hash), and decodes the
+// UTXO set. Any mismatch rejects the whole download — a joiner never
+// installs bytes the commitment does not vouch for.
+func AssembleSnapshot(commit *chain.SnapshotCommitment, chunks [][]byte) (*chain.UTXOSet, error) {
+	total := 0
+	for _, ch := range chunks {
+		total += len(ch)
+	}
+	if int64(total) != commit.UTXOSize {
+		return nil, fmt.Errorf("%w: assembled %d bytes, commitment says %d", chain.ErrBadCommitment, total, commit.UTXOSize)
+	}
+	data := bytes.Join(chunks, nil)
+	if chain.SnapshotHash(data) != commit.UTXOHash {
+		return nil, fmt.Errorf("%w: snapshot hash mismatch", chain.ErrBadCommitment)
+	}
+	r := bytes.NewReader(data)
+	u, err := chain.DeserializeUTXO(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", chain.ErrBadCommitment, err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", chain.ErrBadCommitment, r.Len())
+	}
+	return u, nil
 }
 
 // syncDir fsyncs a directory so renames within it are durable.

@@ -1,0 +1,824 @@
+package daemon
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"bcwan/internal/chain"
+	"bcwan/internal/p2p"
+)
+
+// Headers-first sync and snapshot bootstrap (DESIGN.md §13). A joining
+// node walks a state machine — headers → snapshot → tail → live —
+// instead of replaying every block from genesis:
+//
+//  1. headers: fetch the header spine with locator-based getheaders
+//     batches, validating linkage, miner membership and signatures as
+//     batches arrive. The spine pins every block ID below the tip.
+//  2. snapshot: fetch a miner-signed snapshot commitment (the manifest)
+//     and the serialized UTXO set it commits to, in checksummed chunks.
+//     The commitment is trusted only if its signature verifies against
+//     the authorized miner set AND its block ID matches our own spine
+//     at that height AND the assembled bytes hash to the committed
+//     value. A peer that fails any check is abandoned for the next;
+//     when every peer has failed, the machine falls back to a full
+//     sync from genesis — it never installs unverified state.
+//  3. tail: fetch full bodies for the spine IDs above the snapshot
+//     horizon (or above genesis, in the fallback) as direct getdata
+//     batches served by the PR 5 relay.
+//  4. live: the machine retires; ongoing replication is the relay's
+//     inv/compact-block gossip plus the legacy sync anti-entropy.
+//
+// Every phase is driven by a retry ticker with deterministic peer
+// rotation (sorted peer names, round-robin counter), so chaos runs
+// replay identically under a fixed seed.
+
+// Sync phases.
+const (
+	syncHeaders = iota
+	syncSnapshot
+	syncTail
+	syncLive
+)
+
+var syncPhaseNames = map[int]string{
+	syncHeaders:  "headers",
+	syncSnapshot: "snapshot",
+	syncTail:     "tail",
+	syncLive:     "live",
+}
+
+const (
+	// headersBatchMax is the getheaders response cap; a full batch
+	// signals the requester to immediately ask for more.
+	headersBatchMax = 2000
+	// syncStallTicks is how many retry ticks a phase may stall before
+	// the machine gives up on it (headers/tail degrade to live, where
+	// legacy anti-entropy takes over).
+	syncStallTicks = 10
+	// snapshotStallTicks is how many ticks a snapshot peer may stall
+	// before the machine fails over to the next one.
+	snapshotStallTicks = 4
+	// maxSnapshotBytes bounds a snapshot download (UTXOSize claimed by
+	// the manifest) so a lying manifest cannot demand the moon.
+	maxSnapshotBytes = 1 << 30
+)
+
+// SyncInfo is the sync-progress surface exposed over RPC.
+type SyncInfo struct {
+	// Phase is "headers", "snapshot", "tail", "live" or "legacy" (no
+	// sync machine configured).
+	Phase       string `json:"phase"`
+	ChainHeight int64  `json:"chainheight"`
+	// SpineHeight is the validated header spine tip (0 before any
+	// headers arrive; meaningless in legacy mode).
+	SpineHeight int64 `json:"spineheight"`
+	PruneBase   int64 `json:"prunebase"`
+	// SnapshotHeight is the horizon of the snapshot being downloaded or
+	// installed (0 = none).
+	SnapshotHeight      int64 `json:"snapshotheight"`
+	SnapshotChunksGot   int   `json:"snapshotchunksgot"`
+	SnapshotChunksTotal int   `json:"snapshotchunkstotal"`
+	// FullSyncFallback reports that every snapshot peer failed and the
+	// node reverted to a full sync from genesis.
+	FullSyncFallback bool `json:"fullsyncfallback"`
+}
+
+// syncManager drives the bootstrap state machine and owns the node's
+// snapshot-serving cache.
+type syncManager struct {
+	n *Node
+
+	mu    sync.Mutex
+	phase int
+	spine *chain.HeaderChain
+	// rot is the deterministic peer-rotation counter.
+	rot   int
+	stall int
+	// lastTailHeight detects tail progress between ticks.
+	lastTailHeight int64
+	// headersSent records that the opening getheaders went out, so
+	// later ticks only re-send after a silent interval.
+	headersSent bool
+	// tailReqEnd is the top of the last requested tail batch; the
+	// connect hook sends the next batch once the chain reaches it.
+	tailReqEnd int64
+
+	// Snapshot download state.
+	// held suppresses ticks until Node.Open has loaded the store (or
+	// the first retry tick fires, for nodes that never open one), so a
+	// network bootstrap cannot race the disk load into a half-initialized
+	// chain.
+	held bool
+
+	snapPeer  string
+	commit    *chain.SnapshotCommitment
+	chunks    [][]byte
+	got       int
+	triedSnap map[string]bool
+	fullOnly  bool
+	installed int64
+
+	// Snapshot serving state: the latest verified commitment and its
+	// serialized set (built lazily on first request).
+	serveCommit *chain.SnapshotCommitment
+	serveData   []byte
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newSyncManager(n *Node) *syncManager {
+	return &syncManager{
+		n:         n,
+		phase:     syncHeaders,
+		held:      true,
+		spine:     chain.NewHeaderChain(n.cfg.Genesis, n.cfg.Miners),
+		triedSnap: make(map[string]bool),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// start launches the retry loop. Called once from NewNode after the
+// initial peer connects.
+func (sm *syncManager) start() {
+	go sm.run()
+}
+
+func (sm *syncManager) run() {
+	defer close(sm.done)
+	ticker := time.NewTicker(sm.n.syncRetryInterval())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			sm.release()
+			if sm.tick() {
+				return
+			}
+		case <-sm.stop:
+			return
+		}
+	}
+}
+
+func (sm *syncManager) close() {
+	sm.mu.Lock()
+	if sm.phase != syncLive {
+		sm.phase = syncLive
+	}
+	sm.mu.Unlock()
+	select {
+	case <-sm.stop:
+	default:
+		close(sm.stop)
+	}
+	<-sm.done
+}
+
+// active reports whether the machine is still bootstrapping (legacy
+// sync broadcasts are suppressed while it is).
+func (sm *syncManager) active() bool {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.phase != syncLive
+}
+
+// kick triggers an immediate retry step (RequestSync delegates here
+// during bootstrap, so chaos pump rounds advance the machine).
+func (sm *syncManager) kick() {
+	sm.tick()
+}
+
+// release lifts the startup hold; ticks are no-ops until then.
+func (sm *syncManager) release() {
+	sm.mu.Lock()
+	sm.held = false
+	sm.mu.Unlock()
+}
+
+// tick advances the machine one retry step; returns true once live.
+func (sm *syncManager) tick() bool {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if sm.held {
+		return false
+	}
+	// Every phase self-paces off its responses (onHeaders chains the
+	// next batch, onSnapshotChunk the next chunk, the block-connect hook
+	// the next tail getdata), so a tick re-sends only after a full
+	// silent interval (stall ≥ 2) — a fast retry tick must not flood
+	// duplicates while a response is still being verified.
+	switch sm.phase {
+	case syncHeaders:
+		sm.stall++
+		if sm.stall > syncStallTicks {
+			// Nobody answered. If the spine learned anything, fetch
+			// those bodies; either way stop blocking the node — legacy
+			// anti-entropy covers whatever was missed.
+			if sm.spine.Height() > sm.n.chain.Height() {
+				sm.toTailLocked()
+			} else {
+				sm.toLiveLocked()
+			}
+			return sm.phase == syncLive
+		}
+		if !sm.headersSent || sm.stall >= 2 {
+			sm.sendGetHeadersLocked(sm.nextPeerLocked())
+			sm.headersSent = true
+		}
+	case syncSnapshot:
+		sm.stall++
+		if sm.stall > snapshotStallTicks {
+			sm.failSnapshotPeerLocked("stalled")
+			return false
+		}
+		if sm.stall >= 2 {
+			sm.resendSnapshotRequestLocked()
+		}
+	case syncTail:
+		h := sm.n.chain.Height()
+		if h > sm.lastTailHeight {
+			sm.lastTailHeight = h
+			sm.stall = 0
+		}
+		if h >= sm.spine.Height() {
+			sm.toLiveLocked()
+			return true
+		}
+		sm.stall++
+		if sm.stall > syncStallTicks {
+			sm.toLiveLocked()
+			return true
+		}
+		if sm.stall >= 2 {
+			sm.sendTailRequestLocked(sm.nextPeerLocked())
+		}
+	case syncLive:
+		return true
+	}
+	return false
+}
+
+// nextPeerLocked rotates deterministically through the sorted peer set.
+func (sm *syncManager) nextPeerLocked() string {
+	peers := sm.n.gossip.Peers()
+	if len(peers) == 0 {
+		return ""
+	}
+	sort.Strings(peers)
+	p := peers[sm.rot%len(peers)]
+	sm.rot++
+	return p
+}
+
+func (sm *syncManager) sendGetHeadersLocked(peer string) {
+	if peer == "" {
+		return
+	}
+	loc := sm.spine.Locator()
+	msg := &p2p.MsgGetHeaders{Locator: make([][32]byte, len(loc)), Max: headersBatchMax}
+	for i, id := range loc {
+		msg.Locator[i] = id
+	}
+	sm.n.gossip.SendTo(peer, p2p.MsgTypeGetHeaders, msg.Encode())
+}
+
+// onHeaders consumes a headers batch: validate and connect to the
+// spine, then either ask for more (full batch) or decide how to fetch
+// state (short batch = the peer's tip).
+func (sm *syncManager) onHeaders(from string, msg p2p.Message) {
+	dec, err := p2p.DecodeHeaders(msg.Payload)
+	if err != nil {
+		sm.n.logf("headers from %s: %v", from, err)
+		return
+	}
+	headers := make([]*chain.Header, 0, len(dec.Headers))
+	for _, raw := range dec.Headers {
+		h, err := chain.DeserializeHeader(raw)
+		if err != nil {
+			sm.n.logf("header from %s undecodable: %v", from, err)
+			return
+		}
+		headers = append(headers, h)
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if sm.phase != syncHeaders {
+		return
+	}
+	added, err := sm.spine.Connect(headers)
+	if added > 0 {
+		sm.stall = 0
+		sm.n.metrics.headersSynced.Add(uint64(added))
+	}
+	if err != nil {
+		sm.n.logf("header spine from %s: %v", from, err)
+		return
+	}
+	if len(headers) >= headersBatchMax {
+		// Chain the next batch only off responses that taught us
+		// something: a duplicate response (a stall retry crossing the
+		// answer in flight) chaining too would double the request
+		// stream every batch.
+		if added > 0 {
+			sm.sendGetHeadersLocked(from)
+		}
+		return
+	}
+	sm.decideLocked()
+}
+
+// decideLocked picks the state-fetch strategy once the spine stops
+// growing: snapshot bootstrap for a fresh node far behind a snapshot-
+// capable mesh, a plain tail fetch otherwise.
+func (sm *syncManager) decideLocked() {
+	our := sm.n.chain.Height()
+	if sm.spine.Height() <= our {
+		sm.toLiveLocked()
+		return
+	}
+	useSnapshot := !sm.fullOnly &&
+		!sm.n.cfg.SnapshotSyncDisabled &&
+		our == 0 && // InitFromSnapshot needs an empty chain
+		sm.spine.Height()-our >= sm.n.snapshotMinGap()
+	if !useSnapshot {
+		sm.toTailLocked()
+		return
+	}
+	sm.phase = syncSnapshot
+	sm.stall = 0
+	sm.snapPeer = sm.nextUntriedSnapPeerLocked()
+	if sm.snapPeer == "" {
+		sm.fullOnly = true
+		sm.toTailLocked()
+		return
+	}
+	sm.requestManifestLocked()
+}
+
+func (sm *syncManager) nextUntriedSnapPeerLocked() string {
+	peers := sm.n.gossip.Peers()
+	sort.Strings(peers)
+	for _, p := range peers {
+		if !sm.triedSnap[p] {
+			return p
+		}
+	}
+	return ""
+}
+
+func (sm *syncManager) requestManifestLocked() {
+	msg := &p2p.MsgGetSnapshot{Height: -1, Chunk: -1}
+	sm.n.gossip.SendTo(sm.snapPeer, p2p.MsgTypeGetSnapshot, msg.Encode())
+}
+
+func (sm *syncManager) requestChunkLocked(chunk int32) {
+	msg := &p2p.MsgGetSnapshot{Height: sm.commit.Height, Chunk: chunk}
+	sm.n.gossip.SendTo(sm.snapPeer, p2p.MsgTypeGetSnapshot, msg.Encode())
+}
+
+func (sm *syncManager) resendSnapshotRequestLocked() {
+	if sm.commit == nil {
+		sm.requestManifestLocked()
+		return
+	}
+	sm.requestChunkLocked(int32(sm.got))
+}
+
+// failSnapshotPeerLocked abandons the current snapshot peer and moves
+// to the next untried one; when all are exhausted, falls back to a full
+// sync from genesis.
+func (sm *syncManager) failSnapshotPeerLocked(why string) {
+	sm.n.logf("snapshot peer %s abandoned: %s", sm.snapPeer, why)
+	if sm.snapPeer != "" {
+		sm.triedSnap[sm.snapPeer] = true
+	}
+	sm.commit = nil
+	sm.chunks = nil
+	sm.got = 0
+	sm.stall = 0
+	sm.snapPeer = sm.nextUntriedSnapPeerLocked()
+	if sm.snapPeer == "" {
+		sm.fullOnly = true
+		sm.n.metrics.syncFullFallbacks.Inc()
+		sm.toTailLocked()
+		return
+	}
+	sm.requestManifestLocked()
+}
+
+// onSnapshotChunk consumes manifest and chunk responses from the
+// current snapshot peer.
+func (sm *syncManager) onSnapshotChunk(from string, msg p2p.Message) {
+	dec, err := p2p.DecodeSnapshotChunk(msg.Payload)
+	if err != nil {
+		sm.n.logf("snapshotchunk from %s: %v", from, err)
+		return
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if sm.phase != syncSnapshot || from != sm.snapPeer {
+		return
+	}
+	if dec.Chunk < 0 {
+		sm.acceptManifestLocked(dec)
+		return
+	}
+	if sm.commit == nil || dec.Height != sm.commit.Height || int(dec.Chunk) != sm.got {
+		return
+	}
+	if len(dec.Payload) == 0 {
+		sm.n.metrics.snapshotRejected.Inc()
+		sm.failSnapshotPeerLocked("empty chunk")
+		return
+	}
+	sm.chunks[sm.got] = dec.Payload
+	sm.got++
+	sm.stall = 0
+	if sm.got < len(sm.chunks) {
+		sm.requestChunkLocked(int32(sm.got))
+		return
+	}
+	sm.installSnapshotLocked()
+}
+
+// acceptManifestLocked verifies a snapshot commitment against the miner
+// set and our own validated spine before any chunk is downloaded.
+func (sm *syncManager) acceptManifestLocked(dec *p2p.MsgSnapshotChunk) {
+	if sm.commit != nil {
+		return // already have one in flight
+	}
+	if len(dec.Manifest) == 0 || dec.Total <= 0 {
+		sm.failSnapshotPeerLocked("no snapshot offered")
+		return
+	}
+	commit, err := chain.DeserializeSnapshotCommitment(dec.Manifest)
+	if err != nil {
+		sm.n.metrics.snapshotRejected.Inc()
+		sm.failSnapshotPeerLocked(fmt.Sprintf("manifest: %v", err))
+		return
+	}
+	spineID, onSpine := sm.spine.IDAt(commit.Height)
+	switch {
+	case !sm.n.chain.IsAuthorizedMiner(commit.MinerPubKey):
+		err = fmt.Errorf("unauthorized commitment signer")
+	case !commit.VerifySignature():
+		err = fmt.Errorf("bad commitment signature")
+	case !onSpine || spineID != commit.BlockID:
+		err = fmt.Errorf("commitment block %s at height %d not on our spine", commit.BlockID, commit.Height)
+	case commit.Height <= sm.n.chain.Height():
+		err = fmt.Errorf("commitment height %d not ahead of chain", commit.Height)
+	case commit.UTXOSize <= 0 || commit.UTXOSize > maxSnapshotBytes:
+		err = fmt.Errorf("implausible snapshot size %d", commit.UTXOSize)
+	case int64(dec.Total) > commit.UTXOSize:
+		err = fmt.Errorf("%d chunks for %d bytes", dec.Total, commit.UTXOSize)
+	}
+	if err != nil {
+		sm.n.metrics.snapshotRejected.Inc()
+		sm.failSnapshotPeerLocked(err.Error())
+		return
+	}
+	sm.commit = commit
+	sm.chunks = make([][]byte, dec.Total)
+	sm.got = 0
+	sm.stall = 0
+	sm.requestChunkLocked(0)
+}
+
+// installSnapshotLocked verifies the assembled bytes against the
+// commitment and installs the set through the chain's trusted path,
+// persisting the result so a restart does not re-bootstrap.
+func (sm *syncManager) installSnapshotLocked() {
+	utxo, err := AssembleSnapshot(sm.commit, sm.chunks)
+	if err != nil {
+		sm.n.metrics.snapshotRejected.Inc()
+		sm.failSnapshotPeerLocked(err.Error())
+		return
+	}
+	headers := sm.spine.Headers(1, sm.commit.Height)
+	if err := sm.n.chain.InitFromSnapshot(headers, utxo); err != nil {
+		// Verified bytes that still refuse to install mean the local
+		// chain moved (no longer empty) — not a peer fault. Finish the
+		// join as a tail fetch.
+		sm.n.logf("snapshot install: %v", err)
+		sm.toTailLocked()
+		return
+	}
+	sm.installed = sm.commit.Height
+	sm.n.metrics.snapshotInstalledHeight.Set(sm.commit.Height)
+	// Cache the verified snapshot so this node can serve joiners.
+	sm.serveCommit = sm.commit
+	sm.serveData = bytes.Join(sm.chunks, nil)
+	if st := sm.n.store; st != nil {
+		if err := st.Compact(sm.n.chain); err != nil {
+			sm.n.logf("snapshot persist: %v", err)
+		}
+	}
+	sm.n.logf("snapshot installed at height %d (%d chunks)", sm.commit.Height, len(sm.chunks))
+	sm.toTailLocked()
+}
+
+func (sm *syncManager) toTailLocked() {
+	sm.phase = syncTail
+	sm.stall = 0
+	sm.lastTailHeight = sm.n.chain.Height()
+	sm.sendTailRequestLocked(sm.nextPeerLocked())
+}
+
+// sendTailRequestLocked asks a peer for the next batch of spine block
+// bodies as a direct getdata — answered by the peer's relay exactly
+// like any other inventory request.
+func (sm *syncManager) sendTailRequestLocked(peer string) {
+	if peer == "" {
+		return
+	}
+	our := sm.n.chain.Height()
+	var ids []p2p.ObjectID
+	for h := our + 1; h <= sm.spine.Height() && len(ids) < maxSyncBlocks; h++ {
+		id, ok := sm.spine.IDAt(h)
+		if !ok {
+			break
+		}
+		ids = append(ids, p2p.ObjectID(id))
+	}
+	if len(ids) == 0 {
+		return
+	}
+	sm.tailReqEnd = our + int64(len(ids))
+	sm.n.gossip.SendTo(peer, "getdata", p2p.EncodeInv("block", ids...))
+}
+
+// noteBlockConnected is called from acceptBlock whenever the chain
+// grows: during the tail phase it requests the next getdata batch as
+// soon as the previous one has fully connected, so the backfill is
+// response-paced instead of waiting out a retry tick per batch.
+func (sm *syncManager) noteBlockConnected() {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if sm.phase != syncTail {
+		return
+	}
+	h := sm.n.chain.Height()
+	if h > sm.lastTailHeight {
+		sm.lastTailHeight = h
+		sm.stall = 0
+	}
+	if h >= sm.spine.Height() {
+		sm.toLiveLocked()
+		return
+	}
+	if h >= sm.tailReqEnd {
+		sm.sendTailRequestLocked(sm.nextPeerLocked())
+	}
+}
+
+func (sm *syncManager) toLiveLocked() {
+	if sm.phase != syncLive {
+		sm.phase = syncLive
+		sm.n.logf("sync live at height %d", sm.n.chain.Height())
+		// Hand ongoing anti-entropy back to the legacy height blast; the
+		// broadcast also announces this node to peers it dialed but never
+		// messaged during bootstrap (inbound peers register on first
+		// message).
+		sm.n.legacySyncBroadcast()
+	}
+}
+
+// info snapshots the machine state for RPC.
+func (sm *syncManager) info() SyncInfo {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	si := SyncInfo{
+		Phase:            syncPhaseNames[sm.phase],
+		SpineHeight:      sm.spine.Height(),
+		FullSyncFallback: sm.fullOnly,
+		SnapshotHeight:   sm.installed,
+	}
+	if sm.commit != nil {
+		si.SnapshotHeight = sm.commit.Height
+		si.SnapshotChunksGot = sm.got
+		si.SnapshotChunksTotal = len(sm.chunks)
+	}
+	return si
+}
+
+// --- Serving side -----------------------------------------------------
+
+// onGetHeaders serves best-branch headers above the requester's
+// locator. Pruned heights still serve — stubs keep their headers.
+func (n *Node) onGetHeaders(from string, msg p2p.Message) {
+	dec, err := p2p.DecodeGetHeaders(msg.Payload)
+	if err != nil {
+		return
+	}
+	max := int(dec.Max)
+	if max <= 0 || max > headersBatchMax {
+		max = headersBatchMax
+	}
+	loc := make([]chain.Hash, len(dec.Locator))
+	for i, id := range dec.Locator {
+		loc[i] = id
+	}
+	headers := n.chain.HeadersAfter(loc, max)
+	resp := &p2p.MsgHeaders{Headers: make([][]byte, len(headers))}
+	for i, h := range headers {
+		resp.Headers[i] = h.Serialize()
+	}
+	n.gossip.SendTo(from, p2p.MsgTypeHeaders, resp.Encode())
+}
+
+// onGetSnapshot serves the snapshot manifest (latest verified
+// commitment) and its chunks.
+func (n *Node) onGetSnapshot(from string, msg p2p.Message) {
+	dec, err := p2p.DecodeGetSnapshot(msg.Payload)
+	if err != nil {
+		return
+	}
+	sm := n.sync
+	if sm == nil {
+		return
+	}
+	sm.mu.Lock()
+	commit, data := sm.serveCommit, sm.serveData
+	if commit != nil && data == nil {
+		data = sm.buildServeDataLocked()
+	}
+	sm.mu.Unlock()
+
+	if dec.Chunk < 0 {
+		resp := &p2p.MsgSnapshotChunk{Height: -1, Chunk: -1}
+		if commit != nil && data != nil {
+			resp.Height = commit.Height
+			resp.Total = int32((len(data) + n.snapshotChunkSize() - 1) / n.snapshotChunkSize())
+			resp.Manifest = commit.Serialize()
+		}
+		n.gossip.SendTo(from, p2p.MsgTypeSnapshotChunk, resp.Encode())
+		return
+	}
+	if commit == nil || data == nil || dec.Height != commit.Height {
+		return
+	}
+	chunks := SnapshotChunks(data, n.snapshotChunkSize())
+	if int(dec.Chunk) >= len(chunks) {
+		return
+	}
+	payload := chunks[dec.Chunk]
+	if n.cfg.TamperSnapshot != nil {
+		payload = n.cfg.TamperSnapshot(dec.Height, dec.Chunk, payload)
+	}
+	resp := &p2p.MsgSnapshotChunk{
+		Height:  commit.Height,
+		Chunk:   dec.Chunk,
+		Total:   int32(len(chunks)),
+		Payload: payload,
+	}
+	if n.gossip.SendTo(from, p2p.MsgTypeSnapshotChunk, resp.Encode()) {
+		n.metrics.snapshotChunksServed.Inc()
+	}
+}
+
+// buildServeDataLocked materializes the serialized set for the cached
+// commitment by unwinding undo journals to the commitment height. A
+// commitment the chain can no longer back (pruned past, failed hash)
+// is dropped.
+func (sm *syncManager) buildServeDataLocked() []byte {
+	commit := sm.serveCommit
+	u, err := sm.n.chain.StateAt(commit.Height)
+	if err != nil {
+		sm.n.logf("snapshot serve at %d: %v", commit.Height, err)
+		sm.serveCommit = nil
+		return nil
+	}
+	data := u.SerializeUTXO()
+	if chain.SnapshotHash(data) != commit.UTXOHash || int64(len(data)) != commit.UTXOSize {
+		sm.n.logf("snapshot serve at %d: local state does not match commitment", commit.Height)
+		sm.serveCommit = nil
+		return nil
+	}
+	sm.serveData = data
+	return data
+}
+
+// onSnapCommit consumes a gossiped snapshot commitment: verify it
+// against the miner set and our own best branch, and cache the newest
+// one for serving.
+func (n *Node) onSnapCommit(from string, msg p2p.Message) {
+	sm := n.sync
+	if sm == nil {
+		return
+	}
+	commit, err := chain.DeserializeSnapshotCommitment(msg.Payload)
+	if err != nil {
+		return
+	}
+	if !n.chain.IsAuthorizedMiner(commit.MinerPubKey) || !commit.VerifySignature() {
+		n.metrics.snapshotRejected.Inc()
+		return
+	}
+	b, ok := n.chain.BlockAt(commit.Height)
+	if !ok || b.ID() != commit.BlockID {
+		// Not verifiable against our branch (behind, or a fork): ignore
+		// rather than cache — serving requires local proof.
+		return
+	}
+	sm.mu.Lock()
+	if sm.serveCommit == nil || commit.Height > sm.serveCommit.Height {
+		sm.serveCommit = commit
+		sm.serveData = nil
+	}
+	sm.mu.Unlock()
+}
+
+// publishSnapshotCommitment builds, signs, caches and gossips a
+// commitment to this miner's state at the given height.
+func (n *Node) publishSnapshotCommitment(height int64) {
+	if n.cfg.MinerKey == nil || n.sync == nil || height <= 0 {
+		return
+	}
+	u, err := n.chain.StateAt(height)
+	if err != nil {
+		n.logf("snapshot commitment at %d: %v", height, err)
+		return
+	}
+	b, ok := n.chain.BlockAt(height)
+	if !ok {
+		return
+	}
+	data := u.SerializeUTXO()
+	commit := &chain.SnapshotCommitment{
+		Version:  1,
+		Height:   height,
+		BlockID:  b.ID(),
+		UTXOHash: chain.SnapshotHash(data),
+		UTXOSize: int64(len(data)),
+	}
+	if err := commit.Sign(n.cfg.MinerKey, randomOrDefault(n.cfg.Random)); err != nil {
+		n.logf("snapshot commitment sign: %v", err)
+		return
+	}
+	sm := n.sync
+	sm.mu.Lock()
+	if sm.serveCommit == nil || commit.Height >= sm.serveCommit.Height {
+		sm.serveCommit = commit
+		sm.serveData = data
+	}
+	sm.mu.Unlock()
+	n.gossip.Broadcast(p2p.MsgTypeSnapCommit, commit.Serialize())
+}
+
+// maybePublishCommitment publishes after mining a block on a snapshot
+// interval boundary.
+func (n *Node) maybePublishCommitment(b *chain.Block) {
+	if n.sync == nil || n.cfg.MinerKey == nil {
+		return
+	}
+	if interval := n.snapshotInterval(); b.Header.Height%interval == 0 {
+		n.publishSnapshotCommitment(b.Header.Height)
+	}
+}
+
+// SyncInfo reports bootstrap progress (RPC getsyncinfo).
+func (n *Node) SyncInfo() SyncInfo {
+	si := SyncInfo{Phase: "legacy"}
+	if n.sync != nil {
+		si = n.sync.info()
+	}
+	si.ChainHeight = n.chain.Height()
+	si.PruneBase = n.chain.PruneBase()
+	return si
+}
+
+// Config accessors with defaults.
+
+func (n *Node) snapshotInterval() int64 {
+	if n.cfg.SnapshotInterval > 0 {
+		return n.cfg.SnapshotInterval
+	}
+	return 1024
+}
+
+func (n *Node) snapshotChunkSize() int {
+	if n.cfg.SnapshotChunkSize > 0 {
+		return n.cfg.SnapshotChunkSize
+	}
+	return 64 << 10
+}
+
+func (n *Node) snapshotMinGap() int64 {
+	if n.cfg.SnapshotMinGap > 0 {
+		return n.cfg.SnapshotMinGap
+	}
+	return 64
+}
+
+func (n *Node) syncRetryInterval() time.Duration {
+	if n.cfg.SyncRetryInterval > 0 {
+		return n.cfg.SyncRetryInterval
+	}
+	return 500 * time.Millisecond
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSyncBenchSnapshotBeatsReplay(t *testing.T) {
+	cfg := SyncBenchConfig{Height: 600, SnapshotInterval: 128, SnapshotChunkSize: 32 << 10, TxsPerBlock: 2}
+	results, err := RunSyncBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Mode != "replay" || results[1].Mode != "snapshot" {
+		t.Fatalf("want [replay snapshot] rows, got %+v", results)
+	}
+	replay, snapshot := results[0], results[1]
+	if replay.PruneBase != 0 || replay.BlocksReplayed < cfg.Height {
+		t.Fatalf("replay join should fetch full history: %+v", replay)
+	}
+	if snapshot.PruneBase < cfg.SnapshotInterval || snapshot.PruneBase%cfg.SnapshotInterval != 0 {
+		t.Fatalf("snapshot prune base = %d, want a boundary ≥ %d", snapshot.PruneBase, cfg.SnapshotInterval)
+	}
+	if snapshot.BlocksReplayed >= replay.BlocksReplayed {
+		t.Fatalf("snapshot join executed %d bodies, replay %d — no body savings",
+			snapshot.BlocksReplayed, replay.BlocksReplayed)
+	}
+	// At this small height the wall-clock gap is noisy, so the test only
+	// asserts direction on the structural numbers and that the ratio is
+	// well-formed; the committed full-scale run is what CI gates.
+	if ratio := SyncSpeedupRatio(results); ratio <= 0 {
+		t.Fatalf("speedup ratio %.2f, want > 0", ratio)
+	}
+
+	var text bytes.Buffer
+	WriteSyncBench(&text, cfg, results)
+	if !bytes.Contains(text.Bytes(), []byte("first-delivery speedup")) {
+		t.Fatalf("report missing speedup line:\n%s", text.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_sync.json")
+	if err := WriteSyncBenchJSON(path, cfg, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Height       int64   `json:"height"`
+		SpeedupRatio float64 `json:"speedup_ratio"`
+		Results      []struct {
+			Mode      string `json:"mode"`
+			PruneBase int64  `json:"prune_base"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Height != cfg.Height || len(doc.Results) != 2 || doc.Results[1].PruneBase == 0 {
+		t.Fatalf("JSON document malformed: %+v", doc)
+	}
+}
+
+func TestSyncBenchRejectsDegenerateConfig(t *testing.T) {
+	if _, err := RunSyncBench(SyncBenchConfig{Height: 0, SnapshotInterval: 8, SnapshotChunkSize: 1, TxsPerBlock: 1}); err == nil {
+		t.Fatal("want error for zero height")
+	}
+	if _, err := RunSyncBench(SyncBenchConfig{Height: 32, SnapshotInterval: 8, SnapshotChunkSize: 1, TxsPerBlock: 0}); err == nil {
+		t.Fatal("want error for a bodiless workload")
+	}
+	// No boundary strictly behind the tip: nothing to bootstrap from.
+	if _, err := RunSyncBench(SyncBenchConfig{Height: 10, SnapshotInterval: 8, SnapshotChunkSize: 1, TxsPerBlock: 1}); err == nil {
+		t.Fatal("want error when no snapshot boundary fits")
+	}
+}

@@ -239,6 +239,35 @@ func (c *Client) GetBlock(ctx context.Context, height int64) (*chain.Block, erro
 	return chain.DeserializeBlock(raw)
 }
 
+// GetBlockHeader returns the header summary for a block reference —
+// a height (int64) or a hash string.
+func (c *Client) GetBlockHeader(ctx context.Context, ref any) (HeaderSummary, error) {
+	var summary HeaderSummary
+	err := c.Call(ctx, "getblockheader", &summary, ref)
+	return summary, err
+}
+
+// GetChainTips returns every tip the node tracks, highest first.
+func (c *Client) GetChainTips(ctx context.Context) ([]TipSummary, error) {
+	var tips []TipSummary
+	err := c.Call(ctx, "getchaintips", &tips)
+	return tips, err
+}
+
+// GetRawBlock fetches a block's canonical serialization (getblock
+// verbosity 0); pruned heights fail server-side.
+func (c *Client) GetRawBlock(ctx context.Context, ref any) (*chain.Block, error) {
+	var blockHex string
+	if err := c.Call(ctx, "getblock", &blockHex, ref, 0); err != nil {
+		return nil, err
+	}
+	raw, err := hex.DecodeString(blockHex)
+	if err != nil {
+		return nil, fmt.Errorf("rpc block hex: %w", err)
+	}
+	return chain.DeserializeBlock(raw)
+}
+
 // SendRawTransaction submits a transaction, returning its txid.
 func (c *Client) SendRawTransaction(ctx context.Context, tx *chain.Tx) (chain.Hash, error) {
 	var txid string

@@ -560,3 +560,118 @@ func TestConcurrentRPCAndMining(t *testing.T) {
 		t.Fatalf("height = %d, want %d", h, blocks)
 	}
 }
+
+func TestGetBlockHeaderAndVerbosity(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	if _, err := f.miner.Mine(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := f.chain.BlockAt(1)
+
+	hdr, err := f.client.GetBlockHeader(ctx, int64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byHash, err := f.client.GetBlockHeader(ctx, b.ID().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr != byHash {
+		t.Fatal("height and hash references resolve different headers")
+	}
+	if hdr.Hash != b.ID().String() || hdr.Height != 1 || hdr.PrevHash != b.Header.PrevBlock.String() {
+		t.Fatalf("header summary mismatch: %+v", hdr)
+	}
+
+	// Verbosity 0 returns the canonical serialization.
+	raw, err := f.client.GetRawBlock(ctx, b.ID().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.ID() != b.ID() {
+		t.Fatal("raw block round trip changed the ID")
+	}
+
+	// Verbosity 1 is the same header summary under getblock.
+	var hdr1 HeaderSummary
+	if err := f.client.Call(ctx, "getblock", &hdr1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if hdr1 != hdr {
+		t.Fatal("getblock verbosity 1 differs from getblockheader")
+	}
+
+	// Unknown verbosity is rejected.
+	err = f.client.Call(ctx, "getblock", nil, 1, 3)
+	var rpcErr *Error
+	if !errors.As(err, &rpcErr) || rpcErr.Code != CodeInvalidParams {
+		t.Fatalf("verbosity 3: err = %v, want invalid-params", err)
+	}
+}
+
+func TestGetBlockPrunedHeight(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := f.miner.Mine(time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.chain.PruneBelow(3); err != nil {
+		t.Fatal(err)
+	}
+
+	// The raw form is gone...
+	err := f.client.Call(ctx, "getblock", new(string), 2, 0)
+	var rpcErr *Error
+	if !errors.As(err, &rpcErr) || rpcErr.Code != CodeServerError {
+		t.Fatalf("pruned raw block: err = %v, want server error", err)
+	}
+	// ...the summary says so instead of serving an empty body...
+	var sum BlockSummary
+	if err := f.client.Call(ctx, "getblock", &sum, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Pruned || sum.RawHex != "" || len(sum.TxIDs) != 0 {
+		t.Fatalf("pruned summary = %+v", sum)
+	}
+	// ...and the header survives pruning.
+	hdr, err := f.client.GetBlockHeader(ctx, int64(2))
+	if err != nil || hdr.Height != 2 {
+		t.Fatalf("pruned header: %+v, %v", hdr, err)
+	}
+	// Heights above the horizon still serve their bodies.
+	if _, err := f.client.GetRawBlock(ctx, int64(5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetChainTips(t *testing.T) {
+	f := newFixture(t)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := f.miner.Mine(time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tips, err := f.client.GetChainTips(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tips) != 1 {
+		t.Fatalf("tips = %d, want 1", len(tips))
+	}
+	if tips[0].Status != "active" || tips[0].Height != 2 || tips[0].Hash != f.chain.Tip().ID().String() {
+		t.Fatalf("tip = %+v", tips[0])
+	}
+}
+
+func TestGetSyncInfoUnavailable(t *testing.T) {
+	f := newFixture(t) // the bare fixture backend wires no SyncInfo
+	err := f.client.Call(context.Background(), "getsyncinfo", nil)
+	var rpcErr *Error
+	if !errors.As(err, &rpcErr) || rpcErr.Code != CodeServerError {
+		t.Fatalf("err = %v, want server error", err)
+	}
+}

@@ -87,6 +87,9 @@ type Backend struct {
 	// and by the getmetrics method, and the server records its own
 	// request metrics in it.
 	Telemetry *telemetry.Registry
+	// SyncInfo, when set, backs the getsyncinfo method (the daemon wires
+	// its sync state machine's progress surface here).
+	SyncInfo func() any
 }
 
 // handlerFunc executes one RPC method against the node backend.
@@ -102,6 +105,9 @@ func init() {
 		"getblockcount":      handleGetBlockCount,
 		"getbestblockhash":   handleGetBestBlockHash,
 		"getblock":           handleGetBlock,
+		"getblockheader":     handleGetBlockHeader,
+		"getchaintips":       handleGetChainTips,
+		"getsyncinfo":        handleGetSyncInfo,
 		"getrawtransaction":  handleGetRawTransaction,
 		"getconfirmations":   handleGetConfirmations,
 		"sendrawtransaction": handleSendRawTransaction,
@@ -321,7 +327,9 @@ type UnspentOutput struct {
 	Spendable bool   `json:"spendable"`
 }
 
-// BlockSummary is the getblock result.
+// BlockSummary is the getblock result at verbosity 2. For a pruned
+// height the body fields are empty and Pruned is set — the header-only
+// stub has no transactions left and no valid serialization.
 type BlockSummary struct {
 	Hash     string   `json:"hash"`
 	Height   int64    `json:"height"`
@@ -329,6 +337,26 @@ type BlockSummary struct {
 	TxIDs    []string `json:"tx"`
 	RawHex   string   `json:"rawhex"`
 	PrevHash string   `json:"previousblockhash"`
+	Pruned   bool     `json:"pruned,omitempty"`
+}
+
+// HeaderSummary is the getblockheader (and getblock verbosity-1)
+// result. Headers survive pruning, so it is available at every height.
+type HeaderSummary struct {
+	Hash        string `json:"hash"`
+	Height      int64  `json:"height"`
+	Time        int64  `json:"time"`
+	PrevHash    string `json:"previousblockhash"`
+	MerkleRoot  string `json:"merkleroot"`
+	MinerPubKey string `json:"minerpubkey"`
+}
+
+// TipSummary is one getchaintips result row.
+type TipSummary struct {
+	Height    int64  `json:"height"`
+	Hash      string `json:"hash"`
+	BranchLen int64  `json:"branchlen"`
+	Status    string `json:"status"`
 }
 
 // Method handlers. Each decodes its parameters with the typed helpers
@@ -348,16 +376,113 @@ func handleGetBestBlockHash(s *Server, params []json.RawMessage) (any, error) {
 	return s.backend.Chain.Tip().ID().String(), nil
 }
 
-func handleGetBlock(s *Server, params []json.RawMessage) (any, error) {
-	height, err := oneParam[int64](params)
-	if err != nil {
-		return nil, err
+// blockParam resolves the hash-or-height block reference getblock and
+// getblockheader share: a JSON string is a block hash, a number is a
+// best-branch height.
+func blockParam(s *Server, raw json.RawMessage) (*chain.Block, error) {
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) > 0 && trimmed[0] == '"' {
+		var hs string
+		if err := json.Unmarshal(trimmed, &hs); err != nil {
+			return nil, &Error{Code: CodeInvalidParams, Message: err.Error()}
+		}
+		id, err := chain.HashFromString(hs)
+		if err != nil {
+			return nil, &Error{Code: CodeInvalidParams, Message: err.Error()}
+		}
+		b, ok := s.backend.Chain.BlockByID(id)
+		if !ok {
+			return nil, &Error{Code: CodeInvalidParams, Message: "block not found"}
+		}
+		return b, nil
+	}
+	var height int64
+	if err := json.Unmarshal(trimmed, &height); err != nil {
+		return nil, &Error{Code: CodeInvalidParams, Message: "block reference must be a hash string or a height"}
 	}
 	b, ok := s.backend.Chain.BlockAt(height)
 	if !ok {
 		return nil, &Error{Code: CodeInvalidParams, Message: "block not found"}
 	}
-	return blockSummary(b), nil
+	return b, nil
+}
+
+// blockPruned reports a header-only stub left behind by pruning (only
+// genesis legitimately carries no transactions).
+func blockPruned(b *chain.Block) bool {
+	return b.Header.Height > 0 && len(b.Txs) == 0
+}
+
+func handleGetBlock(s *Server, params []json.RawMessage) (any, error) {
+	if len(params) < 1 || len(params) > 2 {
+		return nil, &Error{Code: CodeInvalidParams, Message: "expected 1 or 2 parameters"}
+	}
+	b, err := blockParam(s, params[0])
+	if err != nil {
+		return nil, err
+	}
+	verbosity := int64(2)
+	if len(params) == 2 {
+		if err := json.Unmarshal(params[1], &verbosity); err != nil {
+			return nil, &Error{Code: CodeInvalidParams, Message: "verbosity must be a number"}
+		}
+	}
+	switch verbosity {
+	case 0:
+		if blockPruned(b) {
+			return nil, &Error{Code: CodeServerError,
+				Message: fmt.Sprintf("block body at height %d pruned", b.Header.Height)}
+		}
+		return hex.EncodeToString(b.Serialize()), nil
+	case 1:
+		return headerSummary(b), nil
+	case 2:
+		return blockSummary(b), nil
+	default:
+		return nil, &Error{Code: CodeInvalidParams, Message: "verbosity must be 0, 1 or 2"}
+	}
+}
+
+func handleGetBlockHeader(s *Server, params []json.RawMessage) (any, error) {
+	if len(params) != 1 {
+		return nil, &Error{Code: CodeInvalidParams, Message: "expected 1 parameter"}
+	}
+	b, err := blockParam(s, params[0])
+	if err != nil {
+		return nil, err
+	}
+	return headerSummary(b), nil
+}
+
+func handleGetChainTips(s *Server, params []json.RawMessage) (any, error) {
+	if err := noParams(params); err != nil {
+		return nil, err
+	}
+	tips := s.backend.Chain.Tips()
+	out := make([]TipSummary, len(tips))
+	for i, tip := range tips {
+		status := "valid-fork"
+		if tip.Active {
+			status = "active"
+		}
+		out[i] = TipSummary{
+			Height:    tip.Height,
+			Hash:      tip.ID.String(),
+			BranchLen: tip.BranchLen,
+			Status:    status,
+		}
+	}
+	return out, nil
+}
+
+func handleGetSyncInfo(s *Server, params []json.RawMessage) (any, error) {
+	if err := noParams(params); err != nil {
+		return nil, err
+	}
+	if s.backend.SyncInfo == nil {
+		return nil, &Error{Code: CodeServerError, Message: "sync info unavailable"}
+	}
+	return s.backend.SyncInfo(), nil
 }
 
 func handleGetRawTransaction(s *Server, params []json.RawMessage) (any, error) {
@@ -474,16 +599,31 @@ func handleListMethods(_ *Server, params []json.RawMessage) (any, error) {
 }
 
 func blockSummary(b *chain.Block) BlockSummary {
-	ids := make([]string, len(b.Txs))
-	for i, tx := range b.Txs {
-		ids[i] = tx.ID().String()
-	}
-	return BlockSummary{
+	out := BlockSummary{
 		Hash:     b.ID().String(),
 		Height:   b.Header.Height,
 		Time:     b.Header.Time,
-		TxIDs:    ids,
-		RawHex:   hex.EncodeToString(b.Serialize()),
+		TxIDs:    []string{},
 		PrevHash: b.Header.PrevBlock.String(),
+	}
+	if blockPruned(b) {
+		out.Pruned = true
+		return out
+	}
+	for _, tx := range b.Txs {
+		out.TxIDs = append(out.TxIDs, tx.ID().String())
+	}
+	out.RawHex = hex.EncodeToString(b.Serialize())
+	return out
+}
+
+func headerSummary(b *chain.Block) HeaderSummary {
+	return HeaderSummary{
+		Hash:        b.ID().String(),
+		Height:      b.Header.Height,
+		Time:        b.Header.Time,
+		PrevHash:    b.Header.PrevBlock.String(),
+		MerkleRoot:  b.Header.MerkleRoot.String(),
+		MinerPubKey: hex.EncodeToString(b.Header.MinerPubKey),
 	}
 }
