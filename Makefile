@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench blockconnect reorg relay-bench sync-bench bench-gate lint fuzz chaos ci
+.PHONY: build test vet race bench blockconnect reorg relay-bench sync-bench channel-bench bench-gate lint fuzz chaos ci
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,11 @@ relay-bench:
 sync-bench:
 	$(GO) run ./cmd/bcwan-bench -only sync
 
+# Regenerate results/BENCH_channel.json (delivery settlement:
+# per-message on-chain payments vs one batched payment channel).
+channel-bench:
+	$(GO) run ./cmd/bcwan-bench -only channel
+
 # What the CI bench-regression job runs: re-measure into a scratch
 # directory and gate against the committed baselines.
 bench-gate:
@@ -47,6 +52,7 @@ bench-gate:
 	$(GO) run ./cmd/bcwan-bench -only reorg -results /tmp/bcwan-bench-candidate
 	$(GO) run ./cmd/bcwan-bench -only relay -results /tmp/bcwan-bench-candidate
 	$(GO) run ./cmd/bcwan-bench -only sync -results /tmp/bcwan-bench-candidate
+	$(GO) run ./cmd/bcwan-bench -only channel -results /tmp/bcwan-bench-candidate
 	$(GO) run ./cmd/bcwan-benchgate -kind blockconnect \
 		-baseline results/BENCH_blockconnect.json \
 		-candidate /tmp/bcwan-bench-candidate/BENCH_blockconnect.json
@@ -59,6 +65,9 @@ bench-gate:
 	$(GO) run ./cmd/bcwan-benchgate -kind sync \
 		-baseline results/BENCH_sync.json \
 		-candidate /tmp/bcwan-bench-candidate/BENCH_sync.json
+	$(GO) run ./cmd/bcwan-benchgate -kind channel \
+		-baseline results/BENCH_channel.json \
+		-candidate /tmp/bcwan-bench-candidate/BENCH_channel.json
 
 # Static analysis. CI installs the tools; locally:
 #   go install honnef.co/go/tools/cmd/staticcheck@latest
@@ -76,6 +85,6 @@ fuzz:
 # logs each scenario's RNG seed; replay a failure with
 #   make chaos CHAOS_SEED=<seed>
 chaos:
-	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -v -run TestFaultScenarios ./internal/chaos
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -v -run 'TestFaultScenarios|TestChannelFaultScenarios' ./internal/chaos
 
 ci: vet race

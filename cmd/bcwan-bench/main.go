@@ -11,7 +11,8 @@
 //	        block-connect throughput vs VerifyWorkers and sig-cache state,
 //	        depth-2 reorg cost vs chain length (undo-journal ablation),
 //	        wire bytes and propagation time: flood vs inv/compact relay,
-//	        gateway cold start: genesis replay vs snapshot bootstrap
+//	        gateway cold start: genesis replay vs snapshot bootstrap,
+//	        delivery settlement: per-message on-chain vs payment channel
 //
 // Run everything at paper scale (minutes):
 //
@@ -44,7 +45,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bcwan-bench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "scaled-down run (seconds instead of minutes)")
-	only := fs.String("only", "", "run a single experiment: fig4|fig5|fig6|budget|doublespend|reputation|sweeps|legacy|blockconnect|reorg|relay|sync")
+	only := fs.String("only", "", "run a single experiment: fig4|fig5|fig6|budget|doublespend|reputation|sweeps|legacy|blockconnect|reorg|relay|sync|channel")
 	csvDir := fs.String("csv", "", "also write per-exchange latency series (the raw figure data) as CSV files into this directory")
 	resultsDir := fs.String("results", "results", "directory for machine-readable benchmark JSON (empty disables)")
 	if err := fs.Parse(args); err != nil {
@@ -237,6 +238,26 @@ func run(args []string) error {
 		if *resultsDir != "" {
 			path := filepath.Join(*resultsDir, "BENCH_sync.json")
 			if err := experiments.WriteSyncBenchJSON(path, cfg, results); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n\n", path)
+		}
+	}
+
+	if want("channel") {
+		cfg := experiments.DefaultChannelBenchConfig()
+		if *quick {
+			cfg.Deliveries = 30
+			cfg.Capacity = 10_000
+		}
+		results, err := experiments.RunChannelBench(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.WriteChannelBench(out, cfg, results)
+		if *resultsDir != "" {
+			path := filepath.Join(*resultsDir, "BENCH_channel.json")
+			if err := experiments.WriteChannelBenchJSON(path, cfg, results); err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s\n\n", path)

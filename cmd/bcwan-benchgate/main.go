@@ -12,16 +12,19 @@
 //	    -baseline results/BENCH_relay.json -candidate /tmp/BENCH_relay.json
 //	bcwan-benchgate -kind sync \
 //	    -baseline results/BENCH_sync.json -candidate /tmp/BENCH_sync.json
+//	bcwan-benchgate -kind channel \
+//	    -baseline results/BENCH_channel.json -candidate /tmp/BENCH_channel.json
 //
 // The thresholds are deliberately loose (25% ns/op slack, hit rate no
 // lower than 75% of baseline, reorg scaling ratio at most 5x, relay
 // bytes-per-block slack 25% with a 0.75 compact hit-rate floor, sync
-// cold-start speedup at least 1.5x) so shared CI runners do not flake;
-// a genuine algorithmic regression — say a reorg going back to
-// replay-from-genesis, the inv relay degenerating back to flooding, or
-// the snapshot bootstrap silently falling back to a body-by-body
-// replay — overshoots them by orders of magnitude. See README.md for
-// what to do when this gate fails.
+// cold-start speedup at least 1.5x, channel settlement speedup at
+// least 5x) so shared CI runners do not flake; a genuine algorithmic
+// regression — say a reorg going back to replay-from-genesis, the inv
+// relay degenerating back to flooding, the snapshot bootstrap silently
+// falling back to a body-by-body replay, or channel deliveries quietly
+// settling on-chain per message — overshoots them by orders of
+// magnitude. See README.md for what to do when this gate fails.
 package main
 
 import (
@@ -40,13 +43,14 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("bcwan-benchgate", flag.ContinueOnError)
-	kind := fs.String("kind", "", "benchmark document kind: blockconnect|reorg|relay|sync")
+	kind := fs.String("kind", "", "benchmark document kind: blockconnect|reorg|relay|sync|channel")
 	baselinePath := fs.String("baseline", "", "committed baseline JSON (required)")
 	candidatePath := fs.String("candidate", "", "freshly measured JSON (required)")
 	maxRegression := fs.Float64("max-regression", 0.25, "allowed ns/op increase over baseline (fraction)")
 	minHitRateFrac := fs.Float64("min-hitrate-frac", 0.75, "blockconnect: candidate hit rate as a fraction of baseline; relay: absolute hit-rate floor")
 	maxScaling := fs.Float64("max-scaling", 5, "reorg: max per-reorg cost ratio of longest vs shortest chain")
 	minSyncSpeedup := fs.Float64("min-sync-speedup", 1.5, "sync: min snapshot-bootstrap speedup over genesis replay (first-delivery ratio)")
+	minChannelSpeedup := fs.Float64("min-channel-speedup", 5, "channel: min deliveries/sec speedup of channel settlement over per-message on-chain settlement")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,8 +69,10 @@ func run(args []string, out *os.File) error {
 		failures, err = gateRelay(*baselinePath, *candidatePath, *maxRegression, *minHitRateFrac)
 	case "sync":
 		failures, err = gateSync(*baselinePath, *candidatePath, *minSyncSpeedup)
+	case "channel":
+		failures, err = gateChannel(*baselinePath, *candidatePath, *minChannelSpeedup)
 	default:
-		return fmt.Errorf("-kind must be blockconnect, reorg, relay, or sync, got %q", *kind)
+		return fmt.Errorf("-kind must be blockconnect, reorg, relay, sync, or channel, got %q", *kind)
 	}
 	if err != nil {
 		return err
@@ -118,6 +124,19 @@ type syncDoc struct {
 		FirstDeliveryMS float64 `json:"first_delivery_ms"`
 		PruneBase       int64   `json:"prune_base"`
 		BlocksReplayed  int64   `json:"blocks_replayed"`
+	} `json:"results"`
+}
+
+// channelDoc mirrors results/BENCH_channel.json.
+type channelDoc struct {
+	Deliveries      int    `json:"deliveries"`
+	Capacity        uint64 `json:"capacity"`
+	Price           uint64 `json:"price"`
+	BlockIntervalMS int    `json:"block_interval_ms"`
+	Results         []struct {
+		Mode             string  `json:"mode"`
+		DeliveriesPerSec float64 `json:"deliveries_per_sec"`
+		OnChainTxs       int64   `json:"onchain_txs"`
 	} `json:"results"`
 }
 
@@ -287,6 +306,71 @@ func gateSync(baselinePath, candidatePath string, minSpeedup float64) ([]string,
 	if snapBlocks >= replayBlocks {
 		failures = append(failures, fmt.Sprintf(
 			"snapshot join executed %d bodies, replay %d — the horizon saved nothing", snapBlocks, replayBlocks))
+	}
+	return failures, nil
+}
+
+// gateChannel asserts the batched-settlement property inside the
+// candidate file itself: routing a delivery stream through a payment
+// channel must reach first-inbox-to-last-inbox throughput at least
+// minSpeedup times the per-message on-chain path, and the channel run
+// must anchor the whole stream with dramatically fewer mined
+// transactions (at most deliveries/5, never below the funding + close
+// pair). Both runs execute the same workload back to back on the same
+// machine, so the ratio holds on any runner speed — a channel layer
+// that quietly falls back to settling each delivery on-chain pushes
+// the speedup to 1x and the tx count to 2x deliveries. The baseline is
+// only checked for workload-shape agreement (absolute deliveries/sec
+// are not compared across machines).
+func gateChannel(baselinePath, candidatePath string, minSpeedup float64) ([]string, error) {
+	var base, cand channelDoc
+	if err := readJSON(baselinePath, &base); err != nil {
+		return nil, err
+	}
+	if err := readJSON(candidatePath, &cand); err != nil {
+		return nil, err
+	}
+	if base.Deliveries != cand.Deliveries || base.Capacity != cand.Capacity ||
+		base.Price != cand.Price || base.BlockIntervalMS != cand.BlockIntervalMS {
+		return nil, fmt.Errorf("workload mismatch: baseline %d deliveries/capacity %d/price %d/%dms blocks vs candidate %d deliveries/capacity %d/price %d/%dms blocks — regenerate the baseline",
+			base.Deliveries, base.Capacity, base.Price, base.BlockIntervalMS,
+			cand.Deliveries, cand.Capacity, cand.Price, cand.BlockIntervalMS)
+	}
+
+	row := func(doc channelDoc, mode string) (float64, int64, bool) {
+		for _, r := range doc.Results {
+			if r.Mode == mode {
+				return r.DeliveriesPerSec, r.OnChainTxs, true
+			}
+		}
+		return 0, 0, false
+	}
+	onchainDPS, onchainTxs, ok := row(cand, "onchain")
+	if !ok {
+		return nil, fmt.Errorf("%s: no onchain row", candidatePath)
+	}
+	channelDPS, channelTxs, ok := row(cand, "channel")
+	if !ok {
+		return nil, fmt.Errorf("%s: no channel row", candidatePath)
+	}
+	if onchainDPS <= 0 || channelDPS <= 0 {
+		return nil, fmt.Errorf("%s: non-positive deliveries/sec", candidatePath)
+	}
+
+	var failures []string
+	if ratio := channelDPS / onchainDPS; ratio < minSpeedup {
+		failures = append(failures, fmt.Sprintf(
+			"channel settlement speedup %.2fx below floor %.1fx (on-chain %.1f vs channel %.1f deliveries/sec over %d deliveries) — is every delivery settling on-chain again?",
+			ratio, minSpeedup, onchainDPS, channelDPS, cand.Deliveries))
+	}
+	if channelTxs*5 > onchainTxs {
+		failures = append(failures, fmt.Sprintf(
+			"channel run mined %d txs vs %d on-chain — batching saved less than 5x, did per-delivery settlement leak onto the chain?",
+			channelTxs, onchainTxs))
+	}
+	if channelTxs < 2 {
+		failures = append(failures, fmt.Sprintf(
+			"channel run mined only %d txs — the funding and close anchors must both confirm", channelTxs))
 	}
 	return failures, nil
 }

@@ -67,6 +67,7 @@ func run(args []string) error {
 	prune := fs.Int64("prune", 0, "keep only this many recent block bodies; older heights become header-only stubs at each store compaction (0 = keep everything)")
 	snapshotInterval := fs.Int64("snapshot-interval", 0, "height spacing of signed snapshot commitments published when mining (0 = default 1024)")
 	legacySync := fs.Bool("legacy-sync", false, "join by replaying every block from genesis instead of headers-first + snapshot bootstrap")
+	noChannels := fs.Bool("no-channels", false, "disable off-chain payment channels; every delivery settles with an on-chain payment transaction (escape hatch)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,6 +106,7 @@ func run(args []string) error {
 		LegacySyncOnly:   *legacySync,
 		PruneDepth:       *prune,
 		SnapshotInterval: *snapshotInterval,
+		NoChannels:       *noChannels,
 	}
 	if *mine {
 		if *minerKeyHex == "" {
@@ -164,6 +166,18 @@ func run(args []string) error {
 		rd.OnReceive(func(m *recipient.Message) {
 			logger.Printf("decrypted message from %s: %q", m.DevEUI, m.Plaintext)
 		})
+		ccfg := daemon.DefaultChannelConfig()
+		if *dataDir != "" {
+			ccfg.StoreDir = *dataDir + "/channels"
+		}
+		// EnableChannels is a no-op returning nil under -no-channels.
+		mgr, err := rd.EnableChannels(ccfg)
+		if err != nil {
+			return fmt.Errorf("enable channels: %w", err)
+		}
+		if mgr != nil {
+			logger.Printf("payment channels enabled (openchannel/closechannel RPCs); disable with -no-channels")
+		}
 		logger.Printf("recipient @R %s delivering on %s", rd.Recipient.Wallet().Address(), rd.Addr())
 		logger.Printf("fund the recipient wallet and call PublishBinding via your tooling before exchanges")
 	}

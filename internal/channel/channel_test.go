@@ -1,0 +1,263 @@
+package channel_test
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+	"time"
+
+	"bcwan/internal/chain"
+	"bcwan/internal/channel"
+	"bcwan/internal/fairex"
+	"bcwan/internal/wallet"
+)
+
+// rig is a single-chain playground with a funded payer wallet, a payee
+// wallet, and a miner.
+type rig struct {
+	t      *testing.T
+	chain  *chain.Chain
+	pool   *chain.Mempool
+	miner  *chain.Miner
+	ledger *fairex.Node
+	payerW *wallet.Wallet
+	payeeW *wallet.Wallet
+	now    time.Time
+}
+
+const payerFunds = 1_000_000
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	payerW, err := wallet.New(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payeeW, err := wallet.New(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minerW, err := wallet.New(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genesis := chain.GenesisBlock(map[[20]byte]uint64{payerW.PubKeyHash(): payerFunds})
+	c, err := chain.New(chain.DefaultParams(), genesis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AuthorizeMiner(minerW.PublicBytes())
+	pool := chain.NewMempool()
+	return &rig{
+		t:      t,
+		chain:  c,
+		pool:   pool,
+		miner:  chain.NewMiner(minerW.Key(), c, pool, rand.Reader),
+		ledger: &fairex.Node{Chain: c, Pool: pool},
+		payerW: payerW,
+		payeeW: payeeW,
+		now:    time.Date(2018, 12, 10, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func (r *rig) mine() *chain.Block {
+	r.t.Helper()
+	r.now = r.now.Add(r.chain.Params().BlockInterval)
+	b, err := r.miner.Mine(r.now)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return b
+}
+
+const (
+	capacity = 10_000
+	fundFee  = 10
+	closeFee = 5
+	price    = 100
+)
+
+func openChannel(t *testing.T, r *rig, payerStore, payeeStore *channel.Store) (*channel.Payer, *channel.Payee) {
+	t.Helper()
+	payer, funding, err := channel.OpenPayer(
+		r.payerW, r.ledger, payerStore, r.payeeW.PublicBytes(),
+		capacity, fundFee, closeFee, 100, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payee, err := channel.AcceptPayee(r.payeeW, r.ledger, payeeStore, funding, payer.State().Params, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mine()
+	return payer, payee
+}
+
+func TestChannelLifecycle(t *testing.T) {
+	r := newRig(t)
+	payer, payee := openChannel(t, r, nil, nil)
+
+	// Stream ten off-chain updates through the sign -> apply -> ack loop.
+	for i := 1; i <= 10; i++ {
+		upd, err := payer.SignUpdate(price)
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		gwSig, err := payee.ApplyUpdate(upd)
+		if err != nil {
+			t.Fatalf("apply %d: %v", i, err)
+		}
+		if err := payer.NoteAck(upd.Version, gwSig); err != nil {
+			t.Fatalf("ack %d: %v", i, err)
+		}
+	}
+	if st := payer.State(); st.Paid != 10*price || st.InFlight() != 0 {
+		t.Fatalf("payer state: paid %d inflight %d", st.Paid, st.InFlight())
+	}
+
+	// A replayed (stale) update must be rejected.
+	stale := &channel.Update{ChannelID: payer.State().ID, Version: 3, Paid: 3 * price}
+	if _, err := payee.ApplyUpdate(stale); !errors.Is(err, channel.ErrStaleVersion) {
+		t.Fatalf("stale update err = %v", err)
+	}
+	// A forged signature must be rejected.
+	forged := &channel.Update{ChannelID: payer.State().ID, Version: 11, Paid: 11 * price, RecipientSig: []byte("junk")}
+	if _, err := payee.ApplyUpdate(forged); !errors.Is(err, channel.ErrBadSignature) {
+		t.Fatalf("forged update err = %v", err)
+	}
+
+	// Close settles all ten payments in one on-chain transaction.
+	closeTx, err := payee.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mine()
+	if _, _, ok := r.ledger.FindTx(closeTx.ID()); !ok {
+		t.Fatal("close tx not confirmed")
+	}
+	utxo := r.chain.UTXO()
+	if got := utxo.BalanceOf(r.payeeW.PubKeyHash()); got != 10*price {
+		t.Fatalf("payee balance = %d, want %d", got, 10*price)
+	}
+	if got := utxo.BalanceOf(r.payerW.PubKeyHash()); got != payerFunds-fundFee-10*price-closeFee {
+		t.Fatalf("payer balance = %d", got)
+	}
+	// The channel rejects further updates once closed.
+	if _, err := payee.ApplyUpdate(&channel.Update{}); !errors.Is(err, channel.ErrClosed) {
+		t.Fatalf("post-close update err = %v", err)
+	}
+}
+
+func TestChannelExhaustion(t *testing.T) {
+	r := newRig(t)
+	payer, _ := openChannel(t, r, nil, nil)
+	if _, err := payer.SignUpdate(capacity); !errors.Is(err, channel.ErrExhausted) {
+		t.Fatalf("over-capacity update err = %v", err)
+	}
+}
+
+func TestChannelRefundAfterTimeout(t *testing.T) {
+	r := newRig(t)
+	payer, funding, err := channel.OpenPayer(
+		r.payerW, r.ledger, nil, r.payeeW.PublicBytes(), capacity, fundFee, closeFee, 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = funding
+	r.mine()
+
+	// Too early: the ledger is below the refund height.
+	if _, err := payer.Refund(closeFee); !errors.Is(err, channel.ErrRefundTooEarly) {
+		t.Fatalf("early refund err = %v", err)
+	}
+	for r.chain.Height() < payer.State().RefundHeight {
+		r.mine()
+	}
+	refund, err := payer.Refund(closeFee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mine()
+	if _, _, ok := r.ledger.FindTx(refund.ID()); !ok {
+		t.Fatal("refund tx not confirmed")
+	}
+	if got := r.chain.UTXO().BalanceOf(r.payerW.PubKeyHash()); got != payerFunds-fundFee-closeFee {
+		t.Fatalf("payer balance after refund = %d", got)
+	}
+}
+
+// TestChannelStoreRestart persists both endpoints mid-stream with one
+// unacknowledged update, reloads them, and verifies the surviving views:
+// the payee closes with its latest countersigned commitment and the payer
+// knows its in-flight delta.
+func TestChannelStoreRestart(t *testing.T) {
+	r := newRig(t)
+	payerStore, err := channel.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payeeStore, err := channel.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payer, payee := openChannel(t, r, payerStore, payeeStore)
+
+	for i := 1; i <= 3; i++ {
+		upd, err := payer.SignUpdate(price)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gwSig, err := payee.ApplyUpdate(upd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := payer.NoteAck(upd.Version, gwSig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fourth update: applied by the payee (persisted) but the ack is lost.
+	upd, err := payer.SignUpdate(price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := payee.ApplyUpdate(upd); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": reload both endpoints from their stores.
+	payerStates, err := payerStore.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payeeStates, err := payeeStore.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payerStates) != 1 || len(payeeStates) != 1 {
+		t.Fatalf("state counts: payer %d payee %d", len(payerStates), len(payeeStates))
+	}
+	payer2, err := channel.LoadPayer(payerStates[0], r.payerW, r.ledger, payerStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payee2, err := channel.LoadPayee(payeeStates[0], r.payeeW, r.ledger, payeeStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pst, gst := payer2.State(), payee2.State()
+	if pst.Version != 4 || pst.AckedVersion != 3 || pst.InFlight() != price {
+		t.Fatalf("payer reload: version %d acked %d inflight %d", pst.Version, pst.AckedVersion, pst.InFlight())
+	}
+	if gst.Version != 4 || gst.Paid != 4*price {
+		t.Fatalf("payee reload: version %d paid %d", gst.Version, gst.Paid)
+	}
+
+	// The reloaded payee settles everything it countersigned.
+	if _, err := payee2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r.mine()
+	if got := r.chain.UTXO().BalanceOf(r.payeeW.PubKeyHash()); got != 4*price {
+		t.Fatalf("payee balance = %d, want %d", got, 4*price)
+	}
+}

@@ -1,0 +1,320 @@
+package channel
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/chain"
+	"bcwan/internal/fairex"
+	"bcwan/internal/wallet"
+)
+
+// Payer is the recipient-side channel endpoint: it funds the channel and
+// signs monotonically-versioned commitment updates.
+type Payer struct {
+	mu     sync.Mutex
+	st     *State
+	wallet *wallet.Wallet
+	ledger fairex.Ledger
+	store  *Store
+}
+
+// OpenPayer funds a new channel: it builds and submits the on-chain
+// funding transaction and returns the endpoint plus the funding tx for
+// relay to the payee.
+func OpenPayer(w *wallet.Wallet, ledger fairex.Ledger, store *Store, gatewayPub []byte, capacity, fundFee, closeFee uint64, refundWindow int64, peerAddr string) (*Payer, *chain.Tx, error) {
+	if capacity <= closeFee {
+		return nil, nil, fmt.Errorf("%w: capacity %d <= close fee %d", ErrExhausted, capacity, closeFee)
+	}
+	params := Params{
+		GatewayPub:   append([]byte(nil), gatewayPub...),
+		RecipientPub: w.PublicBytes(),
+		Capacity:     capacity,
+		CloseFee:     closeFee,
+		RefundHeight: ledger.Height() + refundWindow,
+	}
+	funding, err := w.BuildChannelFunding(ledger.UTXO(), params.ScriptParams(), capacity, fundFee)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ledger.Submit(funding); err != nil {
+		return nil, nil, fmt.Errorf("channel: submit funding: %w", err)
+	}
+	st := &State{
+		ID:       funding.ID(),
+		Params:   params,
+		Role:     RolePayer,
+		Status:   StatusOpen,
+		PeerAddr: peerAddr,
+	}
+	p := &Payer{st: st, wallet: w, ledger: ledger, store: store}
+	if err := p.persist(); err != nil {
+		return nil, nil, err
+	}
+	return p, funding, nil
+}
+
+// LoadPayer rebuilds a payer endpoint from a persisted state (after a
+// restart). The wallet must hold the key matching the state's
+// RecipientPub.
+func LoadPayer(st *State, w *wallet.Wallet, ledger fairex.Ledger, store *Store) (*Payer, error) {
+	if st.Role != RolePayer {
+		return nil, fmt.Errorf("%w: state role %s is not payer", ErrUnknownChannel, st.Role)
+	}
+	return &Payer{st: st, wallet: w, ledger: ledger, store: store}, nil
+}
+
+// State returns a copy of the endpoint's channel state.
+func (p *Payer) State() State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return *p.st
+}
+
+// SignUpdate produces the next commitment update paying delta more to the
+// gateway. The signed state is persisted before the update is returned,
+// so a crashed payer knows its in-flight delta on restart.
+func (p *Payer) SignUpdate(delta uint64) (*Update, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.st.Status != StatusOpen {
+		return nil, ErrClosed
+	}
+	paid := p.st.Paid + delta
+	if paid+p.st.CloseFee > p.st.Capacity {
+		return nil, fmt.Errorf("%w: paid %d + fee %d > capacity %d", ErrExhausted, paid, p.st.CloseFee, p.st.Capacity)
+	}
+	version := p.st.Version + 1
+	digest, err := CommitmentDigest(p.st.Params, p.st.ID, version, paid)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := p.wallet.SignChannelDigest(digest)
+	if err != nil {
+		return nil, err
+	}
+	p.st.Version = version
+	p.st.Paid = paid
+	p.st.RecipientSig = sig
+	p.st.GatewaySig = nil
+	if err := p.persist(); err != nil {
+		return nil, err
+	}
+	return &Update{
+		ChannelID:    p.st.ID,
+		Version:      version,
+		Paid:         paid,
+		RecipientSig: sig,
+	}, nil
+}
+
+// NoteAck records the gateway's countersignature for a version the payer
+// signed, shrinking the in-flight window. Stale acknowledgements (below
+// the current acked version) are ignored.
+func (p *Payer) NoteAck(version uint64, gatewaySig []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if version <= p.st.AckedVersion {
+		return nil
+	}
+	if version != p.st.Version {
+		return fmt.Errorf("%w: ack version %d, latest signed %d", ErrStaleVersion, version, p.st.Version)
+	}
+	digest, err := CommitmentDigest(p.st.Params, p.st.ID, version, p.st.Paid)
+	if err != nil {
+		return err
+	}
+	if !bccrypto.VerifyECDigest(p.st.GatewayPub, digest[:], gatewaySig) {
+		return fmt.Errorf("%w: gateway countersignature", ErrBadSignature)
+	}
+	p.st.GatewaySig = append([]byte(nil), gatewaySig...)
+	p.st.AckedVersion = version
+	p.st.AckedPaid = p.st.Paid
+	return p.persist()
+}
+
+// Refund reclaims the channel capacity through the CLTV path once the
+// chain has reached the refund height. Used when the gateway abandons the
+// channel.
+func (p *Payer) Refund(fee uint64) (*chain.Tx, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if height := p.ledger.Height(); height < p.st.RefundHeight {
+		return nil, fmt.Errorf("%w: height %d < refund height %d", ErrRefundTooEarly, height, p.st.RefundHeight)
+	}
+	funding, _, ok := p.ledger.FindTx(p.st.ID)
+	if !ok {
+		if funding, ok = p.ledger.PendingTx(p.st.ID); !ok {
+			return nil, fmt.Errorf("%w: funding tx %s not found", ErrUnknownChannel, p.st.ID)
+		}
+	}
+	tx, err := p.wallet.BuildChannelRefund(
+		chain.OutPoint{TxID: p.st.ID, Index: 0}, funding.Outputs[0], p.st.RefundHeight, fee)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ledger.Submit(tx); err != nil {
+		return nil, fmt.Errorf("channel: submit refund: %w", err)
+	}
+	p.st.Status = StatusRefunded
+	if err := p.persist(); err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+// MarkClosing flags the channel so no further updates are signed.
+func (p *Payer) MarkClosing() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.st.Status == StatusOpen {
+		p.st.Status = StatusClosing
+		return p.persist()
+	}
+	return nil
+}
+
+func (p *Payer) persist() error {
+	if p.store == nil {
+		return nil
+	}
+	return p.store.Save(p.st)
+}
+
+// Payee is the gateway-side channel endpoint: it verifies and countersigns
+// updates and broadcasts the latest commitment at close.
+type Payee struct {
+	mu     sync.Mutex
+	st     *State
+	wallet *wallet.Wallet
+	ledger fairex.Ledger
+	store  *Store
+}
+
+// AcceptPayee validates a funding transaction against the agreed terms
+// and creates the payee endpoint. The funding transaction is submitted to
+// the payee's own mempool so it sees the channel anchor even if gossip
+// lags.
+func AcceptPayee(w *wallet.Wallet, ledger fairex.Ledger, store *Store, funding *chain.Tx, p Params, peerAddr string) (*Payee, error) {
+	if !bytes.Equal(p.GatewayPub, w.PublicBytes()) {
+		return nil, fmt.Errorf("%w: gateway key is not ours", ErrBadFunding)
+	}
+	if err := VerifyFunding(funding, p); err != nil {
+		return nil, err
+	}
+	if p.RefundHeight <= ledger.Height() {
+		return nil, fmt.Errorf("%w: refund height %d already reached (height %d)", ErrBadFunding, p.RefundHeight, ledger.Height())
+	}
+	// Best effort: the funding tx usually arrives via gossip too, so an
+	// already-known (or already-confirmed) funding is not an error.
+	if _, _, confirmed := ledger.FindTx(funding.ID()); !confirmed {
+		if _, pending := ledger.PendingTx(funding.ID()); !pending {
+			if err := ledger.Submit(funding); err != nil {
+				return nil, fmt.Errorf("%w: funding rejected: %v", ErrBadFunding, err)
+			}
+		}
+	}
+	st := &State{
+		ID:       funding.ID(),
+		Params:   p,
+		Role:     RolePayee,
+		Status:   StatusOpen,
+		PeerAddr: peerAddr,
+	}
+	g := &Payee{st: st, wallet: w, ledger: ledger, store: store}
+	if err := g.persist(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// LoadPayee rebuilds a payee endpoint from a persisted state.
+func LoadPayee(st *State, w *wallet.Wallet, ledger fairex.Ledger, store *Store) (*Payee, error) {
+	if st.Role != RolePayee {
+		return nil, fmt.Errorf("%w: state role %s is not payee", ErrUnknownChannel, st.Role)
+	}
+	return &Payee{st: st, wallet: w, ledger: ledger, store: store}, nil
+}
+
+// State returns a copy of the endpoint's channel state.
+func (g *Payee) State() State {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return *g.st
+}
+
+// ApplyUpdate verifies a payer update — monotonic version, increasing
+// cumulative amount within capacity, valid payer signature — then
+// countersigns it. The new state is persisted BEFORE the countersignature
+// is returned, so a key disclosure never outruns durable channel state.
+func (g *Payee) ApplyUpdate(u *Update) ([]byte, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.st.Status != StatusOpen {
+		return nil, ErrClosed
+	}
+	if u.ChannelID != g.st.ID {
+		return nil, ErrUnknownChannel
+	}
+	if u.Version <= g.st.Version {
+		return nil, fmt.Errorf("%w: got %d, have %d", ErrStaleVersion, u.Version, g.st.Version)
+	}
+	if u.Paid <= g.st.Paid {
+		return nil, fmt.Errorf("%w: paid must increase (got %d, have %d)", ErrBadUpdate, u.Paid, g.st.Paid)
+	}
+	if u.Paid+g.st.CloseFee > g.st.Capacity {
+		return nil, fmt.Errorf("%w: paid %d + fee %d > capacity %d", ErrExhausted, u.Paid, g.st.CloseFee, g.st.Capacity)
+	}
+	digest, err := CommitmentDigest(g.st.Params, g.st.ID, u.Version, u.Paid)
+	if err != nil {
+		return nil, err
+	}
+	if !bccrypto.VerifyECDigest(g.st.RecipientPub, digest[:], u.RecipientSig) {
+		return nil, fmt.Errorf("%w: payer signature", ErrBadSignature)
+	}
+	gwSig, err := g.wallet.SignChannelDigest(digest)
+	if err != nil {
+		return nil, err
+	}
+	g.st.Version = u.Version
+	g.st.Paid = u.Paid
+	g.st.RecipientSig = append([]byte(nil), u.RecipientSig...)
+	g.st.GatewaySig = gwSig
+	if err := g.persist(); err != nil {
+		return nil, err
+	}
+	return gwSig, nil
+}
+
+// Close broadcasts the latest fully-signed commitment, settling all
+// off-chain payments in one on-chain transaction. Safe to call on either
+// a cooperative or a unilateral close — both paths publish the same
+// highest-version commitment.
+func (g *Payee) Close() (*chain.Tx, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.st.Status == StatusClosed {
+		return nil, ErrClosed
+	}
+	tx, err := SignedCommitment(g.st)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.ledger.Submit(tx); err != nil {
+		return nil, fmt.Errorf("channel: submit close: %w", err)
+	}
+	g.st.Status = StatusClosed
+	if err := g.persist(); err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+func (g *Payee) persist() error {
+	if g.store == nil {
+		return nil
+	}
+	return g.store.Save(g.st)
+}

@@ -1,0 +1,147 @@
+package channel
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bcwan/internal/chain"
+)
+
+// Store persists channel states as one JSON file per channel, written
+// atomically (temp file + rename) so a crash mid-write never corrupts the
+// previous state. Both endpoints persist BEFORE acting on a state change:
+// the payee saves the countersigned version before disclosing a key, and
+// the payer saves a signed update before sending it, so a restart always
+// knows the exact in-flight window.
+type Store struct {
+	dir string
+}
+
+// OpenStore creates (if needed) and opens a channel state directory.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("channel: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// stateJSON is the serialized form of State: fixed-size byte arrays as
+// hex, everything else verbatim.
+type stateJSON struct {
+	ID           string `json:"id"`
+	GatewayPub   []byte `json:"gatewayPub"`
+	RecipientPub []byte `json:"recipientPub"`
+	Capacity     uint64 `json:"capacity"`
+	CloseFee     uint64 `json:"closeFee"`
+	RefundHeight int64  `json:"refundHeight"`
+	Role         uint8  `json:"role"`
+	Version      uint64 `json:"version"`
+	Paid         uint64 `json:"paid"`
+	RecipientSig []byte `json:"recipientSig,omitempty"`
+	GatewaySig   []byte `json:"gatewaySig,omitempty"`
+	AckedVersion uint64 `json:"ackedVersion"`
+	AckedPaid    uint64 `json:"ackedPaid"`
+	Status       uint8  `json:"status"`
+	PeerAddr     string `json:"peerAddr,omitempty"`
+}
+
+func toJSON(st *State) *stateJSON {
+	return &stateJSON{
+		ID:           st.ID.String(),
+		GatewayPub:   st.GatewayPub,
+		RecipientPub: st.RecipientPub,
+		Capacity:     st.Capacity,
+		CloseFee:     st.CloseFee,
+		RefundHeight: st.RefundHeight,
+		Role:         uint8(st.Role),
+		Version:      st.Version,
+		Paid:         st.Paid,
+		RecipientSig: st.RecipientSig,
+		GatewaySig:   st.GatewaySig,
+		AckedVersion: st.AckedVersion,
+		AckedPaid:    st.AckedPaid,
+		Status:       uint8(st.Status),
+		PeerAddr:     st.PeerAddr,
+	}
+}
+
+func fromJSON(j *stateJSON) (*State, error) {
+	id, err := chain.HashFromString(j.ID)
+	if err != nil {
+		return nil, fmt.Errorf("channel: bad state id: %w", err)
+	}
+	return &State{
+		ID: id,
+		Params: Params{
+			GatewayPub:   j.GatewayPub,
+			RecipientPub: j.RecipientPub,
+			Capacity:     j.Capacity,
+			CloseFee:     j.CloseFee,
+			RefundHeight: j.RefundHeight,
+		},
+		Role:         Role(j.Role),
+		Version:      j.Version,
+		Paid:         j.Paid,
+		RecipientSig: j.RecipientSig,
+		GatewaySig:   j.GatewaySig,
+		AckedVersion: j.AckedVersion,
+		AckedPaid:    j.AckedPaid,
+		Status:       Status(j.Status),
+		PeerAddr:     j.PeerAddr,
+	}, nil
+}
+
+func (s *Store) path(id chain.Hash, role Role) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%s.json", hex.EncodeToString(id[:8]), role))
+}
+
+// Save atomically writes a channel state. Payer and payee states are kept
+// in separate files so one process acting as both sides of different
+// channels never collides.
+func (s *Store) Save(st *State) error {
+	data, err := json.MarshalIndent(toJSON(st), "", "  ")
+	if err != nil {
+		return fmt.Errorf("channel: marshal state: %w", err)
+	}
+	path := s.path(st.ID, st.Role)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("channel: write state: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("channel: commit state: %w", err)
+	}
+	return nil
+}
+
+// Load reads every channel state in the store.
+func (s *Store) Load() ([]*State, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("channel: read store: %w", err)
+	}
+	var states []*State
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("channel: read state %s: %w", e.Name(), err)
+		}
+		var j stateJSON
+		if err := json.Unmarshal(data, &j); err != nil {
+			return nil, fmt.Errorf("channel: parse state %s: %w", e.Name(), err)
+		}
+		st, err := fromJSON(&j)
+		if err != nil {
+			return nil, err
+		}
+		states = append(states, st)
+	}
+	return states, nil
+}

@@ -1,0 +1,279 @@
+package chaos
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bcwan/internal/chain"
+	"bcwan/internal/channel"
+)
+
+// Channel fault scenarios: the off-chain settlement layer (DESIGN.md
+// §14) must keep its bounded-loss promise through crashes. Both
+// endpoints persist every state transition BEFORE it takes effect on
+// the wire, so after any crash the payee can be at most one
+// countersigned update ahead of the payer's acked prefix — and that
+// one update delta is the worst either side can lose.
+
+// chanPrice is the per-delivery update delta every scenario uses.
+const chanPrice = 100
+
+// openChaosChannel funds and confirms one channel between the recipient
+// wallet (payer, on node rcptNode) and the gateway wallet (payee, on
+// node gwNode), persisting both endpoints.
+func openChaosChannel(t *testing.T, c *Cluster, rcptNode, gwNode int, payerStore, payeeStore *channel.Store,
+	capacity uint64, refundWindow int64, miners []int) (*channel.Payer, *channel.Payee, *chain.Tx) {
+	t.Helper()
+	payer, funding, err := channel.OpenPayer(c.RecipientWallet, c.Node(rcptNode).Ledger(), payerStore,
+		c.GatewayWallet.PublicBytes(), capacity, 1, 1, refundWindow, "")
+	if err != nil {
+		t.Fatalf("open payer: %v", err)
+	}
+	// The funding must gossip to the payee's node before it can verify
+	// and countersign the open.
+	if err := c.WaitFor(scenarioTimeout, nil, func() bool {
+		return paymentEverywhere(c, funding.ID())
+	}); err != nil {
+		t.Fatalf("funding propagation: %v", err)
+	}
+	payee, err := channel.AcceptPayee(c.GatewayWallet, c.Node(gwNode).Ledger(), payeeStore,
+		funding, payer.State().Params, "")
+	if err != nil {
+		t.Fatalf("accept payee: %v", err)
+	}
+	if err := c.WaitFor(scenarioTimeout, miners, func() bool {
+		_, _, ok := c.Node(gwNode).Chain().FindTx(funding.ID())
+		return ok
+	}); err != nil {
+		t.Fatalf("funding confirmation: %v", err)
+	}
+	return payer, payee, funding
+}
+
+// streamUpdate runs one full off-chain settlement round trip.
+func streamUpdate(t *testing.T, payer *channel.Payer, payee *channel.Payee) {
+	t.Helper()
+	u, err := payer.SignUpdate(chanPrice)
+	if err != nil {
+		t.Fatalf("sign update: %v", err)
+	}
+	gwSig, err := payee.ApplyUpdate(u)
+	if err != nil {
+		t.Fatalf("apply update: %v", err)
+	}
+	if err := payer.NoteAck(u.Version, gwSig); err != nil {
+		t.Fatalf("note ack: %v", err)
+	}
+}
+
+// reloadState finds the persisted state of one channel in a store.
+func reloadState(t *testing.T, store *channel.Store, id chain.Hash) *channel.State {
+	t.Helper()
+	states, err := store.Load()
+	if err != nil {
+		t.Fatalf("load store: %v", err)
+	}
+	for _, st := range states {
+		if st.ID == id {
+			return st
+		}
+	}
+	t.Fatalf("channel %s not in store after restart", id)
+	return nil
+}
+
+func TestChannelFaultScenarios(t *testing.T) {
+	t.Run("crash-mid-update", testChannelCrashMidUpdate)
+	t.Run("abandoned-refund", testChannelAbandonedRefund)
+}
+
+// testChannelCrashMidUpdate crashes BOTH endpoints at the worst moment:
+// the payee has countersigned and persisted update v4, but the ack (and
+// the disclosed key) never reached the payer. After restart the
+// divergence is exactly one update delta, and the payee's unilateral
+// close settles its latest commitment on-chain.
+func testChannelCrashMidUpdate(t *testing.T) {
+	seed, src := effectiveSeed(1111)
+	t.Logf("scenario %q seed %d (%s); replay: CHAOS_SEED=%d go test -run 'TestChannelFaultScenarios/crash-mid-update' ./internal/chaos",
+		"crash-mid-update", seed, src, seed)
+	c, err := NewCluster(Options{Seed: seed, Nodes: 3, Miners: []int{0}, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer c.Close()
+	miners := []int{0}
+	if err := c.WaitFor(scenarioTimeout, miners, func() bool { return allHeightsAtLeast(c, 1) }); err != nil {
+		t.Fatalf("maturing genesis: %v", err)
+	}
+
+	// Channel stores survive the crash on disk, like the chain stores.
+	dir := t.TempDir()
+	payerStore, err := channel.OpenStore(filepath.Join(dir, "payer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payeeStore, err := channel.OpenStore(filepath.Join(dir, "payee"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const capacity = 10_000
+	payer, payee, funding := openChaosChannel(t, c, 2, 1, payerStore, payeeStore, capacity, 50, miners)
+
+	// Three fully settled deliveries…
+	for i := 0; i < 3; i++ {
+		streamUpdate(t, payer, payee)
+	}
+	// …then v4 reaches the payee, both sides persist, and the federation
+	// dies before the ack comes back.
+	u, err := payer.SignUpdate(chanPrice)
+	if err != nil {
+		t.Fatalf("sign v4: %v", err)
+	}
+	if _, err := payee.ApplyUpdate(u); err != nil {
+		t.Fatalf("apply v4: %v", err)
+	}
+	if err := c.Crash(1); err != nil {
+		t.Fatalf("crash n1: %v", err)
+	}
+	if err := c.Crash(2); err != nil {
+		t.Fatalf("crash n2: %v", err)
+	}
+	if _, err := c.Restart(1); err != nil {
+		t.Fatalf("restart n1: %v", err)
+	}
+	if _, err := c.Restart(2); err != nil {
+		t.Fatalf("restart n2: %v", err)
+	}
+
+	// Rebuild both endpoints from their persisted states.
+	payer2, err := channel.LoadPayer(reloadState(t, payerStore, funding.ID()), c.RecipientWallet,
+		c.Node(2).Ledger(), payerStore)
+	if err != nil {
+		t.Fatalf("reload payer: %v", err)
+	}
+	payee2, err := channel.LoadPayee(reloadState(t, payeeStore, funding.ID()), c.GatewayWallet,
+		c.Node(1).Ledger(), payeeStore)
+	if err != nil {
+		t.Fatalf("reload payee: %v", err)
+	}
+
+	// Bounded loss: the divergence is exactly the one in-flight delta.
+	payerSt, payeeSt := payer2.State(), payee2.State()
+	if err := CheckChannelLossBound(payerSt, payeeSt, chanPrice); err != nil {
+		t.Fatalf("loss bound violated: %v", err)
+	}
+	if gap := payeeSt.Paid - payerSt.AckedPaid; gap != chanPrice {
+		t.Errorf("in-flight delta = %d, want exactly %d", gap, chanPrice)
+	}
+	if payeeSt.Version != 4 || payerSt.AckedVersion != 3 {
+		t.Errorf("versions payee %d / payer acked %d, want 4 / 3", payeeSt.Version, payerSt.AckedVersion)
+	}
+
+	// Unilateral close: the payee broadcasts its latest commitment and
+	// the chain records the v4 balance split.
+	closeTx, err := payee2.Close()
+	if err != nil {
+		t.Fatalf("unilateral close: %v", err)
+	}
+	op := chain.OutPoint{TxID: funding.ID(), Index: 0}
+	if err := c.WaitFor(scenarioTimeout, miners, func() bool {
+		spender, _, ok := c.Node(0).Chain().FindSpender(op)
+		return ok && spender.ID() == closeTx.ID()
+	}); err != nil {
+		t.Fatalf("close confirmation: %v", err)
+	}
+	if got := closeTx.Outputs[0].Value; got != payeeSt.Paid {
+		t.Errorf("close pays gateway %d, want the payee balance %d", got, payeeSt.Paid)
+	}
+	if got, want := closeTx.Outputs[1].Value, capacity-payeeSt.Paid-payeeSt.CloseFee; got != want {
+		t.Errorf("close change = %d, want %d", got, want)
+	}
+	if got := c.GatewayWallet.Balance(c.Node(0).Ledger().UTXO()); got != payeeSt.Paid {
+		t.Errorf("gateway wallet holds %d on-chain, want %d", got, payeeSt.Paid)
+	}
+
+	if err := c.WaitFor(scenarioTimeout, miners, func() bool { return c.Converged() }); err != nil {
+		t.Fatalf("final convergence: %v", err)
+	}
+	if err := CheckInvariants(c, nil); err != nil {
+		t.Fatalf("invariants violated: %v", err)
+	}
+}
+
+// testChannelAbandonedRefund kills the gateway for good mid-channel: the
+// payee never closes, so once the CLTV window passes the payer reclaims
+// the whole capacity through the refund path.
+func testChannelAbandonedRefund(t *testing.T) {
+	seed, src := effectiveSeed(2222)
+	t.Logf("scenario %q seed %d (%s); replay: CHAOS_SEED=%d go test -run 'TestChannelFaultScenarios/abandoned-refund' ./internal/chaos",
+		"abandoned-refund", seed, src, seed)
+	c, err := NewCluster(Options{Seed: seed, Nodes: 3, Miners: []int{0}, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	defer c.Close()
+	miners := []int{0}
+	if err := c.WaitFor(scenarioTimeout, miners, func() bool { return allHeightsAtLeast(c, 1) }); err != nil {
+		t.Fatalf("maturing genesis: %v", err)
+	}
+
+	dir := t.TempDir()
+	payerStore, err := channel.OpenStore(filepath.Join(dir, "payer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payeeStore, err := channel.OpenStore(filepath.Join(dir, "payee"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payer, payee, funding := openChaosChannel(t, c, 2, 1, payerStore, payeeStore, 5_000, 8, miners)
+
+	// One settled delivery, then the gateway dies and never closes —
+	// forfeiting its countersigned balance to the refund.
+	streamUpdate(t, payer, payee)
+	if err := c.Crash(1); err != nil {
+		t.Fatalf("crash n1: %v", err)
+	}
+
+	refundHeight := payer.State().RefundHeight
+	if err := c.WaitFor(scenarioTimeout, miners, func() bool {
+		return c.Node(2).Chain().Height() >= refundHeight
+	}); err != nil {
+		t.Fatalf("waiting out the CLTV window: %v", err)
+	}
+	var refundTx *chain.Tx
+	if err := c.WaitFor(scenarioTimeout, miners, func() bool {
+		tx, err := payer.Refund(1)
+		if err != nil {
+			return false
+		}
+		refundTx = tx
+		return true
+	}); err != nil {
+		t.Fatalf("refund: %v", err)
+	}
+	op := chain.OutPoint{TxID: funding.ID(), Index: 0}
+	if err := c.WaitFor(scenarioTimeout, miners, func() bool {
+		spender, _, ok := c.Node(0).Chain().FindSpender(op)
+		return ok && spender.ID() == refundTx.ID()
+	}); err != nil {
+		t.Fatalf("refund confirmation: %v", err)
+	}
+	// The payer is whole again minus the two anchor fees (funding and
+	// refund); the unsettled off-chain balance never left its pocket.
+	want := c.Opts.FundRecipient - 2
+	if got := c.RecipientWallet.Balance(c.Node(0).Ledger().UTXO()); got != want {
+		t.Errorf("payer wallet holds %d after refund, want %d", got, want)
+	}
+
+	// The dead gateway rejoins and converges onto the refunded history.
+	if _, err := c.Restart(1); err != nil {
+		t.Fatalf("restart n1: %v", err)
+	}
+	if err := c.WaitFor(scenarioTimeout, miners, func() bool { return c.Converged() }); err != nil {
+		t.Fatalf("final convergence: %v", err)
+	}
+	if err := CheckInvariants(c, nil); err != nil {
+		t.Fatalf("invariants violated: %v", err)
+	}
+}

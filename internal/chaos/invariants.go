@@ -7,6 +7,7 @@ import (
 
 	"bcwan/internal/bccrypto"
 	"bcwan/internal/chain"
+	"bcwan/internal/channel"
 	"bcwan/internal/fairex"
 	"bcwan/internal/script"
 )
@@ -202,6 +203,40 @@ func checkClaim(spender *chain.Tx, ex *Exchange, keyBytes []byte) error {
 		return fmt.Errorf("chaos: atomicity: key disclosed but the claim pays %x, not the gateway", hash)
 	}
 	return nil
+}
+
+// CheckChannelLossBound asserts the bounded-loss property of an
+// off-chain payment channel (DESIGN.md §14) after an arbitrary crash:
+// the payee's countersigned balance may run ahead of the payer's acked
+// prefix by at most ONE update worth at most maxDelta, and neither side
+// may hold a balance the other never signed.
+func CheckChannelLossBound(payer, payee channel.State, maxDelta uint64) error {
+	if payer.ID != payee.ID {
+		return fmt.Errorf("chaos: channel states %s and %s are different channels", payer.ID, payee.ID)
+	}
+	var errs []error
+	if payee.Paid < payer.AckedPaid {
+		errs = append(errs, fmt.Errorf("chaos: payee balance %d below the payer's acked %d — a countersigned update was lost",
+			payee.Paid, payer.AckedPaid))
+	} else if diff := payee.Paid - payer.AckedPaid; diff > maxDelta {
+		errs = append(errs, fmt.Errorf("chaos: channel divergence %d exceeds one update delta %d", diff, maxDelta))
+	}
+	if payee.Version > payer.AckedVersion+1 {
+		errs = append(errs, fmt.Errorf("chaos: payee at version %d with payer acked %d — more than one update in flight",
+			payee.Version, payer.AckedVersion))
+	}
+	if payer.Paid < payee.Paid {
+		errs = append(errs, fmt.Errorf("chaos: payee holds balance %d the payer only signed up to %d",
+			payee.Paid, payer.Paid))
+	}
+	if payer.Capacity != payee.Capacity {
+		errs = append(errs, fmt.Errorf("chaos: capacity disagreement: payer %d, payee %d", payer.Capacity, payee.Capacity))
+	}
+	if payer.Paid+payer.CloseFee > payer.Capacity {
+		errs = append(errs, fmt.Errorf("chaos: payer signed %d + close fee %d past capacity %d",
+			payer.Paid, payer.CloseFee, payer.Capacity))
+	}
+	return errors.Join(errs...)
 }
 
 // checkRefund verifies the refund arm: no key disclosed ⇒ the money

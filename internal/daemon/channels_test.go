@@ -1,0 +1,390 @@
+package daemon
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"bcwan/internal/bccrypto"
+	"bcwan/internal/chain"
+	"bcwan/internal/channel"
+	"bcwan/internal/device"
+	"bcwan/internal/gateway"
+	"bcwan/internal/lora"
+	"bcwan/internal/recipient"
+	"bcwan/internal/rpc"
+	"bcwan/internal/wallet"
+)
+
+// enableChannels switches both cluster daemons to channel settlement with
+// short timeouts, returning the two managers.
+func (c *cluster) enableChannels(t *testing.T) (gw, rcpt *ChannelManager) {
+	t.Helper()
+	ccfg := DefaultChannelConfig()
+	ccfg.OpenTimeout = 5 * time.Second
+	ccfg.UpdateTimeout = 5 * time.Second
+	gw, err := c.gwd.EnableChannels(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcpt, err = c.rcptd.EnableChannels(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gw == nil || rcpt == nil {
+		t.Fatal("channel managers not enabled")
+	}
+	return gw, rcpt
+}
+
+// provisionSensor registers one device with the recipient daemon and
+// returns the simulated hardware.
+func (c *cluster) provisionSensor(t *testing.T, eui lora.DevEUI) *device.Device {
+	t.Helper()
+	sharedKey := make([]byte, bccrypto.AESKeySize)
+	if _, err := rand.Read(sharedKey); err != nil {
+		t.Fatal(err)
+	}
+	nodeKey, err := bccrypto.GenerateRSA512(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := device.New(device.Provisioning{
+		DevEUI:        eui,
+		SharedKey:     sharedKey,
+		SigningKey:    nodeKey,
+		RecipientAddr: c.rcptd.Recipient.Wallet().PubKeyHash(),
+	}, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.rcptd.Recipient.Provision(eui, recipient.DeviceInfo{SharedKey: sharedKey, NodePub: nodeKey.Public()})
+	return dev
+}
+
+// uplink runs one full key-request + data-frame exchange through the
+// gateway daemon.
+func (c *cluster) uplink(t *testing.T, dev *device.Device, payload []byte) {
+	t.Helper()
+	keyResp, err := c.gwd.HandleUplink(dev.KeyRequestFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataFrame, err := dev.DataFrame(payload, keyResp.Payload, keyResp.Counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.gwd.HandleUplink(dataFrame); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// publishBinding funds the recipient and mines its @R → IP binding.
+func (c *cluster) publishBinding(t *testing.T) {
+	t.Helper()
+	c.fundRecipient(100_000)
+	bindTx, err := c.rcptd.PublishBinding(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.waitPooled(c.master, bindTx.ID())
+	c.mine()
+}
+
+// TestChannelDeliveryEndToEnd streams several deliveries through one
+// payment channel — no block is mined between them — then settles the
+// whole batch with a single on-chain close.
+func TestChannelDeliveryEndToEnd(t *testing.T) {
+	c := newCluster(t)
+	_, rcptMgr := c.enableChannels(t)
+	c.publishBinding(t)
+	dev := c.provisionSensor(t, lora.DevEUI{0xc4, 1})
+
+	const deliveries = 3
+	heightBefore := c.master.Chain().Height()
+	for i := 0; i < deliveries; i++ {
+		c.uplink(t, dev, []byte("reading"))
+	}
+	// Every delivery settled synchronously off-chain: the plaintext is in
+	// the inbox already, with zero blocks mined in between.
+	if got := len(c.rcptd.Inbox()); got != deliveries {
+		t.Fatalf("inbox = %d, want %d", got, deliveries)
+	}
+	if got := c.master.Chain().Height(); got != heightBefore {
+		t.Fatalf("height moved %d → %d during off-chain settling", heightBefore, got)
+	}
+	if got := c.gwd.Gateway.Stats.OffChainClaims; got != deliveries {
+		t.Fatalf("gateway off-chain claims = %d, want %d", got, deliveries)
+	}
+	if got := c.gwd.Gateway.Stats.Claims; got != 0 {
+		t.Fatalf("gateway on-chain claims = %d, want 0", got)
+	}
+	if got := c.rcptd.Recipient.Stats.OffChainSettles; got != deliveries {
+		t.Fatalf("recipient off-chain settles = %d, want %d", got, deliveries)
+	}
+
+	// One payer channel holding all three acked updates.
+	list, err := rcptMgr.ListChannels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	summaries := list.([]ChannelSummary)
+	if len(summaries) != 1 {
+		t.Fatalf("channels = %d, want 1", len(summaries))
+	}
+	sum := summaries[0]
+	wantPaid := uint64(deliveries) * gateway.DefaultConfig().Price
+	if sum.Paid != wantPaid || sum.Version != deliveries || sum.AckedVersion != deliveries {
+		t.Fatalf("channel summary = %+v, want paid %d at version %d", sum, wantPaid, deliveries)
+	}
+
+	// Confirm the funding, then close: the gateway broadcasts its latest
+	// commitment and one mined block settles the whole batch.
+	c.mine()
+	if _, err := rcptMgr.CloseChannel(sum.ID); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		c.mine()
+		if got := c.gwd.Gateway.Wallet().Balance(c.gwd.Node.Ledger().UTXO()); got == wantPaid {
+			break
+		} else if got > wantPaid {
+			t.Fatalf("gateway balance = %d, want %d", got, wantPaid)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway never received the %d batched payout", wantPaid)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	info, err := rcptMgr.ChannelInfo(sum.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status := info.(ChannelSummary).Status; status == "open" {
+		t.Fatalf("channel still open after close (status %q)", status)
+	}
+}
+
+// TestChannelCloseAndRefundMempoolAcceptance pins the daemon mempool and
+// miner behavior for the two channel-settlement transactions: a
+// commitment close is accepted and mined immediately, while a CLTV
+// refund is rejected as non-final until the next block height reaches
+// the refund height, and accepted exactly there.
+func TestChannelCloseAndRefundMempoolAcceptance(t *testing.T) {
+	c := newCluster(t)
+	ledger := c.master.Ledger()
+	payerW := c.funds
+	payeeW, err := wallet.New(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Channel 1: fund, one off-chain update, close with the commitment.
+	payer, funding, err := channel.OpenPayer(payerW, ledger, nil, payeeW.PublicBytes(), 10_000, 1, 1, 100, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payee, err := channel.AcceptPayee(payeeW, ledger, nil, funding, payer.State().Params, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.mine() // confirm the funding
+	u, err := payer.SignUpdate(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwSig, err := payee.ApplyUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := payer.NoteAck(u.Version, gwSig); err != nil {
+		t.Fatal(err)
+	}
+	closeTx, err := payee.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ledger.PendingTx(closeTx.ID()); !ok {
+		t.Fatal("close commitment not in the mempool")
+	}
+	c.mine()
+	if _, _, ok := ledger.FindTx(closeTx.ID()); !ok {
+		t.Fatal("close commitment not mined")
+	}
+	if got := payeeW.Balance(ledger.UTXO()); got != 400 {
+		t.Fatalf("payee balance = %d, want 400", got)
+	}
+
+	// Channel 2: abandoned. The refund transaction carries
+	// LockTime = refundHeight, so the mempool (validating for the next
+	// block) rejects it while next height < refundHeight and accepts it
+	// as soon as the next block is the refund height.
+	const refundWindow = 5
+	payer2, funding2, err := channel.OpenPayer(payerW, ledger, nil, payeeW.PublicBytes(), 5_000, 1, 1, refundWindow, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refundHeight := payer2.State().RefundHeight
+	c.mine() // confirm the funding
+	for ledger.Height() < refundHeight-2 {
+		c.mine()
+	}
+	refund, err := payerW.BuildChannelRefund(
+		chain.OutPoint{TxID: funding2.ID(), Index: 0}, funding2.Outputs[0], refundHeight, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.Submit(refund); !errors.Is(err, chain.ErrTxNotFinal) {
+		t.Fatalf("refund below CLTV height: err = %v, want ErrTxNotFinal", err)
+	}
+	c.mine() // next block height is now exactly refundHeight
+	if err := ledger.Submit(refund); err != nil {
+		t.Fatalf("refund at CLTV boundary rejected: %v", err)
+	}
+	c.mine()
+	if _, height, ok := ledger.FindTx(refund.ID()); !ok || height != refundHeight {
+		t.Fatalf("refund mined at height %d (found %v), want %d", height, ok, refundHeight)
+	}
+}
+
+// TestChannelRPCMethods drives the channel subsystem through JSON-RPC:
+// openchannel / getchannelinfo / listchannels / closechannel on an
+// enabled daemon, and the disabled error on a bare node.
+func TestChannelRPCMethods(t *testing.T) {
+	c := newCluster(t)
+	c.enableChannels(t)
+	c.fundRecipient(50_000)
+
+	ctx := context.Background()
+
+	// The master never enabled channels: its methods exist but fail.
+	bare := rpc.NewClient(c.master.RPCAddr())
+	var out ChannelSummary
+	err := bare.Call(ctx, "openchannel", &out, c.gwd.Node.P2PAddr())
+	if err == nil || !strings.Contains(err.Error(), "channel subsystem disabled") {
+		t.Fatalf("openchannel on bare node: %v", err)
+	}
+
+	client := rpc.NewClient(c.rcptd.Node.RPCAddr())
+	if err := client.Call(ctx, "openchannel", &out, c.gwd.Node.P2PAddr(), uint64(7_000)); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "open" || out.Role != "payer" || out.Capacity != 7_000 {
+		t.Fatalf("openchannel result = %+v", out)
+	}
+
+	var info ChannelSummary
+	if err := client.Call(ctx, "getchannelinfo", &info, out.ID); err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != out.ID || info.RefundHeight != out.RefundHeight {
+		t.Fatalf("getchannelinfo = %+v, want %+v", info, out)
+	}
+
+	// The gateway daemon sees the same channel from the payee side.
+	gwClient := rpc.NewClient(c.gwd.Node.RPCAddr())
+	var gwInfo ChannelSummary
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := gwClient.Call(ctx, "getchannelinfo", &gwInfo, out.ID); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("gateway never accepted the channel: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if gwInfo.Role != "payee" || gwInfo.Capacity != 7_000 {
+		t.Fatalf("gateway getchannelinfo = %+v", gwInfo)
+	}
+
+	var list []ChannelSummary
+	if err := client.Call(ctx, "listchannels", &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != out.ID {
+		t.Fatalf("listchannels = %+v", list)
+	}
+
+	if err := client.Call(ctx, "closechannel", &info, out.ID); err != nil {
+		t.Fatal(err)
+	}
+	if info.Status == "open" {
+		t.Fatalf("closechannel left status %q", info.Status)
+	}
+
+	if err := client.Call(ctx, "getchannelinfo", &info, "zz-not-a-hash"); err == nil {
+		t.Fatal("getchannelinfo accepted a bad id")
+	}
+}
+
+// TestNoChannelsEscapeHatch proves the -no-channels escape hatch: a
+// recipient node configured with NoChannels ignores EnableChannels and
+// every delivery settles through the legacy on-chain path even when the
+// gateway advertises a channel endpoint.
+func TestNoChannelsEscapeHatch(t *testing.T) {
+	c := newCluster(t)
+	// Rebuild the recipient daemon on a NoChannels node.
+	rcptNode, err := NewNode(NodeConfig{
+		Genesis:    c.master.Chain().Genesis(),
+		Params:     c.params,
+		Miners:     [][]byte{},
+		Peers:      []string{c.master.P2PAddr(), c.gwd.Node.P2PAddr()},
+		NoChannels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rcptNode.Close() })
+	rcptd, err := NewRecipientDaemon(rcptNode, recipient.DefaultConfig(), "127.0.0.1:0", rand.Reader, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rcptd.Close() })
+	c.rcptd = rcptd
+
+	ccfg := DefaultChannelConfig()
+	if _, err := c.gwd.EnableChannels(ccfg); err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := rcptd.EnableChannels(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr != nil {
+		t.Fatal("NoChannels node still enabled channels")
+	}
+
+	c.publishBinding(t)
+	dev := c.provisionSensor(t, lora.DevEUI{0xc4, 2})
+	received := make(chan *recipient.Message, 1)
+	rcptd.OnReceive(func(m *recipient.Message) { received <- m })
+	c.uplink(t, dev, []byte("on-chain"))
+
+	// The on-chain exchange needs the claim mined before it settles.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		c.mine()
+		select {
+		case msg := <-received:
+			if string(msg.Plaintext) != "on-chain" {
+				t.Fatalf("plaintext = %q", msg.Plaintext)
+			}
+			if got := c.gwd.Gateway.Stats.OffChainClaims; got != 0 {
+				t.Fatalf("off-chain claims = %d, want 0", got)
+			}
+			if got := c.gwd.Gateway.Stats.Claims; got != 1 {
+				t.Fatalf("on-chain claims = %d, want 1", got)
+			}
+			return
+		default:
+			if time.Now().After(deadline) {
+				t.Fatal("exchange never settled on-chain")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

@@ -31,6 +31,25 @@ type GatewayDaemon struct {
 	Node    *Node
 	Gateway *gateway.Gateway
 	logger  *log.Logger
+	// channels is the payee-side channel manager (nil = on-chain only).
+	channels *ChannelManager
+}
+
+// EnableChannels attaches a payee-side channel manager: the gateway
+// advertises channel settlement in every delivery and answers verified
+// commitment updates with the exchange's ephemeral key. A no-op
+// returning nil when the node was configured with NoChannels.
+func (g *GatewayDaemon) EnableChannels(cfg ChannelConfig) (*ChannelManager, error) {
+	if g.Node.cfg.NoChannels {
+		return nil, nil
+	}
+	mgr, err := newChannelManager(g.Node, g.Gateway.Wallet(), cfg, g.Gateway.DiscloseKey)
+	if err != nil {
+		return nil, err
+	}
+	g.channels = mgr
+	g.Node.setChannelOps(mgr)
+	return mgr, nil
 }
 
 // NewGatewayDaemon wires a gateway actor onto a node.
@@ -69,6 +88,12 @@ func (g *GatewayDaemon) deliverAndClaim(f *lora.Frame) error {
 	if err != nil {
 		return err
 	}
+	if g.channels != nil {
+		// Advertise off-chain settlement: the recipient may pay through a
+		// channel update instead of a payment transaction.
+		delivery.GatewayPubKey = g.Gateway.Wallet().PublicBytes()
+		delivery.GatewayP2P = g.Node.P2PAddr()
+	}
 	ack, err := sendDelivery(netAddr, delivery)
 	if err != nil {
 		return fmt.Errorf("daemon: deliver to %s: %w", netAddr, err)
@@ -76,6 +101,11 @@ func (g *GatewayDaemon) deliverAndClaim(f *lora.Frame) error {
 	g.Node.metrics.deliveriesSent.Inc()
 	if !ack.Accepted {
 		return fmt.Errorf("daemon: recipient refused delivery: %s", ack.Reason)
+	}
+	if ack.ChannelID != "" {
+		// Settled off-chain: the channel manager already disclosed the
+		// key against the countersigned update — nothing to claim.
+		return nil
 	}
 	paymentID, err := chain.HashFromString(ack.PaymentTxID)
 	if err != nil {
@@ -124,6 +154,8 @@ type RecipientDaemon struct {
 	Recipient *recipient.Recipient
 	listener  net.Listener
 	logger    *log.Logger
+	// channels is the payer-side channel manager (nil = on-chain only).
+	channels *ChannelManager
 
 	mu       sync.Mutex
 	inbox    []*recipient.Message
@@ -160,6 +192,41 @@ func NewRecipientDaemon(node *Node, cfg recipient.Config, listenAddr string, ran
 
 // Addr returns the delivery listener address.
 func (r *RecipientDaemon) Addr() string { return r.listener.Addr().String() }
+
+// EnableChannels attaches a payer-side channel manager: deliveries that
+// advertise a channel endpoint settle off-chain, falling back to the
+// on-chain payment path on any channel failure. A no-op returning nil
+// when the node was configured with NoChannels.
+func (r *RecipientDaemon) EnableChannels(cfg ChannelConfig) (*ChannelManager, error) {
+	if r.Node.cfg.NoChannels {
+		return nil, nil
+	}
+	mgr, err := newChannelManager(r.Node, r.Recipient.Wallet(), cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	r.channels = mgr
+	r.Node.setChannelOps(mgr)
+	return mgr, nil
+}
+
+// settleViaChannel pays for one delivery through a channel update and
+// decrypts the message with the disclosed key.
+func (r *RecipientDaemon) settleViaChannel(d *fairex.Delivery) (*recipient.Message, *ChannelSettlement, error) {
+	if err := r.Recipient.AcceptDeliveryOffChain(d); err != nil {
+		return nil, nil, err
+	}
+	settle, err := r.channels.SettleDelivery(d)
+	if err != nil {
+		r.Recipient.DropOffChain(d.DevEUI, d.Exchange)
+		return nil, nil, err
+	}
+	msg, err := r.Recipient.SettleOffChain(d.DevEUI, d.Exchange, settle.Key)
+	if err != nil {
+		return nil, nil, err
+	}
+	return msg, settle, nil
+}
 
 // OnReceive installs a callback for decrypted messages.
 func (r *RecipientDaemon) OnReceive(fn func(*recipient.Message)) {
@@ -226,6 +293,26 @@ func (r *RecipientDaemon) handleConn(conn net.Conn) {
 	}
 	r.Node.metrics.deliveriesReceived.Inc()
 	ack := fairex.Ack{}
+	if r.channels != nil && len(d.GatewayPubKey) > 0 && d.GatewayP2P != "" {
+		msg, settle, err := r.settleViaChannel(&d)
+		if err == nil {
+			ack.Accepted = true
+			ack.ChannelID = settle.ChannelID.String()
+			ack.ChannelVersion = settle.Version
+			if err := json.NewEncoder(conn).Encode(&ack); err != nil {
+				r.logf("ack encode: %v", err)
+			}
+			r.mu.Lock()
+			r.inbox = append(r.inbox, msg)
+			fn := r.onRecv
+			r.mu.Unlock()
+			if fn != nil {
+				fn(msg)
+			}
+			return
+		}
+		r.logf("channel settle failed, falling back on-chain: %v", err)
+	}
 	payment, err := r.Recipient.HandleDelivery(&d)
 	if err != nil {
 		ack.Reason = err.Error()

@@ -29,6 +29,15 @@ type daemonMetrics struct {
 	cmpctTxnRequests   *telemetry.Counter
 	cmpctTxnServed     *telemetry.Counter
 	cmpctFullFallbacks *telemetry.Counter
+
+	// Payment channels (DESIGN.md §14): off-chain settlement volume and
+	// the lifecycle of the on-chain anchors.
+	channelsOpen   *telemetry.Gauge
+	channelsOpened *telemetry.Counter
+	channelsClosed *telemetry.Counter
+	channelRefunds *telemetry.Counter
+	channelUpdates *telemetry.Counter
+	channelValue   *telemetry.Counter
 }
 
 func newDaemonMetrics(reg *telemetry.Registry) *daemonMetrics {
@@ -54,5 +63,12 @@ func newDaemonMetrics(reg *telemetry.Registry) *daemonMetrics {
 		cmpctTxnRequests:   ns.Counter("cmpct_txn_requests_total", "getblocktxn round trips issued for transactions missing from the mempool."),
 		cmpctTxnServed:     ns.Counter("cmpct_txn_served_total", "getblocktxn requests answered with a blocktxn response."),
 		cmpctFullFallbacks: ns.Counter("cmpct_full_fallbacks_total", "Compact reconstructions abandoned for a full-block fetch."),
+
+		channelsOpen:   ns.Gauge("channels_open", "Payment channels currently open on this daemon."),
+		channelsOpened: ns.Counter("channels_opened_total", "Payment channels opened (funded or accepted)."),
+		channelsClosed: ns.Counter("channels_closed_total", "Payment channels settled by a commitment broadcast."),
+		channelRefunds: ns.Counter("channel_refunds_total", "Channels reclaimed through the CLTV refund path."),
+		channelUpdates: ns.Counter("channel_updates_total", "Off-chain commitment updates settled (one per delivery)."),
+		channelValue:   ns.Counter("channel_offchain_value_total", "Cumulative value moved by off-chain channel updates."),
 	}
 }

@@ -92,6 +92,10 @@ type NodeConfig struct {
 	// TamperSnapshot, when set, rewrites served snapshot chunk payloads
 	// — a chaos-test hook that simulates a lying snapshot peer.
 	TamperSnapshot func(height int64, chunk int32, payload []byte) []byte
+	// NoChannels disables the payment-channel subsystem: EnableChannels
+	// becomes a no-op and every delivery settles on-chain. Kept as the
+	// escape hatch and for the channelbench baseline.
+	NoChannels bool
 }
 
 // Node is one running blockchain daemon.
@@ -114,6 +118,9 @@ type Node struct {
 	mu        sync.Mutex
 	orphans   map[chain.Hash]*chain.Block // blocks waiting for their parent
 	orphanTxs map[chain.Hash]*chain.Tx    // txs whose inputs are not visible yet
+	// channelOps is the channel subsystem's RPC surface, installed late
+	// by EnableChannels (the RPC server starts in NewNode).
+	channelOps rpc.ChannelOps
 	// pendingCmpct tracks compact blocks awaiting a blocktxn response.
 	pendingCmpct map[chain.Hash]*pendingCompact
 
@@ -212,6 +219,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		},
 		Telemetry: n.reg,
 		SyncInfo:  func() any { return n.SyncInfo() },
+		Channels:  func() rpc.ChannelOps { return n.getChannelOps() },
 	})
 	if err != nil {
 		gossip.Close()
@@ -241,6 +249,20 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 
 // Telemetry returns the node's metrics registry.
 func (n *Node) Telemetry() *telemetry.Registry { return n.reg }
+
+// setChannelOps installs the channel subsystem behind the openchannel /
+// getchannelinfo / closechannel RPC methods.
+func (n *Node) setChannelOps(ops rpc.ChannelOps) {
+	n.mu.Lock()
+	n.channelOps = ops
+	n.mu.Unlock()
+}
+
+func (n *Node) getChannelOps() rpc.ChannelOps {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.channelOps
+}
 
 // Open attaches persistence rooted at dataDir: the incremental store
 // in dataDir/chainstore is loaded into the chain (snapshot plus log

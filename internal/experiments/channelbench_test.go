@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestChannelBenchBatchesSettlement(t *testing.T) {
+	cfg := ChannelBenchConfig{Deliveries: 10, Capacity: 10_000, Price: 100}
+	results, err := RunChannelBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Mode != "onchain" || results[1].Mode != "channel" {
+		t.Fatalf("want [onchain channel] rows, got %+v", results)
+	}
+	onchain, channel := results[0], results[1]
+	// Per-message settlement mines a payment and a claim per reading.
+	if onchain.OnChainTxs != 2*int64(cfg.Deliveries) {
+		t.Fatalf("onchain mode mined %d txs, want %d", onchain.OnChainTxs, 2*cfg.Deliveries)
+	}
+	if onchain.BlocksMined < int64(cfg.Deliveries) {
+		t.Fatalf("onchain mode mined %d blocks, want ≥ %d", onchain.BlocksMined, cfg.Deliveries)
+	}
+	// The channel settles the whole stream with its two anchors.
+	if channel.OnChainTxs != 2 {
+		t.Fatalf("channel mode mined %d txs, want exactly the funding and close anchors", channel.OnChainTxs)
+	}
+	if channel.BlocksMined != 2 {
+		t.Fatalf("channel mode mined %d blocks, want 2", channel.BlocksMined)
+	}
+	// Wall-clock is noisy at this size; the test only asserts the ratios
+	// are well-formed — the committed full-scale run is what CI gates.
+	if ratio := ChannelSpeedupRatio(results); ratio <= 0 {
+		t.Fatalf("speedup ratio %.2f, want > 0", ratio)
+	}
+	if ratio := ChannelTxReduction(results); ratio != float64(cfg.Deliveries) {
+		t.Fatalf("tx reduction %.1f, want %d", ratio, cfg.Deliveries)
+	}
+
+	var text bytes.Buffer
+	WriteChannelBench(&text, cfg, results)
+	if !bytes.Contains(text.Bytes(), []byte("on-chain tx reduction")) {
+		t.Fatalf("report missing reduction line:\n%s", text.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_channel.json")
+	if err := WriteChannelBenchJSON(path, cfg, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Deliveries  int     `json:"deliveries"`
+		TxReduction float64 `json:"tx_reduction"`
+		Results     []struct {
+			Mode       string `json:"mode"`
+			OnChainTxs int64  `json:"onchain_txs"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Deliveries != cfg.Deliveries || len(doc.Results) != 2 || doc.Results[1].OnChainTxs != 2 {
+		t.Fatalf("JSON document malformed: %+v", doc)
+	}
+}
+
+func TestChannelBenchRejectsDegenerateConfig(t *testing.T) {
+	if _, err := RunChannelBench(ChannelBenchConfig{Deliveries: 1, Capacity: 10_000, Price: 100}); err == nil {
+		t.Fatal("want error for a single-delivery workload")
+	}
+	if _, err := RunChannelBench(ChannelBenchConfig{Deliveries: 10, Capacity: 100, Price: 100}); err == nil {
+		t.Fatal("want error when the capacity cannot carry the stream")
+	}
+}

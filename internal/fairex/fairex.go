@@ -40,13 +40,26 @@ type Delivery struct {
 	// RefundWindow is the number of blocks after which the buyer may
 	// reclaim the payment (Listing 1 uses block_height+100).
 	RefundWindow int64 `json:"refundWindow"`
+	// GatewayPubKey, when present, is the gateway's EC public key and
+	// signals that the gateway accepts off-chain settlement through a
+	// payment channel funded against this key.
+	GatewayPubKey []byte `json:"gatewayPubKey,omitempty"`
+	// GatewayP2P is the gateway's p2p overlay address for the channel
+	// control plane (open/update/close messages).
+	GatewayP2P string `json:"gatewayP2p,omitempty"`
 }
 
-// Ack is the recipient's answer: the payment transaction it broadcast.
+// Ack is the recipient's answer: the payment transaction it broadcast,
+// or — when the exchange settled off-chain — the channel update that
+// paid for it.
 type Ack struct {
 	Accepted    bool   `json:"accepted"`
-	PaymentTxID string `json:"paymentTxid"`
+	PaymentTxID string `json:"paymentTxid,omitempty"`
 	Reason      string `json:"reason,omitempty"`
+	// ChannelID and ChannelVersion identify the off-chain commitment
+	// update that settled this delivery, when channel mode was used.
+	ChannelID      string `json:"channelId,omitempty"`
+	ChannelVersion uint64 `json:"channelVersion,omitempty"`
 }
 
 // Fair-exchange errors.
@@ -217,4 +230,29 @@ func ExtractKeyFromClaim(ledger Ledger, paymentID chain.Hash) (*bccrypto.RSA512P
 		return key, nil
 	}
 	return nil, ErrNoClaim
+}
+
+// ErrBadDisclosedKey reports an off-chain disclosed key that does not
+// match the delivery's ephemeral public key.
+var ErrBadDisclosedKey = errors.New("fairex: disclosed key does not match ePk")
+
+// VerifyDisclosedKey checks that key bytes disclosed through a channel
+// update really are the ephemeral private key matching the delivery's
+// ePk — the off-chain analogue of extracting eSk from a claim
+// transaction. Fair exchange holds because the recipient only
+// acknowledges (and thereby finalizes) the channel update after this
+// check passes.
+func VerifyDisclosedKey(d *Delivery, keyBytes []byte) (*bccrypto.RSA512PrivateKey, error) {
+	key, err := bccrypto.UnmarshalRSA512PrivateKey(keyBytes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDisclosedKey, err)
+	}
+	pub, err := bccrypto.UnmarshalRSA512PublicKey(d.EPk)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad ePk: %v", ErrBadDisclosedKey, err)
+	}
+	if !key.MatchesPublic(pub) {
+		return nil, ErrBadDisclosedKey
+	}
+	return key, nil
 }

@@ -99,6 +99,9 @@ type Stats struct {
 	Claims         uint64
 	FailedClaims   uint64
 	UnknownDevices uint64
+	// OffChainClaims counts exchanges settled through a payment-channel
+	// update instead of an on-chain claim transaction.
+	OffChainClaims uint64
 }
 
 // New creates a gateway.
@@ -274,6 +277,30 @@ func (g *Gateway) VerifyAndClaim(devEUI lora.DevEUI, exchange uint32, paymentID 
 	}
 	g.mu.Unlock()
 	return claim, nil
+}
+
+// DiscloseKey settles an exchange off-chain: it returns the marshaled
+// ephemeral private key for a pending exchange and retires it. The caller
+// (the channel manager) invokes this only after a channel update covering
+// the exchange price has been verified, countersigned, and persisted —
+// the off-chain analogue of the claim transaction revealing eSk.
+func (g *Gateway) DiscloseKey(devEUI lora.DevEUI, exchange uint32) ([]byte, error) {
+	ek := exchangeKey{eui: devEUI, counter: exchange}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	pend, ok := g.pending[ek]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s (exchange %d)", ErrUnknownDevice, devEUI, exchange)
+	}
+	delete(g.pending, ek)
+	g.Stats.OffChainClaims++
+	if g.metrics != nil {
+		g.metrics.exchangesSettled.Inc()
+		if !pend.issued.IsZero() {
+			g.metrics.keyDisclosureSeconds.ObserveSince(pend.issued)
+		}
+	}
+	return bccrypto.MarshalRSA512PrivateKey(pend.key), nil
 }
 
 func (g *Gateway) bumpFailed() {

@@ -74,12 +74,20 @@ type Recipient struct {
 	ledger fairex.Ledger
 	random io.Reader
 
-	mu      sync.Mutex
-	devices map[lora.DevEUI]DeviceInfo
-	pending map[chain.Hash]*pendingPayment
+	mu              sync.Mutex
+	devices         map[lora.DevEUI]DeviceInfo
+	pending         map[chain.Hash]*pendingPayment
+	pendingOffchain map[offchainKey]*fairex.Delivery
 
 	// Stats aggregates outcomes.
 	Stats Stats
+}
+
+// offchainKey identifies an exchange settled through a channel update
+// (no payment transaction exists to key on).
+type offchainKey struct {
+	eui     lora.DevEUI
+	counter uint32
 }
 
 // Stats counts recipient outcomes.
@@ -89,17 +97,21 @@ type Stats struct {
 	Payments       uint64
 	Decryptions    uint64
 	Refunds        uint64
+	// OffChainSettles counts exchanges settled through a payment-channel
+	// update instead of an on-chain payment + claim pair.
+	OffChainSettles uint64
 }
 
 // New creates a recipient.
 func New(cfg Config, w *wallet.Wallet, ledger fairex.Ledger, random io.Reader) *Recipient {
 	return &Recipient{
-		cfg:     cfg,
-		wallet:  w,
-		ledger:  ledger,
-		random:  random,
-		devices: make(map[lora.DevEUI]DeviceInfo),
-		pending: make(map[chain.Hash]*pendingPayment),
+		cfg:             cfg,
+		wallet:          w,
+		ledger:          ledger,
+		random:          random,
+		devices:         make(map[lora.DevEUI]DeviceInfo),
+		pending:         make(map[chain.Hash]*pendingPayment),
+		pendingOffchain: make(map[offchainKey]*fairex.Delivery),
 	}
 }
 
@@ -219,6 +231,75 @@ func (r *Recipient) settle(paymentID chain.Hash, eSk *bccrypto.RSA512PrivateKey)
 		Plaintext: plaintext,
 		PaymentID: paymentID,
 	}, nil
+}
+
+// AcceptDeliveryOffChain performs the channel-mode variant of Fig. 3
+// steps 8–9: it verifies the offer signature and price exactly like
+// HandleDelivery, but instead of broadcasting an on-chain payment it
+// registers the exchange for settlement through a channel update. The
+// caller then streams the update and settles with SettleOffChain once the
+// key is disclosed.
+func (r *Recipient) AcceptDeliveryOffChain(d *fairex.Delivery) error {
+	r.mu.Lock()
+	info, known := r.devices[d.DevEUI]
+	r.Stats.Deliveries++
+	r.mu.Unlock()
+	if !known {
+		return fmt.Errorf("%w: %s", ErrUnknownSensor, d.DevEUI)
+	}
+	if err := fairex.VerifyOffer(info.NodePub, d); err != nil {
+		r.bumpRejected()
+		return err
+	}
+	if d.Price > r.cfg.MaxPrice {
+		r.bumpRejected()
+		return fmt.Errorf("%w: asked %d, max %d", fairex.ErrPriceTooHigh, d.Price, r.cfg.MaxPrice)
+	}
+	r.mu.Lock()
+	r.pendingOffchain[offchainKey{eui: d.DevEUI, counter: d.Exchange}] = d
+	r.mu.Unlock()
+	return nil
+}
+
+// SettleOffChain completes a channel-mode exchange: verify that the
+// disclosed key bytes match the delivery's ePk, strip both encryption
+// layers, and return the plaintext. Called with the key carried by the
+// gateway's channel update acknowledgement.
+func (r *Recipient) SettleOffChain(devEUI lora.DevEUI, exchange uint32, keyBytes []byte) (*Message, error) {
+	ok := offchainKey{eui: devEUI, counter: exchange}
+	r.mu.Lock()
+	d, found := r.pendingOffchain[ok]
+	info := r.devices[devEUI]
+	r.mu.Unlock()
+	if !found {
+		return nil, fmt.Errorf("%w: %s (exchange %d)", ErrExchangeNotFound, devEUI, exchange)
+	}
+	eSk, err := fairex.VerifyDisclosedKey(d, keyBytes)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := bccrypto.DecryptRSA512(eSk, d.Em)
+	if err != nil {
+		return nil, fmt.Errorf("recipient: rsa layer: %w", err)
+	}
+	plaintext, err := bccrypto.DecryptFrame(info.SharedKey, frame)
+	if err != nil {
+		return nil, fmt.Errorf("recipient: aes layer: %w", err)
+	}
+	r.mu.Lock()
+	delete(r.pendingOffchain, ok)
+	r.Stats.Decryptions++
+	r.Stats.OffChainSettles++
+	r.mu.Unlock()
+	return &Message{DevEUI: devEUI, Plaintext: plaintext}, nil
+}
+
+// DropOffChain abandons a registered off-chain exchange (e.g. the channel
+// path failed and the delivery is being re-settled on-chain).
+func (r *Recipient) DropOffChain(devEUI lora.DevEUI, exchange uint32) {
+	r.mu.Lock()
+	delete(r.pendingOffchain, offchainKey{eui: devEUI, counter: exchange})
+	r.mu.Unlock()
 }
 
 // Refund reclaims an expired, unclaimed payment through the Listing 1

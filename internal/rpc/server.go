@@ -90,6 +90,27 @@ type Backend struct {
 	// SyncInfo, when set, backs the getsyncinfo method (the daemon wires
 	// its sync state machine's progress surface here).
 	SyncInfo func() any
+	// Channels, when set, resolves the payment-channel subsystem behind
+	// the openchannel / getchannelinfo / closechannel / listchannels
+	// methods. Late-bound like SyncInfo: the daemon enables channels
+	// after the RPC server starts, so the backend holds a getter, not
+	// the ops value itself. A nil getter or a nil result means the
+	// subsystem is disabled.
+	Channels func() ChannelOps
+}
+
+// ChannelOps is the payment-channel surface a daemon exposes over RPC.
+// Results are JSON-marshalable summaries owned by the implementation.
+type ChannelOps interface {
+	// OpenChannel funds a channel to a gateway's p2p overlay address
+	// (0 capacity = the daemon's configured default).
+	OpenChannel(peer string, capacity uint64) (any, error)
+	// ChannelInfo returns the state of one channel endpoint by id.
+	ChannelInfo(id string) (any, error)
+	// CloseChannel settles a channel on-chain.
+	CloseChannel(id string) (any, error)
+	// ListChannels returns every known channel endpoint.
+	ListChannels() (any, error)
 }
 
 // handlerFunc executes one RPC method against the node backend.
@@ -115,6 +136,10 @@ func init() {
 		"getbalance":         handleGetBalance,
 		"listmethods":        handleListMethods,
 		"getmetrics":         handleGetMetrics,
+		"openchannel":        handleOpenChannel,
+		"getchannelinfo":     handleGetChannelInfo,
+		"closechannel":       handleCloseChannel,
+		"listchannels":       handleListChannels,
 	}
 }
 
@@ -577,6 +602,75 @@ func handleGetMetrics(s *Server, params []json.RawMessage) (any, error) {
 		return nil, &Error{Code: CodeServerError, Message: "telemetry disabled"}
 	}
 	return reg.Snapshot(), nil
+}
+
+// channelOps resolves the late-bound channel subsystem, failing with a
+// server error while (or wherever) it is disabled.
+func (s *Server) channelOps() (ChannelOps, error) {
+	if s.backend.Channels != nil {
+		if ops := s.backend.Channels(); ops != nil {
+			return ops, nil
+		}
+	}
+	return nil, &Error{Code: CodeServerError, Message: "channel subsystem disabled"}
+}
+
+// handleOpenChannel funds a payment channel: params are the gateway's
+// p2p address and an optional capacity (0 or absent = daemon default).
+func handleOpenChannel(s *Server, params []json.RawMessage) (any, error) {
+	ops, err := s.channelOps()
+	if err != nil {
+		return nil, err
+	}
+	if len(params) < 1 || len(params) > 2 {
+		return nil, &Error{Code: CodeInvalidParams, Message: "expected 1 or 2 parameters"}
+	}
+	var peer string
+	if err := json.Unmarshal(params[0], &peer); err != nil {
+		return nil, &Error{Code: CodeInvalidParams, Message: "peer must be a string"}
+	}
+	var capacity uint64
+	if len(params) == 2 {
+		if err := json.Unmarshal(params[1], &capacity); err != nil {
+			return nil, &Error{Code: CodeInvalidParams, Message: "capacity must be a number"}
+		}
+	}
+	return ops.OpenChannel(peer, capacity)
+}
+
+func handleGetChannelInfo(s *Server, params []json.RawMessage) (any, error) {
+	ops, err := s.channelOps()
+	if err != nil {
+		return nil, err
+	}
+	id, err := oneParam[string](params)
+	if err != nil {
+		return nil, err
+	}
+	return ops.ChannelInfo(id)
+}
+
+func handleCloseChannel(s *Server, params []json.RawMessage) (any, error) {
+	ops, err := s.channelOps()
+	if err != nil {
+		return nil, err
+	}
+	id, err := oneParam[string](params)
+	if err != nil {
+		return nil, err
+	}
+	return ops.CloseChannel(id)
+}
+
+func handleListChannels(s *Server, params []json.RawMessage) (any, error) {
+	ops, err := s.channelOps()
+	if err != nil {
+		return nil, err
+	}
+	if err := noParams(params); err != nil {
+		return nil, err
+	}
+	return ops.ListChannels()
 }
 
 // handleListMethods returns the method catalog, so clients can discover

@@ -27,6 +27,7 @@ const (
 	ClassP2PKH
 	ClassOpReturn
 	ClassKeyRelease
+	ClassChannel
 )
 
 // String names the class for logs.
@@ -38,6 +39,8 @@ func (c Class) String() string {
 		return "nulldata"
 	case ClassKeyRelease:
 		return "keyrelease"
+	case ClassChannel:
+		return "channel"
 	default:
 		return "unknown"
 	}
@@ -159,6 +162,8 @@ func Classify(s Script) Class {
 		return ClassOpReturn
 	case isKeyRelease(instrs):
 		return ClassKeyRelease
+	case isChannel(instrs):
+		return ClassChannel
 	default:
 		return ClassUnknown
 	}

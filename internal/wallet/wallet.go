@@ -177,6 +177,51 @@ func (w *Wallet) BuildClaim(prev chain.OutPoint, prevOut chain.TxOut, rsaPriv *b
 	return tx, nil
 }
 
+// BuildChannelFunding locks capacity into a payment-channel output (the
+// channel's on-chain anchor). The wallet must be the channel funder: its
+// coins pay for the output and its hash is the refund destination.
+func (w *Wallet) BuildChannelFunding(utxo *chain.UTXOSet, params script.ChannelParams, capacity, fee uint64) (*chain.Tx, error) {
+	return w.buildSpend(utxo, []chain.TxOut{{Value: capacity, Lock: script.Channel(params)}}, fee)
+}
+
+// SignChannelDigest signs a channel commitment digest (a spending
+// transaction's SigHash against the funding script) with the wallet key.
+// Both channel parties contribute one such signature to the 2-of-2 close
+// path.
+func (w *Wallet) SignChannelDigest(digest [32]byte) ([]byte, error) {
+	sig, err := w.key.SignDigest(w.random, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("wallet: sign channel digest: %w", err)
+	}
+	return sig, nil
+}
+
+// BuildChannelRefund spends a channel funding output through the
+// time-locked refund path, reclaiming the full capacity minus fee to the
+// funder. The transaction carries LockTime = refundHeight, so the chain
+// will not accept it before that height.
+func (w *Wallet) BuildChannelRefund(prev chain.OutPoint, prevOut chain.TxOut, refundHeight int64, fee uint64) (*chain.Tx, error) {
+	if prevOut.Value < fee {
+		return nil, fmt.Errorf("%w: output %d below fee %d", ErrInsufficientFunds, prevOut.Value, fee)
+	}
+	tx := &chain.Tx{
+		Version:  1,
+		LockTime: refundHeight,
+		Inputs:   []chain.TxIn{{Prev: prev}},
+		Outputs: []chain.TxOut{{
+			Value: prevOut.Value - fee,
+			Lock:  script.PayToPubKeyHash(w.PubKeyHash()),
+		}},
+	}
+	digest := tx.SigHash(0, prevOut.Lock)
+	sig, err := w.key.SignDigest(w.random, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("wallet: sign channel refund: %w", err)
+	}
+	tx.Inputs[0].Unlock = script.UnlockChannelRefund(sig, w.PublicBytes())
+	return tx, nil
+}
+
 // BuildRefund spends a key-release output through the time-locked refund
 // path. The transaction carries LockTime = refundHeight, so the chain will
 // not accept it before that height.
