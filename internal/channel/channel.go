@@ -13,14 +13,22 @@
 //     RSA private key.
 //  3. Close: the gateway broadcasts the latest fully-signed commitment
 //     (unilateral and cooperative close share the same transaction — the
-//     highest-version commitment is always the cooperative balance).
+//     highest-version commitment is always the cooperative balance). The
+//     payer keeps the signature pair of its highest *acknowledged*
+//     commitment, so it too can close unilaterally — at the acked
+//     balance — even while a newer update is in flight unacknowledged.
 //  4. Abandonment: once the chain reaches the refund height the funder
-//     reclaims the full capacity through the CLTV path. A live gateway
-//     must therefore close before the refund height.
+//     may reclaim the capacity through the CLTV path — but only a
+//     channel the gateway earned nothing on is refunded in full; with
+//     any acknowledged balance the funder settles by broadcasting the
+//     acked commitment instead. A live gateway still closes before the
+//     refund height (the daemon does so a safety margin early).
 //
 // Loss is bounded by one update delta: the payer is at most one signed,
-// unacknowledged update ahead of the payee, and the payee never discloses
-// a key before holding (and persisting) the covering signature.
+// unacknowledged update ahead of the payee, the payee never discloses
+// a key before holding (and persisting) the covering signature, and —
+// with SetPriceFloor — never for an update paying less than the
+// delivery price.
 package channel
 
 import (
@@ -125,6 +133,12 @@ type State struct {
 	// the in-flight delta — the payer's maximum possible loss.
 	AckedVersion uint64
 	AckedPaid    uint64
+	// AckedRecipientSig/AckedGatewaySig (payer only) are the signature
+	// pair of the AckedVersion commitment. They survive SignUpdate so the
+	// payer can always close unilaterally at its acked balance even while
+	// a newer update is in flight unacknowledged.
+	AckedRecipientSig []byte
+	AckedGatewaySig   []byte
 	Status       Status
 	// PeerAddr is the p2p address of the remote endpoint, when known.
 	PeerAddr string
@@ -228,6 +242,22 @@ func SignedCommitment(s *State) (*chain.Tx, error) {
 		return nil, err
 	}
 	tx.Inputs[0].Unlock = script.UnlockChannelClose(s.RecipientSig, s.GatewaySig)
+	return tx, nil
+}
+
+// AckedCommitment assembles the fully-signed commitment transaction at
+// the payer's highest acknowledged version. Unlike SignedCommitment it
+// keeps working while a newer update is in flight unacknowledged — the
+// payer's unilateral close settles the acked balance, never less.
+func AckedCommitment(s *State) (*chain.Tx, error) {
+	if s.AckedVersion == 0 || len(s.AckedRecipientSig) == 0 || len(s.AckedGatewaySig) == 0 {
+		return nil, ErrNoCommitment
+	}
+	tx, err := CommitmentTx(s.Params, s.ID, s.AckedVersion, s.AckedPaid)
+	if err != nil {
+		return nil, err
+	}
+	tx.Inputs[0].Unlock = script.UnlockChannelClose(s.AckedRecipientSig, s.AckedGatewaySig)
 	return tx, nil
 }
 

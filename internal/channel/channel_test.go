@@ -148,6 +148,112 @@ func TestChannelLifecycle(t *testing.T) {
 	}
 }
 
+// TestPayeeRejectsUnderpayingUpdate pins the fair-exchange price floor:
+// with SetPriceFloor the payee refuses any update whose paid delta is
+// below the delivery price, so a key can never be bought for 1 unit. A
+// later update covering the full cumulative amount still goes through.
+func TestPayeeRejectsUnderpayingUpdate(t *testing.T) {
+	r := newRig(t)
+	payer, payee := openChannel(t, r, nil, nil)
+	payee.SetPriceFloor(price)
+
+	cheap, err := payer.SignUpdate(price - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := payee.ApplyUpdate(cheap); !errors.Is(err, channel.ErrBadUpdate) {
+		t.Fatalf("underpaying update err = %v, want ErrBadUpdate", err)
+	}
+	if st := payee.State(); st.Version != 0 || st.Paid != 0 {
+		t.Fatalf("rejected update advanced payee state: version %d paid %d", st.Version, st.Paid)
+	}
+
+	// The payer catches up with a delta covering the full price.
+	full, err := payer.SignUpdate(price + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := payee.ApplyUpdate(full); err != nil {
+		t.Fatalf("full-price update rejected: %v", err)
+	}
+	if st := payee.State(); st.Paid != 2*price {
+		t.Fatalf("payee paid = %d, want %d", st.Paid, 2*price)
+	}
+}
+
+// TestPayerUnilateralCloseAtAckedBalance pins the ack-timeout close path:
+// after an unacknowledged in-flight update the latest commitment has no
+// countersignature, but the acked pair survives SignUpdate (and a store
+// reload), so the payer can still settle unilaterally at the acked
+// balance instead of waiting for the full-capacity refund.
+func TestPayerUnilateralCloseAtAckedBalance(t *testing.T) {
+	r := newRig(t)
+	payerStore, err := channel.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payer, payee := openChannel(t, r, payerStore, nil)
+	for i := 0; i < 2; i++ {
+		upd, err := payer.SignUpdate(price)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gwSig, err := payee.ApplyUpdate(upd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := payer.NoteAck(upd.Version, gwSig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Third update reaches the payee but the ack is lost.
+	upd, err := payer.SignUpdate(price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := payee.ApplyUpdate(upd); err != nil {
+		t.Fatal(err)
+	}
+
+	// The latest (v3) commitment is not broadcastable by the payer…
+	st := payer.State()
+	if _, err := channel.SignedCommitment(&st); !errors.Is(err, channel.ErrNoCommitment) {
+		t.Fatalf("latest commitment err = %v, want ErrNoCommitment", err)
+	}
+	// …but the acked v2 pair is, even through a restart.
+	states, err := payerStore.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 {
+		t.Fatalf("payer states = %d, want 1", len(states))
+	}
+	payer2, err := channel.LoadPayer(states[0], r.payerW, r.ledger, payerStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeTx, err := payer2.UnilateralClose()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mine()
+	if _, _, ok := r.ledger.FindTx(closeTx.ID()); !ok {
+		t.Fatal("unilateral close not confirmed")
+	}
+	if got := closeTx.Outputs[0].Value; got != 2*price {
+		t.Fatalf("close pays gateway %d, want the acked %d", got, 2*price)
+	}
+	if got := r.chain.UTXO().BalanceOf(r.payeeW.PubKeyHash()); got != 2*price {
+		t.Fatalf("payee balance = %d, want %d", got, 2*price)
+	}
+	if got := r.chain.UTXO().BalanceOf(r.payerW.PubKeyHash()); got != payerFunds-fundFee-2*price-closeFee {
+		t.Fatalf("payer balance = %d", got)
+	}
+	if got := payer2.State().Status; got != channel.StatusClosed {
+		t.Fatalf("payer status = %s, want closed", got)
+	}
+}
+
 func TestChannelExhaustion(t *testing.T) {
 	r := newRig(t)
 	payer, _ := openChannel(t, r, nil, nil)

@@ -132,7 +132,38 @@ func (p *Payer) NoteAck(version uint64, gatewaySig []byte) error {
 	p.st.GatewaySig = append([]byte(nil), gatewaySig...)
 	p.st.AckedVersion = version
 	p.st.AckedPaid = p.st.Paid
+	// Keep the full signature pair of the acked commitment: SignUpdate
+	// drops GatewaySig for the next version, and without this copy an
+	// unacked in-flight update would leave the payer with no broadcastable
+	// commitment at all.
+	p.st.AckedRecipientSig = append([]byte(nil), p.st.RecipientSig...)
+	p.st.AckedGatewaySig = append([]byte(nil), gatewaySig...)
 	return p.persist()
+}
+
+// UnilateralClose broadcasts the commitment at the payer's highest
+// acknowledged version, settling the channel without the gateway's help.
+// It is the payer's close of last resort: the gateway keeps everything it
+// has been acknowledged, the payer reclaims the remainder — strictly
+// fairer than the full-capacity CLTV refund whenever AckedVersion > 0.
+func (p *Payer) UnilateralClose() (*chain.Tx, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.st.Status == StatusClosed || p.st.Status == StatusRefunded {
+		return nil, ErrClosed
+	}
+	tx, err := AckedCommitment(p.st)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ledger.Submit(tx); err != nil {
+		return nil, fmt.Errorf("channel: submit unilateral close: %w", err)
+	}
+	p.st.Status = StatusClosed
+	if err := p.persist(); err != nil {
+		return nil, err
+	}
+	return tx, nil
 }
 
 // Refund reclaims the channel capacity through the CLTV path once the
@@ -191,6 +222,20 @@ type Payee struct {
 	wallet *wallet.Wallet
 	ledger fairex.Ledger
 	store  *Store
+	// priceFloor is the minimum cumulative-paid increase per update. Zero
+	// disables the check (raw endpoint use); the daemon sets it to the
+	// gateway's delivery price so an underpaying update can never buy a
+	// key disclosure.
+	priceFloor uint64
+}
+
+// SetPriceFloor sets the minimum paid delta ApplyUpdate accepts per
+// update. Each update must pay at least this much on top of the previous
+// cumulative balance.
+func (g *Payee) SetPriceFloor(v uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.priceFloor = v
 }
 
 // AcceptPayee validates a funding transaction against the agreed terms
@@ -264,6 +309,9 @@ func (g *Payee) ApplyUpdate(u *Update) ([]byte, error) {
 	if u.Paid <= g.st.Paid {
 		return nil, fmt.Errorf("%w: paid must increase (got %d, have %d)", ErrBadUpdate, u.Paid, g.st.Paid)
 	}
+	if g.priceFloor > 0 && u.Paid-g.st.Paid < g.priceFloor {
+		return nil, fmt.Errorf("%w: delta %d underpays the %d delivery price", ErrBadUpdate, u.Paid-g.st.Paid, g.priceFloor)
+	}
 	if u.Paid+g.st.CloseFee > g.st.Capacity {
 		return nil, fmt.Errorf("%w: paid %d + fee %d > capacity %d", ErrExhausted, u.Paid, g.st.CloseFee, g.st.Capacity)
 	}
@@ -310,6 +358,20 @@ func (g *Payee) Close() (*chain.Tx, error) {
 		return nil, err
 	}
 	return tx, nil
+}
+
+// Abandon retires a payee channel that has earned nothing (Version 0, so
+// there is no commitment to broadcast): it only flips the status so no
+// further updates are countersigned. The funder's CLTV refund is the
+// on-chain settlement of such a channel.
+func (g *Payee) Abandon() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.st.Status != StatusOpen {
+		return nil
+	}
+	g.st.Status = StatusClosed
+	return g.persist()
 }
 
 func (g *Payee) persist() error {

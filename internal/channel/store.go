@@ -43,10 +43,12 @@ type stateJSON struct {
 	Paid         uint64 `json:"paid"`
 	RecipientSig []byte `json:"recipientSig,omitempty"`
 	GatewaySig   []byte `json:"gatewaySig,omitempty"`
-	AckedVersion uint64 `json:"ackedVersion"`
-	AckedPaid    uint64 `json:"ackedPaid"`
-	Status       uint8  `json:"status"`
-	PeerAddr     string `json:"peerAddr,omitempty"`
+	AckedVersion      uint64 `json:"ackedVersion"`
+	AckedPaid         uint64 `json:"ackedPaid"`
+	AckedRecipientSig []byte `json:"ackedRecipientSig,omitempty"`
+	AckedGatewaySig   []byte `json:"ackedGatewaySig,omitempty"`
+	Status            uint8  `json:"status"`
+	PeerAddr          string `json:"peerAddr,omitempty"`
 }
 
 func toJSON(st *State) *stateJSON {
@@ -62,10 +64,12 @@ func toJSON(st *State) *stateJSON {
 		Paid:         st.Paid,
 		RecipientSig: st.RecipientSig,
 		GatewaySig:   st.GatewaySig,
-		AckedVersion: st.AckedVersion,
-		AckedPaid:    st.AckedPaid,
-		Status:       uint8(st.Status),
-		PeerAddr:     st.PeerAddr,
+		AckedVersion:      st.AckedVersion,
+		AckedPaid:         st.AckedPaid,
+		AckedRecipientSig: st.AckedRecipientSig,
+		AckedGatewaySig:   st.AckedGatewaySig,
+		Status:            uint8(st.Status),
+		PeerAddr:          st.PeerAddr,
 	}
 }
 
@@ -88,10 +92,12 @@ func fromJSON(j *stateJSON) (*State, error) {
 		Paid:         j.Paid,
 		RecipientSig: j.RecipientSig,
 		GatewaySig:   j.GatewaySig,
-		AckedVersion: j.AckedVersion,
-		AckedPaid:    j.AckedPaid,
-		Status:       Status(j.Status),
-		PeerAddr:     j.PeerAddr,
+		AckedVersion:      j.AckedVersion,
+		AckedPaid:         j.AckedPaid,
+		AckedRecipientSig: j.AckedRecipientSig,
+		AckedGatewaySig:   j.AckedGatewaySig,
+		Status:            Status(j.Status),
+		PeerAddr:          j.PeerAddr,
 	}, nil
 }
 
@@ -99,9 +105,12 @@ func (s *Store) path(id chain.Hash, role Role) string {
 	return filepath.Join(s.dir, fmt.Sprintf("%s-%s.json", hex.EncodeToString(id[:8]), role))
 }
 
-// Save atomically writes a channel state. Payer and payee states are kept
-// in separate files so one process acting as both sides of different
-// channels never collides.
+// Save atomically and durably writes a channel state. Payer and payee
+// states are kept in separate files so one process acting as both sides
+// of different channels never collides. The temp file is fsynced before
+// the rename and the directory after it: the protocol releases keys and
+// signatures on the wire immediately after Save returns, so the persist
+// must survive power loss, not just a process crash.
 func (s *Store) Save(st *State) error {
 	data, err := json.MarshalIndent(toJSON(st), "", "  ")
 	if err != nil {
@@ -109,11 +118,31 @@ func (s *Store) Save(st *State) error {
 	}
 	path := s.path(st.ID, st.Role)
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("channel: write state: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("channel: write state: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("channel: sync state: %w", err)
+	}
+	if err := f.Close(); err != nil {
 		return fmt.Errorf("channel: write state: %w", err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("channel: commit state: %w", err)
+	}
+	dir, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("channel: sync store dir: %w", err)
+	}
+	defer dir.Close()
+	if err := dir.Sync(); err != nil {
+		return fmt.Errorf("channel: sync store dir: %w", err)
 	}
 	return nil
 }

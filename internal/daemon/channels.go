@@ -28,7 +28,16 @@ type ChannelConfig struct {
 	RefundFee  uint64
 	// RefundWindow is the CLTV timeout in blocks: past it the funder can
 	// reclaim the capacity unilaterally, so the gateway must close first.
+	// A payee rejects opens offering a shorter window than its own.
 	RefundWindow int64
+	// CloseMargin is the payee's safety margin in blocks: it closes any
+	// open channel once the chain is within CloseMargin of RefundHeight,
+	// so its earned balance is on-chain before the refund path unlocks.
+	CloseMargin int64
+	// Price is the payee's minimum paid delta per update (the delivery
+	// price): an update paying less never buys a key disclosure. Zero on
+	// a gateway daemon defaults to the gateway's configured price.
+	Price uint64
 	// OpenTimeout bounds the open/accept handshake; UpdateTimeout bounds
 	// one update/ack round trip.
 	OpenTimeout   time.Duration
@@ -47,10 +56,16 @@ func DefaultChannelConfig() ChannelConfig {
 		CloseFee:      1,
 		RefundFee:     1,
 		RefundWindow:  100,
+		CloseMargin:   10,
 		OpenTimeout:   10 * time.Second,
 		UpdateTimeout: 10 * time.Second,
 	}
 }
+
+// chanHeightSkew is how many blocks a funder's chain view may lag the
+// payee's when the payee checks a funded RefundHeight against the agreed
+// window.
+const chanHeightSkew = 2
 
 // ErrChannelsDisabled reports a channel operation on a daemon without an
 // enabled channel subsystem.
@@ -134,6 +149,12 @@ func newChannelManager(node *Node, w *wallet.Wallet, cfg ChannelConfig, disclose
 	if cfg.RefundWindow == 0 {
 		cfg.RefundWindow = def.RefundWindow
 	}
+	if cfg.CloseMargin <= 0 {
+		cfg.CloseMargin = def.CloseMargin
+	}
+	if cfg.CloseMargin >= cfg.RefundWindow {
+		cfg.CloseMargin = cfg.RefundWindow / 2
+	}
 	if cfg.OpenTimeout <= 0 {
 		cfg.OpenTimeout = def.OpenTimeout
 	}
@@ -167,6 +188,9 @@ func newChannelManager(node *Node, w *wallet.Wallet, cfg ChannelConfig, disclose
 		node.gossip.HandleDirect(p2p.MsgTypeChannelFund, m.onChanFund)
 		node.gossip.HandleDirect(p2p.MsgTypeChannelUpdate, m.onChanUpdate)
 		node.gossip.HandleDirect(p2p.MsgTypeChannelClose, m.onChanClose)
+		// A payee must have its earned balance on-chain before the CLTV
+		// refund path unlocks: close every channel nearing its deadline.
+		node.Chain().Subscribe(func(*chain.Block) { m.CloseExpiring() })
 	} else {
 		node.gossip.HandleDirect(p2p.MsgTypeChannelAccept, m.onChanAccept)
 		node.gossip.HandleDirect(p2p.MsgTypeChannelUpdateAck, m.onChanUpdateAck)
@@ -198,6 +222,7 @@ func (m *ChannelManager) reload() error {
 			if err != nil {
 				return err
 			}
+			g.SetPriceFloor(m.cfg.Price)
 			m.payees[st.ID] = g
 		}
 		if st.Status == channel.StatusOpen {
@@ -231,6 +256,11 @@ func (m *ChannelManager) onChanOpen(from string, msg p2p.Message) {
 	if len(req.RecipientPub) == 0 || req.Capacity == 0 || req.RefundWindow <= 0 {
 		reply.OK = p2p.ChannelAckRejected
 		reply.Reason = "bad open terms"
+	} else if req.RefundWindow < m.cfg.RefundWindow {
+		// A short window lets the funder hit the CLTV refund path before
+		// the gateway's close margin can fire.
+		reply.OK = p2p.ChannelAckRejected
+		reply.Reason = fmt.Sprintf("refund window %d below the %d floor", req.RefundWindow, m.cfg.RefundWindow)
 	} else {
 		m.mu.Lock()
 		m.pendingOpens[from] = req
@@ -264,6 +294,20 @@ func (m *ChannelManager) onChanFund(from string, msg p2p.Message) {
 		m.node.logf("chanfund from %s: funding tx has no outputs", from)
 		return
 	}
+	// The funder picks RefundHeight itself; hold it to the window agreed
+	// in the open (modulo chain-view skew) or the funder could fund with
+	// RefundHeight = height+1, extract a key and reclaim the capacity
+	// through the CLTV path before the payee can close.
+	height := m.node.Ledger().Height()
+	minRefund := height + open.RefundWindow - chanHeightSkew
+	if floor := height + m.cfg.CloseMargin + 1; minRefund < floor {
+		minRefund = floor
+	}
+	if fund.RefundHeight < minRefund {
+		m.node.logf("chanfund from %s rejected: refund height %d below %d (height %d, window %d)",
+			from, fund.RefundHeight, minRefund, height, open.RefundWindow)
+		return
+	}
 	params := channel.Params{
 		GatewayPub:   m.wallet.PublicBytes(),
 		RecipientPub: open.RecipientPub,
@@ -276,6 +320,7 @@ func (m *ChannelManager) onChanFund(from string, msg p2p.Message) {
 		m.node.logf("chanfund from %s rejected: %v", from, err)
 		return
 	}
+	payee.SetPriceFloor(m.cfg.Price)
 	st := payee.State()
 	m.mu.Lock()
 	m.payees[st.ID] = payee
@@ -557,21 +602,25 @@ func (m *ChannelManager) retirePayer(p *channel.Payer) {
 		m.node.logf("channel %s mark closing: %v", st.ID, err)
 	}
 	req := &p2p.MsgChannelClose{ChannelID: st.ID, Kind: p2p.ChannelCloseCooperative}
-	if !m.send(st.PeerAddr, p2p.MsgTypeChannelClose, req.Encode()) && st.AckedVersion > 0 {
-		if tx, err := channel.SignedCommitment(&st); err == nil {
-			if err := m.node.Ledger().Submit(tx); err != nil {
-				m.node.logf("channel %s unilateral close: %v", st.ID, err)
-			}
+	if !m.send(st.PeerAddr, p2p.MsgTypeChannelClose, req.Encode()) {
+		// The gateway is unreachable: broadcast the acked commitment
+		// ourselves. ErrNoCommitment just means nothing was ever acked —
+		// the CLTV refund is then the only settlement left.
+		if _, err := p.UnilateralClose(); err != nil && !errors.Is(err, channel.ErrNoCommitment) {
+			m.node.logf("channel %s unilateral close: %v", st.ID, err)
 		}
 	}
 	m.node.metrics.channelsClosed.Inc()
 	m.node.metrics.channelsOpen.Dec()
 }
 
-// RefundExpired reclaims the capacity of every channel whose CLTV refund
-// height has been reached without a close — a gateway that vanished
-// forfeits nothing to the payer but its own earned balance. Returns how
-// many refunds were broadcast.
+// RefundExpired settles every payer channel whose CLTV refund height has
+// been reached without an on-chain close. A channel the gateway earned
+// nothing on (no acked update) is refunded in full; one with an acked
+// balance is never confiscated — the payer first asks for a cooperative
+// close, then broadcasts the acked commitment itself, so the gateway
+// keeps everything it was acknowledged. Returns how many full-capacity
+// refunds were broadcast.
 func (m *ChannelManager) RefundExpired() int {
 	m.mu.Lock()
 	candidates := make([]*channel.Payer, 0, len(m.payers))
@@ -593,6 +642,21 @@ func (m *ChannelManager) RefundExpired() int {
 		if _, _, spent := m.node.Ledger().FindSpender(chain.OutPoint{TxID: st.ID, Index: 0}); spent {
 			continue
 		}
+		if st.AckedVersion > 0 {
+			if st.Status == channel.StatusOpen {
+				// Give the gateway one chance to settle cooperatively;
+				// retirePayer falls back to broadcasting the acked
+				// commitment when the peer is unreachable.
+				m.retirePayer(p)
+				continue
+			}
+			// Closing and still unspent: settle the acked balance
+			// unilaterally instead of refunding the full capacity.
+			if _, err := p.UnilateralClose(); err != nil {
+				m.node.logf("channel %s unilateral close: %v", st.ID, err)
+			}
+			continue
+		}
 		if _, err := p.Refund(m.cfg.RefundFee); err != nil {
 			m.node.logf("channel %s refund: %v", st.ID, err)
 			continue
@@ -603,10 +667,51 @@ func (m *ChannelManager) RefundExpired() int {
 		}
 		m.mu.Unlock()
 		m.node.metrics.channelRefunds.Inc()
-		m.node.metrics.channelsOpen.Dec()
+		if st.Status == channel.StatusOpen {
+			// A closing channel already left the open gauge in retirePayer.
+			m.node.metrics.channelsOpen.Dec()
+		}
 		refunded++
 	}
 	return refunded
+}
+
+// CloseExpiring (payee side) closes every open channel once the chain is
+// within the configured CloseMargin of its refund height, putting the
+// earned balance on-chain before the funder's CLTV path unlocks. Channels
+// that never saw an update are abandoned locally — the funder's refund is
+// their settlement. Returns how many channels were retired.
+func (m *ChannelManager) CloseExpiring() int {
+	height := m.node.Ledger().Height()
+	m.mu.Lock()
+	candidates := make([]*channel.Payee, 0, len(m.payees))
+	for _, g := range m.payees {
+		candidates = append(candidates, g)
+	}
+	m.mu.Unlock()
+	closed := 0
+	for _, g := range candidates {
+		st := g.State()
+		if st.Status != channel.StatusOpen {
+			continue
+		}
+		if height < st.RefundHeight-m.cfg.CloseMargin {
+			continue
+		}
+		if st.Version == 0 {
+			if err := g.Abandon(); err != nil {
+				m.node.logf("channel %s abandon: %v", st.ID, err)
+				continue
+			}
+		} else if _, err := g.Close(); err != nil {
+			m.node.logf("channel %s deadline close: %v", st.ID, err)
+			continue
+		}
+		m.node.metrics.channelsClosed.Inc()
+		m.node.metrics.channelsOpen.Dec()
+		closed++
+	}
+	return closed
 }
 
 // --- RPC surface (rpc.ChannelOps) -------------------------------------

@@ -14,6 +14,7 @@ import (
 	"bcwan/internal/device"
 	"bcwan/internal/gateway"
 	"bcwan/internal/lora"
+	"bcwan/internal/p2p"
 	"bcwan/internal/recipient"
 	"bcwan/internal/rpc"
 	"bcwan/internal/wallet"
@@ -318,6 +319,126 @@ func TestChannelRPCMethods(t *testing.T) {
 
 	if err := client.Call(ctx, "getchannelinfo", &info, "zz-not-a-hash"); err == nil {
 		t.Fatal("getchannelinfo accepted a bad id")
+	}
+}
+
+// TestChannelFundRejectsShortRefundHeight drives the payee handlers
+// directly with a hostile funder: an open whose refund window is below
+// the gateway's floor is refused, and a funding whose RefundHeight is
+// nearly reached (which would let the funder take a key and immediately
+// reclaim the capacity via CLTV) never creates a channel.
+func TestChannelFundRejectsShortRefundHeight(t *testing.T) {
+	c := newCluster(t)
+	gwMgr, _ := c.enableChannels(t)
+	payerW := c.funds
+
+	// Refund window below the payee's configured floor: refused at open.
+	short := &p2p.MsgChannelOpen{RecipientPub: payerW.PublicBytes(), Capacity: 5_000, RefundWindow: 3}
+	gwMgr.onChanOpen("127.0.0.1:1", p2p.Message{Type: p2p.MsgTypeChannelOpen, Payload: short.Encode()})
+	gwMgr.mu.Lock()
+	_, pending := gwMgr.pendingOpens["127.0.0.1:1"]
+	gwMgr.mu.Unlock()
+	if pending {
+		t.Fatal("gateway accepted an open below its refund-window floor")
+	}
+
+	// Honest open terms, then a funding that shrinks the refund height.
+	open := &p2p.MsgChannelOpen{
+		RecipientPub: payerW.PublicBytes(),
+		Capacity:     5_000,
+		RefundWindow: DefaultChannelConfig().RefundWindow,
+	}
+	gwMgr.onChanOpen("127.0.0.1:1", p2p.Message{Type: p2p.MsgTypeChannelOpen, Payload: open.Encode()})
+	height := c.gwd.Node.Ledger().Height()
+	params := channel.Params{
+		GatewayPub:   c.gwd.Gateway.Wallet().PublicBytes(),
+		RecipientPub: payerW.PublicBytes(),
+		Capacity:     5_000,
+		CloseFee:     1,
+		RefundHeight: height + 1,
+	}
+	funding, err := payerW.BuildChannelFunding(c.gwd.Node.Ledger().UTXO(), params.ScriptParams(), 5_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fund := &p2p.MsgChannelFund{
+		ChannelID:    funding.ID(),
+		RefundHeight: height + 1,
+		CloseFee:     1,
+		FundingTx:    funding.Serialize(),
+	}
+	gwMgr.onChanFund("127.0.0.1:1", p2p.Message{Type: p2p.MsgTypeChannelFund, Payload: fund.Encode()})
+	list, err := gwMgr.ListChannels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(list.([]ChannelSummary)); got != 0 {
+		t.Fatalf("gateway opened %d channels on a near-expiry funding, want 0", got)
+	}
+}
+
+// TestChannelPayeeClosesBeforeRefundDeadline runs a channel into its CLTV
+// deadline: the gateway's block subscriber must broadcast its commitment
+// within CloseMargin of the refund height, and the payer must never
+// confiscate the acked balance through the full-capacity refund.
+func TestChannelPayeeClosesBeforeRefundDeadline(t *testing.T) {
+	c := newCluster(t)
+	ccfg := DefaultChannelConfig()
+	ccfg.RefundWindow = 12
+	ccfg.CloseMargin = 4
+	ccfg.OpenTimeout = 5 * time.Second
+	ccfg.UpdateTimeout = 5 * time.Second
+	if _, err := c.gwd.EnableChannels(ccfg); err != nil {
+		t.Fatal(err)
+	}
+	rcptMgr, err := c.rcptd.EnableChannels(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.publishBinding(t)
+	dev := c.provisionSensor(t, lora.DevEUI{0xc4, 9})
+	c.uplink(t, dev, []byte("reading"))
+	wantPaid := gateway.DefaultConfig().Price
+
+	list, err := rcptMgr.ListChannels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	summaries := list.([]ChannelSummary)
+	if len(summaries) != 1 {
+		t.Fatalf("channels = %d, want 1", len(summaries))
+	}
+	refundHeight := summaries[0].RefundHeight
+
+	// Mine through the deadline and past the refund height: the payee's
+	// deadline close must land, crediting exactly the earned balance.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		c.mine()
+		bal := c.gwd.Gateway.Wallet().Balance(c.master.Ledger().UTXO())
+		if bal == wantPaid && c.master.Chain().Height() > refundHeight+1 {
+			break
+		}
+		if bal > wantPaid {
+			t.Fatalf("gateway balance = %d, want %d", bal, wantPaid)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway balance = %d at height %d, want %d before refund height %d",
+				bal, c.master.Chain().Height(), wantPaid, refundHeight)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The payer side never refunded the channel out from under the payee.
+	info, err := rcptMgr.ChannelInfo(summaries[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status := info.(ChannelSummary).Status; status == "refunded" {
+		t.Fatalf("payer refunded a channel with an acked balance (status %q)", status)
+	}
+	if got := c.gwd.Gateway.Wallet().Balance(c.master.Ledger().UTXO()); got != wantPaid {
+		t.Fatalf("gateway balance after refund window = %d, want %d", got, wantPaid)
 	}
 }
 

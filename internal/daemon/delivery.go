@@ -43,6 +43,11 @@ func (g *GatewayDaemon) EnableChannels(cfg ChannelConfig) (*ChannelManager, erro
 	if g.Node.cfg.NoChannels {
 		return nil, nil
 	}
+	if cfg.Price == 0 {
+		// Every update must pay at least the delivery price, or a payer
+		// could drain key disclosures for 1 unit apiece.
+		cfg.Price = g.Gateway.Price()
+	}
 	mgr, err := newChannelManager(g.Node, g.Gateway.Wallet(), cfg, g.Gateway.DiscloseKey)
 	if err != nil {
 		return nil, err

@@ -119,6 +119,9 @@ func New(cfg Config, w *wallet.Wallet, ledger fairex.Ledger, dir *registry.Direc
 // Wallet returns the gateway's wallet.
 func (g *Gateway) Wallet() *wallet.Wallet { return g.wallet }
 
+// Price returns the amount the gateway asks per delivery.
+func (g *Gateway) Price() uint64 { return g.cfg.Price }
+
 // Instrument registers exchange metrics in reg (started/settled/failed
 // counters and key-disclosure latency). Call before concurrent use; a
 // nil registry is a no-op.
