@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench blockconnect reorg relay-bench sync-bench channel-bench bench-gate lint fuzz chaos ci
+.PHONY: build test vet race bench blockconnect reorg relay-bench sync-bench channel-bench bench-gate lint fuzz chaos chaos-byzantine ci
 
 build:
 	$(GO) build ./...
@@ -76,15 +76,28 @@ lint:
 	staticcheck ./...
 	govulncheck ./...
 
-# 30-second coverage-guided smoke of the script verifier (the
-# consensus-critical surface).
+# Coverage-guided smoke of every hostile-input surface: the script
+# verifier (consensus-critical) plus the decoders fed by
+# unauthenticated peers — directory bindings, channel messages, sync
+# messages.
 fuzz:
 	$(GO) test -fuzz=FuzzVerify -fuzztime=30s -run '^$$' ./internal/script/
+	$(GO) test -fuzz=FuzzDecodeBinding -fuzztime=15s -run '^$$' ./internal/registry/
+	$(GO) test -fuzz=FuzzChannelMsgDecode -fuzztime=15s -run '^$$' ./internal/p2p/
+	$(GO) test -fuzz=FuzzSyncMsgDecode -fuzztime=15s -run '^$$' ./internal/p2p/
 
 # Fault-injection scenario table under the race detector. Every run
 # logs each scenario's RNG seed; replay a failure with
 #   make chaos CHAOS_SEED=<seed>
 chaos:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -v -run 'TestFaultScenarios|TestChannelFaultScenarios' ./internal/chaos
+
+# Byzantine adversary campaign under the race detector: adversarial
+# gateways (key withholding, replays, eclipse, private mining, forged
+# bindings) against the reputation-weighted admission defense. Replay a
+# failure with
+#   make chaos-byzantine CHAOS_SEED=<seed>
+chaos-byzantine:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -v -run 'TestByzantineScenarios' ./internal/chaos
 
 ci: vet race

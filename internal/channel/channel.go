@@ -139,7 +139,7 @@ type State struct {
 	// a newer update is in flight unacknowledged.
 	AckedRecipientSig []byte
 	AckedGatewaySig   []byte
-	Status       Status
+	Status            Status
 	// PeerAddr is the p2p address of the remote endpoint, when known.
 	PeerAddr string
 }

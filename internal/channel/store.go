@@ -32,17 +32,17 @@ func OpenStore(dir string) (*Store, error) {
 // stateJSON is the serialized form of State: fixed-size byte arrays as
 // hex, everything else verbatim.
 type stateJSON struct {
-	ID           string `json:"id"`
-	GatewayPub   []byte `json:"gatewayPub"`
-	RecipientPub []byte `json:"recipientPub"`
-	Capacity     uint64 `json:"capacity"`
-	CloseFee     uint64 `json:"closeFee"`
-	RefundHeight int64  `json:"refundHeight"`
-	Role         uint8  `json:"role"`
-	Version      uint64 `json:"version"`
-	Paid         uint64 `json:"paid"`
-	RecipientSig []byte `json:"recipientSig,omitempty"`
-	GatewaySig   []byte `json:"gatewaySig,omitempty"`
+	ID                string `json:"id"`
+	GatewayPub        []byte `json:"gatewayPub"`
+	RecipientPub      []byte `json:"recipientPub"`
+	Capacity          uint64 `json:"capacity"`
+	CloseFee          uint64 `json:"closeFee"`
+	RefundHeight      int64  `json:"refundHeight"`
+	Role              uint8  `json:"role"`
+	Version           uint64 `json:"version"`
+	Paid              uint64 `json:"paid"`
+	RecipientSig      []byte `json:"recipientSig,omitempty"`
+	GatewaySig        []byte `json:"gatewaySig,omitempty"`
 	AckedVersion      uint64 `json:"ackedVersion"`
 	AckedPaid         uint64 `json:"ackedPaid"`
 	AckedRecipientSig []byte `json:"ackedRecipientSig,omitempty"`
@@ -53,17 +53,17 @@ type stateJSON struct {
 
 func toJSON(st *State) *stateJSON {
 	return &stateJSON{
-		ID:           st.ID.String(),
-		GatewayPub:   st.GatewayPub,
-		RecipientPub: st.RecipientPub,
-		Capacity:     st.Capacity,
-		CloseFee:     st.CloseFee,
-		RefundHeight: st.RefundHeight,
-		Role:         uint8(st.Role),
-		Version:      st.Version,
-		Paid:         st.Paid,
-		RecipientSig: st.RecipientSig,
-		GatewaySig:   st.GatewaySig,
+		ID:                st.ID.String(),
+		GatewayPub:        st.GatewayPub,
+		RecipientPub:      st.RecipientPub,
+		Capacity:          st.Capacity,
+		CloseFee:          st.CloseFee,
+		RefundHeight:      st.RefundHeight,
+		Role:              uint8(st.Role),
+		Version:           st.Version,
+		Paid:              st.Paid,
+		RecipientSig:      st.RecipientSig,
+		GatewaySig:        st.GatewaySig,
 		AckedVersion:      st.AckedVersion,
 		AckedPaid:         st.AckedPaid,
 		AckedRecipientSig: st.AckedRecipientSig,
@@ -87,11 +87,11 @@ func fromJSON(j *stateJSON) (*State, error) {
 			CloseFee:     j.CloseFee,
 			RefundHeight: j.RefundHeight,
 		},
-		Role:         Role(j.Role),
-		Version:      j.Version,
-		Paid:         j.Paid,
-		RecipientSig: j.RecipientSig,
-		GatewaySig:   j.GatewaySig,
+		Role:              Role(j.Role),
+		Version:           j.Version,
+		Paid:              j.Paid,
+		RecipientSig:      j.RecipientSig,
+		GatewaySig:        j.GatewaySig,
 		AckedVersion:      j.AckedVersion,
 		AckedPaid:         j.AckedPaid,
 		AckedRecipientSig: j.AckedRecipientSig,

@@ -35,6 +35,14 @@ type Options struct {
 	// FundRecipient is the genesis allocation of the recipient wallet
 	// (defaults to 1,000,000).
 	FundRecipient uint64
+	// FundAdversary, when nonzero, allocates genesis funds to the
+	// cluster's adversary wallet so Byzantine scenarios can publish
+	// forged bindings and mine private branches that spend real coin.
+	FundAdversary uint64
+	// NoDial lists node indexes that do NOT auto-dial the rest of the
+	// cluster on boot. An eclipse victim must start with empty peer
+	// slots for the adversary to monopolize them.
+	NoDial []int
 	// PumpInterval is the pause after each gossip/mine round (defaults
 	// to 10ms).
 	PumpInterval time.Duration
@@ -79,6 +87,10 @@ type Cluster struct {
 
 	RecipientWallet *wallet.Wallet
 	GatewayWallet   *wallet.Wallet
+	// AdversaryWallet is derived from its own seeded stream (not the
+	// cluster rng) so adding an adversary never perturbs the random
+	// draws of existing scenarios.
+	AdversaryWallet *wallet.Wallet
 
 	rng       *mrand.Rand
 	minerKeys map[int]*bccrypto.ECKey
@@ -120,6 +132,10 @@ func NewCluster(opts Options) (*Cluster, error) {
 	if c.GatewayWallet, err = wallet.New(c.rng); err != nil {
 		return nil, fmt.Errorf("chaos: gateway wallet: %w", err)
 	}
+	advRand := mrand.New(mrand.NewSource(linkSeed(opts.Seed, "adversary", "wallet")))
+	if c.AdversaryWallet, err = wallet.New(advRand); err != nil {
+		return nil, fmt.Errorf("chaos: adversary wallet: %w", err)
+	}
 	for _, idx := range opts.Miners {
 		if idx < 0 || idx >= opts.Nodes {
 			return nil, fmt.Errorf("chaos: miner index %d out of range", idx)
@@ -133,8 +149,12 @@ func NewCluster(opts Options) (*Cluster, error) {
 	}
 
 	alloc := map[[20]byte]uint64{c.RecipientWallet.PubKeyHash(): opts.FundRecipient}
-	c.Genesis = chain.GenesisBlock(alloc)
 	c.GenesisValue = opts.FundRecipient
+	if opts.FundAdversary > 0 {
+		alloc[c.AdversaryWallet.PubKeyHash()] = opts.FundAdversary
+		c.GenesisValue += opts.FundAdversary
+	}
+	c.Genesis = chain.GenesisBlock(alloc)
 
 	for i := 0; i < opts.Nodes; i++ {
 		c.peers = append(c.peers, &Peer{
@@ -212,10 +232,18 @@ func (c *Cluster) startNode(i int) (int, error) {
 		node.Close()
 		return 0, fmt.Errorf("chaos: reload %s: %w", p.Name, err)
 	}
-	for _, other := range c.peers {
-		if other != p && other.Alive {
-			if err := node.Connect(other.Name); err != nil && c.Opts.Logger != nil {
-				c.Opts.Logger.Printf("chaos: %s dial %s: %v", p.Name, other.Name, err)
+	noDial := false
+	for _, idx := range c.Opts.NoDial {
+		if idx == i {
+			noDial = true
+		}
+	}
+	if !noDial {
+		for _, other := range c.peers {
+			if other != p && other.Alive {
+				if err := node.Connect(other.Name); err != nil && c.Opts.Logger != nil {
+					c.Opts.Logger.Printf("chaos: %s dial %s: %v", p.Name, other.Name, err)
+				}
 			}
 		}
 	}

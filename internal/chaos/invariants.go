@@ -9,6 +9,7 @@ import (
 	"bcwan/internal/chain"
 	"bcwan/internal/channel"
 	"bcwan/internal/fairex"
+	"bcwan/internal/reputation"
 	"bcwan/internal/script"
 )
 
@@ -237,6 +238,119 @@ func CheckChannelLossBound(payer, payee channel.State, maxDelta uint64) error {
 			payer.Paid, payer.CloseFee, payer.Capacity))
 	}
 	return errors.Join(errs...)
+}
+
+// --- Byzantine invariants ---------------------------------------------
+//
+// The two properties the reputation defense must deliver against
+// adversarial gateways (DESIGN.md §15): a victim never loses more than
+// one in-flight payment to any single adversary before refusing it
+// (bounded loss), and a persistent equivocator's score crosses the
+// trust threshold and it stops earning within a bounded number of
+// exchanges (eventual ejection).
+
+// ExchangeAttempt records one attempted exchange with a gateway from
+// the victim's point of view, in the order the attempts were made.
+type ExchangeAttempt struct {
+	// Gateway is the counterparty's reputation id.
+	Gateway string
+	// Paid is what the victim irrevocably committed to the gateway in
+	// this attempt (claimed payment or countersigned channel delta).
+	Paid uint64
+	// Lost is the part of Paid that is unrecoverable (0 when a refund
+	// script or an honest settlement made the victim whole).
+	Lost uint64
+	// Refused marks an attempt the victim rejected up front (untrusted
+	// gateway or detected replay) — nothing was committed.
+	Refused bool
+	// Delivered marks a fully settled honest exchange.
+	Delivered bool
+}
+
+// ByzantineLog accumulates the attempts of one scenario.
+type ByzantineLog struct {
+	Attempts []ExchangeAttempt
+}
+
+// Record appends one attempt.
+func (l *ByzantineLog) Record(a ExchangeAttempt) { l.Attempts = append(l.Attempts, a) }
+
+// CheckBoundedLossPerVictim asserts the bounded-loss invariant: for
+// every gateway, the victim's total unrecoverable loss is at most
+// maxLoss (one in-flight payment), and once the victim has refused a
+// gateway it never commits to — or loses — anything to it again.
+func CheckBoundedLossPerVictim(log *ByzantineLog, maxLoss uint64) error {
+	var errs []error
+	lost := make(map[string]uint64)
+	refused := make(map[string]bool)
+	for i, a := range log.Attempts {
+		if refused[a.Gateway] && (a.Paid > 0 || a.Lost > 0) {
+			errs = append(errs, fmt.Errorf(
+				"chaos: bounded loss: attempt %d committed %d (lost %d) to %s AFTER refusing it",
+				i, a.Paid, a.Lost, a.Gateway))
+		}
+		lost[a.Gateway] += a.Lost
+		if lost[a.Gateway] > maxLoss {
+			errs = append(errs, fmt.Errorf(
+				"chaos: bounded loss: total loss to %s reached %d after attempt %d, bound is %d",
+				a.Gateway, lost[a.Gateway], i, maxLoss))
+		}
+		if a.Refused {
+			refused[a.Gateway] = true
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// CheckEventualEjection asserts the eventual-ejection invariant: every
+// gateway that cost the victim anything has (a) a reputation score
+// below the trust threshold, (b) at least one refused attempt on
+// record, and (c) no more than maxExchanges attempts between its first
+// loss and its first refusal — the window in which it could still earn.
+func CheckEventualEjection(log *ByzantineLog, sys *reputation.System, maxExchanges int) error {
+	var errs []error
+	firstLoss := make(map[string]int)
+	firstRefusal := make(map[string]int)
+	for i, a := range log.Attempts {
+		if a.Lost > 0 {
+			if _, ok := firstLoss[a.Gateway]; !ok {
+				firstLoss[a.Gateway] = i
+			}
+		}
+		if a.Refused {
+			if _, ok := firstRefusal[a.Gateway]; !ok {
+				firstRefusal[a.Gateway] = i
+			}
+		}
+	}
+	for gw, lossIdx := range firstLoss {
+		if score := sys.Score(gw); score >= sys.Threshold() {
+			errs = append(errs, fmt.Errorf(
+				"chaos: eventual ejection: %s cost the victim money but still scores %.2f (threshold %.2f)",
+				gw, score, sys.Threshold()))
+		}
+		refIdx, ok := firstRefusal[gw]
+		if !ok {
+			errs = append(errs, fmt.Errorf(
+				"chaos: eventual ejection: %s cost the victim money and was never refused", gw))
+			continue
+		}
+		if refIdx > lossIdx && refIdx-lossIdx > maxExchanges {
+			errs = append(errs, fmt.Errorf(
+				"chaos: eventual ejection: %s kept earning for %d attempts after its first loss, bound is %d",
+				gw, refIdx-lossIdx, maxExchanges))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// CheckByzantineInvariants runs both adversarial invariants. A log with
+// no losses passes vacuously — honest scenarios can call it too.
+func CheckByzantineInvariants(log *ByzantineLog, sys *reputation.System, maxLoss uint64, maxExchanges int) error {
+	return errors.Join(
+		CheckBoundedLossPerVictim(log, maxLoss),
+		CheckEventualEjection(log, sys, maxExchanges),
+	)
 }
 
 // checkRefund verifies the refund arm: no key disclosed ⇒ the money

@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -15,6 +16,7 @@ import (
 	"bcwan/internal/lora"
 	"bcwan/internal/recipient"
 	"bcwan/internal/registry"
+	"bcwan/internal/reputation"
 	"bcwan/internal/wallet"
 )
 
@@ -215,6 +217,15 @@ func (r *RecipientDaemon) EnableChannels(cfg ChannelConfig) (*ChannelManager, er
 	return mgr, nil
 }
 
+// UseReputation threads a shared reputation system into the delivery
+// path: deliveries from untrusted gateways are refused before payment,
+// replays are detected and reported, and a channel counterparty that
+// takes a commitment update without disclosing a valid key is reported
+// as a real loss (no refund script protects a channel delta).
+func (r *RecipientDaemon) UseReputation(sys *reputation.System) {
+	r.Recipient.UseReputation(sys)
+}
+
 // settleViaChannel pays for one delivery through a channel update and
 // decrypts the message with the disclosed key.
 func (r *RecipientDaemon) settleViaChannel(d *fairex.Delivery) (*recipient.Message, *ChannelSettlement, error) {
@@ -224,6 +235,13 @@ func (r *RecipientDaemon) settleViaChannel(d *fairex.Delivery) (*recipient.Messa
 	settle, err := r.channels.SettleDelivery(d)
 	if err != nil {
 		r.Recipient.DropOffChain(d.DevEUI, d.Exchange)
+		if errors.Is(err, fairex.ErrBadDisclosedKey) {
+			// The gateway countersigned the update (it holds the new
+			// commitment) but the disclosed key is junk: the delta is
+			// gone. Unlike the on-chain script there is no refund path,
+			// so this is the one bounded loss the invariant permits.
+			r.Recipient.ReportNonDisclosure(d.GatewayPubKeyHash, d.Price)
+		}
 		return nil, nil, err
 	}
 	msg, err := r.Recipient.SettleOffChain(d.DevEUI, d.Exchange, settle.Key)

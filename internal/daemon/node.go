@@ -96,7 +96,19 @@ type NodeConfig struct {
 	// becomes a no-op and every delivery settles on-chain. Kept as the
 	// escape hatch and for the channelbench baseline.
 	NoChannels bool
+	// MaxPeers bounds the gossip node's registered peer set (0 =
+	// unlimited). Connections beyond the bound are refused; combined
+	// with misbehavior bans this is the eclipse-recovery lever.
+	MaxPeers int
+	// BanThreshold overrides the misbehavior score at which a peer is
+	// banned (0 = the p2p default).
+	BanThreshold int
 }
+
+// misbehaviorPenalty is charged per malformed frame; an honest peer's
+// occasional garbage stays far from the p2p ban threshold, a spammer
+// crosses it within ~10 frames.
+const misbehaviorPenalty = 10
 
 // Node is one running blockchain daemon.
 type Node struct {
@@ -176,6 +188,12 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	n.gossip = gossip
+	if cfg.MaxPeers > 0 {
+		gossip.SetMaxPeers(cfg.MaxPeers)
+	}
+	if cfg.BanThreshold > 0 {
+		gossip.SetBanThreshold(cfg.BanThreshold)
+	}
 	n.ledger = &fairex.Node{
 		Chain: c,
 		Pool:  n.pool,
@@ -349,6 +367,19 @@ func (n *Node) Directory() *registry.Directory { return n.dir }
 // P2PAddr returns the gossip listen address.
 func (n *Node) P2PAddr() string { return n.gossip.Addr() }
 
+// Gossip exposes the p2p node (peer set, misbehavior scores, bans).
+func (n *Node) Gossip() *p2p.Node { return n.gossip }
+
+// misbehave charges a peer for a malformed frame. Only decode failures
+// are charged — validation failures (a block we disagree with, a tx
+// conflicting with our view) are legitimate fork ambiguity, not abuse.
+func (n *Node) misbehave(from, reason string) {
+	if from == "" {
+		return
+	}
+	n.gossip.Misbehave(from, misbehaviorPenalty, reason)
+}
+
 // RPCAddr returns the JSON-RPC listen address.
 func (n *Node) RPCAddr() string { return n.rpcSrv.Addr() }
 
@@ -495,10 +526,11 @@ func (n *Node) mineLoop() {
 // maxOrphanTxs bounds the out-of-order transaction buffer.
 const maxOrphanTxs = 10_000
 
-func (n *Node) onTx(_ string, msg p2p.Message) {
+func (n *Node) onTx(from string, msg p2p.Message) {
 	tx, err := chain.DeserializeTx(msg.Payload)
 	if err != nil {
 		n.logf("gossiped tx undecodable: %v", err)
+		n.misbehave(from, "undecodable tx")
 		return
 	}
 	n.admitTx(tx)
@@ -569,10 +601,11 @@ func (n *Node) retryOrphanTxs() {
 	}
 }
 
-func (n *Node) onBlock(_ string, msg p2p.Message) {
+func (n *Node) onBlock(from string, msg p2p.Message) {
 	b, err := chain.DeserializeBlock(msg.Payload)
 	if err != nil {
 		n.logf("gossiped block undecodable: %v", err)
+		n.misbehave(from, "undecodable block")
 		return
 	}
 	n.acceptBlock(b)
@@ -675,6 +708,7 @@ const maxSyncBlocks = 64
 func (n *Node) onSync(from string, msg p2p.Message) {
 	var reqHeight, nonce int64
 	if _, err := fmt.Sscanf(string(msg.Payload), "%d|%d", &reqHeight, &nonce); err != nil {
+		n.misbehave(from, "malformed sync request")
 		return
 	}
 	if n.relay == nil {

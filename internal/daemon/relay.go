@@ -63,10 +63,11 @@ func (n *Node) relayFetch(kind string, id p2p.ObjectID) ([]byte, bool) {
 }
 
 // onRelayTx consumes a transaction body delivered by the relay.
-func (n *Node) onRelayTx(_ string, payload []byte) (p2p.ObjectID, bool) {
+func (n *Node) onRelayTx(from string, payload []byte) (p2p.ObjectID, bool) {
 	tx, err := chain.DeserializeTx(payload)
 	if err != nil {
 		n.logf("relayed tx undecodable: %v", err)
+		n.misbehave(from, "undecodable relayed tx")
 		return p2p.ObjectID{}, false
 	}
 	n.admitTx(tx)
@@ -78,10 +79,11 @@ func (n *Node) onRelayTx(_ string, payload []byte) (p2p.ObjectID, bool) {
 
 // onRelayBlock consumes a full block body delivered by the relay — the
 // catch-up path and the last rung of the compact fallback ladder.
-func (n *Node) onRelayBlock(_ string, payload []byte) (p2p.ObjectID, bool) {
+func (n *Node) onRelayBlock(from string, payload []byte) (p2p.ObjectID, bool) {
 	b, err := chain.DeserializeBlock(payload)
 	if err != nil {
 		n.logf("relayed block undecodable: %v", err)
+		n.misbehave(from, "undecodable relayed block")
 		return p2p.ObjectID{}, false
 	}
 	id := b.ID()
@@ -135,6 +137,7 @@ func (n *Node) onCompactBlock(from string, msg p2p.Message) {
 	cb, err := chain.DeserializeCompactBlock(msg.Payload)
 	if err != nil {
 		n.logf("compact block undecodable: %v", err)
+		n.misbehave(from, "undecodable compact block")
 		return
 	}
 	n.metrics.cmpctReceived.Inc()
@@ -181,6 +184,7 @@ func (n *Node) onCompactBlock(from string, msg p2p.Message) {
 func (n *Node) onGetBlockTxn(from string, msg p2p.Message) {
 	id, indexes, err := chain.DecodeGetBlockTxn(msg.Payload)
 	if err != nil {
+		n.misbehave(from, "undecodable getblocktxn")
 		return
 	}
 	b, ok := n.chain.BlockByID(chain.Hash(id))
@@ -205,6 +209,7 @@ func (n *Node) onGetBlockTxn(from string, msg p2p.Message) {
 func (n *Node) onBlockTxn(from string, msg p2p.Message) {
 	id, fills, err := chain.DecodeBlockTxn(msg.Payload)
 	if err != nil {
+		n.misbehave(from, "undecodable blocktxn")
 		return
 	}
 	n.mu.Lock()

@@ -295,6 +295,7 @@ func (sm *syncManager) onHeaders(from string, msg p2p.Message) {
 	dec, err := p2p.DecodeHeaders(msg.Payload)
 	if err != nil {
 		sm.n.logf("headers from %s: %v", from, err)
+		sm.n.misbehave(from, "undecodable headers")
 		return
 	}
 	headers := make([]*chain.Header, 0, len(dec.Headers))
@@ -418,6 +419,7 @@ func (sm *syncManager) onSnapshotChunk(from string, msg p2p.Message) {
 	dec, err := p2p.DecodeSnapshotChunk(msg.Payload)
 	if err != nil {
 		sm.n.logf("snapshotchunk from %s: %v", from, err)
+		sm.n.misbehave(from, "undecodable snapshotchunk")
 		return
 	}
 	sm.mu.Lock()
@@ -614,6 +616,7 @@ func (sm *syncManager) info() SyncInfo {
 func (n *Node) onGetHeaders(from string, msg p2p.Message) {
 	dec, err := p2p.DecodeGetHeaders(msg.Payload)
 	if err != nil {
+		n.misbehave(from, "undecodable getheaders")
 		return
 	}
 	max := int(dec.Max)
@@ -637,6 +640,7 @@ func (n *Node) onGetHeaders(from string, msg p2p.Message) {
 func (n *Node) onGetSnapshot(from string, msg p2p.Message) {
 	dec, err := p2p.DecodeGetSnapshot(msg.Payload)
 	if err != nil {
+		n.misbehave(from, "undecodable getsnapshot")
 		return
 	}
 	sm := n.sync

@@ -181,6 +181,27 @@ func FuzzChannelMsgDecode(f *testing.F) {
 	f.Add((&MsgChannelUpdate{ChanVersion: 3, RecipientSig: []byte("sig")}).Encode())
 	f.Add((&MsgChannelUpdateAck{Key: []byte("key"), GatewaySig: []byte("sig")}).Encode())
 	f.Add((&MsgChannelClose{Kind: ChannelCloseUnilateral}).Encode())
+	// Hostile-field seeds: for every valid encoding also seed a version
+	// flip, a mid-message length byte forced to 0xFF (lying interior
+	// length prefixes), a truncation, and trailing garbage — adversarial
+	// values the random mutator takes much longer to reach.
+	for _, valid := range [][]byte{
+		(&MsgChannelOpen{RecipientPub: []byte("rc"), Capacity: 1, RefundWindow: 2}).Encode(),
+		(&MsgChannelAccept{RecipientPub: []byte("rc"), GatewayPub: []byte("gw"), Reason: "r"}).Encode(),
+		(&MsgChannelFund{ChannelID: [32]byte{1}, FundingTx: []byte{1, 2, 3}}).Encode(),
+		(&MsgChannelUpdate{ChanVersion: 3, RecipientSig: []byte("sig")}).Encode(),
+		(&MsgChannelUpdateAck{Key: []byte("key"), GatewaySig: []byte("sig")}).Encode(),
+		(&MsgChannelClose{Kind: ChannelCloseUnilateral}).Encode(),
+	} {
+		verFlip := append([]byte(nil), valid...)
+		verFlip[0] ^= 0xFF
+		f.Add(verFlip)
+		lying := append([]byte(nil), valid...)
+		lying[len(lying)/2] = 0xFF
+		f.Add(lying)
+		f.Add(valid[:len(valid)-1])
+		f.Add(append(append([]byte(nil), valid...), 0xDE, 0xAD, 0xBE, 0xEF))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if m, err := DecodeChannelOpen(data); err == nil {
 			if _, err := DecodeChannelOpen(m.Encode()); err != nil {

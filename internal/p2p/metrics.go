@@ -15,6 +15,8 @@ type p2pMetrics struct {
 	peerCount     *telemetry.Gauge
 	dialFailures  *telemetry.Counter
 	queueDrops    *telemetry.Counter
+	misbehavior   *telemetry.Counter
+	bans          *telemetry.Counter
 
 	// Inventory-relay counters (see relay.go). All nil-safe through the
 	// label-lookup helpers below.
@@ -40,6 +42,8 @@ func newP2PMetrics(reg *telemetry.Registry) *p2pMetrics {
 		peerCount:     ns.Gauge("peer_count", "Connected gossip peers."),
 		dialFailures:  ns.Counter("dial_failures_total", "Outbound connection attempts that failed."),
 		queueDrops:    ns.Counter("send_queue_drops_total", "Outbound messages dropped because a peer's send queue was full."),
+		misbehavior:   ns.Counter("misbehavior_points_total", "Misbehavior points charged against peers for protocol abuse."),
+		bans:          ns.Counter("bans_total", "Peers banned after crossing the misbehavior threshold."),
 
 		relayTimeouts:    ns.Counter("relay_request_timeouts_total", "Object requests that timed out waiting for the asked announcer."),
 		relayRerequests:  ns.Counter("relay_rerequests_total", "Timed-out object requests retried against another announcer."),
@@ -68,6 +72,16 @@ func (m *p2pMetrics) msgOut(msgType string) *telemetry.Counter {
 		return nil
 	}
 	return m.ns.Counter("messages_out_total", "Gossip messages sent, by type.", telemetry.L("type", msgType))
+}
+
+// connRefused returns the refused-connection counter for a reason
+// ("banned" or "full").
+func (m *p2pMetrics) connRefused(reason string) *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.ns.Counter("connections_refused_total", "Connections refused, by reason.",
+		telemetry.L("reason", reason))
 }
 
 // relayAnnounce returns the inv-announcement counter for a kind and

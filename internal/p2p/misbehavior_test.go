@@ -1,0 +1,206 @@
+package p2p
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+)
+
+func waitPeers(t *testing.T, n *Node, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(n.Peers()) != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d peers, have %v", want, n.Peers())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMisbehaveCrossingThresholdBans(t *testing.T) {
+	tr := NewMemTransport()
+	a, err := NewNode(tr, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewNode(tr, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	a.SetBanThreshold(20)
+	if err := a.Connect(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	a.Misbehave(b.Addr(), 10, "malformed frame")
+	if a.Banned(b.Addr()) {
+		t.Fatal("banned below threshold")
+	}
+	a.Misbehave(b.Addr(), 10, "malformed frame")
+	if !a.Banned(b.Addr()) {
+		t.Fatal("not banned at threshold")
+	}
+	if got := a.BanScore(b.Addr()); got != 20 {
+		t.Fatalf("ban score = %d, want 20", got)
+	}
+	waitPeers(t, a, 0)
+	if err := a.Connect(b.Addr()); !errors.Is(err, ErrBanned) {
+		t.Fatalf("reconnect err = %v, want ErrBanned", err)
+	}
+}
+
+func TestBannedInboundRefusedAndNotDispatched(t *testing.T) {
+	tr := NewMemTransport()
+	a, err := NewNode(tr, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewNode(tr, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	var got collector
+	a.Handle("tx", got.handler)
+	a.SetBanThreshold(1)
+	a.Misbehave(b.Addr(), 1, "preemptive")
+
+	if err := b.Connect(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	b.Broadcast("tx", []byte("from-banned"))
+	time.Sleep(50 * time.Millisecond)
+	if got.count() != 0 {
+		t.Fatalf("dispatched %d messages from a banned peer", got.count())
+	}
+	if len(a.Peers()) != 0 {
+		t.Fatalf("banned peer registered: %v", a.Peers())
+	}
+}
+
+func TestMaxPeersRefusesExtraAndBanFreesSlot(t *testing.T) {
+	tr := NewMemTransport()
+	mk := func() *Node {
+		n, err := NewNode(tr, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		return n
+	}
+	a, b, c := mk(), mk(), mk()
+
+	a.SetMaxPeers(1)
+	if err := a.Connect(b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Connect(c.Addr()); !errors.Is(err, ErrPeerLimit) {
+		t.Fatalf("outbound over limit err = %v, want ErrPeerLimit", err)
+	}
+
+	// Inbound beyond the limit is refused too: c's connection is closed
+	// and never registered.
+	if err := c.Connect(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	c.Broadcast("tx", []byte("hello"))
+	time.Sleep(50 * time.Millisecond)
+	if len(a.Peers()) != 1 || a.Peers()[0] != b.Addr() {
+		t.Fatalf("peers = %v, want just %s", a.Peers(), b.Addr())
+	}
+
+	// Banning the slot squatter frees the slot for the honest peer.
+	a.Misbehave(b.Addr(), DefaultBanThreshold, "squatting")
+	waitPeers(t, a, 0)
+	if err := a.Connect(c.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitPeers(t, a, 1)
+	if a.Peers()[0] != c.Addr() {
+		t.Fatalf("peers = %v, want %s", a.Peers(), c.Addr())
+	}
+}
+
+// FuzzSyncMsgDecode drives the four sync decoders with hostile inputs:
+// none may panic, every accepted message must respect the documented
+// bounds, and decode/encode/decode must agree.
+func FuzzSyncMsgDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&MsgGetHeaders{Locator: [][32]byte{{1}, {2}}, Max: 100}).Encode())
+	f.Add((&MsgHeaders{Headers: [][]byte{[]byte("hdr-a"), []byte("hdr-b")}}).Encode())
+	f.Add((&MsgGetSnapshot{Height: 42, Chunk: -1}).Encode())
+	f.Add((&MsgSnapshotChunk{Height: 42, Chunk: 0, Total: 3, Manifest: []byte("m"), Payload: []byte("p")}).Encode())
+
+	// Hostile-field seeds: counts that lie, lengths that overflow what is
+	// present, negative-as-unsigned values, wrong versions, truncations
+	// and trailing garbage.
+	hugeLocators := []byte{syncMsgVersion, 0xFF, 0xFF}
+	f.Add(hugeLocators)
+	hugeHeaders := append([]byte{syncMsgVersion}, 0xFF, 0xFF, 0xFF, 0xFF)
+	f.Add(hugeHeaders)
+	lyingHeaderLen := (&MsgHeaders{Headers: [][]byte{[]byte("hdr")}}).Encode()
+	binary.BigEndian.PutUint32(lyingHeaderLen[5:], 1<<30)
+	f.Add(lyingHeaderLen)
+	wrongVersion := (&MsgGetSnapshot{Height: 1, Chunk: 0}).Encode()
+	wrongVersion[0] = 0xFE
+	f.Add(wrongVersion)
+	negChunk := (&MsgGetSnapshot{Height: -1, Chunk: -2}).Encode()
+	f.Add(negChunk)
+	lyingManifest := (&MsgSnapshotChunk{Manifest: []byte("m")}).Encode()
+	binary.BigEndian.PutUint32(lyingManifest[17:], maxManifestBytes+1)
+	f.Add(lyingManifest)
+	lyingPayload := (&MsgSnapshotChunk{Payload: []byte("p")}).Encode()
+	f.Add(lyingPayload[:len(lyingPayload)-1])
+	trailing := append((&MsgGetHeaders{Max: 1}).Encode(), 0xAA)
+	f.Add(trailing)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := DecodeGetHeaders(data); err == nil {
+			if len(m.Locator) > maxLocatorIDs {
+				t.Fatalf("accepted %d locator ids", len(m.Locator))
+			}
+			m2, err := DecodeGetHeaders(m.Encode())
+			if err != nil {
+				t.Fatalf("re-decode getheaders: %v", err)
+			}
+			if len(m2.Locator) != len(m.Locator) || m2.Max != m.Max {
+				t.Fatal("getheaders round-trip mismatch")
+			}
+		}
+		if m, err := DecodeHeaders(data); err == nil {
+			if len(m.Headers) > maxHeadersPerMsg {
+				t.Fatalf("accepted %d headers", len(m.Headers))
+			}
+			for _, h := range m.Headers {
+				if len(h) > maxHeaderBytes {
+					t.Fatalf("accepted %d-byte header", len(h))
+				}
+			}
+			if _, err := DecodeHeaders(m.Encode()); err != nil {
+				t.Fatalf("re-decode headers: %v", err)
+			}
+		}
+		if m, err := DecodeGetSnapshot(data); err == nil {
+			m2, err := DecodeGetSnapshot(m.Encode())
+			if err != nil {
+				t.Fatalf("re-decode getsnapshot: %v", err)
+			}
+			if *m2 != *m {
+				t.Fatalf("getsnapshot round-trip mismatch: %+v vs %+v", m, m2)
+			}
+		}
+		if m, err := DecodeSnapshotChunk(data); err == nil {
+			if len(m.Manifest) > maxManifestBytes || len(m.Payload) > maxSnapshotChunk {
+				t.Fatalf("accepted oversized chunk: manifest %d payload %d", len(m.Manifest), len(m.Payload))
+			}
+			if _, err := DecodeSnapshotChunk(m.Encode()); err != nil {
+				t.Fatalf("re-decode snapshotchunk: %v", err)
+			}
+		}
+	})
+}

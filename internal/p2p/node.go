@@ -2,12 +2,24 @@ package p2p
 
 import (
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"log"
 	"sync"
 
 	"bcwan/internal/telemetry"
 )
+
+// ErrBanned reports a connection attempt to or from a banned peer.
+var ErrBanned = errors.New("p2p: peer banned")
+
+// ErrPeerLimit reports that the node's peer slots are full.
+var ErrPeerLimit = errors.New("p2p: peer limit reached")
+
+// DefaultBanThreshold is the misbehavior score at which a peer is
+// disconnected and refused; ~10 malformed frames at the daemon's
+// standard 10-point penalty.
+const DefaultBanThreshold = 100
 
 // Handler processes a gossip message. Handlers run on per-connection
 // reader goroutines; implementations must be safe for concurrent use.
@@ -43,6 +55,16 @@ type Node struct {
 	seenRing [][sha256.Size]byte
 	seenHead int
 	closed   bool
+
+	// Misbehavior accounting (PR 8): protocol-level abuse accumulates a
+	// per-address score; crossing banThreshold drops the peer and refuses
+	// further connections either way. maxPeers (0 = unlimited) bounds the
+	// registered-peer set so an adversary cannot add slots at will — and
+	// banning a slot-squatter is the recovery path from an eclipse.
+	banScore     map[string]int
+	banned       map[string]bool
+	banThreshold int
+	maxPeers     int
 
 	wg sync.WaitGroup
 }
@@ -96,14 +118,17 @@ func NewNodeWithTelemetry(transport Transport, addr string, logger *log.Logger, 
 		return nil, err
 	}
 	n := &Node{
-		transport: transport,
-		listener:  listener,
-		logger:    logger,
-		peers:     make(map[string]*peer),
-		conns:     make(map[Conn]bool),
-		handlers:  make(map[string]Handler),
-		direct:    make(map[string]bool),
-		seen:      make(map[[sha256.Size]byte]bool),
+		transport:    transport,
+		listener:     listener,
+		logger:       logger,
+		peers:        make(map[string]*peer),
+		conns:        make(map[Conn]bool),
+		handlers:     make(map[string]Handler),
+		direct:       make(map[string]bool),
+		seen:         make(map[[sha256.Size]byte]bool),
+		banScore:     make(map[string]int),
+		banned:       make(map[string]bool),
+		banThreshold: DefaultBanThreshold,
 	}
 	if reg != nil {
 		n.metrics = newP2PMetrics(reg)
@@ -134,8 +159,67 @@ func (n *Node) HandleDirect(msgType string, h Handler) {
 	n.direct[msgType] = true
 }
 
+// SetMaxPeers bounds the number of registered peers (0 = unlimited).
+// Connections beyond the bound — outbound or inbound — are refused.
+func (n *Node) SetMaxPeers(k int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.maxPeers = k
+}
+
+// SetBanThreshold overrides the misbehavior score at which a peer is
+// banned.
+func (n *Node) SetBanThreshold(v int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.banThreshold = v
+}
+
+// Misbehave charges points of protocol abuse (malformed frames, bogus
+// requests) against an address. Crossing the ban threshold disconnects
+// the peer and refuses it from then on. Callers pick the points so that
+// an honest peer's occasional garbage never reaches the threshold.
+func (n *Node) Misbehave(addr string, points int, reason string) {
+	if addr == "" || addr == n.Addr() {
+		return
+	}
+	n.mu.Lock()
+	n.banScore[addr] += points
+	score := n.banScore[addr]
+	freshBan := score >= n.banThreshold && !n.banned[addr]
+	if freshBan {
+		n.banned[addr] = true
+	}
+	n.mu.Unlock()
+	if m := n.metrics; m != nil {
+		m.misbehavior.Add(uint64(points))
+	}
+	if freshBan {
+		n.logf("banning %s (score %d): %s", addr, score, reason)
+		if m := n.metrics; m != nil {
+			m.bans.Inc()
+		}
+		n.dropPeer(addr)
+	}
+}
+
+// Banned reports whether an address is currently banned.
+func (n *Node) Banned(addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.banned[addr]
+}
+
+// BanScore returns an address's accumulated misbehavior score.
+func (n *Node) BanScore(addr string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.banScore[addr]
+}
+
 // Connect dials a peer and starts reading from it. Connecting to an
-// already connected address is a no-op.
+// already connected address is a no-op; banned addresses and connects
+// beyond the peer limit are refused.
 func (n *Node) Connect(addr string) error {
 	if addr == n.Addr() {
 		return nil
@@ -148,6 +232,20 @@ func (n *Node) Connect(addr string) error {
 	if _, dup := n.peers[addr]; dup {
 		n.mu.Unlock()
 		return nil
+	}
+	if n.banned[addr] {
+		n.mu.Unlock()
+		if m := n.metrics; m != nil {
+			m.connRefused("banned").Inc()
+		}
+		return ErrBanned
+	}
+	if n.maxPeers > 0 && len(n.peers) >= n.maxPeers {
+		n.mu.Unlock()
+		if m := n.metrics; m != nil {
+			m.connRefused("full").Inc()
+		}
+		return ErrPeerLimit
 	}
 	n.mu.Unlock()
 
@@ -361,15 +459,31 @@ func (n *Node) readLoop(addr string, conn Conn) {
 			return
 		}
 		// Learn inbound peer addresses so broadcasts reach them, and
-		// so the mesh becomes bidirectional without extra dials.
+		// so the mesh becomes bidirectional without extra dials. Banned
+		// addresses and inbounds beyond the peer limit are refused — the
+		// connection is closed, not just left unregistered, so a refused
+		// peer cannot keep feeding us traffic.
 		if addr == "" && msg.From != "" && msg.From != n.Addr() {
 			addr = msg.From
 			n.mu.Lock()
-			_, dup := n.peers[addr]
-			if !dup && !n.closed {
-				n.registerPeerLocked(addr, conn)
+			refuse := ""
+			if n.banned[addr] {
+				refuse = "banned"
+			} else if _, dup := n.peers[addr]; !dup && !n.closed {
+				if n.maxPeers > 0 && len(n.peers) >= n.maxPeers {
+					refuse = "full"
+				} else {
+					n.registerPeerLocked(addr, conn)
+				}
 			}
 			n.mu.Unlock()
+			if refuse != "" {
+				if m := n.metrics; m != nil {
+					m.connRefused(refuse).Inc()
+				}
+				n.logf("refusing inbound %s: %s", addr, refuse)
+				return
+			}
 		}
 		if m := n.metrics; m != nil {
 			m.msgIn(msg.Type).Inc()

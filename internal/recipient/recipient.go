@@ -6,6 +6,7 @@
 package recipient
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
@@ -15,6 +16,7 @@ import (
 	"bcwan/internal/chain"
 	"bcwan/internal/fairex"
 	"bcwan/internal/lora"
+	"bcwan/internal/reputation"
 	"bcwan/internal/script"
 	"bcwan/internal/wallet"
 )
@@ -52,7 +54,17 @@ var (
 	// ErrExchangeNotFound reports a claim settlement for an unknown
 	// payment.
 	ErrExchangeNotFound = errors.New("recipient: no pending exchange for payment")
+	// ErrUntrustedGateway reports a delivery refused because the
+	// gateway's reputation is below the trust threshold.
+	ErrUntrustedGateway = errors.New("recipient: gateway below trust threshold")
+	// ErrReplayedDelivery reports a delivery whose ciphertext was
+	// already bought once — a double-sell attempt.
+	ErrReplayedDelivery = errors.New("recipient: delivery already settled (replay)")
 )
+
+// maxSettledMemory bounds the replay-detection window (digests of
+// ciphertexts already settled).
+const maxSettledMemory = 4096
 
 // pendingPayment tracks an exchange between payment and claim.
 type pendingPayment struct {
@@ -79,6 +91,16 @@ type Recipient struct {
 	pending         map[chain.Hash]*pendingPayment
 	pendingOffchain map[offchainKey]*fairex.Delivery
 
+	// rep, when set, gates deliveries on gateway trust and feeds exchange
+	// outcomes back as reputation reports (PR 8 defense layer).
+	rep *reputation.System
+	// settled remembers digests of already-settled ciphertexts so a
+	// gateway cannot sell the same message twice; settledRing evicts the
+	// oldest digest once maxSettledMemory is reached.
+	settled     map[[sha256.Size]byte]bool
+	settledRing [][sha256.Size]byte
+	settledHead int
+
 	// Stats aggregates outcomes.
 	Stats Stats
 }
@@ -100,6 +122,12 @@ type Stats struct {
 	// OffChainSettles counts exchanges settled through a payment-channel
 	// update instead of an on-chain payment + claim pair.
 	OffChainSettles uint64
+	// RefusedUntrusted counts deliveries refused because the gateway's
+	// reputation was below the trust threshold.
+	RefusedUntrusted uint64
+	// ReplaysDetected counts double-sell attempts rejected before any
+	// payment moved.
+	ReplaysDetected uint64
 }
 
 // New creates a recipient.
@@ -112,6 +140,68 @@ func New(cfg Config, w *wallet.Wallet, ledger fairex.Ledger, random io.Reader) *
 		devices:         make(map[lora.DevEUI]DeviceInfo),
 		pending:         make(map[chain.Hash]*pendingPayment),
 		pendingOffchain: make(map[offchainKey]*fairex.Delivery),
+		settled:         make(map[[sha256.Size]byte]bool),
+	}
+}
+
+// UseReputation attaches a reputation system: deliveries from gateways
+// below the trust threshold are refused, replayed ciphertexts are
+// rejected and reported, and settlements/refunds feed outcome reports.
+// Call before concurrent use; a nil system disables the gate.
+func (r *Recipient) UseReputation(sys *reputation.System) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rep = sys
+}
+
+// admit runs the PR 8 defense gate over an offer that already passed the
+// signature and price checks: replayed ciphertexts are rejected (and
+// charged against the gateway), then untrusted gateways are refused.
+func (r *Recipient) admit(d *fairex.Delivery) error {
+	digest := sha256.Sum256(d.Em)
+	gw := reputation.IDFromHash(d.GatewayPubKeyHash)
+	r.mu.Lock()
+	rep := r.rep
+	replayed := r.settled[digest]
+	if replayed {
+		r.Stats.ReplaysDetected++
+	}
+	r.mu.Unlock()
+	if replayed {
+		if rep != nil {
+			rep.ReportReplay(gw)
+		}
+		return fmt.Errorf("%w: exchange %d of %s", ErrReplayedDelivery, d.Exchange, d.DevEUI)
+	}
+	if rep != nil && !rep.Trusted(gw) {
+		rep.ReportRefused(gw)
+		r.mu.Lock()
+		r.Stats.RefusedUntrusted++
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s (score %.2f < %.2f)", ErrUntrustedGateway, gw, rep.Score(gw), rep.Threshold())
+	}
+	return nil
+}
+
+// markSettled remembers a settled ciphertext for replay detection and
+// credits the gateway.
+func (r *Recipient) markSettled(d *fairex.Delivery) {
+	digest := sha256.Sum256(d.Em)
+	r.mu.Lock()
+	if !r.settled[digest] {
+		r.settled[digest] = true
+		if len(r.settledRing) < maxSettledMemory {
+			r.settledRing = append(r.settledRing, digest)
+		} else {
+			delete(r.settled, r.settledRing[r.settledHead])
+			r.settledRing[r.settledHead] = digest
+			r.settledHead = (r.settledHead + 1) % maxSettledMemory
+		}
+	}
+	rep := r.rep
+	r.mu.Unlock()
+	if rep != nil {
+		rep.ReportDelivered(reputation.IDFromHash(d.GatewayPubKeyHash))
 	}
 }
 
@@ -144,6 +234,9 @@ func (r *Recipient) HandleDelivery(d *fairex.Delivery) (*chain.Tx, error) {
 	if d.Price > r.cfg.MaxPrice {
 		r.bumpRejected()
 		return nil, fmt.Errorf("%w: asked %d, max %d", fairex.ErrPriceTooHigh, d.Price, r.cfg.MaxPrice)
+	}
+	if err := r.admit(d); err != nil {
+		return nil, err
 	}
 
 	// Step 9: the Listing 1 payment.
@@ -226,6 +319,7 @@ func (r *Recipient) settle(paymentID chain.Hash, eSk *bccrypto.RSA512PrivateKey)
 	delete(r.pending, paymentID)
 	r.Stats.Decryptions++
 	r.mu.Unlock()
+	r.markSettled(pend.delivery)
 	return &Message{
 		DevEUI:    pend.delivery.DevEUI,
 		Plaintext: plaintext,
@@ -254,6 +348,9 @@ func (r *Recipient) AcceptDeliveryOffChain(d *fairex.Delivery) error {
 	if d.Price > r.cfg.MaxPrice {
 		r.bumpRejected()
 		return fmt.Errorf("%w: asked %d, max %d", fairex.ErrPriceTooHigh, d.Price, r.cfg.MaxPrice)
+	}
+	if err := r.admit(d); err != nil {
+		return err
 	}
 	r.mu.Lock()
 	r.pendingOffchain[offchainKey{eui: d.DevEUI, counter: d.Exchange}] = d
@@ -291,6 +388,7 @@ func (r *Recipient) SettleOffChain(devEUI lora.DevEUI, exchange uint32, keyBytes
 	r.Stats.Decryptions++
 	r.Stats.OffChainSettles++
 	r.mu.Unlock()
+	r.markSettled(d)
 	return &Message{DevEUI: devEUI, Plaintext: plaintext}, nil
 }
 
@@ -327,8 +425,29 @@ func (r *Recipient) Refund(paymentID chain.Hash) (*chain.Tx, error) {
 	r.mu.Lock()
 	delete(r.pending, paymentID)
 	r.Stats.Refunds++
+	rep := r.rep
 	r.mu.Unlock()
+	// A refund means the gateway took the payment's escrow hostage and
+	// never disclosed the key: the Listing 1 OP_ELSE path made the victim
+	// whole (lost = 0), but the non-disclosure still decays the gateway's
+	// score so persistent withholders get refused.
+	if rep != nil {
+		rep.ReportWithheld(reputation.IDFromHash(pend.delivery.GatewayPubKeyHash), 0)
+	}
 	return refund, nil
+}
+
+// ReportNonDisclosure charges a gateway that kept an off-chain delivery's
+// payment without ever disclosing the key (the channel settlement path,
+// where there is no refund script to fall back on). lost is the channel
+// delta that cannot be recovered.
+func (r *Recipient) ReportNonDisclosure(gatewayPubKeyHash [20]byte, lost uint64) {
+	r.mu.Lock()
+	rep := r.rep
+	r.mu.Unlock()
+	if rep != nil {
+		rep.ReportWithheld(reputation.IDFromHash(gatewayPubKeyHash), lost)
+	}
 }
 
 // PendingPayments lists the exchanges awaiting a claim.

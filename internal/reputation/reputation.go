@@ -5,11 +5,19 @@
 // of misbehavior but does not eliminate the problem" — the ablation
 // benchmark quantifies exactly that residual loss against BcWAN's
 // script-enforced exchange.
+//
+// Since PR 8 the same scoring table also backs the live defense layer:
+// recipients report non-disclosure and replayed deliveries against a
+// gateway's score, and refuse to exchange with gateways below the
+// threshold (the chaos Byzantine campaign exercises this end to end).
 package reputation
 
 import (
+	"encoding/hex"
 	"math/rand"
 	"sync"
+
+	"bcwan/internal/telemetry"
 )
 
 // Outcome classifies one exchange attempt.
@@ -37,28 +45,40 @@ type Config struct {
 	CheatPenalty float64
 	// TrustThreshold is the minimum score a recipient deals with.
 	TrustThreshold float64
+	// MaxScore caps accrued credit (0 = uncapped). Without a cap a
+	// patient adversary banks honest deliveries and then cheats several
+	// times before crossing the threshold; with MaxScore - CheatPenalty
+	// below TrustThreshold, ONE proven cheat ejects from any reachable
+	// score, which is what makes the chaos bounded-loss invariant
+	// structural rather than probabilistic.
+	MaxScore float64
 }
 
-// DefaultConfig gives new gateways the benefit of the doubt and banishes
-// them after roughly two cheats.
+// DefaultConfig gives new gateways the benefit of the doubt but caps
+// credit low enough that a single proven cheat ejects.
 func DefaultConfig() Config {
 	return Config{
 		InitialScore:   1.0,
 		DeliverReward:  0.1,
 		CheatPenalty:   0.6,
 		TrustThreshold: 0.5,
+		// Half a reward of headroom: 1.05 - 0.6 = 0.45 < 0.5.
+		MaxScore: 1.05,
 	}
 }
 
-// System is the recipients' shared reputation table.
+// System is the recipients' shared reputation table. All methods are
+// safe for concurrent use; the stats are only exposed through Snapshot
+// so no caller can observe them without the lock.
 type System struct {
 	cfg Config
 
 	mu     sync.Mutex
 	scores map[string]float64
-
-	// Stats aggregates outcomes.
-	Stats Stats
+	stats  Stats
+	// metrics is set by Instrument before concurrent use; all uses are
+	// nil-safe.
+	metrics *repMetrics
 }
 
 // Stats counts exchange outcomes and losses.
@@ -66,6 +86,9 @@ type Stats struct {
 	Delivered uint64
 	Cheated   uint64
 	Refused   uint64
+	// Replays counts deliveries rejected because the same ciphertext was
+	// already sold once.
+	Replays uint64
 	// PaymentsLost is the total value paid without delivery — the
 	// quantity BcWAN's script reduces to zero.
 	PaymentsLost uint64
@@ -74,6 +97,30 @@ type Stats struct {
 // New creates a reputation system.
 func New(cfg Config) *System {
 	return &System{cfg: cfg, scores: make(map[string]float64)}
+}
+
+// IDFromHash derives the reputation identity of a gateway from its
+// public-key hash (the @G that signs its claims and bindings).
+func IDFromHash(hash [20]byte) string {
+	return hex.EncodeToString(hash[:])
+}
+
+// Instrument registers report counters in reg. Call before concurrent
+// use; a nil registry is a no-op.
+func (s *System) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = newRepMetrics(reg)
+}
+
+// Snapshot returns a copy of the outcome counters.
+func (s *System) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
 }
 
 // Score returns a gateway's current reputation.
@@ -90,9 +137,72 @@ func (s *System) scoreLocked(gatewayID string) float64 {
 	return s.cfg.InitialScore
 }
 
+// Threshold returns the trust threshold below which recipients refuse a
+// gateway.
+func (s *System) Threshold() float64 { return s.cfg.TrustThreshold }
+
 // Trusted reports whether a recipient would pay the gateway.
 func (s *System) Trusted(gatewayID string) bool {
 	return s.Score(gatewayID) >= s.cfg.TrustThreshold
+}
+
+// ReportDelivered rewards a gateway for a completed exchange (the key
+// was disclosed and the plaintext recovered).
+func (s *System) ReportDelivered(gatewayID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rewardLocked(gatewayID)
+	s.stats.Delivered++
+	s.metrics.report("delivered")
+}
+
+// ReportWithheld penalizes a gateway that took a payment (or a channel
+// delta) without disclosing the key. lost is the value actually lost —
+// zero when the Listing 1 refund path made the victim whole, one update
+// delta when a channel counterparty kept a countersigned balance.
+func (s *System) ReportWithheld(gatewayID string, lost uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.penalizeLocked(gatewayID)
+	s.stats.Cheated++
+	s.stats.PaymentsLost += lost
+	s.metrics.report("withheld")
+}
+
+// ReportReplay penalizes a gateway that re-delivered a message it
+// already sold once (double-sell).
+func (s *System) ReportReplay(gatewayID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.penalizeLocked(gatewayID)
+	s.stats.Replays++
+	s.metrics.report("replay")
+}
+
+// ReportRefused records that a recipient declined to deal with an
+// untrusted gateway (no payment moved).
+func (s *System) ReportRefused(gatewayID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Refused++
+	s.metrics.refused()
+}
+
+func (s *System) rewardLocked(gatewayID string) {
+	v := s.scoreLocked(gatewayID) + s.cfg.DeliverReward
+	if s.cfg.MaxScore > 0 && v > s.cfg.MaxScore {
+		v = s.cfg.MaxScore
+	}
+	s.scores[gatewayID] = v
+}
+
+func (s *System) penalizeLocked(gatewayID string) {
+	before := s.scoreLocked(gatewayID)
+	after := before - s.cfg.CheatPenalty
+	s.scores[gatewayID] = after
+	if before >= s.cfg.TrustThreshold && after < s.cfg.TrustThreshold {
+		s.metrics.ejected()
+	}
 }
 
 // Exchange plays one pay-first exchange: the recipient checks trust, pays
@@ -102,17 +212,20 @@ func (s *System) Exchange(gatewayID string, price uint64, cheats bool) Outcome {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.scoreLocked(gatewayID) < s.cfg.TrustThreshold {
-		s.Stats.Refused++
+		s.stats.Refused++
+		s.metrics.refused()
 		return OutcomeRefused
 	}
 	if cheats {
-		s.scores[gatewayID] = s.scoreLocked(gatewayID) - s.cfg.CheatPenalty
-		s.Stats.Cheated++
-		s.Stats.PaymentsLost += price
+		s.penalizeLocked(gatewayID)
+		s.stats.Cheated++
+		s.stats.PaymentsLost += price
+		s.metrics.report("withheld")
 		return OutcomeCheated
 	}
-	s.scores[gatewayID] = s.scoreLocked(gatewayID) + s.cfg.DeliverReward
-	s.Stats.Delivered++
+	s.rewardLocked(gatewayID)
+	s.stats.Delivered++
+	s.metrics.report("delivered")
 	return OutcomeDelivered
 }
 
@@ -130,7 +243,9 @@ type SimResult struct {
 // Simulate runs rounds of exchanges against a gateway population where a
 // fraction of gateways cheat with the given probability. It returns the
 // realized loss rate — nonzero for reputation, structurally zero for the
-// BcWAN script exchange.
+// BcWAN script exchange. All randomness comes from the caller's seed (a
+// private rand.Source, never the global one), so runs replay exactly and
+// stay data-race-free under concurrent Simulate calls.
 func Simulate(cfg Config, seed int64, gateways int, cheaterFraction, cheatProb float64, rounds int, price uint64) SimResult {
 	rng := rand.New(rand.NewSource(seed))
 	sys := New(cfg)
@@ -148,12 +263,13 @@ func Simulate(cfg Config, seed int64, gateways int, cheaterFraction, cheatProb f
 			total += price
 		}
 	}
+	stats := sys.Snapshot()
 	res := SimResult{
 		Exchanges:    rounds,
-		Delivered:    sys.Stats.Delivered,
-		Cheated:      sys.Stats.Cheated,
-		Refused:      sys.Stats.Refused,
-		PaymentsLost: sys.Stats.PaymentsLost,
+		Delivered:    stats.Delivered,
+		Cheated:      stats.Cheated,
+		Refused:      stats.Refused,
+		PaymentsLost: stats.PaymentsLost,
 	}
 	if total > 0 {
 		res.LossRate = float64(res.PaymentsLost) / float64(total)
@@ -163,4 +279,44 @@ func Simulate(cfg Config, seed int64, gateways int, cheaterFraction, cheatProb f
 
 func gatewayID(i int) string {
 	return "gw-" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+}
+
+// repMetrics counts reports; nil-safe so an uninstrumented system costs
+// nothing.
+type repMetrics struct {
+	reports   map[string]*telemetry.Counter
+	refusals  *telemetry.Counter
+	ejections *telemetry.Counter
+}
+
+func newRepMetrics(reg *telemetry.Registry) *repMetrics {
+	ns := reg.Namespace("reputation")
+	m := &repMetrics{
+		reports:   make(map[string]*telemetry.Counter),
+		refusals:  ns.Counter("refusals_total", "Exchanges refused because the gateway was below the trust threshold."),
+		ejections: ns.Counter("ejections_total", "Gateways whose score crossed below the trust threshold."),
+	}
+	for _, kind := range []string{"delivered", "withheld", "replay"} {
+		m.reports[kind] = ns.Counter("reports_total",
+			"Exchange outcome reports, by kind.", telemetry.L("kind", kind))
+	}
+	return m
+}
+
+func (m *repMetrics) report(kind string) {
+	if m != nil {
+		m.reports[kind].Inc()
+	}
+}
+
+func (m *repMetrics) refused() {
+	if m != nil {
+		m.refusals.Inc()
+	}
+}
+
+func (m *repMetrics) ejected() {
+	if m != nil {
+		m.ejections.Inc()
+	}
 }

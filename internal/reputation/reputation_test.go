@@ -1,7 +1,10 @@
 package reputation
 
 import (
+	"sync"
 	"testing"
+
+	"bcwan/internal/telemetry"
 )
 
 func TestHonestGatewayGainsReputation(t *testing.T) {
@@ -13,7 +16,7 @@ func TestHonestGatewayGainsReputation(t *testing.T) {
 	if s.Score("gw") <= before {
 		t.Fatal("score did not increase")
 	}
-	if s.Stats.PaymentsLost != 0 {
+	if s.Snapshot().PaymentsLost != 0 {
 		t.Fatal("honest delivery recorded a loss")
 	}
 }
@@ -23,8 +26,8 @@ func TestCheatingLosesPaymentAndReputation(t *testing.T) {
 	if got := s.Exchange("gw", 100, true); got != OutcomeCheated {
 		t.Fatalf("outcome = %v", got)
 	}
-	if s.Stats.PaymentsLost != 100 {
-		t.Fatalf("PaymentsLost = %d, want 100 (pay-first exchange)", s.Stats.PaymentsLost)
+	if lost := s.Snapshot().PaymentsLost; lost != 100 {
+		t.Fatalf("PaymentsLost = %d, want 100 (pay-first exchange)", lost)
 	}
 	if s.Score("gw") >= DefaultConfig().InitialScore {
 		t.Fatal("score did not drop")
@@ -44,9 +47,9 @@ func TestRepeatOffenderEventuallyRefused(t *testing.T) {
 		t.Fatal("cheater never banished")
 	}
 	// Refusals stop further losses.
-	before := s.Stats.PaymentsLost
+	before := s.Snapshot().PaymentsLost
 	s.Exchange("gw", 100, true)
-	if s.Stats.PaymentsLost != before {
+	if s.Snapshot().PaymentsLost != before {
 		t.Fatal("refused exchange still lost payment")
 	}
 }
@@ -57,6 +60,79 @@ func TestUntrustedGatewayRefused(t *testing.T) {
 	s := New(cfg)
 	if got := s.Exchange("gw", 100, false); got != OutcomeRefused {
 		t.Fatalf("outcome = %v, want refused", got)
+	}
+}
+
+func TestReportsAdjustScoreAndStats(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Instrument(telemetry.NewRegistry())
+	s.ReportDelivered("gw")
+	if got := s.Score("gw"); got <= DefaultConfig().InitialScore || got > DefaultConfig().MaxScore {
+		t.Fatalf("score after delivery = %v", got)
+	}
+	s.ReportWithheld("gw", 100)
+	s.ReportReplay("gw")
+	s.ReportRefused("gw")
+	if s.Trusted("gw") {
+		t.Fatal("gateway still trusted after withhold + replay")
+	}
+	got := s.Snapshot()
+	want := Stats{Delivered: 1, Cheated: 1, Refused: 1, Replays: 1, PaymentsLost: 100}
+	if got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+}
+
+func TestConcurrentReportsRaceFree(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Instrument(telemetry.NewRegistry())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := IDFromHash([20]byte{byte(w)})
+			for i := 0; i < 200; i++ {
+				switch i % 5 {
+				case 0:
+					s.ReportDelivered(id)
+				case 1:
+					s.ReportWithheld(id, 1)
+				case 2:
+					s.ReportReplay(id)
+				case 3:
+					s.Exchange(id, 1, i%2 == 0)
+				default:
+					_ = s.Trusted(id)
+					_ = s.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Snapshot(); got.Delivered == 0 || got.Cheated == 0 {
+		t.Fatalf("stats lost updates: %+v", got)
+	}
+}
+
+// TestCreditCapBoundsLossToOneCheat is the score-cap rationale: even an
+// adversary that banks maximal honest credit first is ejected by its
+// FIRST cheat, so a victim never pays a given adversary for more than
+// one withheld delivery.
+func TestCreditCapBoundsLossToOneCheat(t *testing.T) {
+	s := New(DefaultConfig())
+	for i := 0; i < 50; i++ { // bank as much credit as the system allows
+		s.ReportDelivered("gw")
+	}
+	if got := s.Score("gw"); got > DefaultConfig().MaxScore {
+		t.Fatalf("score %v exceeds cap %v", got, DefaultConfig().MaxScore)
+	}
+	s.ReportWithheld("gw", 100)
+	if s.Trusted("gw") {
+		t.Fatalf("score %v still trusted after one cheat from the cap", s.Score("gw"))
+	}
+	if lost := s.Snapshot().PaymentsLost; lost != 100 {
+		t.Fatalf("PaymentsLost = %d, want exactly one payment", lost)
 	}
 }
 
