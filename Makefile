@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench blockconnect reorg relay-bench sync-bench channel-bench bench-gate lint fuzz chaos chaos-byzantine ci
+.PHONY: build test vet race bench blockconnect reorg relay-bench sync-bench channel-bench bench-gate bench-scaling lint fuzz chaos chaos-byzantine ci
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,17 @@ bench-gate:
 		-baseline results/BENCH_channel.json \
 		-candidate /tmp/bcwan-bench-candidate/BENCH_channel.json
 
+# What the CI connect-scaling step runs: measure block connect pinned
+# to one core and again on all cores, then require the multicore run to
+# beat the pinned one by the committed floor. Meaningful only on a
+# multicore machine.
+bench-scaling:
+	GOMAXPROCS=1 $(GO) run ./cmd/bcwan-bench -only blockconnect -results /tmp/bcwan-bench-serial
+	$(GO) run ./cmd/bcwan-bench -only blockconnect -results /tmp/bcwan-bench-candidate
+	$(GO) run ./cmd/bcwan-benchgate -kind connect-scaling \
+		-baseline /tmp/bcwan-bench-serial/BENCH_blockconnect.json \
+		-candidate /tmp/bcwan-bench-candidate/BENCH_blockconnect.json
+
 # Static analysis. CI installs the tools; locally:
 #   go install honnef.co/go/tools/cmd/staticcheck@latest
 #   go install golang.org/x/vuln/cmd/govulncheck@latest
@@ -90,7 +101,7 @@ fuzz:
 # logs each scenario's RNG seed; replay a failure with
 #   make chaos CHAOS_SEED=<seed>
 chaos:
-	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -v -run 'TestFaultScenarios|TestChannelFaultScenarios' ./internal/chaos
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -count=1 -v -run 'TestFaultScenarios|TestChannelFaultScenarios|TestStoreCrashScenarios' ./internal/chaos
 
 # Byzantine adversary campaign under the race detector: adversarial
 # gateways (key withholding, replays, eclipse, private mining, forged

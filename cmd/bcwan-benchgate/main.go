@@ -14,6 +14,15 @@
 //	    -baseline results/BENCH_sync.json -candidate /tmp/BENCH_sync.json
 //	bcwan-benchgate -kind channel \
 //	    -baseline results/BENCH_channel.json -candidate /tmp/BENCH_channel.json
+//	bcwan-benchgate -kind connect-scaling \
+//	    -baseline /tmp/serial/BENCH_blockconnect.json -candidate /tmp/parallel/BENCH_blockconnect.json
+//
+// connect-scaling is different from the others: both inputs are fresh
+// blockconnect documents from the SAME machine in the SAME CI job — the
+// baseline measured under GOMAXPROCS=1, the candidate on all cores — and
+// the gate asserts the multicore run connects blocks at least
+// -min-parallel-speedup times faster. A sharded-UTXO or verify-pool
+// regression that serializes block connect pushes the ratio to 1x.
 //
 // The thresholds are deliberately loose (25% ns/op slack, hit rate no
 // lower than 75% of baseline, reorg scaling ratio at most 5x, relay
@@ -43,7 +52,7 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("bcwan-benchgate", flag.ContinueOnError)
-	kind := fs.String("kind", "", "benchmark document kind: blockconnect|reorg|relay|sync|channel")
+	kind := fs.String("kind", "", "benchmark document kind: blockconnect|reorg|relay|sync|channel|connect-scaling")
 	baselinePath := fs.String("baseline", "", "committed baseline JSON (required)")
 	candidatePath := fs.String("candidate", "", "freshly measured JSON (required)")
 	maxRegression := fs.Float64("max-regression", 0.25, "allowed ns/op increase over baseline (fraction)")
@@ -51,6 +60,7 @@ func run(args []string, out *os.File) error {
 	maxScaling := fs.Float64("max-scaling", 5, "reorg: max per-reorg cost ratio of longest vs shortest chain")
 	minSyncSpeedup := fs.Float64("min-sync-speedup", 1.5, "sync: min snapshot-bootstrap speedup over genesis replay (first-delivery ratio)")
 	minChannelSpeedup := fs.Float64("min-channel-speedup", 5, "channel: min deliveries/sec speedup of channel settlement over per-message on-chain settlement")
+	minParallelSpeedup := fs.Float64("min-parallel-speedup", 1.5, "connect-scaling: min ns/block speedup of the all-cores run over the GOMAXPROCS=1 run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,8 +81,10 @@ func run(args []string, out *os.File) error {
 		failures, err = gateSync(*baselinePath, *candidatePath, *minSyncSpeedup)
 	case "channel":
 		failures, err = gateChannel(*baselinePath, *candidatePath, *minChannelSpeedup)
+	case "connect-scaling":
+		failures, err = gateConnectScaling(*baselinePath, *candidatePath, *minParallelSpeedup)
 	default:
-		return fmt.Errorf("-kind must be blockconnect, reorg, relay, sync, or channel, got %q", *kind)
+		return fmt.Errorf("-kind must be blockconnect, reorg, relay, sync, channel, or connect-scaling, got %q", *kind)
 	}
 	if err != nil {
 		return err
@@ -427,4 +439,68 @@ func gateRelay(baselinePath, candidatePath string, maxRegression, minHitRate flo
 			candHit, minHitRate))
 	}
 	return failures, nil
+}
+
+// gateConnectScaling asserts that block connect actually scales with
+// cores: the baseline is a blockconnect document measured under
+// GOMAXPROCS=1 and the candidate the same workload on all cores, both
+// fresh from the same machine, so the ratio of their best cold-cache
+// rows is a pure parallel-speedup measurement. Below minSpeedup the
+// sharded UTXO apply or the verify worker pool has stopped buying
+// anything — the gate that keeps the multicore win from silently
+// regressing to the single-map implementation.
+func gateConnectScaling(serialPath, parallelPath string, minSpeedup float64) ([]string, error) {
+	var serial, parallel blockConnectDoc
+	if err := readJSON(serialPath, &serial); err != nil {
+		return nil, err
+	}
+	if err := readJSON(parallelPath, &parallel); err != nil {
+		return nil, err
+	}
+	if serial.Blocks != parallel.Blocks || serial.TxsPerBlock != parallel.TxsPerBlock ||
+		serial.Repeats != parallel.Repeats {
+		return nil, fmt.Errorf("workload mismatch: serial %dx%d best-of-%d vs parallel %dx%d best-of-%d — both runs must measure the same workload",
+			serial.Blocks, serial.TxsPerBlock, serial.Repeats,
+			parallel.Blocks, parallel.TxsPerBlock, parallel.Repeats)
+	}
+
+	// Best cold-cache row per document: cold connects do the full
+	// signature + UTXO work, so this is where the worker pool and the
+	// sharded apply show up. min-over-workers makes the gate robust to
+	// one noisy row.
+	bestCold := func(doc blockConnectDoc, path string) (int64, int, error) {
+		best, workers := int64(0), 0
+		for _, r := range doc.Results {
+			if r.Warm || r.NsPerBlock <= 0 {
+				continue
+			}
+			if best == 0 || r.NsPerBlock < best {
+				best, workers = r.NsPerBlock, r.Workers
+			}
+		}
+		if best == 0 {
+			return 0, 0, fmt.Errorf("%s: no cold (warm=false) row with positive ns_per_block", path)
+		}
+		return best, workers, nil
+	}
+	serialNs, _, err := bestCold(serial, serialPath)
+	if err != nil {
+		return nil, err
+	}
+	parallelNs, parallelWorkers, err := bestCold(parallel, parallelPath)
+	if err != nil {
+		return nil, err
+	}
+	if parallelWorkers < 2 {
+		return nil, fmt.Errorf("%s: best parallel row uses %d workers — the candidate run never exercised a multi-worker connect",
+			parallelPath, parallelWorkers)
+	}
+
+	speedup := float64(serialNs) / float64(parallelNs)
+	if speedup < minSpeedup {
+		return []string{fmt.Sprintf(
+			"parallel connect speedup %.2fx below floor %.1fx (GOMAXPROCS=1 best %d ns/block vs all-cores best %d at workers=%d) — did block connect serialize?",
+			speedup, minSpeedup, serialNs, parallelNs, parallelWorkers)}, nil
+	}
+	return nil, nil
 }

@@ -236,6 +236,81 @@ func TestGateSyncWorkloadMismatch(t *testing.T) {
 	}
 }
 
+const serialConnect = `{
+  "blocks": 12, "txs_per_block": 24, "repeats": 5,
+  "results": [
+    {"workers": 0, "warm": false, "ns_per_block": 4000000, "sigcache_hit_rate": 0},
+    {"workers": 4, "warm": false, "ns_per_block": 3900000, "sigcache_hit_rate": 0},
+    {"workers": 4, "warm": true,  "ns_per_block": 200000,  "sigcache_hit_rate": 0.5}
+  ]
+}`
+
+func TestGateConnectScalingPasses(t *testing.T) {
+	dir := t.TempDir()
+	serial := writeFile(t, dir, "serial.json", serialConnect)
+	// All-cores run connects cold blocks 2.5x faster at workers=4.
+	cand := writeFile(t, dir, "cand.json", `{
+	  "blocks": 12, "txs_per_block": 24, "repeats": 5,
+	  "results": [
+	    {"workers": 0, "warm": false, "ns_per_block": 3950000, "sigcache_hit_rate": 0},
+	    {"workers": 4, "warm": false, "ns_per_block": 1560000, "sigcache_hit_rate": 0},
+	    {"workers": 4, "warm": true,  "ns_per_block": 90000,   "sigcache_hit_rate": 0.5}
+	  ]
+	}`)
+	failures, err := gateConnectScaling(serial, cand, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+}
+
+func TestGateConnectScalingFlagsSerializedConnect(t *testing.T) {
+	dir := t.TempDir()
+	serial := writeFile(t, dir, "serial.json", serialConnect)
+	// Multicore run no faster than the pinned run: parallelism broke.
+	cand := writeFile(t, dir, "cand.json", `{
+	  "blocks": 12, "txs_per_block": 24, "repeats": 5,
+	  "results": [
+	    {"workers": 0, "warm": false, "ns_per_block": 4000000, "sigcache_hit_rate": 0},
+	    {"workers": 4, "warm": false, "ns_per_block": 3850000, "sigcache_hit_rate": 0}
+	  ]
+	}`)
+	failures, err := gateConnectScaling(serial, cand, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "speedup") {
+		t.Fatalf("failures = %v, want one speedup violation", failures)
+	}
+}
+
+func TestGateConnectScalingRejectsSerialOnlyCandidate(t *testing.T) {
+	dir := t.TempDir()
+	serial := writeFile(t, dir, "serial.json", serialConnect)
+	// Candidate's best cold row is the sequential one — the run never
+	// measured a multi-worker connect, so the comparison is meaningless.
+	cand := writeFile(t, dir, "cand.json", `{
+	  "blocks": 12, "txs_per_block": 24, "repeats": 5,
+	  "results": [
+	    {"workers": 0, "warm": false, "ns_per_block": 1000000, "sigcache_hit_rate": 0}
+	  ]
+	}`)
+	if _, err := gateConnectScaling(serial, cand, 1.5); err == nil {
+		t.Fatal("want multi-worker-row error")
+	}
+}
+
+func TestGateConnectScalingWorkloadMismatch(t *testing.T) {
+	dir := t.TempDir()
+	serial := writeFile(t, dir, "serial.json", serialConnect)
+	cand := writeFile(t, dir, "cand.json", `{"blocks": 4, "txs_per_block": 8, "repeats": 1, "results": []}`)
+	if _, err := gateConnectScaling(serial, cand, 1.5); err == nil {
+		t.Fatal("want workload-mismatch error")
+	}
+}
+
 func TestGateAgainstCommittedBaselines(t *testing.T) {
 	// The committed baselines must pass against themselves, or the CI
 	// job would fail on an untouched tree.

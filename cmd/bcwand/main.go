@@ -68,6 +68,7 @@ func run(args []string) error {
 	snapshotInterval := fs.Int64("snapshot-interval", 0, "height spacing of signed snapshot commitments published when mining (0 = default 1024)")
 	legacySync := fs.Bool("legacy-sync", false, "join by replaying every block from genesis instead of headers-first + snapshot bootstrap")
 	noChannels := fs.Bool("no-channels", false, "disable off-chain payment channels; every delivery settles with an on-chain payment transaction (escape hatch)")
+	groupCommit := fs.Duration("store-group-commit", 0, "store append collection window: appends arriving within it share one fsync (0 = fsync per append unless appends queue up)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,6 +108,8 @@ func run(args []string) error {
 		PruneDepth:       *prune,
 		SnapshotInterval: *snapshotInterval,
 		NoChannels:       *noChannels,
+
+		StoreGroupCommitDelay: *groupCommit,
 	}
 	if *mine {
 		if *minerKeyHex == "" {

@@ -1,0 +1,467 @@
+package chain
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bcwan/internal/script"
+)
+
+// Parallel block connect/disconnect over the sharded UTXO set.
+//
+// The sequential path interleaves validation and mutation transaction by
+// transaction. The parallel path splits that into:
+//
+//  1. a cheap sequential *plan* pass that, without touching the maps,
+//     buckets every spend and create into the shard owning its outpoint
+//     (in block order, which each shard's stream preserves);
+//  2. a parallel *apply* pass where workers claim whole shards and run
+//     their streams under the shard lock — existence and duplicate
+//     checks only ever depend on same-outpoint history, which lives
+//     entirely inside one shard, so per-shard order is enough;
+//  3. a sequential *join* that runs the cross-shard checks (maturity,
+//     value conservation, subsidy), assembles the undo journal and the
+//     script-verification jobs, and on any failure rolls every shard
+//     back and reports the same error the sequential path would have.
+//
+// Error parity matters because tests (and operators) key off messages:
+// candidate failures are ranked by (tx index, stage, index-within-stage)
+// where stages mirror the sequential check order — locktime/sanity
+// abort during planning; input-level failures (missing outpoint,
+// immature coinbase) rank by input index; value shortfall follows;
+// duplicate creates rank last by output index. The minimum-ranked
+// failure is exactly the first one the sequential path would hit.
+
+// parallelConnectMinOps is the smallest per-block mutation count worth
+// fanning out; below it the sequential path wins on overhead.
+const parallelConnectMinOps = 24
+
+// Failure stages, in sequential check order within one transaction.
+const (
+	stageInput  = 1 // missing outpoint or immature coinbase spend, by input index
+	stageValue  = 2 // inputs worth less than outputs
+	stageCreate = 3 // duplicate created outpoint, by output index
+)
+
+// shardOp is one planned mutation in a shard's stream.
+type shardOp struct {
+	txIdx int
+	idx   int  // input index for spends, output index for creates
+	spend bool // spend (delete) vs create (insert)
+	op    OutPoint
+	entry UTXOEntry // creates only: the entry to insert
+}
+
+// opFailure is one candidate error with its deterministic rank.
+type opFailure struct {
+	txIdx int
+	stage int
+	idx   int
+	err   error
+}
+
+// before orders failures by (txIdx, stage, idx).
+func (f *opFailure) before(g *opFailure) bool {
+	if f.txIdx != g.txIdx {
+		return f.txIdx < g.txIdx
+	}
+	if f.stage != g.stage {
+		return f.stage < g.stage
+	}
+	return f.idx < g.idx
+}
+
+// connectPlan is the output of the planning pass.
+type connectPlan struct {
+	byShard [utxoShardCount][]shardOp
+	// spent[i][j] is filled by the apply pass with the entry consumed by
+	// tx i's input j (disjoint slots, so workers write without locks).
+	spent [][]SpentOutput
+	// created[i] lists tx i's created outpoints in output order.
+	created [][]OutPoint
+	ops     int
+}
+
+// blockOpCount sizes the parallel-vs-sequential decision: the number of
+// UTXO mutations the block will perform.
+func blockOpCount(b *Block) int {
+	n := 0
+	for _, tx := range b.Txs {
+		if !tx.IsCoinbase() {
+			n += len(tx.Inputs)
+		}
+		n += len(tx.Outputs)
+	}
+	return n
+}
+
+// planBlock runs the stateless per-transaction checks (sanity,
+// finality) and buckets every mutation into its shard, in block order.
+// Plan-stage failures abort before any shard is touched — the exact
+// behavior of the sequential path, which validates those rules before
+// mutating anything for the failing transaction.
+func planBlock(b *Block) (*connectPlan, error) {
+	height := b.Header.Height
+	plan := &connectPlan{
+		spent:   make([][]SpentOutput, len(b.Txs)),
+		created: make([][]OutPoint, len(b.Txs)),
+	}
+	for i, tx := range b.Txs {
+		if err := CheckTxSanity(tx); err != nil {
+			return nil, fmt.Errorf("tx %d (%s): %w", i, tx.ID(), err)
+		}
+		if !tx.IsCoinbase() {
+			if tx.LockTime > height {
+				return nil, fmt.Errorf("tx %d (%s): %w: lock time %d, height %d",
+					i, tx.ID(), ErrTxNotFinal, tx.LockTime, height)
+			}
+			plan.spent[i] = make([]SpentOutput, len(tx.Inputs))
+			for j, in := range tx.Inputs {
+				si := shardIndex(in.Prev)
+				plan.byShard[si] = append(plan.byShard[si], shardOp{txIdx: i, idx: j, spend: true, op: in.Prev})
+				plan.ops++
+			}
+		}
+		id := tx.ID()
+		cb := tx.IsCoinbase()
+		for j, out := range tx.Outputs {
+			if script.Classify(out.Lock) == script.ClassOpReturn {
+				continue
+			}
+			op := OutPoint{TxID: id, Index: uint32(j)}
+			si := shardIndex(op)
+			plan.byShard[si] = append(plan.byShard[si], shardOp{
+				txIdx: i, idx: j, op: op,
+				entry: UTXOEntry{Out: out, Height: height, Coinbase: cb},
+			})
+			plan.created[i] = append(plan.created[i], op)
+			plan.ops++
+		}
+	}
+	return plan, nil
+}
+
+// applyShard runs one shard's stream under its lock, stopping at the
+// first failure. It returns how many ops were applied (a prefix of the
+// stream — what the rollback must revert) and the failure, if any.
+func (u *UTXOSet) applyShard(si int, ops []shardOp, spent [][]SpentOutput) (int, *opFailure) {
+	s := &u.shards[si]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range ops {
+		o := &ops[k]
+		if o.spend {
+			e, ok := s.get(o.op)
+			if !ok {
+				return k, &opFailure{txIdx: o.txIdx, stage: stageInput, idx: o.idx,
+					err: fmt.Errorf("%w: %s", ErrMissingUTXO, o.op)}
+			}
+			spent[o.txIdx][o.idx] = SpentOutput{Prev: o.op, Entry: e}
+			s.del(o.op)
+		} else {
+			if _, dup := s.get(o.op); dup {
+				return k, &opFailure{txIdx: o.txIdx, stage: stageCreate, idx: o.idx,
+					err: fmt.Errorf("%w: %s", ErrDuplicateUTXO, o.op)}
+			}
+			s.put(o.op, o.entry)
+		}
+	}
+	return len(ops), nil
+}
+
+// revertShard reverses the applied prefix of one shard's stream, in
+// reverse order, under the shard lock.
+func (u *UTXOSet) revertShard(si int, ops []shardOp, applied int, spent [][]SpentOutput) {
+	s := &u.shards[si]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := applied - 1; k >= 0; k-- {
+		o := &ops[k]
+		if o.spend {
+			s.put(o.op, spent[o.txIdx][o.idx].Entry)
+		} else {
+			s.del(o.op)
+		}
+	}
+}
+
+// forEachShard fans fn out over the non-empty shards of plan on up to
+// workers goroutines (including the calling one).
+func forEachShard(plan *connectPlan, workers int, fn func(si int)) {
+	active := make([]int, 0, utxoShardCount)
+	for si := range plan.byShard {
+		if len(plan.byShard[si]) > 0 {
+			active = append(active, si)
+		}
+	}
+	if workers > len(active) {
+		workers = len(active)
+	}
+	if workers <= 1 {
+		for _, si := range active {
+			fn(si)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	worker := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(active) {
+				return
+			}
+			fn(active[i])
+		}
+	}
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	worker()
+	wg.Wait()
+}
+
+// connectBlockParallel is connectBlockUndo's sharded fast path: it
+// validates the block against — and applies it to — the set with
+// per-shard parallelism, returning the undo journal on success. On any
+// failure every shard is rolled back and the error matches what the
+// sequential path reports, byte for byte. The caller has already run
+// checkBlockStateless.
+func connectBlockParallel(utxo *UTXOSet, b *Block, params Params, v *Verifier) (*BlockUndo, error) {
+	plan, err := planBlock(b)
+	if err != nil {
+		return nil, err
+	}
+
+	workers := v.Workers()
+	applied := [utxoShardCount]int{}
+	var failMu sync.Mutex
+	var fail *opFailure
+	forEachShard(plan, workers, func(si int) {
+		n, f := utxo.applyShard(si, plan.byShard[si], plan.spent)
+		applied[si] = n
+		if f != nil {
+			failMu.Lock()
+			if fail == nil || f.before(fail) {
+				fail = f
+			}
+			failMu.Unlock()
+		}
+	})
+
+	rollback := func() {
+		forEachShard(plan, workers, func(si int) {
+			utxo.revertShard(si, plan.byShard[si], applied[si], plan.spent)
+		})
+	}
+
+	// Cross-shard checks. Shard streams are in block order, so every
+	// transaction strictly before the earliest shard failure applied
+	// completely and its recorded entries are trustworthy; at and beyond
+	// the failure point, unrecorded slots (zero Prev — impossible for a
+	// real non-coinbase input) end that transaction's input scan, and any
+	// failure found still ranks at or after the shard failure.
+	limit := len(b.Txs) - 1
+	if fail != nil {
+		limit = fail.txIdx
+	}
+	var fees uint64
+	for i, tx := range b.Txs {
+		if i > limit {
+			break
+		}
+		if tx.IsCoinbase() {
+			continue
+		}
+		var inValue uint64
+		complete := true
+		for j := range tx.Inputs {
+			so := &plan.spent[i][j]
+			if so.Prev.TxID.IsZero() {
+				complete = false
+				break
+			}
+			e := &so.Entry
+			if e.Coinbase && b.Header.Height-e.Height < params.CoinbaseMaturity {
+				f := &opFailure{txIdx: i, stage: stageInput, idx: j,
+					err: fmt.Errorf("%w: %s at height %d, spend at %d",
+						ErrImmatureSpend, so.Prev, e.Height, b.Header.Height)}
+				if fail == nil || f.before(fail) {
+					fail = f
+				}
+				complete = false
+				break
+			}
+			inValue += e.Out.Value
+		}
+		if !complete {
+			continue
+		}
+		var outValue uint64
+		for _, out := range tx.Outputs {
+			outValue += out.Value
+		}
+		if inValue < outValue {
+			f := &opFailure{txIdx: i, stage: stageValue,
+				err: fmt.Errorf("%w: in %d, out %d", ErrInsufficientIn, inValue, outValue)}
+			if fail == nil || f.before(fail) {
+				fail = f
+			}
+			continue
+		}
+		fees += inValue - outValue
+	}
+	if fail != nil {
+		rollback()
+		return nil, fmt.Errorf("tx %d (%s): %w", fail.txIdx, b.Txs[fail.txIdx].ID(), fail.err)
+	}
+
+	var coinbaseOut uint64
+	for _, out := range b.Txs[0].Outputs {
+		coinbaseOut += out.Value
+	}
+	if coinbaseOut > params.CoinbaseReward+fees {
+		rollback()
+		return nil, fmt.Errorf("%w: pays %d, allowed %d", ErrExcessSubsidy, coinbaseOut, params.CoinbaseReward+fees)
+	}
+
+	// Assemble the journal from the recorded mutations: spent entries in
+	// input order, created outpoints in output order — the same shapes
+	// ApplyTxUndo records.
+	undo := &BlockUndo{Txs: make([]*TxUndo, len(b.Txs))}
+	for i := range b.Txs {
+		undo.Txs[i] = &TxUndo{Spent: plan.spent[i], Created: plan.created[i]}
+	}
+
+	if params.VerifyScripts {
+		// Jobs in (tx, input) order, matching the sequential accumulation
+		// so the verifier's lowest-position error selection agrees.
+		jobs := make([]verifyJob, 0, plan.ops)
+		for i, tx := range b.Txs {
+			if tx.IsCoinbase() {
+				continue
+			}
+			for j := range tx.Inputs {
+				jobs = append(jobs, verifyJob{tx: tx, txIdx: i, inputIdx: j, lock: plan.spent[i][j].Entry.Out.Lock})
+			}
+		}
+		if err := v.verifyJobs(jobs); err != nil {
+			if uerr := utxo.UndoBlockWorkers(undo, workers); uerr != nil {
+				panic(fmt.Sprintf("chain: rollback failed: %v", uerr))
+			}
+			return nil, err
+		}
+	}
+	return undo, nil
+}
+
+// undoOp is one planned disconnect mutation.
+type undoOp struct {
+	seq     int // global sequence for deterministic error selection
+	op      OutPoint
+	restore bool      // restore a spent entry (vs delete a created one)
+	entry   UTXOEntry // restores only
+}
+
+// UndoBlockWorkers is UndoBlock with per-shard parallelism: the
+// journal's mutations are bucketed by shard in reverse block order and
+// applied on up to workers goroutines. Inconsistencies (journal
+// corruption — the callers panic on it) report the same message as the
+// sequential path, selected by global mutation order; unlike the
+// sequential path a failed disconnect does not guarantee which other
+// journal entries were already applied.
+func (u *UTXOSet) UndoBlockWorkers(undo *BlockUndo, workers int) error {
+	ops := 0
+	for _, tu := range undo.Txs {
+		ops += len(tu.Created) + len(tu.Spent)
+	}
+	if workers <= 1 || ops < parallelConnectMinOps {
+		return u.UndoBlock(undo)
+	}
+
+	var byShard [utxoShardCount][]undoOp
+	seq := 0
+	for i := len(undo.Txs) - 1; i >= 0; i-- {
+		tu := undo.Txs[i]
+		for _, op := range tu.Created {
+			si := shardIndex(op)
+			byShard[si] = append(byShard[si], undoOp{seq: seq, op: op})
+			seq++
+		}
+		for j := len(tu.Spent) - 1; j >= 0; j-- {
+			s := tu.Spent[j]
+			si := shardIndex(s.Prev)
+			byShard[si] = append(byShard[si], undoOp{seq: seq, op: s.Prev, restore: true, entry: s.Entry})
+			seq++
+		}
+	}
+
+	active := make([]int, 0, utxoShardCount)
+	for si := range byShard {
+		if len(byShard[si]) > 0 {
+			active = append(active, si)
+		}
+	}
+	if workers > len(active) {
+		workers = len(active)
+	}
+
+	var failMu sync.Mutex
+	failSeq := seq
+	var failErr error
+	record := func(at int, err error) {
+		failMu.Lock()
+		if at < failSeq {
+			failSeq, failErr = at, err
+		}
+		failMu.Unlock()
+	}
+	undoShard := func(si int) {
+		s := &u.shards[si]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for k := range byShard[si] {
+			o := &byShard[si][k]
+			if o.restore {
+				if _, dup := s.get(o.op); dup {
+					record(o.seq, fmt.Errorf("chain: undo: spent outpoint %s already present", o.op))
+					return
+				}
+				s.put(o.op, o.entry)
+			} else {
+				if _, ok := s.get(o.op); !ok {
+					record(o.seq, fmt.Errorf("chain: undo: created outpoint %s missing", o.op))
+					return
+				}
+				s.del(o.op)
+			}
+		}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	worker := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(active) {
+				return
+			}
+			undoShard(active[i])
+		}
+	}
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	worker()
+	wg.Wait()
+	return failErr
+}

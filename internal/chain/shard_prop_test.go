@@ -1,0 +1,270 @@
+package chain_test
+
+import (
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"testing"
+	"time"
+
+	"bcwan/internal/chain"
+	"bcwan/internal/script"
+	"bcwan/internal/wallet"
+)
+
+// shardedChainPair drives one seeded random fork/reorg schedule through
+// two chains fed byte-identical blocks — one with VerifyWorkers=0 (the
+// sequential connect path, semantically the pre-shard single-map
+// implementation) and one with VerifyWorkers=8 (the sharded parallel
+// connect/disconnect path) — and asserts after every accepted block
+// that both chains serialize to byte-identical UTXO snapshots.
+//
+// Blocks carry enough transactions to clear the parallel dispatch
+// threshold, so overtaking forks disconnect through UndoBlockWorkers
+// and reconnect through connectBlockParallel on the workers=8 chain
+// while the workers=0 chain exercises the sequential ground truth.
+
+// shardSchedule is the generator state: the miner wallet, the wallet
+// hash every output pays, and a monotonically bumped nonce keeping
+// coinbase IDs unique across branches.
+type shardSchedule struct {
+	t      *testing.T
+	rng    *mrand.Rand
+	minerW *wallet.Wallet
+	owner  [20]byte
+	params chain.Params
+	now    time.Time
+	nonce  int64
+}
+
+// signedBlock assembles and signs a block of the given transactions on
+// parent; the coinbase collects reward + fees and carries the nonce.
+func (s *shardSchedule) signedBlock(parent *chain.Block, txs []*chain.Tx, fees uint64) *chain.Block {
+	s.t.Helper()
+	s.nonce++
+	coinbase := &chain.Tx{
+		Inputs: []chain.TxIn{{
+			Prev: chain.OutPoint{Index: 0xffffffff},
+			Unlock: script.NewBuilder().
+				AddInt64(parent.Header.Height + 1).
+				AddInt64(s.nonce).Script(),
+		}},
+		Outputs: []chain.TxOut{{
+			Value: s.params.CoinbaseReward + fees,
+			Lock:  script.PayToPubKeyHash(s.owner),
+		}},
+	}
+	all := append([]*chain.Tx{coinbase}, txs...)
+	b := &chain.Block{
+		Header: chain.Header{
+			Version:    1,
+			PrevBlock:  parent.ID(),
+			MerkleRoot: chain.MerkleRoot(all),
+			Time:       s.now.UnixNano(),
+			Height:     parent.Header.Height + 1,
+		},
+		Txs: all,
+	}
+	if err := b.Header.Sign(s.minerW.Key(), rand.Reader); err != nil {
+		s.t.Fatal(err)
+	}
+	return b
+}
+
+// paymentBlock builds a block of up to maxTxs transactions spending the
+// owner's mature outputs from the given UTXO view, each fanning back
+// out to the owner. Scripts are unchecked in this schedule
+// (VerifyScripts=false), so inputs carry no unlock data.
+func (s *shardSchedule) paymentBlock(parent *chain.Block, utxo *chain.UTXOSet, maxTxs int) *chain.Block {
+	s.t.Helper()
+	height := parent.Header.Height + 1
+	var pool []chain.OutPoint
+	for _, op := range utxo.FindByPubKeyHash(s.owner) {
+		e, ok := utxo.Get(op)
+		if !ok {
+			continue
+		}
+		if e.Coinbase && height-e.Height < s.params.CoinbaseMaturity {
+			continue
+		}
+		pool = append(pool, op)
+	}
+	s.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+
+	var txs []*chain.Tx
+	var fees uint64
+	for len(txs) < maxTxs && len(pool) > 0 {
+		nIn := 1 + s.rng.Intn(2)
+		if nIn > len(pool) {
+			nIn = len(pool)
+		}
+		tx := &chain.Tx{Version: 1}
+		var in uint64
+		for j := 0; j < nIn; j++ {
+			op := pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+			e, _ := utxo.Get(op)
+			tx.Inputs = append(tx.Inputs, chain.TxIn{Prev: op})
+			in += e.Out.Value
+		}
+		fee := uint64(s.rng.Intn(3))
+		if fee > in {
+			fee = in
+		}
+		rest := in - fee
+		nOut := 2 + s.rng.Intn(2)
+		for j := 0; j < nOut; j++ {
+			v := rest / uint64(nOut-j)
+			tx.Outputs = append(tx.Outputs, chain.TxOut{
+				Value: v,
+				Lock:  script.PayToPubKeyHash(s.owner),
+			})
+			rest -= v
+		}
+		fees += fee
+		txs = append(txs, tx)
+	}
+	return s.signedBlock(parent, txs, fees)
+}
+
+// snapshotHash serializes a chain's UTXO set and hashes it.
+func snapshotHash(c *chain.Chain) chain.Hash {
+	return chain.SnapshotHash(c.UTXO().SerializeUTXO())
+}
+
+func TestShardedSnapshotParityAcrossReorgs(t *testing.T) {
+	for _, seed := range []int64{2, 19, 101, 9001} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			minerW, err := wallet.New(rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ownerW, err := wallet.New(rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			mkParams := func(workers int) chain.Params {
+				p := chain.DefaultParams()
+				p.VerifyScripts = false
+				p.VerifyWorkers = workers
+				p.CoinbaseMaturity = 2
+				return p
+			}
+			genesis := chain.GenesisBlock(map[[20]byte]uint64{ownerW.PubKeyHash(): 1_000_000})
+			mkChain := func(workers int) *chain.Chain {
+				g, err := chain.DeserializeBlock(genesis.Serialize())
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := chain.New(mkParams(workers), g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.AuthorizeMiner(minerW.PublicBytes())
+				return c
+			}
+			seq := mkChain(0)
+			par := mkChain(8)
+
+			s := &shardSchedule{
+				t:      t,
+				rng:    mrand.New(mrand.NewSource(seed)),
+				minerW: minerW,
+				owner:  ownerW.PubKeyHash(),
+				params: mkParams(0),
+				now:    time.Date(2018, 12, 10, 0, 0, 0, 0, time.UTC),
+			}
+
+			feed := func(step int, b *chain.Block) {
+				t.Helper()
+				raw := b.Serialize()
+				bSeq, err := chain.DeserializeBlock(raw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bPar, err := chain.DeserializeBlock(raw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				errSeq := seq.AddBlock(bSeq)
+				errPar := par.AddBlock(bPar)
+				if (errSeq == nil) != (errPar == nil) {
+					t.Fatalf("step %d: sequential err %v, parallel err %v", step, errSeq, errPar)
+				}
+				if errSeq != nil && errSeq.Error() != errPar.Error() {
+					t.Fatalf("step %d: error text diverged:\n  seq: %v\n  par: %v", step, errSeq, errPar)
+				}
+				if seq.Tip().ID() != par.Tip().ID() {
+					t.Fatalf("step %d: tips diverged", step)
+				}
+				if hs, hp := snapshotHash(seq), snapshotHash(par); hs != hp {
+					t.Fatalf("step %d: UTXO snapshot hashes diverged: %s vs %s", step, hs, hp)
+				}
+			}
+
+			for step := 0; step < 25; step++ {
+				s.now = s.now.Add(15 * time.Second)
+				switch s.rng.Intn(4) {
+				case 0, 1:
+					// Extend the best branch with a transaction-heavy block
+					// (clears the parallel dispatch threshold).
+					feed(step, s.paymentBlock(seq.Tip(), seq.UTXO(), 8+s.rng.Intn(8)))
+				case 2:
+					// A losing side branch: no reorg on either chain.
+					tip := seq.Tip()
+					back := int64(1 + s.rng.Intn(2))
+					forkH := tip.Header.Height - back
+					if forkH < 0 {
+						forkH = 0
+						back = tip.Header.Height
+					}
+					parent, _ := seq.BlockAt(forkH)
+					for j := int64(0); j < back; j++ {
+						b := s.signedBlock(parent, nil, 0)
+						feed(step, b)
+						parent = b
+					}
+				case 3:
+					// An overtaking fork: both chains disconnect the same
+					// payment-heavy suffix and connect the fork. The fork's
+					// own blocks re-spend from the fork-point view, so the
+					// parallel reconnect is transaction-heavy too.
+					tip := seq.Tip()
+					depth := int64(1 + s.rng.Intn(2))
+					forkH := tip.Header.Height - depth
+					if forkH < 0 {
+						forkH = 0
+						depth = tip.Header.Height
+					}
+					parent, _ := seq.BlockAt(forkH)
+					view, err := seq.StateAt(forkH)
+					if err != nil {
+						t.Fatalf("step %d: state at fork height %d: %v", step, forkH, err)
+					}
+					for j := int64(0); j <= depth; j++ {
+						var b *chain.Block
+						if j == 0 {
+							b = s.paymentBlock(parent, view, 6)
+						} else {
+							b = s.signedBlock(parent, nil, 0)
+						}
+						feed(step, b)
+						parent = b
+					}
+					if seq.Tip().ID() != parent.ID() {
+						t.Fatalf("step %d: longer branch did not become best", step)
+					}
+				}
+			}
+
+			if err := seq.CheckConsistency(); err != nil {
+				t.Fatalf("sequential chain inconsistent: %v", err)
+			}
+			if err := par.CheckConsistency(); err != nil {
+				t.Fatalf("parallel chain inconsistent: %v", err)
+			}
+		})
+	}
+}

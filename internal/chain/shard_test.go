@@ -1,0 +1,342 @@
+package chain
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"testing"
+
+	"bcwan/internal/script"
+)
+
+// Internal parity tests for the sharded parallel connect/disconnect
+// engine: on identical inputs, connectBlockParallel must make exactly
+// the same accept/reject decision as the sequential connectBlockUndo,
+// report the identical error string, and leave an identical UTXO set
+// (mutated on success, untouched on failure). Blocks here are built
+// synthetically — no signatures, VerifyScripts off — because this layer
+// validates UTXO accounting only; header and script rules live above
+// and beside it.
+
+// testOutpoint derives a deterministic outpoint from a seed.
+func testOutpoint(rng *mrand.Rand) OutPoint {
+	var op OutPoint
+	rng.Read(op.TxID[:])
+	op.Index = uint32(rng.Intn(4))
+	return op
+}
+
+func randLock(rng *mrand.Rand) script.Script {
+	var h [20]byte
+	rng.Read(h[:])
+	return script.PayToPubKeyHash(h)
+}
+
+func TestShardIndexSpread(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(99))
+	var counts [utxoShardCount]int
+	const n = 16_000
+	for i := 0; i < n; i++ {
+		si := shardIndex(testOutpoint(rng))
+		if si < 0 || si >= utxoShardCount {
+			t.Fatalf("shard index %d out of range", si)
+		}
+		counts[si]++
+	}
+	// Uniform expectation is n/16 = 1000 per shard; allow a generous
+	// ±50% band, enough to catch a broken hash fold without flaking.
+	for si, c := range counts {
+		if c < n/utxoShardCount/2 || c > n/utxoShardCount*2 {
+			t.Fatalf("shard %d holds %d of %d outpoints — hash fold is skewed", si, c, n)
+		}
+	}
+}
+
+// shardWorld is the evolving ground-truth state of the parity test: the
+// canonical UTXO set plus the bookkeeping needed to build spendable
+// (and deliberately unspendable) transactions against it.
+type shardWorld struct {
+	utxo   *UTXOSet
+	rng    *mrand.Rand
+	height int64
+	// spendable tracks live non-coinbase outpoints with their values.
+	spendable []SpentOutput
+	// immature tracks recent coinbase outpoints (for maturity failures).
+	immature []SpentOutput
+	nonce    uint32
+}
+
+func newShardWorld(seed int64) *shardWorld {
+	w := &shardWorld{utxo: NewUTXOSet(), rng: mrand.New(mrand.NewSource(seed)), height: 10}
+	// Fund the world with mature, non-coinbase outputs.
+	for i := 0; i < 64; i++ {
+		op := testOutpoint(w.rng)
+		e := UTXOEntry{Out: TxOut{Value: uint64(500 + w.rng.Intn(2000)), Lock: randLock(w.rng)}, Height: 1}
+		if w.utxo.createLocked(op, e) {
+			w.spendable = append(w.spendable, SpentOutput{Prev: op, Entry: e})
+		}
+	}
+	return w
+}
+
+// takeSpendable removes and returns a random live outpoint.
+func (w *shardWorld) takeSpendable() (SpentOutput, bool) {
+	if len(w.spendable) == 0 {
+		return SpentOutput{}, false
+	}
+	i := w.rng.Intn(len(w.spendable))
+	s := w.spendable[i]
+	w.spendable[i] = w.spendable[len(w.spendable)-1]
+	w.spendable = w.spendable[:len(w.spendable)-1]
+	return s, true
+}
+
+// coinbaseTx builds the block's coinbase paying reward+fees.
+func (w *shardWorld) coinbaseTx(value uint64) *Tx {
+	w.nonce++
+	return &Tx{
+		Inputs: []TxIn{{
+			Prev:   OutPoint{Index: coinbaseIndex},
+			Unlock: script.NewBuilder().AddInt64(w.height).AddInt64(int64(w.nonce)).Script(),
+		}},
+		Outputs: []TxOut{{Value: value, Lock: randLock(w.rng)}},
+	}
+}
+
+// buildBlock assembles a block of nTxs payment transactions, each
+// spending 1–3 live outpoints. mutate, when non-zero, injects one
+// deliberate defect class into a random transaction.
+func (w *shardWorld) buildBlock(nTxs, mutate int) *Block {
+	params := DefaultParams()
+	txs := make([]*Tx, 1, nTxs+1)
+	var fees uint64
+	for i := 0; i < nTxs; i++ {
+		tx := &Tx{Version: 1}
+		var in uint64
+		nIn := 1 + w.rng.Intn(3)
+		for j := 0; j < nIn; j++ {
+			s, ok := w.takeSpendable()
+			if !ok {
+				break
+			}
+			tx.Inputs = append(tx.Inputs, TxIn{Prev: s.Prev})
+			in += s.Entry.Out.Value
+		}
+		if len(tx.Inputs) == 0 {
+			break
+		}
+		fee := uint64(w.rng.Intn(5))
+		if fee > in {
+			fee = in
+		}
+		out := in - fee
+		nOut := 1 + w.rng.Intn(3)
+		for j := 0; j < nOut; j++ {
+			v := out / uint64(nOut-j)
+			tx.Outputs = append(tx.Outputs, TxOut{Value: v, Lock: randLock(w.rng)})
+			out -= v
+		}
+		fees += fee
+		txs = append(txs, tx)
+	}
+	if mutate != 0 && len(txs) > 1 {
+		victim := txs[1+w.rng.Intn(len(txs)-1)]
+		switch mutate {
+		case 1: // spend an unknown outpoint
+			victim.Inputs[0].Prev = testOutpoint(w.rng)
+		case 2: // in-block double spend across two txs
+			if len(txs) > 2 {
+				txs[len(txs)-1].Inputs[0].Prev = txs[1].Inputs[0].Prev
+			}
+		case 3: // outputs exceed inputs
+			victim.Outputs[0].Value += 10_000
+		case 4: // immature coinbase spend (turns into a legal spend once
+			// the coinbase ages past maturity — either way both paths
+			// must agree)
+			if len(w.immature) > 0 {
+				victim.Inputs[0].Prev = w.immature[w.rng.Intn(len(w.immature))].Prev
+			}
+		}
+	}
+	txs[0] = w.coinbaseTx(params.CoinbaseReward + fees)
+	if mutate == 5 { // coinbase pays more than reward plus fees
+		txs[0].Outputs[0].Value += 1 + uint64(w.rng.Intn(100))
+	}
+	b := &Block{
+		Header: Header{Version: 1, Height: w.height, MerkleRoot: MerkleRoot(txs)},
+		Txs:    txs,
+	}
+	return b
+}
+
+// adopt records a successfully connected block into the world's
+// bookkeeping: spent inputs are gone (takeSpendable already removed
+// them), created outputs become spendable or immature.
+func (w *shardWorld) adopt(b *Block) {
+	for _, tx := range b.Txs {
+		id := tx.ID()
+		cb := tx.IsCoinbase()
+		for i, out := range tx.Outputs {
+			so := SpentOutput{
+				Prev:  OutPoint{TxID: id, Index: uint32(i)},
+				Entry: UTXOEntry{Out: out, Height: b.Header.Height, Coinbase: cb},
+			}
+			if cb {
+				w.immature = append(w.immature, so)
+			} else {
+				w.spendable = append(w.spendable, so)
+			}
+		}
+	}
+	w.height++
+}
+
+// restock returns a failed block's consumed inputs to the spendable
+// pool (takeSpendable removed them optimistically).
+func (w *shardWorld) restock(b *Block) {
+	for _, tx := range b.Txs[1:] {
+		for _, in := range tx.Inputs {
+			if e, ok := w.utxo.Get(in.Prev); ok && !e.Coinbase {
+				w.spendable = append(w.spendable, SpentOutput{Prev: in.Prev, Entry: e})
+			}
+		}
+	}
+}
+
+// TestParallelConnectMatchesSequential drives seeded random blocks —
+// mostly valid, with every defect class injected along the way — through
+// both connect implementations side by side and requires bit-identical
+// outcomes: same error text (or none), same serialized UTXO bytes, and
+// journals that both unwind back to the identical pre-state.
+func TestParallelConnectMatchesSequential(t *testing.T) {
+	params := DefaultParams()
+	params.VerifyScripts = false
+	params.CoinbaseMaturity = 5
+	seqV := NewVerifier(0, nil)
+	parV := NewVerifier(8, nil)
+
+	for _, seed := range []int64{3, 11, 71, 4242} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			w := newShardWorld(seed)
+			for step := 0; step < 40; step++ {
+				mutate := 0
+				if w.rng.Intn(3) == 0 {
+					mutate = 1 + w.rng.Intn(5)
+				}
+				b := w.buildBlock(2+w.rng.Intn(6), mutate)
+				if err := checkBlockStateless(b, params); err != nil {
+					// Mutation produced a statelessly invalid block; both
+					// paths sit behind this check, so skip it.
+					w.restock(b)
+					continue
+				}
+
+				seq := w.utxo.Clone()
+				par := w.utxo.Clone()
+				undoSeq, errSeq := connectBlockUndo(seq, b, params, seqV)
+				undoPar, errPar := connectBlockParallel(par, b, params, parV)
+
+				if (errSeq == nil) != (errPar == nil) {
+					t.Fatalf("step %d: sequential err %v, parallel err %v", step, errSeq, errPar)
+				}
+				if errSeq != nil {
+					if errSeq.Error() != errPar.Error() {
+						t.Fatalf("step %d: error text diverged:\n  seq: %v\n  par: %v", step, errSeq, errPar)
+					}
+					// Failure must leave both sets untouched.
+					if !seq.Equal(w.utxo) || !par.Equal(w.utxo) {
+						t.Fatalf("step %d: failed connect mutated the set", step)
+					}
+					w.restock(b)
+					continue
+				}
+
+				if !seq.Equal(par) {
+					t.Fatalf("step %d: post-connect sets diverged", step)
+				}
+				sb, pb := seq.SerializeUTXO(), par.SerializeUTXO()
+				if SnapshotHash(sb) != SnapshotHash(pb) {
+					t.Fatalf("step %d: snapshot hashes diverged", step)
+				}
+
+				// Both journals must unwind to the identical pre-state.
+				seqBack, parBack := seq.Clone(), par.Clone()
+				if err := seqBack.UndoBlock(undoSeq); err != nil {
+					t.Fatalf("step %d: sequential undo: %v", step, err)
+				}
+				if err := parBack.UndoBlockWorkers(undoPar, 8); err != nil {
+					t.Fatalf("step %d: parallel undo: %v", step, err)
+				}
+				if !seqBack.Equal(w.utxo) || !parBack.Equal(w.utxo) {
+					t.Fatalf("step %d: undo did not restore the pre-state", step)
+				}
+
+				w.utxo = seq
+				w.adopt(b)
+			}
+		})
+	}
+}
+
+// TestUndoBlockWorkersCorruptJournal pins the corruption errors of the
+// parallel disconnect to the sequential messages.
+func TestUndoBlockWorkersCorruptJournal(t *testing.T) {
+	w := newShardWorld(5)
+	b := w.buildBlock(8, 0)
+	params := DefaultParams()
+	params.VerifyScripts = false
+	undo, err := connectBlockUndo(w.utxo, b, params, NewVerifier(0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deleting a created outpoint before the undo makes the journal
+	// stale: "created outpoint missing".
+	var victim OutPoint
+	for _, tu := range undo.Txs {
+		if len(tu.Created) > 0 {
+			victim = tu.Created[0]
+			break
+		}
+	}
+	broken := w.utxo.Clone()
+	if !broken.deleteLocked(victim) {
+		t.Fatal("victim outpoint not in set")
+	}
+	errSeq := broken.Clone().UndoBlock(undo)
+	errPar := broken.Clone().UndoBlockWorkers(undo, 8)
+	if errSeq == nil || errPar == nil {
+		t.Fatalf("corrupt journal undo: sequential err %v, parallel err %v", errSeq, errPar)
+	}
+	if errSeq.Error() != errPar.Error() {
+		t.Fatalf("corruption error diverged:\n  seq: %v\n  par: %v", errSeq, errPar)
+	}
+}
+
+// TestParallelConnectDuplicateCreate pins the one defect class random
+// blocks cannot produce honestly (output IDs hash the transaction):
+// a created outpoint that already exists in the set.
+func TestParallelConnectDuplicateCreate(t *testing.T) {
+	params := DefaultParams()
+	params.VerifyScripts = false
+	w := newShardWorld(13)
+	b := w.buildBlock(6, 0)
+	// Pre-seed the set with one of the block's future outpoints.
+	tx := b.Txs[len(b.Txs)-1]
+	clash := OutPoint{TxID: tx.ID(), Index: 0}
+	if !w.utxo.createLocked(clash, UTXOEntry{Out: TxOut{Value: 1}, Height: 1}) {
+		t.Fatal("clash outpoint already present")
+	}
+	seq, par := w.utxo.Clone(), w.utxo.Clone()
+	_, errSeq := connectBlockUndo(seq, b, params, NewVerifier(0, nil))
+	_, errPar := connectBlockParallel(par, b, params, NewVerifier(8, nil))
+	if errSeq == nil || errPar == nil {
+		t.Fatalf("duplicate create accepted: sequential err %v, parallel err %v", errSeq, errPar)
+	}
+	if errSeq.Error() != errPar.Error() {
+		t.Fatalf("error text diverged:\n  seq: %v\n  par: %v", errSeq, errPar)
+	}
+	if !seq.Equal(w.utxo) || !par.Equal(w.utxo) {
+		t.Fatalf("failed connect mutated the set")
+	}
+}

@@ -54,6 +54,13 @@ type NodeConfig struct {
 	// snapshot + log compaction in a store opened via OpenStore
 	// (0 = default of 64).
 	StoreCompactEvery int
+	// StoreGroupCommitDelay is the collection window the store's group
+	// commit holds open to coalesce concurrent appends into one fsync
+	// (0 = no added latency; only already-queued appends coalesce).
+	StoreGroupCommitDelay time.Duration
+	// StoreGroupCommitMaxBytes caps one group-commit batch's payload
+	// (0 = the store default).
+	StoreGroupCommitMaxBytes int
 	// FloodRelay reverts to the legacy full-payload gossip flood instead
 	// of the inventory/compact-block relay. Kept for the relaybench
 	// baseline and as an escape hatch.
@@ -297,6 +304,9 @@ func (n *Node) Open(dataDir string) (int, error) {
 	st, err := OpenStore(filepath.Join(dataDir, "chainstore"))
 	if err != nil {
 		return 0, err
+	}
+	if n.cfg.StoreGroupCommitDelay > 0 || n.cfg.StoreGroupCommitMaxBytes > 0 {
+		st.SetGroupCommit(n.cfg.StoreGroupCommitDelay, n.cfg.StoreGroupCommitMaxBytes)
 	}
 	start := time.Now()
 	loaded, err := st.Load(n.chain)

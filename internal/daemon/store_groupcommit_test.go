@@ -1,0 +1,240 @@
+package daemon
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Tests for the store's group-commit append path: durability per
+// AppendBlock return, fsync amortization under concurrency, the Flush
+// barrier, the fresh-directory sync window, and torn-tail crash
+// recovery of a half-committed batch.
+
+func TestGroupCommitConcurrentAppendsShareSyncs(t *testing.T) {
+	c, genesis, miners := storedChain(t, 12)
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// A generous collection window: concurrent appends must coalesce.
+	st.SetGroupCommit(50*time.Millisecond, 0)
+
+	base := st.Syncs()
+	var wg sync.WaitGroup
+	for h := int64(1); h <= 12; h++ {
+		b, ok := c.BlockAt(h)
+		if !ok {
+			t.Fatalf("missing height %d", h)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := st.AppendBlock(b); err != nil {
+				t.Errorf("append: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := st.LogRecords(); got != 12 {
+		t.Fatalf("LogRecords = %d, want 12", got)
+	}
+	syncs := st.Syncs() - base
+	if syncs >= 12 {
+		t.Fatalf("12 concurrent appends issued %d fsyncs; group commit did not amortize", syncs)
+	}
+	if st.BatchedRecords() == 0 {
+		t.Fatal("no record shared a batch despite the collection window")
+	}
+
+	// Everything a returned AppendBlock promised must replay.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	replica := freshReplica(t, genesis, miners)
+	loaded, err := st2.Load(replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 12 || replica.Height() != 12 {
+		t.Fatalf("reloaded %d blocks to height %d, want 12", loaded, replica.Height())
+	}
+}
+
+func TestGroupCommitSequentialAppendsStaySynchronous(t *testing.T) {
+	// With no collection window (the default), a lone sequential writer
+	// must not be delayed — and still gets one fsync per append, the
+	// seed's exact durability cadence.
+	c, _, _ := storedChain(t, 5)
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	base := st.Syncs()
+	appendBest(t, st, c, 1, 5)
+	if syncs := st.Syncs() - base; syncs != 5 {
+		t.Fatalf("5 sequential appends issued %d fsyncs, want 5", syncs)
+	}
+	if st.BatchedRecords() != 0 {
+		t.Fatalf("sequential appends reported %d batched records", st.BatchedRecords())
+	}
+}
+
+func TestFlushIsDurabilityBarrier(t *testing.T) {
+	c, _, _ := storedChain(t, 3)
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	st.SetGroupCommit(time.Hour, 0) // window longer than the test
+	done := make(chan error, 1)
+	go func() {
+		b, _ := c.BlockAt(1)
+		done <- st.AppendBlock(b)
+	}()
+	// Flush must close the open collection window and return only once
+	// the append above is durable.
+	time.Sleep(10 * time.Millisecond)
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("append still blocked after Flush returned")
+	}
+	if got := st.LogRecords(); got != 1 {
+		t.Fatalf("LogRecords = %d, want 1", got)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	c, _, _ := storedChain(t, 1)
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := c.BlockAt(1)
+	if err := st.AppendBlock(b); !errors.Is(err, errStoreClosed) {
+		t.Fatalf("append after close: %v, want errStoreClosed", err)
+	}
+	if err := st.Flush(); !errors.Is(err, errStoreClosed) {
+		t.Fatalf("flush after close: %v, want errStoreClosed", err)
+	}
+}
+
+func TestFreshStoreSyncsDirectory(t *testing.T) {
+	// A crash between creating blocks.log and the first compaction must
+	// not lose the file: the directory entry has to be durable the
+	// moment OpenStore returns. Assert through the syncDir hook that a
+	// fresh store fsyncs its directory — the crash window the seed left
+	// open (it only synced the directory on snapshot rename).
+	var mu sync.Mutex
+	var synced []string
+	dirSyncHook = func(dir string) {
+		mu.Lock()
+		synced = append(synced, dir)
+		mu.Unlock()
+	}
+	defer func() { dirSyncHook = nil }()
+
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	fresh := len(synced)
+	mu.Unlock()
+	if fresh == 0 || synced[0] != dir {
+		t.Fatalf("fresh OpenStore issued no directory sync (saw %v)", synced)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening an existing store must not pay the directory sync again.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	mu.Lock()
+	reopen := len(synced) - fresh
+	mu.Unlock()
+	if reopen != 0 {
+		t.Fatalf("reopening an existing store issued %d directory syncs, want 0", reopen)
+	}
+}
+
+func TestCrashMidBatchTruncatesTornTail(t *testing.T) {
+	c, genesis, miners := storedChain(t, 6)
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flushed records 1..4, then a crash mid-write of record 5 leaves a
+	// torn tail and discards anything still queued.
+	appendBest(t, st, c, 1, 4)
+	b5, _ := c.BlockAt(5)
+	if err := st.CrashForTest(b5, 13); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendBlock(b5); !errors.Is(err, errStoreClosed) {
+		t.Fatalf("append after crash: %v, want errStoreClosed", err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	replica := freshReplica(t, genesis, miners)
+	loaded, err := st2.Load(replica)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 4 || replica.Height() != 4 {
+		t.Fatalf("recovered %d blocks to height %d, want the 4 flushed records", loaded, replica.Height())
+	}
+	// The torn tail is gone: appending the lost block again must leave
+	// a cleanly replayable log.
+	if err := st2.AppendBlock(b5); err != nil {
+		t.Fatal(err)
+	}
+	b6, _ := c.BlockAt(6)
+	if err := st2.AppendBlock(b6); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	replica2 := freshReplica(t, genesis, miners)
+	if _, err := st3.Load(replica2); err != nil {
+		t.Fatal(err)
+	}
+	if replica2.Height() != 6 {
+		t.Fatalf("post-recovery height %d, want 6", replica2.Height())
+	}
+}
