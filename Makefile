@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench blockconnect reorg relay-bench sync-bench channel-bench bench-gate bench-scaling lint fuzz chaos chaos-byzantine ci
+.PHONY: build test vet race bench blockconnect reorg relay-bench sync-bench channel-bench city-bench bench-gate bench-scaling lint fuzz chaos chaos-byzantine ci
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,12 @@ sync-bench:
 channel-bench:
 	$(GO) run ./cmd/bcwan-bench -only channel
 
+# Regenerate results/BENCH_city.json (the 10k-device metropolitan
+# scaling curve: latency, delivery success and settlement chain load
+# per tier). Takes seconds.
+city-bench:
+	$(GO) run ./cmd/bcwan-bench -only city
+
 # What the CI bench-regression job runs: re-measure into a scratch
 # directory and gate against the committed baselines.
 bench-gate:
@@ -53,6 +59,7 @@ bench-gate:
 	$(GO) run ./cmd/bcwan-bench -only relay -results /tmp/bcwan-bench-candidate
 	$(GO) run ./cmd/bcwan-bench -only sync -results /tmp/bcwan-bench-candidate
 	$(GO) run ./cmd/bcwan-bench -only channel -results /tmp/bcwan-bench-candidate
+	$(GO) run ./cmd/bcwan-bench -only city -results /tmp/bcwan-bench-candidate
 	$(GO) run ./cmd/bcwan-benchgate -kind blockconnect \
 		-baseline results/BENCH_blockconnect.json \
 		-candidate /tmp/bcwan-bench-candidate/BENCH_blockconnect.json
@@ -68,6 +75,9 @@ bench-gate:
 	$(GO) run ./cmd/bcwan-benchgate -kind channel \
 		-baseline results/BENCH_channel.json \
 		-candidate /tmp/bcwan-bench-candidate/BENCH_channel.json
+	$(GO) run ./cmd/bcwan-benchgate -kind city \
+		-baseline results/BENCH_city.json \
+		-candidate /tmp/bcwan-bench-candidate/BENCH_city.json
 
 # What the CI connect-scaling step runs: measure block connect pinned
 # to one core and again on all cores, then require the multicore run to

@@ -45,7 +45,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("bcwan-bench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "scaled-down run (seconds instead of minutes)")
-	only := fs.String("only", "", "run a single experiment: fig4|fig5|fig6|budget|doublespend|reputation|sweeps|legacy|blockconnect|reorg|relay|sync|channel")
+	only := fs.String("only", "", "run a single experiment: fig4|fig5|fig6|budget|doublespend|reputation|sweeps|legacy|blockconnect|reorg|relay|sync|channel|city")
 	csvDir := fs.String("csv", "", "also write per-exchange latency series (the raw figure data) as CSV files into this directory")
 	resultsDir := fs.String("results", "results", "directory for machine-readable benchmark JSON (empty disables)")
 	if err := fs.Parse(args); err != nil {
@@ -258,6 +258,25 @@ func run(args []string) error {
 		if *resultsDir != "" {
 			path := filepath.Join(*resultsDir, "BENCH_channel.json")
 			if err := experiments.WriteChannelBenchJSON(path, cfg, results); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n\n", path)
+		}
+	}
+
+	if want("city") {
+		cfg := experiments.DefaultCityConfig()
+		if *quick {
+			cfg = experiments.QuickCityConfig()
+		}
+		results, err := experiments.RunCityBench(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.WriteCityBench(out, cfg, results)
+		if *resultsDir != "" {
+			path := filepath.Join(*resultsDir, "BENCH_city.json")
+			if err := experiments.WriteCityBenchJSON(path, cfg, results); err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s\n\n", path)

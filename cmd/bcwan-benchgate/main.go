@@ -14,6 +14,8 @@
 //	    -baseline results/BENCH_sync.json -candidate /tmp/BENCH_sync.json
 //	bcwan-benchgate -kind channel \
 //	    -baseline results/BENCH_channel.json -candidate /tmp/BENCH_channel.json
+//	bcwan-benchgate -kind city \
+//	    -baseline results/BENCH_city.json -candidate /tmp/BENCH_city.json
 //	bcwan-benchgate -kind connect-scaling \
 //	    -baseline /tmp/serial/BENCH_blockconnect.json -candidate /tmp/parallel/BENCH_blockconnect.json
 //
@@ -28,7 +30,8 @@
 // lower than 75% of baseline, reorg scaling ratio at most 5x, relay
 // bytes-per-block slack 25% with a 0.75 compact hit-rate floor, sync
 // cold-start speedup at least 1.5x, channel settlement speedup at
-// least 5x) so shared CI runners do not flake; a genuine algorithmic
+// least 5x, city success floor 0.9 with a 0.15 throughput-retention
+// floor) so shared CI runners do not flake; a genuine algorithmic
 // regression — say a reorg going back to replay-from-genesis, the inv
 // relay degenerating back to flooding, the snapshot bootstrap silently
 // falling back to a body-by-body replay, or channel deliveries quietly
@@ -52,7 +55,7 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("bcwan-benchgate", flag.ContinueOnError)
-	kind := fs.String("kind", "", "benchmark document kind: blockconnect|reorg|relay|sync|channel|connect-scaling")
+	kind := fs.String("kind", "", "benchmark document kind: blockconnect|reorg|relay|sync|channel|city|connect-scaling")
 	baselinePath := fs.String("baseline", "", "committed baseline JSON (required)")
 	candidatePath := fs.String("candidate", "", "freshly measured JSON (required)")
 	maxRegression := fs.Float64("max-regression", 0.25, "allowed ns/op increase over baseline (fraction)")
@@ -61,6 +64,11 @@ func run(args []string, out *os.File) error {
 	minSyncSpeedup := fs.Float64("min-sync-speedup", 1.5, "sync: min snapshot-bootstrap speedup over genesis replay (first-delivery ratio)")
 	minChannelSpeedup := fs.Float64("min-channel-speedup", 5, "channel: min deliveries/sec speedup of channel settlement over per-message on-chain settlement")
 	minParallelSpeedup := fs.Float64("min-parallel-speedup", 1.5, "connect-scaling: min ns/block speedup of the all-cores run over the GOMAXPROCS=1 run")
+	minCityDevices := fs.Int("min-city-devices", 10_000, "city: device floor for the largest tier")
+	minCityGateways := fs.Int("min-city-gateways", 100, "city: gateway floor for the largest tier")
+	minCitySuccess := fs.Float64("min-city-success", 0.9, "city: per-tier delivery success-rate floor")
+	maxCityLatencyScaling := fs.Float64("max-city-latency-scaling", 3, "city: max p95 latency ratio of largest vs smallest tier")
+	minCityThroughputFrac := fs.Float64("min-city-throughput-frac", 0.15, "city: min frames-per-wall-second of the largest tier as a fraction of the smallest's")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,10 +89,18 @@ func run(args []string, out *os.File) error {
 		failures, err = gateSync(*baselinePath, *candidatePath, *minSyncSpeedup)
 	case "channel":
 		failures, err = gateChannel(*baselinePath, *candidatePath, *minChannelSpeedup)
+	case "city":
+		failures, err = gateCity(*baselinePath, *candidatePath, cityThresholds{
+			minDevices:        *minCityDevices,
+			minGateways:       *minCityGateways,
+			minSuccess:        *minCitySuccess,
+			maxLatencyScaling: *maxCityLatencyScaling,
+			minThroughputFrac: *minCityThroughputFrac,
+		})
 	case "connect-scaling":
 		failures, err = gateConnectScaling(*baselinePath, *candidatePath, *minParallelSpeedup)
 	default:
-		return fmt.Errorf("-kind must be blockconnect, reorg, relay, sync, channel, or connect-scaling, got %q", *kind)
+		return fmt.Errorf("-kind must be blockconnect, reorg, relay, sync, channel, city, or connect-scaling, got %q", *kind)
 	}
 	if err != nil {
 		return err
@@ -150,6 +166,27 @@ type channelDoc struct {
 		DeliveriesPerSec float64 `json:"deliveries_per_sec"`
 		OnChainTxs       int64   `json:"onchain_txs"`
 	} `json:"results"`
+}
+
+// cityDoc mirrors results/BENCH_city.json.
+type cityDoc struct {
+	Seed                 int64   `json:"seed"`
+	SimDurationMS        int64   `json:"sim_duration_ms"`
+	MeanUplinkIntervalMS int64   `json:"mean_uplink_interval_ms"`
+	SettleIntervalMS     int64   `json:"settle_interval_ms"`
+	BlockIntervalMS      int64   `json:"block_interval_ms"`
+	GatewaySpacingM      float64 `json:"gateway_spacing_m"`
+	Tiers                []struct {
+		Devices          int     `json:"devices"`
+		Gateways         int     `json:"gateways"`
+		FramesSent       int64   `json:"frames_sent"`
+		FramesDelivered  int64   `json:"frames_delivered"`
+		SuccessRate      float64 `json:"success_rate"`
+		LatencyP95MS     float64 `json:"latency_p95_ms"`
+		SettleTxs        int     `json:"settle_txs"`
+		Blocks           int     `json:"blocks"`
+		FramesPerWallSec float64 `json:"frames_per_wall_sec"`
+	} `json:"tiers"`
 }
 
 // reorgDoc mirrors results/BENCH_reorg.json.
@@ -383,6 +420,93 @@ func gateChannel(baselinePath, candidatePath string, minSpeedup float64) ([]stri
 	if channelTxs < 2 {
 		failures = append(failures, fmt.Sprintf(
 			"channel run mined only %d txs — the funding and close anchors must both confirm", channelTxs))
+	}
+	return failures, nil
+}
+
+// cityThresholds parameterizes the metropolitan-scale gate.
+type cityThresholds struct {
+	minDevices        int
+	minGateways       int
+	minSuccess        float64
+	maxLatencyScaling float64
+	minThroughputFrac float64
+}
+
+// gateCity asserts the metropolitan-scale properties inside the
+// candidate file itself: the campaign must actually reach city scale
+// (device and gateway floors on the largest tier), deliveries must not
+// collapse under load (per-tier success floor), the p95 exchange
+// latency must stay flat across the curve (a virtual-time property,
+// machine-independent), and the simulator's frames-per-wall-second may
+// not collapse between the smallest and largest tier — the all-pairs
+// engine the spatial index replaced degrades that ratio quadratically
+// in the device count. Wall-clock throughputs are compared only
+// tier-to-tier within the candidate, so the gate holds on any runner
+// speed. The baseline is checked for workload-shape agreement
+// (absolute frames/sec are not compared across machines).
+func gateCity(baselinePath, candidatePath string, th cityThresholds) ([]string, error) {
+	var base, cand cityDoc
+	if err := readJSON(baselinePath, &base); err != nil {
+		return nil, err
+	}
+	if err := readJSON(candidatePath, &cand); err != nil {
+		return nil, err
+	}
+	if base.Seed != cand.Seed || base.SimDurationMS != cand.SimDurationMS ||
+		base.MeanUplinkIntervalMS != cand.MeanUplinkIntervalMS ||
+		base.SettleIntervalMS != cand.SettleIntervalMS ||
+		base.BlockIntervalMS != cand.BlockIntervalMS ||
+		base.GatewaySpacingM != cand.GatewaySpacingM ||
+		len(base.Tiers) != len(cand.Tiers) {
+		return nil, fmt.Errorf("workload mismatch: baseline seed %d/%dms sim/%d tiers vs candidate seed %d/%dms sim/%d tiers — regenerate the baseline",
+			base.Seed, base.SimDurationMS, len(base.Tiers),
+			cand.Seed, cand.SimDurationMS, len(cand.Tiers))
+	}
+	for i := range base.Tiers {
+		if base.Tiers[i].Devices != cand.Tiers[i].Devices ||
+			base.Tiers[i].Gateways != cand.Tiers[i].Gateways {
+			return nil, fmt.Errorf("workload mismatch: tier %d is %dx%d in the baseline, %dx%d in the candidate — regenerate the baseline",
+				i, base.Tiers[i].Devices, base.Tiers[i].Gateways,
+				cand.Tiers[i].Devices, cand.Tiers[i].Gateways)
+		}
+	}
+	if len(cand.Tiers) < 2 {
+		return nil, fmt.Errorf("city document needs at least two tiers for a scaling curve, got %d", len(cand.Tiers))
+	}
+
+	var failures []string
+	first, last := cand.Tiers[0], cand.Tiers[len(cand.Tiers)-1]
+	if last.Devices < th.minDevices || last.Gateways < th.minGateways {
+		failures = append(failures, fmt.Sprintf(
+			"largest tier is %d devices over %d gateways — below the %d-device/%d-gateway city floor",
+			last.Devices, last.Gateways, th.minDevices, th.minGateways))
+	}
+	for i, tier := range cand.Tiers {
+		if tier.SuccessRate < th.minSuccess {
+			failures = append(failures, fmt.Sprintf(
+				"tier %d (%d devices): success rate %.3f below floor %.2f — deliveries collapsed under load",
+				i, tier.Devices, tier.SuccessRate, th.minSuccess))
+		}
+		if tier.SettleTxs < 1 || tier.Blocks < 1 {
+			failures = append(failures, fmt.Sprintf(
+				"tier %d (%d devices): settlement chain idle (%d txs, %d blocks) — delivery credits never anchored",
+				i, tier.Devices, tier.SettleTxs, tier.Blocks))
+		}
+	}
+	if first.LatencyP95MS > 0 {
+		if ratio := last.LatencyP95MS / first.LatencyP95MS; ratio > th.maxLatencyScaling {
+			failures = append(failures, fmt.Sprintf(
+				"p95 latency grows %.2fx from %d to %d devices (%.0fms → %.0fms, allowed %.1fx) — the medium or scheduler is congesting superlinearly",
+				ratio, first.Devices, last.Devices, first.LatencyP95MS, last.LatencyP95MS, th.maxLatencyScaling))
+		}
+	}
+	if first.FramesPerWallSec > 0 {
+		if frac := last.FramesPerWallSec / first.FramesPerWallSec; frac < th.minThroughputFrac {
+			failures = append(failures, fmt.Sprintf(
+				"simulator throughput falls to %.2fx of the small tier's at %d devices (%.0f vs %.0f frames/wall-sec, floor %.2fx) — did delivery fall back to an all-pairs scan?",
+				frac, last.Devices, last.FramesPerWallSec, first.FramesPerWallSec, th.minThroughputFrac))
+		}
 	}
 	return failures, nil
 }

@@ -311,6 +311,112 @@ func TestGateConnectScalingWorkloadMismatch(t *testing.T) {
 	}
 }
 
+const baseCity = `{
+  "seed": 7, "sim_duration_ms": 7200000, "mean_uplink_interval_ms": 600000,
+  "settle_interval_ms": 300000, "block_interval_ms": 30000, "gateway_spacing_m": 2000,
+  "tiers": [
+    {"devices": 1000, "gateways": 16, "success_rate": 0.99, "latency_p95_ms": 1100,
+     "settle_txs": 25, "blocks": 25, "frames_per_wall_sec": 50000},
+    {"devices": 10000, "gateways": 100, "success_rate": 0.99, "latency_p95_ms": 1150,
+     "settle_txs": 25, "blocks": 25, "frames_per_wall_sec": 25000}
+  ]
+}`
+
+var defaultCityThresholds = cityThresholds{
+	minDevices: 10_000, minGateways: 100, minSuccess: 0.9,
+	maxLatencyScaling: 3, minThroughputFrac: 0.15,
+}
+
+func TestGateCityPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", baseCity)
+	// Candidate throughputs differ from baseline (different machine) but
+	// tier-to-tier retention, success and p95 flatness all hold.
+	cand := writeFile(t, dir, "cand.json", `{
+	  "seed": 7, "sim_duration_ms": 7200000, "mean_uplink_interval_ms": 600000,
+	  "settle_interval_ms": 300000, "block_interval_ms": 30000, "gateway_spacing_m": 2000,
+	  "tiers": [
+	    {"devices": 1000, "gateways": 16, "success_rate": 0.97, "latency_p95_ms": 1200,
+	     "settle_txs": 25, "blocks": 25, "frames_per_wall_sec": 9000},
+	    {"devices": 10000, "gateways": 100, "success_rate": 0.95, "latency_p95_ms": 1500,
+	     "settle_txs": 25, "blocks": 25, "frames_per_wall_sec": 4000}
+	  ]
+	}`)
+	failures, err := gateCity(base, cand, defaultCityThresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+}
+
+func TestGateCityFlagsRegressions(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", baseCity)
+	// Success collapsed on the big tier, p95 blew up 10x, throughput
+	// retention fell to 4% (the all-pairs signature), settlement idle.
+	cand := writeFile(t, dir, "cand.json", `{
+	  "seed": 7, "sim_duration_ms": 7200000, "mean_uplink_interval_ms": 600000,
+	  "settle_interval_ms": 300000, "block_interval_ms": 30000, "gateway_spacing_m": 2000,
+	  "tiers": [
+	    {"devices": 1000, "gateways": 16, "success_rate": 0.99, "latency_p95_ms": 1100,
+	     "settle_txs": 25, "blocks": 25, "frames_per_wall_sec": 50000},
+	    {"devices": 10000, "gateways": 100, "success_rate": 0.6, "latency_p95_ms": 11000,
+	     "settle_txs": 0, "blocks": 0, "frames_per_wall_sec": 2000}
+	  ]
+	}`)
+	failures, err := gateCity(base, cand, defaultCityThresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 4 {
+		t.Fatalf("want 4 failures (success, settlement, p95, throughput), got %d: %v", len(failures), failures)
+	}
+}
+
+func TestGateCityFlagsSubScaleCampaign(t *testing.T) {
+	dir := t.TempDir()
+	small := `{
+	  "seed": 7, "sim_duration_ms": 7200000, "mean_uplink_interval_ms": 600000,
+	  "settle_interval_ms": 300000, "block_interval_ms": 30000, "gateway_spacing_m": 2000,
+	  "tiers": [
+	    {"devices": 100, "gateways": 4, "success_rate": 0.99, "latency_p95_ms": 1100,
+	     "settle_txs": 25, "blocks": 25, "frames_per_wall_sec": 50000},
+	    {"devices": 500, "gateways": 9, "success_rate": 0.99, "latency_p95_ms": 1150,
+	     "settle_txs": 25, "blocks": 25, "frames_per_wall_sec": 40000}
+	  ]
+	}`
+	base := writeFile(t, dir, "base.json", small)
+	cand := writeFile(t, dir, "cand.json", small)
+	failures, err := gateCity(base, cand, defaultCityThresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "city floor") {
+		t.Fatalf("want the city-floor failure, got %v", failures)
+	}
+}
+
+func TestGateCityWorkloadMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", baseCity)
+	cand := writeFile(t, dir, "cand.json", `{
+	  "seed": 7, "sim_duration_ms": 3600000, "mean_uplink_interval_ms": 600000,
+	  "settle_interval_ms": 300000, "block_interval_ms": 30000, "gateway_spacing_m": 2000,
+	  "tiers": [
+	    {"devices": 1000, "gateways": 16, "success_rate": 0.99, "latency_p95_ms": 1100,
+	     "settle_txs": 25, "blocks": 25, "frames_per_wall_sec": 50000},
+	    {"devices": 10000, "gateways": 100, "success_rate": 0.99, "latency_p95_ms": 1150,
+	     "settle_txs": 25, "blocks": 25, "frames_per_wall_sec": 25000}
+	  ]
+	}`)
+	if _, err := gateCity(base, cand, defaultCityThresholds); err == nil ||
+		!strings.Contains(err.Error(), "workload mismatch") {
+		t.Fatalf("want workload mismatch, got %v", err)
+	}
+}
+
 func TestGateAgainstCommittedBaselines(t *testing.T) {
 	// The committed baselines must pass against themselves, or the CI
 	// job would fail on an untouched tree.
@@ -330,5 +436,9 @@ func TestGateAgainstCommittedBaselines(t *testing.T) {
 	sy := filepath.Join(root, "results", "BENCH_sync.json")
 	if failures, err := gateSync(sy, sy, 1.5); err != nil || len(failures) != 0 {
 		t.Fatalf("sync self-gate: err=%v failures=%v", err, failures)
+	}
+	ci := filepath.Join(root, "results", "BENCH_city.json")
+	if failures, err := gateCity(ci, ci, defaultCityThresholds); err != nil || len(failures) != 0 {
+		t.Fatalf("city self-gate: err=%v failures=%v", err, failures)
 	}
 }

@@ -481,9 +481,11 @@ func (m *ChannelManager) SettleDelivery(d *fairex.Delivery) (*ChannelSettlement,
 		return nil, fmt.Errorf("daemon: channel peer %s unreachable", d.GatewayP2P)
 	}
 	var ack *p2p.MsgChannelUpdateAck
+	timeout := time.NewTimer(m.cfg.UpdateTimeout)
+	defer timeout.Stop()
 	select {
 	case ack = <-waiter:
-	case <-time.After(m.cfg.UpdateTimeout):
+	case <-timeout.C:
 		// The gateway may have applied the update without us seeing the
 		// ack: the delta stays in flight and the channel is retired, so
 		// the divergence never exceeds one update.
@@ -550,9 +552,11 @@ func (m *ChannelManager) openPayer(peer string, wantGwPub []byte, capacity uint6
 		return nil, fmt.Errorf("daemon: channel peer %s unreachable", peer)
 	}
 	var acc *p2p.MsgChannelAccept
+	timeout := time.NewTimer(m.cfg.OpenTimeout)
+	defer timeout.Stop()
 	select {
 	case acc = <-waiter:
-	case <-time.After(m.cfg.OpenTimeout):
+	case <-timeout.C:
 		return nil, fmt.Errorf("daemon: channel open to %s timed out", peer)
 	}
 	if acc.OK != p2p.ChannelAckOK {

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"bcwan/internal/lora"
+)
+
+// goldenRun pins one experiment configuration to the exact output of the
+// pre-heap pre-grid engine (linear-scan Sim timers, all-pairs radio
+// delivery, rescanning duty cycle), captured on the seed tree immediately
+// before the engines were replaced. Any drift in timer fire order, radio
+// delivery/collision outcomes or duty-cycle arithmetic shows up here as a
+// changed latency distribution or channel counter.
+type goldenRun struct {
+	name      string
+	cfg       Config
+	completed int
+	failed    int
+	retries   int
+	blocks    int
+	mean      time.Duration
+	median    time.Duration
+	p95       time.Duration
+	max       time.Duration
+	channel   lora.ChannelStats
+}
+
+var goldenRuns = []goldenRun{
+	{
+		name:      "fig5-small",
+		cfg:       Fig5Config().scale(2, 5, 30),
+		completed: 30,
+		retries:   1,
+		blocks:    14,
+		mean:      1661790299,
+		median:    1634427268,
+		p95:       1782620083,
+		max:       1852764656,
+		channel:   lora.ChannelStats{Transmissions: 91, Deliveries: 453, Collisions: 0, OutOfRange: 546, HalfDuplex: 2},
+	},
+	{
+		name:      "fig6-small",
+		cfg:       Fig6Config().scale(2, 5, 30),
+		completed: 30,
+		retries:   55,
+		blocks:    15,
+		mean:      26506761272,
+		median:    15667960731,
+		p95:       60576664779,
+		max:       75673895634,
+		channel:   lora.ChannelStats{Transmissions: 199, Deliveries: 716, Collisions: 258, OutOfRange: 1194, HalfDuplex: 21},
+	},
+	{
+		name:      "fig5-mid",
+		cfg:       Fig5Config().scale(3, 8, 120),
+		completed: 120,
+		retries:   6,
+		blocks:    36,
+		mean:      1678826391,
+		median:    1641484574,
+		p95:       1737930287,
+		max:       5998003506,
+		channel:   lora.ChannelStats{Transmissions: 374, Deliveries: 2952, Collisions: 16, OutOfRange: 6732, HalfDuplex: 24},
+	},
+}
+
+// TestGoldenFigureEquivalence replays the fig5/fig6 configurations and
+// requires results identical to the seed engine. The fig6 case is the
+// sharpest probe: verification stalls align many retries on the same
+// deadline, so any tie-break or ordering change cascades into different
+// collision counts.
+func TestGoldenFigureEquivalence(t *testing.T) {
+	for _, g := range goldenRuns {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			res, err := Run(g.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Completed != g.completed || res.Failed != g.failed || res.Retries != g.retries {
+				t.Errorf("completed/failed/retries = %d/%d/%d, golden %d/%d/%d",
+					res.Completed, res.Failed, res.Retries, g.completed, g.failed, g.retries)
+			}
+			if res.Blocks != g.blocks {
+				t.Errorf("blocks = %d, golden %d", res.Blocks, g.blocks)
+			}
+			if res.Summary.Mean != g.mean || res.Summary.Median != g.median ||
+				res.Summary.P95 != g.p95 || res.Summary.Max != g.max {
+				t.Errorf("latency mean/median/p95/max = %d/%d/%d/%d, golden %d/%d/%d/%d",
+					res.Summary.Mean, res.Summary.Median, res.Summary.P95, res.Summary.Max,
+					g.mean, g.median, g.p95, g.max)
+			}
+			if res.Channel != g.channel {
+				t.Errorf("channel stats = %+v, golden %+v", res.Channel, g.channel)
+			}
+		})
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"bcwan/internal/telemetry"
 )
 
 // SpreadingFactor is the LoRa spreading factor, SF7 (fastest) to SF12
@@ -136,10 +138,19 @@ const dutyWindow = time.Hour
 // below limit·window. Budget accounting (rather than a per-transmission
 // off-period) permits the request/data burst of a BcWAN exchange while
 // still capping throughput at the §5.2 messages-per-hour figure.
+//
+// Records live in a start-ordered ring buffer with a running airtime sum,
+// so budget queries are O(1): expiry pops from the head, recording pushes
+// at the tail, and NextFree walks the ring once without rescanning.
 type DutyCycle struct {
-	limit   float64
-	window  time.Duration
-	records []txRecord
+	limit  float64
+	window time.Duration
+	buf    []txRecord // ring storage
+	head   int        // index of oldest record
+	n      int        // live records
+	used   time.Duration
+
+	gauge *telemetry.Gauge
 }
 
 type txRecord struct {
@@ -155,32 +166,52 @@ func NewDutyCycle(limit float64) (*DutyCycle, error) {
 	return &DutyCycle{limit: limit, window: dutyWindow}, nil
 }
 
+// Instrument points the limiter at a gauge that tracks its in-window
+// airtime as a fraction of the budget, in parts per million. A nil gauge
+// is a no-op.
+func (d *DutyCycle) Instrument(g *telemetry.Gauge) {
+	d.gauge = g
+	d.updateGauge()
+}
+
+func (d *DutyCycle) updateGauge() {
+	if d.gauge == nil {
+		return
+	}
+	d.gauge.Set(int64(float64(d.used) / float64(d.budget()) * 1e6))
+}
+
 // budget returns the allowed airtime per window.
 func (d *DutyCycle) budget() time.Duration {
 	return time.Duration(float64(d.window) * d.limit)
 }
 
-// usedSince sums airtime of transmissions starting strictly after cutoff
-// (a record exactly one window old has just expired).
-func (d *DutyCycle) usedSince(cutoff time.Time) time.Duration {
-	var used time.Duration
-	for _, r := range d.records {
-		if r.start.After(cutoff) {
-			used += r.airtime
-		}
-	}
-	return used
+// at returns the i-th oldest live record.
+func (d *DutyCycle) at(i int) txRecord {
+	return d.buf[(d.head+i)%len(d.buf)]
+}
+
+// Used returns the recorded airtime inside the window ending at now.
+func (d *DutyCycle) Used(now time.Time) time.Duration {
+	d.prune(now)
+	return d.used
 }
 
 // CanTransmit reports whether a transmission of the given airtime fits
 // the budget at the given instant.
 func (d *DutyCycle) CanTransmit(now time.Time, airtime time.Duration) bool {
 	d.prune(now)
-	return d.usedSince(now.Add(-d.window))+airtime <= d.budget()
+	return d.used+airtime <= d.budget()
 }
 
 // NextFree returns the earliest instant at or after now when a
 // transmission of the given airtime fits the budget.
+//
+// The walk mirrors the definition of the sliding window: while the load
+// does not fit, slide the window to the instant the oldest in-window
+// record expires and drop every record that expires with it. Each live
+// record is visited at most once and the ring itself is left untouched —
+// only real time passing (prune) retires records.
 func (d *DutyCycle) NextFree(now time.Time, airtime time.Duration) time.Time {
 	d.prune(now)
 	if airtime > d.budget() {
@@ -188,41 +219,91 @@ func (d *DutyCycle) NextFree(now time.Time, airtime time.Duration) time.Time {
 		return now.Add(d.window)
 	}
 	t := now
-	for i := 0; i <= len(d.records); i++ {
-		if d.usedSince(t.Add(-d.window))+airtime <= d.budget() {
-			return t
+	used := d.used
+	i := 0
+	for used+airtime > d.budget() && i < d.n {
+		oldest := d.at(i)
+		t = oldest.start.Add(d.window)
+		// Everything starting at or before the oldest record expires with
+		// it (the window keeps records starting strictly after its edge).
+		for i < d.n && !d.at(i).start.After(oldest.start) {
+			used -= d.at(i).airtime
+			i++
 		}
-		// Advance to when the oldest in-window record expires.
-		oldest := time.Time{}
-		for _, r := range d.records {
-			if r.start.After(t.Add(-d.window)) {
-				if oldest.IsZero() || r.start.Before(oldest) {
-					oldest = r.start
-				}
-			}
-		}
-		if oldest.IsZero() {
-			return t
-		}
-		t = oldest.Add(d.window)
 	}
 	return t
 }
 
 // Record accounts a transmission beginning at start with the given
-// airtime.
+// airtime. Starts arrive in order from the simulators; an out-of-order
+// start falls back to a sorted insertion so the ring invariant holds.
 func (d *DutyCycle) Record(start time.Time, airtime time.Duration) {
-	d.records = append(d.records, txRecord{start: start, airtime: airtime})
+	if len(d.buf) == d.n {
+		d.grow()
+	}
+	if d.n > 0 && start.Before(d.at(d.n-1).start) {
+		d.insertSorted(txRecord{start: start, airtime: airtime})
+	} else {
+		d.buf[(d.head+d.n)%len(d.buf)] = txRecord{start: start, airtime: airtime}
+		d.n++
+	}
+	d.used += airtime
+	d.updateGauge()
 }
 
-// prune drops records older than one window before now.
-func (d *DutyCycle) prune(now time.Time) {
-	cutoff := now.Add(-d.window)
-	keep := d.records[:0]
-	for _, r := range d.records {
-		if r.start.After(cutoff) {
-			keep = append(keep, r)
+// grow doubles the ring, linearizing the live records to the front.
+func (d *DutyCycle) grow() {
+	next := make([]txRecord, maxInt(4, 2*len(d.buf)))
+	for i := 0; i < d.n; i++ {
+		next[i] = d.at(i)
+	}
+	d.buf = next
+	d.head = 0
+}
+
+// insertSorted places an out-of-order record at its start-ordered slot.
+func (d *DutyCycle) insertSorted(r txRecord) {
+	// Binary search over ring offsets for the first record after r.start.
+	lo, hi := 0, d.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.at(mid).start.After(r.start) {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
 	}
-	d.records = keep
+	// Shift the tail right by one slot.
+	for i := d.n; i > lo; i-- {
+		d.buf[(d.head+i)%len(d.buf)] = d.buf[(d.head+i-1)%len(d.buf)]
+	}
+	d.buf[(d.head+lo)%len(d.buf)] = r
+	d.n++
+}
+
+// prune retires records older than one window before now from the head
+// of the ring.
+func (d *DutyCycle) prune(now time.Time) {
+	cutoff := now.Add(-d.window)
+	changed := false
+	for d.n > 0 && !d.buf[d.head].start.After(cutoff) {
+		d.used -= d.buf[d.head].airtime
+		d.buf[d.head] = txRecord{}
+		d.head = (d.head + 1) % len(d.buf)
+		d.n--
+		changed = true
+	}
+	if d.n == 0 {
+		d.head = 0
+	}
+	if changed {
+		d.updateGauge()
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -3,9 +3,11 @@ package lora
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"bcwan/internal/simtime"
+	"bcwan/internal/telemetry"
 )
 
 // Position is a 2D location in meters.
@@ -108,19 +110,51 @@ type RxFrame struct {
 // the channel's scheduler goroutine.
 type Radio struct {
 	Name     string
-	Pos      Position
+	id       int // creation order; fixes handler invocation order
+	pos      Position
 	ch       *Channel
 	handler  func(RxFrame)
 	halfDup  bool
 	busyTill time.Time
 }
 
-// OnReceive installs the reception handler.
-func (r *Radio) OnReceive(fn func(RxFrame)) { r.handler = fn }
+// Pos returns the radio's current location.
+func (r *Radio) Pos() Position { return r.pos }
+
+// SetPos moves the radio — a device roaming between coverage areas. The
+// spatial index follows the move; an in-flight transmission keeps the
+// position it was launched and overheard from.
+func (r *Radio) SetPos(p Position) {
+	if r.handler != nil {
+		old := r.ch.cellOf(r.pos)
+		if next := r.ch.cellOf(p); next != old {
+			r.ch.gridRemove(r, old)
+			r.ch.gridInsert(r, next)
+		}
+	}
+	r.pos = p
+}
+
+// OnReceive installs (or, with nil, removes) the reception handler. Only
+// radios with a handler participate in delivery, so the channel indexes
+// exactly those in its spatial grid.
+func (r *Radio) OnReceive(fn func(RxFrame)) {
+	had := r.handler != nil
+	r.handler = fn
+	switch {
+	case fn != nil && !had:
+		r.ch.handlers++
+		r.ch.gridInsert(r, r.ch.cellOf(r.pos))
+	case fn == nil && had:
+		r.ch.handlers--
+		r.ch.gridRemove(r, r.ch.cellOf(r.pos))
+	}
+}
 
 // transmission is an in-flight frame on the channel.
 type transmission struct {
 	from    *Radio
+	fromPos Position // sender position at launch; immune to later SetPos
 	payload []byte
 	sf      SpreadingFactor
 	freq    FrequencyHz
@@ -133,18 +167,48 @@ func (t *transmission) overlaps(o *transmission) bool {
 		t.start.Before(o.end) && o.start.Before(t.end)
 }
 
+// airKey buckets in-flight transmissions by the only dimensions that can
+// interact: LoRa spreading factors are quasi-orthogonal, so collision,
+// CAD-busy and capture checks all consider same-frequency same-SF frames
+// only.
+type airKey struct {
+	freq FrequencyHz
+	sf   SpreadingFactor
+}
+
+// cell addresses one square of the spatial grid.
+type cell struct {
+	x, y int64
+}
+
 // Channel is the shared radio medium: it schedules deliveries on a
 // discrete-event scheduler, applies path loss + sensitivity, and corrupts
 // colliding transmissions (same frequency and SF overlapping in time,
 // unless the receiver's stronger signal wins by the capture threshold).
+//
+// Two indexes keep the medium sub-linear in fleet size. Radios with a
+// reception handler live in a spatial grid whose cell edge is the maximum
+// receivable distance under the model (SF12 range), so a delivery only
+// examines the 3×3 cell neighborhood around the sender — every radio
+// outside it is provably below sensitivity at any SF. In-flight
+// transmissions are bucketed by (frequency, SF), the only pairs that can
+// collide.
 type Channel struct {
-	sched  *simtime.Scheduler
-	model  PathLossModel
-	phy    PHYConfig
-	radios []*Radio
-	active []*transmission
+	sched    *simtime.Scheduler
+	model    PathLossModel
+	phy      PHYConfig
+	radios   []*Radio
+	cellSize float64
+	grid     map[cell][]*Radio
+	handlers int
+	active   map[airKey][]*transmission
+	inFlight int
+	scratch  []*Radio
 	// Stats counts channel-level outcomes for the experiment reports.
 	Stats ChannelStats
+
+	activeGauge *telemetry.Gauge
+	cellGauge   *telemetry.Gauge
 }
 
 // ChannelStats aggregates delivery outcomes.
@@ -158,12 +222,29 @@ type ChannelStats struct {
 
 // NewChannel creates a radio medium on the given scheduler.
 func NewChannel(sched *simtime.Scheduler, model PathLossModel, phy PHYConfig) *Channel {
-	return &Channel{sched: sched, model: model, phy: phy}
+	return &Channel{
+		sched:    sched,
+		model:    model,
+		phy:      phy,
+		cellSize: model.Range(SF12),
+		grid:     make(map[cell][]*Radio),
+		active:   make(map[airKey][]*transmission),
+	}
+}
+
+// Instrument registers the channel gauges on reg. A nil registry is a
+// no-op.
+func (c *Channel) Instrument(reg *telemetry.Registry) {
+	ns := reg.Namespace("lora")
+	c.activeGauge = ns.Gauge("active_transmissions", "In-flight frames on the shared medium (including the collision-check grace window).")
+	c.cellGauge = ns.Gauge("grid_cells", "Occupied cells of the spatial radio index.")
+	c.activeGauge.Set(int64(c.inFlight))
+	c.cellGauge.Set(int64(len(c.grid)))
 }
 
 // NewRadio attaches a transceiver at the given position.
 func (c *Channel) NewRadio(name string, pos Position) *Radio {
-	r := &Radio{Name: name, Pos: pos, ch: c, halfDup: true}
+	r := &Radio{Name: name, id: len(c.radios), pos: pos, ch: c, halfDup: true}
 	c.radios = append(c.radios, r)
 	return r
 }
@@ -173,6 +254,48 @@ func (c *Channel) PHY() PHYConfig { return c.phy }
 
 // Model returns the propagation model.
 func (c *Channel) Model() PathLossModel { return c.model }
+
+func (c *Channel) cellOf(p Position) cell {
+	return cell{x: int64(math.Floor(p.X / c.cellSize)), y: int64(math.Floor(p.Y / c.cellSize))}
+}
+
+func (c *Channel) gridInsert(r *Radio, at cell) {
+	c.grid[at] = append(c.grid[at], r)
+	c.cellGauge.Set(int64(len(c.grid)))
+}
+
+func (c *Channel) gridRemove(r *Radio, at cell) {
+	rs := c.grid[at]
+	for i, other := range rs {
+		if other == r {
+			rs[i] = rs[len(rs)-1]
+			rs = rs[:len(rs)-1]
+			break
+		}
+	}
+	if len(rs) == 0 {
+		delete(c.grid, at)
+	} else {
+		c.grid[at] = rs
+	}
+	c.cellGauge.Set(int64(len(c.grid)))
+}
+
+// neighborhood collects every handler-equipped radio within the 3×3 cells
+// around p, sorted by creation order so delivery outcomes are independent
+// of grid bookkeeping history.
+func (c *Channel) neighborhood(p Position) []*Radio {
+	center := c.cellOf(p)
+	out := c.scratch[:0]
+	for dx := int64(-1); dx <= 1; dx++ {
+		for dy := int64(-1); dy <= 1; dy++ {
+			out = append(out, c.grid[cell{x: center.x + dx, y: center.y + dy}]...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	c.scratch = out
+	return out
+}
 
 // Transmit schedules a frame from the radio. Delivery callbacks fire at
 // start+airtime on every in-range radio whose reception is not corrupted.
@@ -189,13 +312,17 @@ func (r *Radio) Transmit(payload []byte, sf SpreadingFactor, freq FrequencyHz) (
 	now := c.sched.Now()
 	tx := &transmission{
 		from:    r,
+		fromPos: r.pos,
 		payload: payload,
 		sf:      sf,
 		freq:    freq,
 		start:   now,
 		end:     now.Add(airtime),
 	}
-	c.active = append(c.active, tx)
+	key := airKey{freq: freq, sf: sf}
+	c.active[key] = append(c.active[key], tx)
+	c.inFlight++
+	c.activeGauge.Set(int64(c.inFlight))
 	c.Stats.Transmissions++
 	// The sender cannot receive while transmitting (half duplex).
 	if tx.end.After(r.busyTill) {
@@ -209,14 +336,23 @@ func (r *Radio) Transmit(payload []byte, sf SpreadingFactor, freq FrequencyHz) (
 }
 
 // deliver completes a transmission: every radio in range either receives
-// the frame or loses it to a collision.
+// the frame or loses it to a collision. Only the sender's 3×3 cell
+// neighborhood is examined; all other handler-equipped radios are more
+// than one SF12 range away, hence below sensitivity, and are accounted as
+// out of range in bulk.
 func (c *Channel) deliver(tx *transmission, at time.Time) {
 	defer c.prune(at)
-	for _, rx := range c.radios {
-		if rx == tx.from || rx.handler == nil {
+	eligible := c.handlers
+	if tx.from.handler != nil {
+		eligible--
+	}
+	evaluated := 0
+	for _, rx := range c.neighborhood(tx.fromPos) {
+		if rx == tx.from {
 			continue
 		}
-		d := Distance(tx.from.Pos, rx.Pos)
+		evaluated++
+		d := Distance(tx.fromPos, rx.pos)
 		power := c.model.ReceivedPowerDBm(d)
 		if power < Sensitivity(tx.sf) {
 			c.Stats.OutOfRange++
@@ -243,6 +379,7 @@ func (c *Channel) deliver(tx *transmission, at time.Time) {
 			Received: at,
 		})
 	}
+	c.Stats.OutOfRange += uint64(eligible - evaluated)
 }
 
 // Busy reports whether the radio can currently hear an in-flight
@@ -253,12 +390,12 @@ func (c *Channel) deliver(tx *transmission, at time.Time) {
 func (r *Radio) Busy(freq FrequencyHz, sf SpreadingFactor) bool {
 	c := r.ch
 	now := c.sched.Now()
-	for _, tx := range c.active {
-		if tx.freq != freq || tx.sf != sf || tx.from == r {
+	for _, tx := range c.active[airKey{freq: freq, sf: sf}] {
+		if tx.from == r {
 			continue
 		}
 		if !tx.start.After(now) && tx.end.After(now) {
-			power := c.model.ReceivedPowerDBm(Distance(tx.from.Pos, r.Pos))
+			power := c.model.ReceivedPowerDBm(Distance(tx.fromPos, r.pos))
 			if power >= Sensitivity(sf) {
 				return true
 			}
@@ -270,11 +407,11 @@ func (r *Radio) Busy(freq FrequencyHz, sf SpreadingFactor) bool {
 // corrupted reports whether a concurrent same-channel same-SF
 // transmission drowns tx at the receiver.
 func (c *Channel) corrupted(tx *transmission, rx *Radio, rxPower float64) bool {
-	for _, other := range c.active {
+	for _, other := range c.active[airKey{freq: tx.freq, sf: tx.sf}] {
 		if other == tx || !tx.overlaps(other) {
 			continue
 		}
-		interferer := c.model.ReceivedPowerDBm(Distance(other.from.Pos, rx.Pos))
+		interferer := c.model.ReceivedPowerDBm(Distance(other.fromPos, rx.pos))
 		if rxPower-interferer < captureThresholdDB {
 			return true
 		}
@@ -287,14 +424,25 @@ func (c *Channel) corrupted(tx *transmission, rx *Radio, rxPower float64) bool {
 // SF12) still sees them in its collision check at delivery time.
 const pruneGrace = 10 * time.Second
 
-// prune drops transmissions that ended more than pruneGrace before now.
+// prune drops transmissions that ended more than pruneGrace before now,
+// bucket by bucket. A bucket is only ever scanned by traffic on its own
+// (frequency, SF) pair, so the whole map stays proportional to recent
+// traffic, not to history.
 func (c *Channel) prune(now time.Time) {
 	cutoff := now.Add(-pruneGrace)
-	keep := c.active[:0]
-	for _, tx := range c.active {
-		if tx.end.After(cutoff) {
-			keep = append(keep, tx)
+	for key, txs := range c.active {
+		keep := txs[:0]
+		for _, tx := range txs {
+			if tx.end.After(cutoff) {
+				keep = append(keep, tx)
+			}
+		}
+		c.inFlight -= len(txs) - len(keep)
+		if len(keep) == 0 {
+			delete(c.active, key)
+		} else {
+			c.active[key] = keep
 		}
 	}
-	c.active = keep
+	c.activeGauge.Set(int64(c.inFlight))
 }

@@ -8,8 +8,11 @@
 package simtime
 
 import (
+	"container/heap"
 	"sync"
 	"time"
+
+	"bcwan/internal/telemetry"
 )
 
 // Clock is the time source used by all protocol components.
@@ -21,6 +24,22 @@ type Clock interface {
 	// After returns a channel that receives the then-current time once d
 	// has elapsed.
 	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a cancellable one-shot timer that fires once d has
+	// elapsed. Components that arm a timeout per operation must Stop the
+	// timer on the fast path, or every completed operation leaks a pending
+	// waiter until its deadline passes.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is a cancellable one-shot timer armed via Clock.NewTimer.
+type Timer interface {
+	// C returns the channel the fire time is delivered on. The channel has
+	// a one-element buffer, so a fired timer never blocks its clock.
+	C() <-chan time.Time
+	// Stop cancels the timer and reports whether it was still pending.
+	// False means the timer already fired (its time may be sitting in C)
+	// or was stopped before. Stop does not drain C.
+	Stop() bool
 }
 
 // Real is a Clock backed by the wall clock.
@@ -40,20 +59,30 @@ func (Real) Sleep(d time.Duration) { time.Sleep(d) }
 // After implements Clock.
 func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
 
+// NewTimer implements Clock.
+func (Real) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) C() <-chan time.Time { return rt.t.C }
+func (rt realTimer) Stop() bool          { return rt.t.Stop() }
+
 // Sim is a discrete-event simulated Clock. Goroutines that Sleep on a Sim
 // clock are suspended until the driver advances virtual time past their
-// wake-up instant via Advance or RunUntilIdle.
+// wake-up instant via Advance or Step.
+//
+// Pending timers live in a min-heap keyed on (deadline, arm sequence), so
+// arming and firing are O(log n) and timers sharing a deadline fire in the
+// order they were armed (FIFO) — the fire order is deterministic no matter
+// how many timers are pending.
 //
 // The zero value is not usable; construct with NewSim.
 type Sim struct {
 	mu      sync.Mutex
 	now     time.Time
-	waiters []*waiter
-}
-
-type waiter struct {
-	at time.Time
-	ch chan time.Time
+	seq     uint64
+	timers  timerHeap
+	pending *telemetry.Gauge
 }
 
 var _ Clock = (*Sim)(nil)
@@ -61,6 +90,16 @@ var _ Clock = (*Sim)(nil)
 // NewSim returns a simulated clock starting at the given origin.
 func NewSim(origin time.Time) *Sim {
 	return &Sim{now: origin}
+}
+
+// Instrument registers the bcwan_sim_pending_timers gauge on reg. A nil
+// registry is a no-op.
+func (s *Sim) Instrument(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending = reg.Namespace("sim").Gauge(
+		"pending_timers", "Timers waiting to fire on the simulated clock.")
+	s.pending.Set(int64(len(s.timers)))
 }
 
 // Now implements Clock.
@@ -81,48 +120,75 @@ func (s *Sim) Sleep(d time.Duration) {
 
 // After implements Clock.
 func (s *Sim) After(d time.Duration) <-chan time.Time {
+	return s.NewTimer(d).C()
+}
+
+// NewTimer implements Clock. A non-positive duration delivers the current
+// virtual time immediately; Stop then reports false.
+func (s *Sim) NewTimer(d time.Duration) Timer {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ch := make(chan time.Time, 1)
+	t := &simTimer{sim: s, ch: make(chan time.Time, 1), idx: -1}
 	if d <= 0 {
-		ch <- s.now
-		return ch
+		t.ch <- s.now
+		return t
 	}
-	s.waiters = append(s.waiters, &waiter{at: s.now.Add(d), ch: ch})
-	return ch
+	t.at = s.now.Add(d)
+	s.seq++
+	t.seq = s.seq
+	heap.Push(&s.timers, t)
+	s.pending.Set(int64(len(s.timers)))
+	return t
 }
 
 // Advance moves virtual time forward by d, firing every timer whose
-// deadline falls inside the window in deadline order.
+// deadline falls inside the window in deadline order (FIFO among equal
+// deadlines).
+//
+// Fire times are delivered with s.mu released: the buffered channel means
+// the send can never block today, but dropping the lock first guarantees a
+// receiver that wakes immediately and re-arms via After/NewTimer cannot
+// deadlock against Advance even if the channel contract ever changes. A
+// timer armed by such a receiver joins this same window if its deadline is
+// inside it.
 func (s *Sim) Advance(d time.Duration) {
 	s.mu.Lock()
 	target := s.now.Add(d)
-	for {
-		w := s.earliestLocked()
-		if w == nil || w.at.After(target) {
-			break
+	for len(s.timers) > 0 && !s.timers[0].at.After(target) {
+		t := heap.Pop(&s.timers).(*simTimer)
+		t.idx = -1
+		s.now = t.at
+		s.pending.Set(int64(len(s.timers)))
+		s.mu.Unlock()
+		t.ch <- t.at
+		s.mu.Lock()
+		if target.Before(s.now) {
+			// A concurrent Advance moved time past our window while the
+			// lock was released; never rewind.
+			target = s.now
 		}
-		s.now = w.at
-		s.removeLocked(w)
-		w.ch <- s.now
 	}
-	s.now = target
+	if s.now.Before(target) {
+		s.now = target
+	}
 	s.mu.Unlock()
 }
 
 // Step advances virtual time to the next pending timer deadline and fires
-// it. It reports whether a timer was pending.
+// it. It reports whether a timer was pending. Like Advance, the fire time
+// is delivered with the lock released.
 func (s *Sim) Step() bool {
 	s.mu.Lock()
-	w := s.earliestLocked()
-	if w == nil {
+	if len(s.timers) == 0 {
 		s.mu.Unlock()
 		return false
 	}
-	s.now = w.at
-	s.removeLocked(w)
-	w.ch <- s.now
+	t := heap.Pop(&s.timers).(*simTimer)
+	t.idx = -1
+	s.now = t.at
+	s.pending.Set(int64(len(s.timers)))
 	s.mu.Unlock()
+	t.ch <- t.at
 	return true
 }
 
@@ -130,25 +196,64 @@ func (s *Sim) Step() bool {
 func (s *Sim) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.waiters)
+	return len(s.timers)
 }
 
-func (s *Sim) earliestLocked() *waiter {
-	var min *waiter
-	for _, w := range s.waiters {
-		if min == nil || w.at.Before(min.at) {
-			min = w
-		}
-	}
-	return min
+// simTimer is a pending (or fired) one-shot timer on a Sim clock.
+type simTimer struct {
+	sim *Sim
+	at  time.Time
+	seq uint64
+	ch  chan time.Time
+	idx int // heap index, -1 once fired or stopped
 }
 
-func (s *Sim) removeLocked(target *waiter) {
-	for i, w := range s.waiters {
-		if w == target {
-			s.waiters[i] = s.waiters[len(s.waiters)-1]
-			s.waiters = s.waiters[:len(s.waiters)-1]
-			return
-		}
+func (t *simTimer) C() <-chan time.Time { return t.ch }
+
+// Stop removes the timer from the heap in O(log n) via its tracked index.
+func (t *simTimer) Stop() bool {
+	s := t.sim
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t.idx < 0 {
+		return false
 	}
+	heap.Remove(&s.timers, t.idx)
+	t.idx = -1
+	s.pending.Set(int64(len(s.timers)))
+	return true
+}
+
+// timerHeap is a min-heap ordered by (at, seq) with index tracking for
+// O(log n) cancellation.
+type timerHeap []*simTimer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *timerHeap) Push(x any) {
+	t := x.(*simTimer)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
 }

@@ -3,6 +3,8 @@ package simtime
 import (
 	"container/heap"
 	"time"
+
+	"bcwan/internal/telemetry"
 )
 
 // Scheduler is a deterministic discrete-event scheduler. Events are
@@ -13,16 +15,35 @@ import (
 // Handlers may schedule further events; Run keeps going until the queue is
 // empty or the optional horizon is reached.
 type Scheduler struct {
-	now   time.Time
-	queue eventQueue
-	seq   uint64
+	now     time.Time
+	queue   eventQueue
+	seq     uint64
+	pending *telemetry.Gauge
 }
 
-// Event is a scheduled callback.
-type event struct {
-	at  time.Time
-	seq uint64
-	fn  func(now time.Time)
+// Event is a scheduled callback handle. It can be cancelled while still
+// queued; components that schedule a timeout per operation should Cancel on
+// the fast path so completed operations stop leaking one-shot events.
+type Event struct {
+	at    time.Time
+	seq   uint64
+	fn    func(now time.Time)
+	idx   int // heap index, -1 once run or cancelled
+	sched *Scheduler
+}
+
+// Cancel removes the event from the queue in O(log n) and reports whether
+// it was still pending. False means it already ran or was cancelled.
+func (e *Event) Cancel() bool {
+	if e == nil || e.idx < 0 {
+		return false
+	}
+	s := e.sched
+	heap.Remove(&s.queue, e.idx)
+	e.idx = -1
+	e.fn = nil
+	s.pending.Set(int64(len(s.queue)))
+	return true
 }
 
 // NewScheduler returns a Scheduler whose virtual time starts at origin.
@@ -30,22 +51,34 @@ func NewScheduler(origin time.Time) *Scheduler {
 	return &Scheduler{now: origin}
 }
 
+// Instrument registers the bcwan_sim_pending_timers gauge on reg. A nil
+// registry is a no-op.
+func (s *Scheduler) Instrument(reg *telemetry.Registry) {
+	s.pending = reg.Namespace("sim").Gauge(
+		"pending_timers", "Events waiting to run on the discrete-event scheduler.")
+	s.pending.Set(int64(len(s.queue)))
+}
+
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Time { return s.now }
 
 // At schedules fn to run at the absolute instant t. Instants in the past
-// run at the current virtual time.
-func (s *Scheduler) At(t time.Time, fn func(now time.Time)) {
+// run at the current virtual time. The returned handle may be ignored or
+// used to Cancel the event while it is still queued.
+func (s *Scheduler) At(t time.Time, fn func(now time.Time)) *Event {
 	if t.Before(s.now) {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+	ev := &Event{at: t, seq: s.seq, fn: fn, sched: s}
+	heap.Push(&s.queue, ev)
+	s.pending.Set(int64(len(s.queue)))
+	return ev
 }
 
 // After schedules fn to run d after the current virtual time.
-func (s *Scheduler) After(d time.Duration, fn func(now time.Time)) {
-	s.At(s.now.Add(d), fn)
+func (s *Scheduler) After(d time.Duration, fn func(now time.Time)) *Event {
+	return s.At(s.now.Add(d), fn)
 }
 
 // Len reports the number of pending events.
@@ -57,11 +90,13 @@ func (s *Scheduler) Step() bool {
 	if s.queue.Len() == 0 {
 		return false
 	}
-	ev, ok := heap.Pop(&s.queue).(*event)
+	ev, ok := heap.Pop(&s.queue).(*Event)
 	if !ok {
 		return false
 	}
+	ev.idx = -1
 	s.now = ev.at
+	s.pending.Set(int64(len(s.queue)))
 	ev.fn(s.now)
 	return true
 }
@@ -83,8 +118,9 @@ func (s *Scheduler) RunUntil(horizon time.Time) {
 	}
 }
 
-// eventQueue is a min-heap ordered by (at, seq).
-type eventQueue []*event
+// eventQueue is a min-heap ordered by (at, seq) with index tracking for
+// O(log n) cancellation.
+type eventQueue []*Event
 
 func (q eventQueue) Len() int { return len(q) }
 
@@ -95,13 +131,18 @@ func (q eventQueue) Less(i, j int) bool {
 	return q[i].at.Before(q[j].at)
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
 
 func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*event)
+	ev, ok := x.(*Event)
 	if !ok {
 		return
 	}
+	ev.idx = len(*q)
 	*q = append(*q, ev)
 }
 
